@@ -1,0 +1,96 @@
+package bpmax
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// BatchItem is one sequence pair of a screening batch.
+type BatchItem struct {
+	// Name labels the pair in results (e.g. a FASTA header).
+	Name string
+	// Seq1, Seq2 are the two strands.
+	Seq1, Seq2 string
+}
+
+// BatchResult is one completed (or failed) fold of a batch.
+type BatchResult struct {
+	Name string
+	// Result is nil when Err is set.
+	Result *Result
+	// Gain is Score minus the two strands' independent single-strand
+	// optima — the screening statistic that ranks true interactions above
+	// incidental self-structure.
+	Gain float32
+	Err  error
+}
+
+// FoldBatch folds every pair concurrently (the embarrassingly parallel
+// outer level of a target screen: distinct pairs share nothing). workers
+// <= 0 selects GOMAXPROCS. Per-fold options apply to every item. Results
+// come back in input order; individual failures are reported per item, not
+// as a batch failure.
+func FoldBatch(items []BatchItem, workers int, opts ...Option) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	out := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	// Run each fold single-threaded: the batch level already saturates the
+	// workers, and nested parallelism would oversubscribe.
+	foldOpts := append(append([]Option(nil), opts...), WithWorkers(1))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				it := items[i]
+				out[i].Name = it.Name
+				res, err := Fold(it.Seq1, it.Seq2, foldOpts...)
+				if err != nil {
+					out[i].Err = fmt.Errorf("%s: %w", it.Name, err)
+					continue
+				}
+				out[i].Result = res
+				s1, err1 := FoldSingle(it.Seq1, foldOpts...)
+				s2, err2 := FoldSingle(it.Seq2, foldOpts...)
+				if err1 == nil && err2 == nil {
+					out[i].Gain = res.Score - s1.Score - s2.Score
+				}
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// RankByGain returns the successful results sorted by descending Gain
+// (ties broken by Name for determinism). Failed items are omitted.
+func RankByGain(results []BatchResult) []BatchResult {
+	var ok []BatchResult
+	for _, r := range results {
+		if r.Err == nil && r.Result != nil {
+			ok = append(ok, r)
+		}
+	}
+	sort.Slice(ok, func(a, b int) bool {
+		if ok[a].Gain != ok[b].Gain {
+			return ok[a].Gain > ok[b].Gain
+		}
+		return ok[a].Name < ok[b].Name
+	})
+	return ok
+}

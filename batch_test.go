@@ -1,0 +1,112 @@
+package bpmax
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randSeq(rng *rand.Rand, n int) string {
+	letters := []byte("ACGU")
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(letters[rng.Intn(4)])
+	}
+	return sb.String()
+}
+
+func TestFoldBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var items []BatchItem
+	for i := 0; i < 8; i++ {
+		items = append(items, BatchItem{
+			Name: string(rune('a' + i)),
+			Seq1: randSeq(rng, 6+rng.Intn(6)),
+			Seq2: randSeq(rng, 6+rng.Intn(6)),
+		})
+	}
+	batch := FoldBatch(items, 3)
+	if len(batch) != len(items) {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Name != items[i].Name {
+			t.Errorf("item %d out of order: %q", i, r.Name)
+		}
+		want, err := Fold(items[i].Seq1, items[i].Seq2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Score != want.Score {
+			t.Errorf("item %d: batch score %v, sequential %v", i, r.Result.Score, want.Score)
+		}
+		s1, _ := FoldSingle(items[i].Seq1)
+		s2, _ := FoldSingle(items[i].Seq2)
+		if r.Gain != want.Score-s1.Score-s2.Score {
+			t.Errorf("item %d: gain %v", i, r.Gain)
+		}
+	}
+}
+
+func TestFoldBatchReportsPerItemErrors(t *testing.T) {
+	items := []BatchItem{
+		{Name: "good", Seq1: "GGG", Seq2: "CCC"},
+		{Name: "bad", Seq1: "GGX", Seq2: "CCC"},
+		{Name: "empty", Seq1: "", Seq2: "CCC"},
+	}
+	batch := FoldBatch(items, 2)
+	if batch[0].Err != nil {
+		t.Errorf("good item failed: %v", batch[0].Err)
+	}
+	if batch[1].Err == nil || !strings.Contains(batch[1].Err.Error(), "bad") {
+		t.Errorf("bad item error = %v", batch[1].Err)
+	}
+	if batch[2].Err == nil {
+		t.Error("empty item should fail")
+	}
+}
+
+func TestFoldBatchEmptyAndWorkers(t *testing.T) {
+	if got := FoldBatch(nil, 4); len(got) != 0 {
+		t.Error("empty batch")
+	}
+	// More workers than items, zero workers: both fine.
+	items := []BatchItem{{Name: "x", Seq1: "GG", Seq2: "CC"}}
+	for _, w := range []int{0, 1, 100} {
+		if got := FoldBatch(items, w); got[0].Err != nil {
+			t.Errorf("workers=%d: %v", w, got[0].Err)
+		}
+	}
+}
+
+func TestRankByGain(t *testing.T) {
+	items := []BatchItem{
+		{Name: "noninteracting", Seq1: "AAAA", Seq2: "AAAA"}, // nothing pairs: gain 0
+		{Name: "duplex", Seq1: "GGGG", Seq2: "CCCC"},         // strong interaction
+		{Name: "broken", Seq1: "NN", Seq2: "CC"},             // error
+	}
+	ranked := RankByGain(FoldBatch(items, 2))
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d items, want 2 (error dropped)", len(ranked))
+	}
+	if ranked[0].Name != "duplex" {
+		t.Errorf("top hit = %q, want duplex", ranked[0].Name)
+	}
+	if ranked[0].Gain <= ranked[1].Gain {
+		t.Errorf("ranking not descending: %v then %v", ranked[0].Gain, ranked[1].Gain)
+	}
+}
+
+func TestFoldBatchOptionsApply(t *testing.T) {
+	items := []BatchItem{{Name: "u", Seq1: "GGG", Seq2: "CCC"}}
+	got := FoldBatch(items, 1, WithWeights(Weights{Unit: true}))
+	if got[0].Err != nil {
+		t.Fatal(got[0].Err)
+	}
+	if got[0].Result.Score != 3 {
+		t.Errorf("unit-weight batch score = %v, want 3", got[0].Result.Score)
+	}
+}

@@ -1,0 +1,291 @@
+package bpmax
+
+// One testing.B benchmark per paper artifact (see DESIGN.md's
+// per-experiment index). Each reports a gflops metric computed from the
+// analytic max-plus operation counts so `go test -bench` output can be
+// read against the paper's figures directly. cmd/bpmaxbench runs the same
+// experiments at larger scales with aligned-table output.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/maxplus"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/roofline"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+func benchProblem(b *testing.B, n1, n2 int) *ibpmax.Problem {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	p, err := ibpmax.NewProblem(rna.Random(rng, n1), rna.Random(rng, n2), score.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func reportGFLOPS(b *testing.B, flopsPerOp int64) {
+	b.Helper()
+	b.ReportMetric(float64(flopsPerOp)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+// BenchmarkMicroMaxPlus is Figure 12 / Algorithm 3: the streaming
+// Y = max(a+X, Y) kernel at an L1-resident chunk.
+func BenchmarkMicroMaxPlus(b *testing.B) {
+	const chunk = 4096
+	x := make([]float32, chunk)
+	y := make([]float32, chunk)
+	for i := range x {
+		x[i] = float32(i % 83)
+		y[i] = float32(i % 89)
+	}
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxplus.Accumulate(y, x, float32(i%7))
+		}
+		reportGFLOPS(b, chunk*maxplus.FlopsPerElement)
+	})
+	b.Run("unrolled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxplus.Accumulate8(y, x, float32(i%7))
+		}
+		reportGFLOPS(b, chunk*maxplus.FlopsPerElement)
+	})
+	b.Run("gather", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			maxplus.DotMaxPlusStride(x, y, 1)
+		}
+		reportGFLOPS(b, chunk*maxplus.FlopsPerElement)
+	})
+}
+
+// uniqueThreads deduplicates a thread-count list (on few-core hosts the
+// {1, 2, cores, 2·cores} sweep collides).
+func uniqueThreads(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if x >= 1 && !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// BenchmarkMicroThreads is Figure 12's thread sweep.
+func BenchmarkMicroThreads(b *testing.B) {
+	cores := runtime.GOMAXPROCS(0)
+	for _, th := range uniqueThreads([]int{1, 2, cores, 2 * cores}) {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				r := roofline.MeasureStream(th, 4096, 200, false)
+				total += r.GFLOPS
+			}
+			b.ReportMetric(total/float64(b.N), "gflops")
+		})
+	}
+}
+
+// BenchmarkDoubleMaxPlus is Figures 13/14 and Table I: the standalone
+// double max-plus system under every schedule.
+func BenchmarkDoubleMaxPlus(b *testing.B) {
+	p := benchProblem(b, 12, 64)
+	flops := ibpmax.DMPFlops(12, 64)
+	for _, v := range ibpmax.DMPVariants {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ibpmax.SolveDMP(p, v, ibpmax.Config{})
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkBPMaxVariants is Figures 1/15/16: the full BPMax fill under
+// every schedule.
+func BenchmarkBPMaxVariants(b *testing.B) {
+	p := benchProblem(b, 12, 48)
+	flops := ibpmax.BPMaxFlops(12, 48)
+	for _, v := range ibpmax.Variants {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ibpmax.Solve(p, v, ibpmax.Config{})
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkTiledThreads is Figure 17: worker scaling of the tiled double
+// max-plus, including past the physical core count.
+func BenchmarkTiledThreads(b *testing.B) {
+	p := benchProblem(b, 12, 96)
+	flops := ibpmax.DMPFlops(12, 96)
+	cores := runtime.GOMAXPROCS(0)
+	for _, th := range uniqueThreads([]int{1, 2, cores, 2 * cores}) {
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ibpmax.SolveDMP(p, ibpmax.DMPTiled, ibpmax.Config{Workers: th})
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkTileShapes is Figure 18: tile-shape sensitivity of the double
+// max-plus (cubic vs j2-untiled shapes).
+func BenchmarkTileShapes(b *testing.B) {
+	p := benchProblem(b, 12, 96)
+	flops := ibpmax.DMPFlops(12, 96)
+	shapes := []struct {
+		name       string
+		ti, tk, tj int
+	}{
+		{"8x8x8", 8, 8, 8},
+		{"16x16x16", 16, 16, 16},
+		{"32x4xN", 32, 4, 0},
+		{"64x16xN", 64, 16, 0},
+		{"128x8xN", 128, 8, 0},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			cfg := ibpmax.Config{TileI2: sh.ti, TileK2: sh.tk, TileJ2: sh.tj}
+			for i := 0; i < b.N; i++ {
+				ibpmax.SolveDMP(p, ibpmax.DMPTiled, cfg)
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkMemoryMaps is the Fig 10 ablation: bounding-box vs packed
+// quarter-space inner maps.
+func BenchmarkMemoryMaps(b *testing.B) {
+	p := benchProblem(b, 12, 48)
+	flops := ibpmax.BPMaxFlops(12, 48)
+	for _, kind := range []ibpmax.MapKind{ibpmax.MapBox, ibpmax.MapPacked} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ibpmax.Solve(p, ibpmax.VariantHybridTiled, ibpmax.Config{Map: kind})
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkScheduling is the OMP-dynamic-vs-static ablation (paper:
+// dynamic wins under the triangles' imbalance).
+func BenchmarkScheduling(b *testing.B) {
+	p := benchProblem(b, 12, 48)
+	flops := ibpmax.BPMaxFlops(12, 48)
+	for _, static := range []bool{false, true} {
+		name := "dynamic"
+		if static {
+			name = "static"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ibpmax.Config{StaticSched: static}
+			for i := 0; i < b.N; i++ {
+				ibpmax.Solve(p, ibpmax.VariantHybridTiled, cfg)
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkUnroll is the streaming-kernel unroll ablation.
+func BenchmarkUnroll(b *testing.B) {
+	p := benchProblem(b, 12, 64)
+	flops := ibpmax.DMPFlops(12, 64)
+	for _, unroll := range []bool{false, true} {
+		name := "plain"
+		if unroll {
+			name = "unrolled8"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ibpmax.Config{Unroll: unroll}
+			for i := 0; i < b.N; i++ {
+				ibpmax.SolveDMP(p, ibpmax.DMPTiled, cfg)
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkRegisterTile is the future-work register-tiling ablation: the
+// dual-row kernel halves B-row stream traffic in the tiled double
+// max-plus.
+func BenchmarkRegisterTile(b *testing.B) {
+	p := benchProblem(b, 12, 96)
+	flops := ibpmax.DMPFlops(12, 96)
+	for _, reg := range []bool{false, true} {
+		name := "rowwise"
+		if reg {
+			name = "dualrow"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ibpmax.Config{RegisterTile: reg}
+			for i := 0; i < b.N; i++ {
+				ibpmax.SolveDMP(p, ibpmax.DMPTiled, cfg)
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkMemoryPhases is the Phase II vs Phase III memory-map ablation:
+// separate accumulator storage (+copy) vs reductions sharing F's memory.
+func BenchmarkMemoryPhases(b *testing.B) {
+	p := benchProblem(b, 12, 48)
+	flops := ibpmax.BPMaxFlops(12, 48)
+	for _, scratch := range []bool{false, true} {
+		name := "phase3-shared"
+		if scratch {
+			name = "phase2-scratch"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := ibpmax.Config{ScratchAccum: scratch}
+			for i := 0; i < b.N; i++ {
+				ibpmax.Solve(p, ibpmax.VariantHybrid, cfg)
+			}
+			reportGFLOPS(b, flops)
+		})
+	}
+}
+
+// BenchmarkWindowed measures the banded scan (the GPU comparator's
+// formulation) against the full fill at the same lengths.
+func BenchmarkWindowed(b *testing.B) {
+	p := benchProblem(b, 12, 96)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ibpmax.Solve(p, ibpmax.VariantHybridTiled, ibpmax.Config{})
+		}
+	})
+	b.Run("window=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ibpmax.SolveWindowed(p, 12, 16, ibpmax.Config{})
+		}
+	})
+}
+
+// BenchmarkFoldAPI measures the public entry point end to end (S tables,
+// fill, metadata).
+func BenchmarkFoldAPI(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	s1 := rna.Random(rng, 12).String()
+	s2 := rna.Random(rng, 48).String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fold(s1, s2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+// Package bpmax predicts RNA-RNA interactions with the BPMax base-pair
+// maximization algorithm, in the heavily optimized formulation of
+// "Accelerating the BPMax Algorithm for RNA-RNA Interaction"
+// (Mondal & Rajopadhye, IPDPS Workshops 2021).
+//
+// BPMax computes, for two RNA strands, the maximum weighted number of base
+// pairs over all joint pseudoknot-free secondary structures — both strands
+// may fold internally and bond to each other. The dynamic program costs
+// Θ(N³M³) time and Θ(N²M²) space for strands of N and M nucleotides, so
+// schedule, locality and parallelism decide whether a fold takes minutes
+// or days; this package implements the paper's full ladder of schedules,
+// from the original diagonal-by-diagonal program to the tiled hybrid
+// schedule that reaches ~100× the baseline.
+//
+// # Quick start
+//
+//	res, err := bpmax.Fold("GGGAAACCC", "GGGUUUCCC")
+//	if err != nil { ... }
+//	fmt.Println(res.Score)              // optimal weighted pair count
+//	st := res.Structure()               // one optimal joint structure
+//	fmt.Println(st.Bracket1, st.Bracket2)
+//
+// Fold defaults to the fastest variant (hybrid + tiling) on all CPUs.
+// Options select other schedules, worker counts, tile shapes, scoring
+// models and windowed (local) scans; see the With* functions.
+package bpmax
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+	"github.com/bpmax-go/bpmax/internal/semiring"
+)
+
+// Variant names one of the paper's execution schedules.
+type Variant string
+
+// The available schedules, from slowest to fastest on multicore hardware.
+const (
+	// Base is the original BPMax program: sequential, per-cell gather
+	// reductions. The 1× baseline of the paper's speedup plots.
+	Base Variant = "base"
+	// Coarse parallelizes across inner triangles of a wavefront.
+	Coarse Variant = "coarse"
+	// Fine parallelizes across rows within one triangle at a time.
+	Fine Variant = "fine"
+	// Hybrid combines fine-grain accumulation with coarse-grain updates.
+	Hybrid Variant = "hybrid"
+	// HybridTiled adds double max-plus tiling to Hybrid; the default and
+	// the paper's best performer.
+	HybridTiled Variant = "hybrid-tiled"
+)
+
+// Weights configures the base-pair scoring model.
+type Weights struct {
+	// GC, AU, GU are the pair weights; pairs not listed are forbidden.
+	// The zero value selects the canonical weighted counting model
+	// GC=3, AU=2, GU=1.
+	GC, AU, GU float32
+	// Unit, when true, overrides the weights with plain pair counting
+	// (every canonical pair scores 1).
+	Unit bool
+}
+
+type options struct {
+	variant    Variant
+	cfg        ibpmax.Config
+	weights    Weights
+	minHairpin int
+}
+
+// Option customizes Fold, FoldSingle and ScanWindowed.
+type Option func(*options)
+
+// WithVariant selects the execution schedule (default HybridTiled).
+func WithVariant(v Variant) Option { return func(o *options) { o.variant = v } }
+
+// WithWorkers caps the number of parallel workers (default: GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *options) { o.cfg.Workers = n } }
+
+// WithTiles sets the double max-plus tile shape (i2 × k2 × j2); zero
+// fields keep the paper's generic 64 × 16 × N shape (j2 untiled).
+func WithTiles(i2, k2, j2 int) Option {
+	return func(o *options) { o.cfg.TileI2, o.cfg.TileK2, o.cfg.TileJ2 = i2, k2, j2 }
+}
+
+// WithPackedMemory switches the inner-triangle memory map from the default
+// bounding box (fast) to the packed quarter-space map (half the memory,
+// paper's Fig 10 option 2).
+func WithPackedMemory() Option {
+	return func(o *options) { o.cfg.Map = ibpmax.MapPacked }
+}
+
+// WithUnrolledKernel selects the 8-way unrolled streaming kernel.
+func WithUnrolledKernel() Option { return func(o *options) { o.cfg.Unroll = true } }
+
+// WithWeights sets the base-pair scoring weights.
+func WithWeights(w Weights) Option { return func(o *options) { o.weights = w } }
+
+// WithMinHairpin forbids intramolecular pairs (i, j) with j-i <= n,
+// modelling a minimum hairpin loop (default 0, BPMax's counting model).
+func WithMinHairpin(n int) Option { return func(o *options) { o.minHairpin = n } }
+
+func buildOptions(opts []Option) options {
+	o := options{variant: HybridTiled}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+func (o options) params() score.Params {
+	p := score.Params{MinHairpin: o.minHairpin}
+	switch {
+	case o.weights.Unit:
+		p.Model = score.Unit()
+	case o.weights == (Weights{}):
+		p.Model = score.BasePair()
+	default:
+		p.Model = score.Custom("custom", map[[2]rna.Base]score.Value{
+			{rna.G, rna.C}: o.weights.GC,
+			{rna.A, rna.U}: o.weights.AU,
+			{rna.G, rna.U}: o.weights.GU,
+		})
+	}
+	return p
+}
+
+func (o options) internalVariant() (ibpmax.Variant, error) {
+	switch o.variant {
+	case Base:
+		return ibpmax.VariantBase, nil
+	case Coarse:
+		return ibpmax.VariantCoarse, nil
+	case Fine:
+		return ibpmax.VariantFine, nil
+	case Hybrid:
+		return ibpmax.VariantHybrid, nil
+	case HybridTiled, "":
+		return ibpmax.VariantHybridTiled, nil
+	}
+	return 0, fmt.Errorf("bpmax: unknown variant %q", o.variant)
+}
+
+// Pair is an intramolecular base pair (positions I < J, 0-based).
+type Pair struct{ I, J int }
+
+// InterPair is an intermolecular bond between seq1 position I1 and seq2
+// position I2 (both 0-based).
+type InterPair struct{ I1, I2 int }
+
+// Structure is one optimal joint secondary structure. Bracket1/Bracket2
+// render each strand with '(' ')' for intramolecular pairs and '[' for
+// intermolecularly bonded positions.
+type Structure struct {
+	Intra1, Intra2     []Pair
+	Inter              []InterPair
+	Bracket1, Bracket2 string
+}
+
+// Result holds a completed interaction fold.
+type Result struct {
+	// Score is the optimal weighted base-pair count F[0,N1-1,0,N2-1].
+	Score float32
+	// N1, N2 are the sequence lengths.
+	N1, N2 int
+	// FLOPs is the analytic max-plus operation count of the fill.
+	FLOPs int64
+	// Elapsed is the wall time of the table fill.
+	Elapsed time.Duration
+	// TableBytes is the F-table storage footprint.
+	TableBytes int64
+
+	prob *ibpmax.Problem
+	ft   *ibpmax.FTable
+	st   *Structure
+}
+
+// Fold computes the BPMax interaction of two RNA sequences given as
+// strings (IUPAC letters ACGU; T and lower case accepted).
+func Fold(seq1, seq2 string, opts ...Option) (*Result, error) {
+	s1, err := rna.New(seq1)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
+	}
+	s2, err := rna.New(seq2)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
+	}
+	o := buildOptions(opts)
+	v, err := o.internalVariant()
+	if err != nil {
+		return nil, err
+	}
+	p, err := ibpmax.NewProblem(s1, s2, o.params())
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ft := ibpmax.Solve(p, v, o.cfg)
+	elapsed := time.Since(start)
+	return &Result{
+		Score:      p.Score(ft),
+		N1:         p.N1,
+		N2:         p.N2,
+		FLOPs:      ibpmax.BPMaxFlops(p.N1, p.N2),
+		Elapsed:    elapsed,
+		TableBytes: ft.Bytes(),
+		prob:       p,
+		ft:         ft,
+	}, nil
+}
+
+// SubScore returns F[i1,j1,i2,j2]: the optimal score for the interaction of
+// seq1[i1..j1] with seq2[i2..j2] (closed intervals). Empty intervals
+// (j < i) are allowed and resolve to the single-strand optimum of the other
+// interval.
+func (r *Result) SubScore(i1, j1, i2, j2 int) float32 {
+	if j1 < i1 && j2 < i2 {
+		return 0
+	}
+	return r.at(i1, j1, i2, j2)
+}
+
+func (r *Result) at(i1, j1, i2, j2 int) float32 {
+	if j1 < i1 {
+		return r.SingleScore2(i2, j2)
+	}
+	if j2 < i2 {
+		return r.SingleScore1(i1, j1)
+	}
+	return r.ft.At(i1, j1, i2, j2)
+}
+
+// SingleScore1 returns S¹[i,j], the single-strand optimum of seq1[i..j].
+func (r *Result) SingleScore1(i, j int) float32 { return r.prob.S1.At(i, j) }
+
+// SingleScore2 returns S²[i,j], the single-strand optimum of seq2[i..j].
+func (r *Result) SingleScore2(i, j int) float32 { return r.prob.S2.At(i, j) }
+
+// Structure recovers one optimal joint structure by traceback (computed
+// once and cached).
+func (r *Result) Structure() *Structure {
+	if r.st != nil {
+		return r.st
+	}
+	ist := ibpmax.Traceback(r.prob, r.ft)
+	st := &Structure{}
+	for _, p := range ist.Intra1 {
+		st.Intra1 = append(st.Intra1, Pair{p.I, p.J})
+	}
+	for _, p := range ist.Intra2 {
+		st.Intra2 = append(st.Intra2, Pair{p.I, p.J})
+	}
+	for _, p := range ist.Inter {
+		st.Inter = append(st.Inter, InterPair{p.I1, p.I2})
+	}
+	st.Bracket1, st.Bracket2 = ist.DotBracket(r.N1, r.N2)
+	r.st = st
+	return st
+}
+
+// BestLocal scans the filled table for the interval pair with the highest
+// interaction score among those with spans j1-i1 < maxSpan1 and
+// j2-i2 < maxSpan2 (pass values >= the lengths for an unrestricted scan;
+// the full pair always maximizes an unrestricted scan because F is
+// monotone under widening). It answers "where is the strongest local
+// interaction?" without refolding.
+func (r *Result) BestLocal(maxSpan1, maxSpan2 int) (score float32, i1, j1, i2, j2 int) {
+	score = -1
+	for a1 := 0; a1 < r.N1; a1++ {
+		for b1 := a1; b1 < r.N1 && b1-a1 < maxSpan1; b1++ {
+			for a2 := 0; a2 < r.N2; a2++ {
+				for b2 := a2; b2 < r.N2 && b2-a2 < maxSpan2; b2++ {
+					if v := r.ft.At(a1, b1, a2, b2); v > score {
+						score, i1, j1, i2, j2 = v, a1, b1, a2, b2
+					}
+				}
+			}
+		}
+	}
+	return score, i1, j1, i2, j2
+}
+
+// GFLOPS returns the effective max-plus throughput of the fill.
+func (r *Result) GFLOPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.FLOPs) / r.Elapsed.Seconds() / 1e9
+}
+
+// SingleResult holds a single-strand (Nussinov) fold.
+type SingleResult struct {
+	// Score is the optimal weighted pair count S[0, N-1].
+	Score float32
+	// N is the sequence length.
+	N int
+	// Pairs is one optimal pair set.
+	Pairs []Pair
+	// Bracket is the dot-bracket rendering of Pairs.
+	Bracket string
+}
+
+// FoldSingle folds one RNA strand on its own (the S-table substrate,
+// exposed because it is independently useful).
+func FoldSingle(seq string, opts ...Option) (*SingleResult, error) {
+	s, err := rna.New(seq)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: %w", err)
+	}
+	o := buildOptions(opts)
+	tab := score.Build(s, s, o.params())
+	sc := func(i, j int) float32 { return tab.Score1(i, j) }
+	t := nussinov.BuildParallel(s.Len(), sc, o.cfg.Workers)
+	res := &SingleResult{N: s.Len()}
+	if s.Len() > 0 {
+		res.Score = t.At(0, s.Len()-1)
+		for _, p := range t.Traceback(sc) {
+			res.Pairs = append(res.Pairs, Pair{p.I, p.J})
+		}
+		var np []nussinov.Pair
+		for _, p := range res.Pairs {
+			np = append(np, nussinov.Pair{I: p.I, J: p.J})
+		}
+		res.Bracket = nussinov.DotBracket(s.Len(), np)
+	}
+	return res, nil
+}
+
+// EnsembleResult summarizes the Boltzmann ensemble of one strand's
+// structures: the log partition value at temperature factor kT and the
+// total number of admissible structures. It is the BPPart-flavoured
+// companion signal to the max-plus score (the paper's motivation: the
+// simplified counting models correlate strongly with the full
+// thermodynamic model).
+type EnsembleResult struct {
+	// LogZ is log Σ_structures exp(weight/kT).
+	LogZ float64
+	// Structures counts the admissible (non-crossing) structures,
+	// including the empty one.
+	Structures float64
+	// Cooptimal counts the structures achieving the optimal score — the
+	// degeneracy of the max-plus optimum.
+	Cooptimal float64
+	// KT echoes the temperature factor used.
+	KT float64
+}
+
+// SingleEnsemble computes the single-strand Boltzmann ensemble signal for
+// seq at temperature factor kT (in units of pair weight; small kT
+// approaches the max-plus optimum: kT·LogZ → Score).
+func SingleEnsemble(seq string, kT float64, opts ...Option) (*EnsembleResult, error) {
+	if kT <= 0 {
+		return nil, fmt.Errorf("bpmax: kT must be positive, got %v", kT)
+	}
+	s, err := rna.New(seq)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: %w", err)
+	}
+	o := buildOptions(opts)
+	tab := score.Build(s, s, o.params())
+	n := s.Len()
+	logPair := func(i, j int) float64 {
+		w := float64(tab.Score1(i, j))
+		if w < -1e20 {
+			return math.Inf(-1)
+		}
+		return w / kT
+	}
+	countPair := func(i, j int) float64 {
+		if float64(tab.Score1(i, j)) < -1e20 {
+			return 0
+		}
+		return 1
+	}
+	optPair := func(i, j int) semiring.Optimum {
+		w := tab.Score1(i, j)
+		if float64(w) < -1e20 {
+			return semiring.MaxPlusCount{}.Zero()
+		}
+		return semiring.Optimum{Score: w, Count: 1}
+	}
+	res := &EnsembleResult{KT: kT}
+	if n > 0 {
+		res.LogZ = semiring.Fold[float64](semiring.LogSumExp{}, n, logPair).At(0, n-1)
+		res.Structures = semiring.Fold[float64](semiring.Counting{}, n, countPair).At(0, n-1)
+		res.Cooptimal = semiring.Fold[semiring.Optimum](semiring.MaxPlusCount{}, n, optPair).At(0, n-1).Count
+	} else {
+		res.Structures = 1
+		res.Cooptimal = 1
+	}
+	return res, nil
+}
+
+// WindowResult holds a windowed (banded) scan: every interval pair with
+// spans below the window sizes, at Θ(N·W1·M·W2·(W1+W2)·…) cost instead of
+// the full table's Θ(N³M³).
+type WindowResult struct {
+	// Best is the maximum interaction score over all in-window interval
+	// pairs, and I1..J2 one cell achieving it.
+	Best           float32
+	I1, J1, I2, J2 int
+	// TableBytes is the banded storage footprint.
+	TableBytes int64
+
+	wt   *ibpmax.WTable
+	prob *ibpmax.Problem
+}
+
+// Structure recovers one optimal structure for the best in-window cell.
+func (w *WindowResult) Structure() *Structure {
+	ist := ibpmax.TracebackWindowed(w.prob, w.wt, w.I1, w.J1, w.I2, w.J2)
+	st := &Structure{}
+	for _, p := range ist.Intra1 {
+		st.Intra1 = append(st.Intra1, Pair{p.I, p.J})
+	}
+	for _, p := range ist.Intra2 {
+		st.Intra2 = append(st.Intra2, Pair{p.I, p.J})
+	}
+	for _, p := range ist.Inter {
+		st.Inter = append(st.Inter, InterPair{p.I1, p.I2})
+	}
+	st.Bracket1, st.Bracket2 = ist.DotBracket(w.prob.N1, w.prob.N2)
+	return st
+}
+
+// ScanWindowed computes all interactions between subsequences of seq1
+// shorter than w1 and subsequences of seq2 shorter than w2 — the local
+// interaction screen used when full-table memory is prohibitive.
+func ScanWindowed(seq1, seq2 string, w1, w2 int, opts ...Option) (*WindowResult, error) {
+	s1, err := rna.New(seq1)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
+	}
+	s2, err := rna.New(seq2)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
+	}
+	if w1 <= 0 || w2 <= 0 {
+		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
+	}
+	o := buildOptions(opts)
+	p, err := ibpmax.NewProblem(s1, s2, o.params())
+	if err != nil {
+		return nil, err
+	}
+	wt := ibpmax.SolveWindowed(p, w1, w2, o.cfg)
+	best, i1, j1, i2, j2 := wt.Best()
+	return &WindowResult{
+		Best: best, I1: i1, J1: j1, I2: i2, J2: j2,
+		TableBytes: wt.Bytes(),
+		wt:         wt,
+		prob:       p,
+	}, nil
+}
+
+// At returns the windowed table value F[i1,j1,i2,j2]; the cell must satisfy
+// j1-i1 < w1 and j2-i2 < w2.
+func (w *WindowResult) At(i1, j1, i2, j2 int) float32 { return w.wt.At(i1, j1, i2, j2) }
+
+// InWindow reports whether a cell is inside the scanned band.
+func (w *WindowResult) InWindow(i1, j1, i2, j2 int) bool { return w.wt.InWindow(i1, j1, i2, j2) }

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestRunDefault(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSchedulesOnly(t *testing.T) {
+	if err := run([]string{"-schedules"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunEmitEachNest(t *testing.T) {
+	for name := range nests() {
+		if err := run([]string{"-emit", name}); err != nil {
+			t.Errorf("emit %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunExplore(t *testing.T) {
+	if err := run([]string{"-explore"}); err != nil {
+		t.Fatalf("run -explore: %v", err)
+	}
+}
+
+func TestRunEmitUnknown(t *testing.T) {
+	if err := run([]string{"-emit", "bogus"}); err == nil {
+		t.Error("expected error for unknown nest")
+	}
+}
+
+func TestRunEmitC(t *testing.T) {
+	if err := run([]string{"-emit", "dmp-tiled", "-lang", "c"}); err != nil {
+		t.Fatalf("emit c: %v", err)
+	}
+	if err := run([]string{"-emit", "dmp-tiled", "-lang", "fortran"}); err == nil {
+		t.Error("expected error for unknown language")
+	}
+}
+
+func TestRunAlphabets(t *testing.T) {
+	for _, sys := range []string{"bpmax", "dmp", "nussinov"} {
+		if err := run([]string{"-ab", sys}); err != nil {
+			t.Errorf("-ab %s: %v", sys, err)
+		}
+	}
+	if err := run([]string{"-ab", "bogus"}); err == nil {
+		t.Error("expected error for unknown system")
+	}
+}
+
+func TestRunGenerate(t *testing.T) {
+	if err := run([]string{"-generate"}); err != nil {
+		t.Fatalf("run -generate: %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+// Command bpmax folds two RNA sequences with the BPMax RNA-RNA interaction
+// algorithm and prints the optimal score and one optimal joint structure.
+//
+// Usage:
+//
+//	bpmax [flags] SEQ1 SEQ2
+//	bpmax [flags] -fasta interactions.fa     # first two records
+//
+// Examples:
+//
+//	bpmax GGGAAACCC GGGUUUCCC
+//	bpmax -variant base -workers 1 GGGAAACCC GGGUUUCCC
+//	bpmax -window 64 longseq1.txt-content longseq2.txt-content
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bpmax-go/bpmax"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bpmax:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bpmax", flag.ContinueOnError)
+	variant := fs.String("variant", string(bpmax.HybridTiled),
+		"schedule: base, coarse, fine, hybrid, hybrid-tiled")
+	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	tileI := fs.Int("tile-i2", 0, "i2 tile size (0 = default 64)")
+	tileK := fs.Int("tile-k2", 0, "k2 tile size (0 = default 16)")
+	tileJ := fs.Int("tile-j2", 0, "j2 tile size (0 = untiled/streaming)")
+	window := fs.Int("window", 0, "windowed scan with this span for both sequences (0 = full fold)")
+	unit := fs.Bool("unit", false, "unweighted pair counting instead of GC=3/AU=2/GU=1")
+	packed := fs.Bool("packed", false, "use the packed (quarter-space) memory map")
+	fasta := fs.String("fasta", "", "read the first two records of this FASTA file instead of arguments")
+	resolve := fs.Int64("resolve", 0, "accept IUPAC ambiguity codes in FASTA, resolving them randomly with this seed (0 = strict)")
+	batch := fs.Bool("batch", false, "treat the FASTA file as consecutive pairs; fold all and rank by interaction gain")
+	structure := fs.Bool("structure", true, "print an optimal joint structure")
+	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
+	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
+	stats := fs.Bool("stats", false, "print timing, GFLOPS and table size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var s1, s2, name1, name2 string
+	if *fasta != "" {
+		recs, err := bpmax.LoadFasta(*fasta, *resolve)
+		if err != nil {
+			return err
+		}
+		if *batch {
+			return runBatch(recs, *workers, opts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed))
+		}
+		if len(recs) < 2 {
+			return fmt.Errorf("FASTA file %s has %d records, need 2", *fasta, len(recs))
+		}
+		s1, s2 = recs[0].Seq, recs[1].Seq
+		name1, name2 = recs[0].Name, recs[1].Name
+	} else {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("need exactly two sequences (or -fasta); got %d args", fs.NArg())
+		}
+		s1, s2 = fs.Arg(0), fs.Arg(1)
+		name1, name2 = "seq1", "seq2"
+	}
+
+	opts := opts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed)
+
+	if *window > 0 {
+		res, err := bpmax.ScanWindowed(s1, s2, *window, *window, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("best windowed interaction score: %g\n", res.Best)
+		fmt.Printf("at %s[%d..%d] x %s[%d..%d]\n", name1, res.I1, res.J1, name2, res.I2, res.J2)
+		if *stats {
+			fmt.Printf("banded table: %.1f MB\n", float64(res.TableBytes)/(1<<20))
+		}
+		return nil
+	}
+
+	res, err := bpmax.Fold(s1, s2, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("interaction score: %g  (%s: %d nt, %s: %d nt)\n", res.Score, name1, res.N1, name2, res.N2)
+	if *structure {
+		st := res.Structure()
+		fmt.Printf("%s  %s\n", st.Bracket1, name1)
+		fmt.Printf("%s  %s\n", st.Bracket2, name2)
+		fmt.Printf("intramolecular pairs: %d + %d, intermolecular bonds: %d\n",
+			len(st.Intra1), len(st.Intra2), len(st.Inter))
+	}
+	if *draw {
+		fmt.Print(res.Structure().Draw(s1norm(s1), s1norm(s2)))
+	}
+	if *ensemble {
+		for i, s := range []string{s1, s2} {
+			ens, err := bpmax.SingleEnsemble(s, 1.0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("strand %d ensemble: %.0f structures, %.0f co-optimal, logZ(kT=1) = %.2f\n",
+				i+1, ens.Structures, ens.Cooptimal, ens.LogZ)
+		}
+	}
+	if *stats {
+		fmt.Printf("fill time: %v  rate: %.2f GFLOPS  table: %.1f MB\n",
+			res.Elapsed, res.GFLOPS(), float64(res.TableBytes)/(1<<20))
+	}
+	return nil
+}
+
+// opts assembles the fold options shared by the single and batch paths.
+func opts(variant string, workers, tileI, tileK, tileJ int, unit, packed bool) []bpmax.Option {
+	out := []bpmax.Option{
+		bpmax.WithVariant(bpmax.Variant(variant)),
+		bpmax.WithWorkers(workers),
+		bpmax.WithTiles(tileI, tileK, tileJ),
+	}
+	if unit {
+		out = append(out, bpmax.WithWeights(bpmax.Weights{Unit: true}))
+	}
+	if packed {
+		out = append(out, bpmax.WithPackedMemory())
+	}
+	return out
+}
+
+// runBatch folds consecutive FASTA pairs and prints them ranked by
+// interaction gain.
+func runBatch(recs []bpmax.FastaRecord, workers int, options []bpmax.Option) error {
+	items, err := bpmax.PairsFromFasta(recs)
+	if err != nil {
+		return err
+	}
+	results := bpmax.FoldBatch(items, workers, options...)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "bpmax: skipping %v\n", r.Err)
+		}
+	}
+	ranked := bpmax.RankByGain(results)
+	fmt.Printf("%-40s %10s %10s\n", "pair", "score", "gain")
+	for _, r := range ranked {
+		fmt.Printf("%-40s %10.1f %10.1f\n", r.Name, r.Result.Score, r.Gain)
+	}
+	return nil
+}
+
+// s1norm upper-cases and T->U normalizes a raw argument for display next
+// to 0-based structure coordinates.
+func s1norm(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z':
+			out[i] = c - 'a' + 'A'
+		}
+		if out[i] == 'T' {
+			out[i] = 'U'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWithArgs(t *testing.T) {
+	if err := run([]string{"GGG", "CCC"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAllVariants(t *testing.T) {
+	for _, v := range []string{"base", "coarse", "fine", "hybrid", "hybrid-tiled"} {
+		if err := run([]string{"-variant", v, "GGAUCC", "GGAUCC"}); err != nil {
+			t.Errorf("variant %s: %v", v, err)
+		}
+	}
+}
+
+func TestRunWithTuning(t *testing.T) {
+	err := run([]string{"-workers", "2", "-tile-i2", "4", "-tile-k2", "2", "-unit", "-packed", "-stats", "GGG", "CCC"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWindowed(t *testing.T) {
+	if err := run([]string{"-window", "4", "-stats", "GGGAAACCC", "GGGUUUCCC"}); err != nil {
+		t.Fatalf("windowed run: %v", err)
+	}
+}
+
+func TestRunDrawAndEnsemble(t *testing.T) {
+	if err := run([]string{"-draw", "-ensemble", "GGGAAACCC", "gggtttccc"}); err != nil {
+		t.Fatalf("run -draw -ensemble: %v", err)
+	}
+}
+
+func TestRunFasta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pair.fa")
+	if err := os.WriteFile(path, []byte(">a\nGGG\n>b\nCCC\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fasta", path}); err != nil {
+		t.Fatalf("fasta run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                             // no sequences
+		{"GGG"},                        // one sequence
+		{"GGG", "CCC", "AAA"},          // three sequences
+		{"GGX", "CCC"},                 // invalid base
+		{"-variant", "warp", "A", "C"}, // unknown variant
+		{"-fasta", "/nonexistent/x.fa"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunFastaTooFewRecords(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "one.fa")
+	if err := os.WriteFile(path, []byte(">a\nGGG\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fasta", path}); err == nil {
+		t.Error("expected error for single-record FASTA")
+	}
+}
+
+func TestRunFastaResolving(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "amb.fa")
+	if err := os.WriteFile(path, []byte(">a\nGGNN\n>b\nCCNN\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fasta", path}); err == nil {
+		t.Error("strict mode accepted N")
+	}
+	if err := run([]string{"-fasta", path, "-resolve", "7"}); err != nil {
+		t.Fatalf("resolving run: %v", err)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pairs.fa")
+	fa := ">s1\nGGGG\n>t1\nCCCC\n>s2\nAAAA\n>t2\nAAAA\n>s3\nGG\n>t3\nNN\n"
+	if err := os.WriteFile(path, []byte(fa), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Strict parse rejects the N record up front...
+	if err := run([]string{"-fasta", path, "-batch"}); err == nil {
+		t.Error("strict batch accepted N")
+	}
+	// ...while -resolve folds all three pairs.
+	if err := run([]string{"-fasta", path, "-batch", "-resolve", "3"}); err != nil {
+		t.Fatalf("batch run: %v", err)
+	}
+	// Odd record count errors.
+	odd := filepath.Join(dir, "odd.fa")
+	if err := os.WriteFile(odd, []byte(">a\nGG\n>b\nCC\n>c\nAA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fasta", odd, "-batch"}); err == nil {
+		t.Error("odd batch accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Command roofline prints the max-plus roofline model (paper Fig 11) and
+// runs the Y = max(a+X, Y) streaming micro-benchmark (Algorithm 3 /
+// Fig 12) on the host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"github.com/bpmax-go/bpmax/internal/roofline"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "roofline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("roofline", flag.ContinueOnError)
+	model := fs.Bool("model", true, "print the roofline model table")
+	micro := fs.Bool("micro", false, "run the streaming micro-benchmark")
+	chunk := fs.Int("chunk", 4096, "micro-benchmark chunk size in float32 elements")
+	ms := fs.Int("ms", 100, "target milliseconds per micro-benchmark point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *model {
+		for _, m := range []roofline.Machine{roofline.E51650v4(), roofline.E2278G(), roofline.Host()} {
+			fmt.Printf("%s: %d cores @ %.2f GHz, %d-lane SIMD model\n", m.Name, m.Cores, m.GHz, m.SIMDLanes)
+			fmt.Printf("  max-plus peak: %.1f GFLOPS\n", m.MaxPlusPeakGFLOPS())
+			for _, level := range roofline.Levels {
+				fmt.Printf("  %-4s %8.1f GB/s -> %7.1f GFLOPS at AI=1/6\n",
+					level, m.BandwidthGBs(level), m.Attainable(level, roofline.StreamIntensity))
+			}
+		}
+	}
+
+	if *micro {
+		cores := runtime.GOMAXPROCS(0)
+		iters := roofline.CalibrateIters(*chunk, *ms)
+		fmt.Printf("\nmicro-benchmark Y = max(a+X, Y), chunk %d KB, %d iterations/point\n",
+			*chunk*4/1024, iters)
+		fmt.Printf("%8s  %12s  %12s\n", "threads", "GFLOPS", "unrolled")
+		for th := 1; th <= 2*cores; th *= 2 {
+			plain := roofline.MeasureStream(th, *chunk, iters, false)
+			unrolled := roofline.MeasureStream(th, *chunk, iters, true)
+			fmt.Printf("%8d  %12.2f  %12.2f\n", th, plain.GFLOPS, unrolled.GFLOPS)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunModel(t *testing.T) {
+	if err := run([]string{"-model"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMicro(t *testing.T) {
+	if err := run([]string{"-model=false", "-micro", "-chunk", "1024", "-ms", "1"}); err != nil {
+		t.Fatalf("run micro: %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/seqio"
+)
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.fa")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRandomKind(t *testing.T) {
+	out, err := capture(t, []string{"-n", "3", "-len", "50", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := seqio.ReadString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Seq.Len() != 50 {
+			t.Errorf("record %q length %d", r.Name, r.Seq.Len())
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, err := capture(t, []string{"-n", "2", "-len", "30", "-seed", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capture(t, []string{"-n", "2", "-len", "30", "-seed", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different output")
+	}
+}
+
+func TestGCKind(t *testing.T) {
+	out, err := capture(t, []string{"-kind", "gc", "-gc", "0.9", "-n", "1", "-len", "5000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := seqio.ReadString(out)
+	if gc := recs[0].Seq.GCContent(); gc < 0.85 {
+		t.Errorf("GC content %v, want ~0.9", gc)
+	}
+}
+
+func TestHairpinKind(t *testing.T) {
+	out, err := capture(t, []string{"-kind", "hairpin", "-n", "1", "-len", "24", "-loop", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := seqio.ReadString(out)
+	s := recs[0].Seq
+	// Stem = 10, loop = 4.
+	for i := 0; i < 10; i++ {
+		if s.At(i).Complement() != s.At(s.Len()-1-i) {
+			t.Fatalf("stem position %d not complementary", i)
+		}
+	}
+}
+
+func TestPairKindPlantsSite(t *testing.T) {
+	out, err := capture(t, []string{"-kind", "pair", "-n", "2", "-len", "40", "-site", "8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := seqio.ReadString(out)
+	if len(recs) != 4 {
+		t.Fatalf("pair kind emitted %d records, want 4", len(recs))
+	}
+	if !strings.Contains(recs[0].Name, "site@") {
+		t.Errorf("name missing site annotation: %q", recs[0].Name)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-kind", "bogus"},
+		{"-len", "0"},
+		{"-kind", "hairpin", "-len", "3", "-loop", "4"},
+		{"-kind", "pair", "-len", "10", "-site", "10"},
+	} {
+		if _, err := capture(t, args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package bpmax
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders the joint structure as a multi-line ASCII diagram: the two
+// strands on parallel lines with '|' rungs marking intermolecular bonds
+// and each strand's dot-bracket layer above/below it.
+//
+//	   ((((([)))))[[[[
+//	5'-GGGAGACUCCCAAAA-3'
+//	         |    ||||
+//	3'-CCCUCUGAGGGUUUU-5'   <- seq2 reversed for antiparallel display
+//	   ))))) ([((([[[[        (layer indices follow the reversal)
+//
+// Sequence 2 is drawn reversed (3'->5') so that bonds between positions
+// that increase together on both strands — the only geometry BPMax's
+// non-crossing model allows — appear as parallel rungs.
+func (st *Structure) Draw(seq1, seq2 string) string {
+	n1, n2 := len(seq1), len(seq2)
+	width := n1
+	if n2 > width {
+		width = n2
+	}
+	pad := func(s string, n int) string { return s + strings.Repeat(" ", n-len(s)) }
+
+	// Layer 2's brackets and bases displayed reversed.
+	rev := func(s string) string {
+		b := []byte(s)
+		for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+			b[i], b[j] = b[j], b[i]
+		}
+		return string(b)
+	}
+	mirror2 := func(pos int) int { return n2 - 1 - pos }
+
+	// Rung line: '|' where a bond connects column c of strand 1 to column
+	// c' of the reversed strand 2; when the columns differ, draw a '/'
+	// halfway marker at each end column.
+	rung := make([]byte, width)
+	for i := range rung {
+		rung[i] = ' '
+	}
+	for _, b := range st.Inter {
+		c1 := b.I1
+		c2 := mirror2(b.I2)
+		if c1 == c2 {
+			rung[c1] = '|'
+			continue
+		}
+		rung[c1] = '\\'
+		if rung[c2] == ' ' {
+			rung[c2] = '/'
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "     %s\n", pad(st.Bracket1, width))
+	fmt.Fprintf(&sb, "  5'-%s-3'  seq1\n", pad(seq1, width))
+	fmt.Fprintf(&sb, "     %s\n", string(rung))
+	fmt.Fprintf(&sb, "  3'-%s-5'  seq2 (reversed)\n", pad(rev(seq2), width))
+	fmt.Fprintf(&sb, "     %s\n", pad(rev(st.Bracket2), width))
+	return sb.String()
+}

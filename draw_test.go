@@ -1,0 +1,63 @@
+package bpmax
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDrawDuplex(t *testing.T) {
+	res, err := Fold("GGG", "CCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Structure().Draw("GGG", "CCC")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("Draw produced %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "GGG") {
+		t.Errorf("strand 1 missing: %q", lines[1])
+	}
+	// All three bonds are parallel rungs for the antiparallel duplex:
+	// bond (0,0) connects column 0 to reversed column 2... for GGG×CCC the
+	// bonds are (0,0),(1,1),(2,2) -> columns (0,2),(1,1),(2,0).
+	if !strings.Contains(lines[2], "|") && !strings.Contains(lines[2], "\\") {
+		t.Errorf("no bond markers in rung line %q:\n%s", lines[2], out)
+	}
+	// Strand 2 is displayed reversed (CCC is palindromic; check the label).
+	if !strings.Contains(lines[3], "reversed") {
+		t.Errorf("strand 2 line missing reversal note: %q", lines[3])
+	}
+}
+
+func TestDrawHandlesUnevenLengths(t *testing.T) {
+	res, err := Fold("GG", "CCCCCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Structure().Draw("GG", "CCCCCC")
+	for i, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if len(line) == 0 {
+			t.Errorf("line %d empty:\n%s", i, out)
+		}
+	}
+}
+
+func TestDrawAntiparallelRungs(t *testing.T) {
+	// A perfectly antiparallel duplex: GGGG × CCCC bonds (i, i) map to
+	// display columns (i, n-1-i); only the middle columns align when n is
+	// even, so expect a mix of '\' and '/' markers plus '|' never needed.
+	res, err := Fold("GGGG", "CCCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Structure()
+	if len(st.Inter) != 4 {
+		t.Skipf("optimal structure not a pure duplex: %+v", st)
+	}
+	out := st.Draw("GGGG", "CCCC")
+	rung := strings.Split(out, "\n")[2]
+	if !strings.ContainsAny(rung, `\/|`) {
+		t.Errorf("no rungs rendered: %q", rung)
+	}
+}

@@ -1,0 +1,83 @@
+package bpmax_test
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax"
+)
+
+// The canonical three-GC duplex: all three bases bond across strands.
+func ExampleFold() {
+	res, err := bpmax.Fold("GGG", "CCC")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Score)
+	// Output: 9
+}
+
+func ExampleFold_structure() {
+	res, err := bpmax.Fold("GGGAAACCC", "GGGUUUCCC")
+	if err != nil {
+		panic(err)
+	}
+	st := res.Structure()
+	fmt.Println(st.Bracket1)
+	fmt.Println(st.Bracket2)
+	fmt.Println(len(st.Inter), "intermolecular bonds")
+	// Output:
+	// ((([[[)))
+	// ((([[[)))
+	// 3 intermolecular bonds
+}
+
+func ExampleFold_options() {
+	res, err := bpmax.Fold("GGG", "CCC",
+		bpmax.WithVariant(bpmax.Base),
+		bpmax.WithWeights(bpmax.Weights{Unit: true}),
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Score)
+	// Output: 3
+}
+
+func ExampleFoldSingle() {
+	res, err := bpmax.FoldSingle("GGGAAACCC")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Score, res.Bracket)
+	// Output: 9 (((...)))
+}
+
+func ExampleResult_SubScore() {
+	res, err := bpmax.Fold("GGGAAACCC", "GGGUUUCCC")
+	if err != nil {
+		panic(err)
+	}
+	// Empty seq2 interval: just seq1's own fold over [0, 8].
+	fmt.Println(res.SubScore(0, 8, 5, 4))
+	// Output: 9
+}
+
+func ExampleScanWindowed() {
+	w, err := bpmax.ScanWindowed("GGG", "AACCCAA", 3, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(w.Best)
+	// Output: 9
+}
+
+func ExampleSingleEnsemble() {
+	// At a very cold temperature the ensemble is dominated by the optimal
+	// structure: kT·logZ ≈ the max-plus score.
+	ens, err := bpmax.SingleEnsemble("GGGAAACCC", 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f structures, kT*logZ = %.1f\n", ens.Structures, 0.01*ens.LogZ)
+	// Output: 20 structures, kT*logZ = 9.0
+}

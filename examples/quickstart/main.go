@@ -1,0 +1,49 @@
+// Quickstart: fold two short RNAs against each other with BPMax and print
+// the score, the optimal joint structure, and a few sub-interval queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/bpmax-go/bpmax"
+)
+
+func main() {
+	// A hairpin-forming strand and a partially complementary partner.
+	seq1 := "GGGAGACUCCCAAAA"
+	seq2 := "UUUUGGGAGUCUCCC"
+
+	res, err := bpmax.Fold(seq1, seq2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("BPMax interaction score: %g\n\n", res.Score)
+
+	st := res.Structure()
+	fmt.Println("one optimal joint structure ('()' intramolecular, '[' bonded to the other strand):")
+	fmt.Printf("  5'-%s-3'   (%d nt)\n", seq1, res.N1)
+	fmt.Printf("     %s\n", st.Bracket1)
+	fmt.Printf("  5'-%s-3'   (%d nt)\n", seq2, res.N2)
+	fmt.Printf("     %s\n", st.Bracket2)
+	fmt.Printf("\npairs: %d in seq1, %d in seq2, %d intermolecular\n\n",
+		len(st.Intra1), len(st.Intra2), len(st.Inter))
+
+	// Every sub-interval interaction is available from the same fill.
+	fmt.Println("sub-interval scores F[i1..j1, i2..j2]:")
+	for _, q := range [][4]int{{0, 7, 0, 7}, {0, 7, 8, 14}, {8, 14, 0, 7}} {
+		fmt.Printf("  seq1[%2d..%2d] x seq2[%2d..%2d] -> %g\n",
+			q[0], q[1], q[2], q[3], res.SubScore(q[0], q[1], q[2], q[3]))
+	}
+
+	// Each strand's single-strand optimum, for comparison: interaction can
+	// only improve on folding alone.
+	single1, _ := bpmax.FoldSingle(seq1)
+	single2, _ := bpmax.FoldSingle(seq2)
+	fmt.Printf("\nfolding alone: seq1 = %g (%s), seq2 = %g (%s)\n",
+		single1.Score, single1.Bracket, single2.Score, single2.Bracket)
+	fmt.Printf("interaction gain: %g\n", res.Score-single1.Score-single2.Score)
+}

@@ -1,0 +1,65 @@
+package bpmax
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"github.com/bpmax-go/bpmax/internal/seqio"
+)
+
+// FastaRecord is one named sequence from a FASTA source, normalized to the
+// canonical upper-case RNA alphabet.
+type FastaRecord struct {
+	Name string
+	Seq  string
+}
+
+// ReadFasta parses FASTA records from r (tolerating CRLF, wrapped lines,
+// lower case and DNA-style T). Pass resolveSeed != 0 to also accept IUPAC
+// ambiguity codes, resolved deterministically from that seed.
+func ReadFasta(r io.Reader, resolveSeed int64) ([]FastaRecord, error) {
+	var recs []seqio.Record
+	var err error
+	if resolveSeed != 0 {
+		recs, err = seqio.ReadResolving(r, rand.New(rand.NewSource(resolveSeed)))
+	} else {
+		recs, err = seqio.Read(r)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FastaRecord, len(recs))
+	for i, rec := range recs {
+		out[i] = FastaRecord{Name: rec.Name, Seq: rec.Seq.String()}
+	}
+	return out, nil
+}
+
+// LoadFasta reads a FASTA file from disk.
+func LoadFasta(path string, resolveSeed int64) ([]FastaRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: %w", err)
+	}
+	defer f.Close()
+	return ReadFasta(f, resolveSeed)
+}
+
+// PairsFromFasta turns consecutive record pairs (0&1, 2&3, ...) into batch
+// items for FoldBatch; an odd trailing record is an error.
+func PairsFromFasta(recs []FastaRecord) ([]BatchItem, error) {
+	if len(recs)%2 != 0 {
+		return nil, fmt.Errorf("bpmax: %d FASTA records do not form pairs", len(recs))
+	}
+	items := make([]BatchItem, 0, len(recs)/2)
+	for i := 0; i < len(recs); i += 2 {
+		items = append(items, BatchItem{
+			Name: recs[i].Name + " x " + recs[i+1].Name,
+			Seq1: recs[i].Seq,
+			Seq2: recs[i+1].Seq,
+		})
+	}
+	return items, nil
+}

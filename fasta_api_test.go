@@ -1,0 +1,62 @@
+package bpmax
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadFasta(t *testing.T) {
+	recs, err := ReadFasta(strings.NewReader(">a\ngggt\n>b\nCCCA\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Seq != "GGGU" || recs[1].Name != "b" {
+		t.Errorf("records = %+v", recs)
+	}
+	if _, err := ReadFasta(strings.NewReader(">a\nGGN\n"), 0); err == nil {
+		t.Error("strict mode accepted N")
+	}
+	if _, err := ReadFasta(strings.NewReader(">a\nGGN\n"), 7); err != nil {
+		t.Errorf("resolving mode rejected N: %v", err)
+	}
+}
+
+func TestLoadFastaAndPairs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pairs.fa")
+	if err := os.WriteFile(path, []byte(">s1\nGGG\n>t1\nCCC\n>s2\nAAA\n>t2\nUUU\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadFasta(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := PairsFromFasta(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].Name != "s1 x t1" {
+		t.Errorf("items = %+v", items)
+	}
+	// End-to-end: batch-fold the loaded pairs.
+	results := FoldBatch(items, 2)
+	if results[0].Err != nil || results[0].Result.Score != 9 {
+		t.Errorf("pair 1 = %+v", results[0])
+	}
+	if results[1].Err != nil || results[1].Result.Score != 6 { // AAA x UUU: three AU bonds
+		t.Errorf("pair 2 = %+v", results[1])
+	}
+}
+
+func TestPairsFromFastaOdd(t *testing.T) {
+	if _, err := PairsFromFasta([]FastaRecord{{Name: "solo", Seq: "A"}}); err == nil {
+		t.Error("odd record count accepted")
+	}
+}
+
+func TestLoadFastaMissing(t *testing.T) {
+	if _, err := LoadFasta("/nonexistent/file.fa", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

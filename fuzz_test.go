@@ -1,0 +1,81 @@
+package bpmax
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/seqio"
+)
+
+// FuzzFold checks that Fold either rejects its input with an error or
+// returns an internally consistent result (non-negative score, valid
+// traceback whose weight matches), for arbitrary byte strings.
+func FuzzFold(f *testing.F) {
+	f.Add("GGG", "CCC")
+	f.Add("acgu", "ACGT")
+	f.Add("", "A")
+	f.Add("GGGAAACCC", "GGGUUUCCC")
+	f.Add("AXB", "CCC")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		if len(s1) > 16 || len(s2) > 16 {
+			t.Skip("keep the O(N3M3) fill small")
+		}
+		res, err := Fold(s1, s2)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if res.Score < 0 {
+			t.Fatalf("negative score %v for %q x %q", res.Score, s1, s2)
+		}
+		st := res.Structure()
+		if len(st.Bracket1) != res.N1 || len(st.Bracket2) != res.N2 {
+			t.Fatalf("bracket lengths %d/%d for %d/%d nt", len(st.Bracket1), len(st.Bracket2), res.N1, res.N2)
+		}
+		if len(st.Inter) > min(res.N1, res.N2) {
+			t.Fatalf("more intermolecular bonds (%d) than the shorter strand", len(st.Inter))
+		}
+	})
+}
+
+// FuzzFastaRoundTrip checks the FASTA reader never panics and that
+// whatever it accepts survives a write/read round trip.
+func FuzzFastaRoundTrip(f *testing.F) {
+	f.Add(">a\nACGU\n")
+	f.Add(">x\r\nAC\r\nGU\r\n>y\n\n")
+	f.Add("; comment\n>z\nacgt")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, text string) {
+		recs, err := seqio.ReadString(text)
+		if err != nil {
+			return
+		}
+		out, err := seqio.WriteString(recs, 60)
+		if err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := seqio.ReadString(out)
+		if err != nil {
+			t.Fatalf("round trip unreadable: %v\n%q", err, out)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip %d records, want %d", len(back), len(recs))
+		}
+		for i := range recs {
+			// Names may lose leading/trailing spaces; sequences must not
+			// change.
+			if !back[i].Seq.Equal(recs[i].Seq) {
+				t.Fatalf("record %d sequence changed", i)
+			}
+			if strings.TrimSpace(back[i].Name) != strings.TrimSpace(recs[i].Name) {
+				t.Fatalf("record %d name changed: %q -> %q", i, recs[i].Name, back[i].Name)
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module github.com/bpmax-go/bpmax
+
+go 1.22

@@ -1,0 +1,275 @@
+// Package alpha is a miniature equational specification language in the
+// spirit of Alpha/AlphaZ: variables defined over polyhedral domains by
+// case/reduce expressions, a demand-driven evaluator giving the
+// specification's reference semantics, and automatic dependence extraction
+// feeding package poly's schedule-legality checker.
+//
+// The role split mirrors the paper's workflow. The BPMax equations are
+// written once as a System (see BPMaxSystem); the evaluator provides
+// ground-truth values that the hand-optimized implementations in
+// internal/bpmax are tested against; ExtractDeps derives the dependence
+// relation from the very same equations, so the legality proofs for the
+// paper's Table I–V schedules are checked against the specification rather
+// than against a hand-transcribed dependence list.
+package alpha
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// Op is a binary reduction/combination operator.
+type Op int
+
+// The two operators BPMax needs: tropical max and addition.
+const (
+	OpMax Op = iota
+	OpAdd
+)
+
+func (o Op) String() string {
+	if o == OpMax {
+		return "max"
+	}
+	return "+"
+}
+
+// reduceIdentity is the identity element of an empty OpMax reduction. It
+// matches the "very negative but finite" convention of package score.
+const reduceIdentity = float32(-3.4e38)
+
+// Expr is a specification expression. Expressions are evaluated in a
+// context space: the defining variable's space, extended by reduction
+// indices inside a Reduce body.
+type Expr interface {
+	eval(ev *Evaluator, sp poly.Space, pt []int64) float32
+}
+
+// Lit is a literal constant.
+type Lit struct{ V float32 }
+
+func (l Lit) eval(*Evaluator, poly.Space, []int64) float32 { return l.V }
+
+// VarRef reads another (or the same) variable at an affine image of the
+// context point. Idx maps the context space to the variable's space.
+type VarRef struct {
+	Var string
+	Idx poly.Map
+}
+
+func (r VarRef) eval(ev *Evaluator, sp poly.Space, pt []int64) float32 {
+	return ev.Value(r.Var, r.Idx.Apply(pt))
+}
+
+// InRef reads an input function (scores, precomputed tables) at an affine
+// image of the context point. Inputs are given, not computed, so they add
+// no dependences.
+type InRef struct {
+	Name string
+	Idx  poly.Map
+}
+
+func (r InRef) eval(ev *Evaluator, sp poly.Space, pt []int64) float32 {
+	fn, ok := ev.inputs[r.Name]
+	if !ok {
+		panic(fmt.Sprintf("alpha: undefined input %q", r.Name))
+	}
+	return fn(r.Idx.Apply(pt))
+}
+
+// Bin combines two subexpressions with Op.
+type Bin struct {
+	Op   Op
+	L, R Expr
+}
+
+func (b Bin) eval(ev *Evaluator, sp poly.Space, pt []int64) float32 {
+	l := b.L.eval(ev, sp, pt)
+	r := b.R.eval(ev, sp, pt)
+	if b.Op == OpAdd {
+		return l + r
+	}
+	if l > r {
+		return l
+	}
+	return r
+}
+
+// MaxOf folds expressions with OpMax (convenience constructor).
+func MaxOf(exprs ...Expr) Expr {
+	if len(exprs) == 0 {
+		panic("alpha: MaxOf of nothing")
+	}
+	e := exprs[0]
+	for _, f := range exprs[1:] {
+		e = Bin{Op: OpMax, L: e, R: f}
+	}
+	return e
+}
+
+// Add sums two expressions.
+func Add(l, r Expr) Expr { return Bin{Op: OpAdd, L: l, R: r} }
+
+// Reduce folds Body with Op over the named Extra dimensions, restricted to
+// Dom (a set over the extended context space). Named reductions become
+// schedulable entities of their own, exactly like AlphaZ's
+// NormalizeReduction-introduced variables.
+type Reduce struct {
+	Name  string
+	Op    Op
+	Extra []string
+	Dom   poly.Set
+	Body  Expr
+}
+
+func (r Reduce) eval(ev *Evaluator, sp poly.Space, pt []int64) float32 {
+	if r.Op != OpMax {
+		panic("alpha: only max reductions are supported")
+	}
+	ext := r.Dom.Space
+	full := make([]int64, ext.Dim())
+	copy(full, pt)
+	acc := reduceIdentity
+	bound := ev.maxParam() + 2
+	var walk func(d int)
+	walk = func(d int) {
+		if d == ext.Dim() {
+			if r.Dom.Contains(full) {
+				if v := r.Body.eval(ev, ext, full); v > acc {
+					acc = v
+				}
+			}
+			return
+		}
+		for v := int64(-1); v <= bound; v++ {
+			full[d] = v
+			walk(d + 1)
+		}
+	}
+	walk(len(pt))
+	return acc
+}
+
+// Branch is one guarded alternative of a Case.
+type Branch struct {
+	Guard poly.Set // over the context space; nil-space set means "always"
+	Body  Expr
+}
+
+// Case selects the first branch whose guard contains the context point.
+type Case struct{ Branches []Branch }
+
+func (c Case) eval(ev *Evaluator, sp poly.Space, pt []int64) float32 {
+	for _, b := range c.Branches {
+		if b.Guard.Space.Dim() == 0 || b.Guard.Contains(pt) {
+			return b.Body.eval(ev, sp, pt)
+		}
+	}
+	panic(fmt.Sprintf("alpha: no case branch covers point %v", pt))
+}
+
+// Variable is one equation: a name, an iteration domain (whose space
+// includes the system parameters as leading dimensions), and a defining
+// expression.
+type Variable struct {
+	Name   string
+	Domain poly.Set
+	Def    Expr
+}
+
+// System is a set of mutually recursive equations plus named inputs.
+type System struct {
+	Name   string
+	Params []string
+	Vars   []*Variable
+	byName map[string]*Variable
+}
+
+// NewSystem builds an empty system with the given parameters.
+func NewSystem(name string, params ...string) *System {
+	return &System{Name: name, Params: params, byName: map[string]*Variable{}}
+}
+
+// Define adds an equation.
+func (s *System) Define(v *Variable) *System {
+	if _, dup := s.byName[v.Name]; dup {
+		panic(fmt.Sprintf("alpha: duplicate variable %q", v.Name))
+	}
+	s.Vars = append(s.Vars, v)
+	s.byName[v.Name] = v
+	return s
+}
+
+// Var returns a defined variable.
+func (s *System) Var(name string) *Variable {
+	v, ok := s.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("alpha: undefined variable %q", name))
+	}
+	return v
+}
+
+// Evaluator computes specification values demand-driven with memoization —
+// the reference ("generateWriteC") semantics of the system.
+type Evaluator struct {
+	sys    *System
+	params map[string]int64
+	inputs map[string]func([]int64) float32
+	memo   map[string]float32
+	inEval map[string]bool
+}
+
+// NewEvaluator binds parameter values and input functions.
+func NewEvaluator(sys *System, params map[string]int64, inputs map[string]func([]int64) float32) *Evaluator {
+	return &Evaluator{
+		sys:    sys,
+		params: params,
+		inputs: inputs,
+		memo:   map[string]float32{},
+		inEval: map[string]bool{},
+	}
+}
+
+func (ev *Evaluator) maxParam() int64 {
+	var m int64
+	for _, v := range ev.params {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+func key(name string, pt []int64) string {
+	b := make([]byte, 0, len(name)+8*len(pt))
+	b = append(b, name...)
+	for _, v := range pt {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// Value evaluates variable name at the full index point (parameters
+// included as leading coordinates). Points outside the variable's domain
+// panic: the specification must be total over its declared domains.
+func (ev *Evaluator) Value(name string, pt []int64) float32 {
+	v := ev.sys.Var(name)
+	if !v.Domain.Contains(pt) {
+		panic(fmt.Sprintf("alpha: %s%v outside domain %s", name, pt, v.Domain))
+	}
+	k := key(name, pt)
+	if val, ok := ev.memo[k]; ok {
+		return val
+	}
+	if ev.inEval[k] {
+		panic(fmt.Sprintf("alpha: cyclic dependence at %s%v", name, pt))
+	}
+	ev.inEval[k] = true
+	val := v.Def.eval(ev, v.Domain.Space, pt)
+	delete(ev.inEval, k)
+	ev.memo[k] = val
+	return val
+}

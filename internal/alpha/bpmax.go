@@ -1,0 +1,201 @@
+package alpha
+
+import "github.com/bpmax-go/bpmax/internal/poly"
+
+// This file writes the paper's equations as alpha systems. Parameters are
+// N (length of sequence 1) and M (length of sequence 2), leading every
+// space. Inputs: S1(i,j), S2(i,j) — the single-strand tables — and the
+// pair scores score1(i,j), score2(i,j), iscore(i1,i2).
+
+// SpF is the iteration space of the F table.
+func SpF() poly.Space { return poly.NewSpace("N", "M", "i1", "j1", "i2", "j2") }
+
+// idx builds an index map from sp to a fresh anonymous space from affine
+// expressions.
+func idx(sp poly.Space, exprs ...poly.Expr) poly.Map {
+	names := make([]string, len(exprs))
+	for i := range names {
+		names[i] = outName(i)
+	}
+	return poly.NewMap(sp, poly.NewSpace(names...), exprs)
+}
+
+func outName(i int) string { return string(rune('a' + i)) }
+
+// v is shorthand for a dimension read.
+func v(sp poly.Space, n string) poly.Expr { return poly.Var(sp, n) }
+
+// fDomain returns { (N,M,i1,j1,i2,j2) : 0<=i1<=j1<N, 0<=i2<=j2<M }.
+func fDomain(sp poly.Space) poly.Set {
+	i1, j1 := v(sp, "i1"), v(sp, "j1")
+	i2, j2 := v(sp, "i2"), v(sp, "j2")
+	return poly.NewSet(sp,
+		poly.GE(i1), poly.LE(i1, j1), poly.LT(j1, v(sp, "N")),
+		poly.GE(i2), poly.LE(i2, j2), poly.LT(j2, v(sp, "M")),
+	)
+}
+
+// fRef reads F at the given four index expressions (N, M pass through).
+func fRef(sp poly.Space, e1, e2, e3, e4 poly.Expr) VarRef {
+	return VarRef{Var: "F", Idx: poly.NewMap(sp, SpF(), []poly.Expr{
+		v(sp, "N"), v(sp, "M"), e1, e2, e3, e4,
+	})}
+}
+
+// BPMaxSystem writes Equations 1–3 as one alpha system with variable F and
+// named reductions R0..R4. S1, S2 and the scores are inputs.
+func BPMaxSystem() *System {
+	sp := SpF()
+	i1, j1 := v(sp, "i1"), v(sp, "j1")
+	i2, j2 := v(sp, "i2"), v(sp, "j2")
+
+	in2 := func(name string, a, b poly.Expr) InRef {
+		return InRef{Name: name, Idx: idx(sp, a, b)}
+	}
+
+	// Extended spaces for the reductions.
+	spK2 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k2")
+	spK1 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1")
+	spK12 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2")
+	k2Dom := poly.NewSet(spK2,
+		poly.LE(v(spK2, "i2"), v(spK2, "k2")), poly.LT(v(spK2, "k2"), v(spK2, "j2")))
+	k1Dom := poly.NewSet(spK1,
+		poly.LE(v(spK1, "i1"), v(spK1, "k1")), poly.LT(v(spK1, "k1"), v(spK1, "j1")))
+	k12Dom := poly.NewSet(spK12,
+		poly.LE(v(spK12, "i1"), v(spK12, "k1")), poly.LT(v(spK12, "k1"), v(spK12, "j1")),
+		poly.LE(v(spK12, "i2"), v(spK12, "k2")), poly.LT(v(spK12, "k2"), v(spK12, "j2")))
+
+	in2e := func(spc poly.Space, name string, a, b poly.Expr) InRef {
+		return InRef{Name: name, Idx: idx(spc, a, b)}
+	}
+	fRefE := func(spc poly.Space, e1, e2, e3, e4 poly.Expr) VarRef {
+		return VarRef{Var: "F", Idx: poly.NewMap(spc, SpF(), []poly.Expr{
+			v(spc, "N"), v(spc, "M"), e1, e2, e3, e4,
+		})}
+	}
+
+	r0 := Reduce{Name: "R0", Op: OpMax, Extra: []string{"k1", "k2"}, Dom: k12Dom,
+		Body: Add(
+			fRefE(spK12, v(spK12, "i1"), v(spK12, "k1"), v(spK12, "i2"), v(spK12, "k2")),
+			fRefE(spK12, v(spK12, "k1").AddK(1), v(spK12, "j1"), v(spK12, "k2").AddK(1), v(spK12, "j2")),
+		)}
+	r1 := Reduce{Name: "R1", Op: OpMax, Extra: []string{"k2"}, Dom: k2Dom,
+		Body: Add(
+			in2e(spK2, "S2", v(spK2, "i2"), v(spK2, "k2")),
+			fRefE(spK2, v(spK2, "i1"), v(spK2, "j1"), v(spK2, "k2").AddK(1), v(spK2, "j2")),
+		)}
+	r2 := Reduce{Name: "R2", Op: OpMax, Extra: []string{"k2"}, Dom: k2Dom,
+		Body: Add(
+			fRefE(spK2, v(spK2, "i1"), v(spK2, "j1"), v(spK2, "i2"), v(spK2, "k2")),
+			in2e(spK2, "S2", v(spK2, "k2").AddK(1), v(spK2, "j2")),
+		)}
+	r3 := Reduce{Name: "R3", Op: OpMax, Extra: []string{"k1"}, Dom: k1Dom,
+		Body: Add(
+			in2e(spK1, "S1", v(spK1, "i1"), v(spK1, "k1")),
+			fRefE(spK1, v(spK1, "k1").AddK(1), v(spK1, "j1"), v(spK1, "i2"), v(spK1, "j2")),
+		)}
+	r4 := Reduce{Name: "R4", Op: OpMax, Extra: []string{"k1"}, Dom: k1Dom,
+		Body: Add(
+			fRefE(spK1, v(spK1, "i1"), v(spK1, "k1"), v(spK1, "i2"), v(spK1, "j2")),
+			in2e(spK1, "S1", v(spK1, "k1").AddK(1), v(spK1, "j1")),
+		)}
+
+	// Pairing terms degenerate to S-table reads on thin intervals.
+	d1ge2 := poly.NewSet(sp, poly.GE(j1.Sub(i1).AddK(-2)))
+	d2ge2 := poly.NewSet(sp, poly.GE(j2.Sub(i2).AddK(-2)))
+	pair1 := Add(
+		Case{Branches: []Branch{
+			{Guard: d1ge2, Body: fRef(sp, i1.AddK(1), j1.AddK(-1), i2, j2)},
+			{Body: in2("S2", i2, j2)},
+		}},
+		in2("score1", i1, j1),
+	)
+	pair2 := Add(
+		Case{Branches: []Branch{
+			{Guard: d2ge2, Body: fRef(sp, i1, j1, i2.AddK(1), j2.AddK(-1))},
+			{Body: in2("S1", i1, j1)},
+		}},
+		in2("score2", i2, j2),
+	)
+	indep := Add(in2("S1", i1, j1), in2("S2", i2, j2))
+
+	singleton := poly.NewSet(sp, poly.EQ(i1.Sub(j1)), poly.EQ(i2.Sub(j2)))
+
+	def := Case{Branches: []Branch{
+		{Guard: singleton, Body: MaxOf(Lit{0}, in2("iscore", i1, i2))},
+		{Body: MaxOf(pair1, pair2, indep, r0, r1, r2, r3, r4)},
+	}}
+
+	sys := NewSystem("BPMax", "N", "M")
+	sys.Define(&Variable{Name: "F", Domain: fDomain(sp), Def: def})
+	return sys
+}
+
+// DoubleMaxPlusSystem writes the standalone Equation 4 system (the Table I
+// / Figure 13 workload): F = max(seed, R0) with singleton iscore seeds.
+func DoubleMaxPlusSystem() *System {
+	sp := SpF()
+	i1, j1 := v(sp, "i1"), v(sp, "j1")
+	i2, j2 := v(sp, "i2"), v(sp, "j2")
+	spK12 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2")
+	k12Dom := poly.NewSet(spK12,
+		poly.LE(v(spK12, "i1"), v(spK12, "k1")), poly.LT(v(spK12, "k1"), v(spK12, "j1")),
+		poly.LE(v(spK12, "i2"), v(spK12, "k2")), poly.LT(v(spK12, "k2"), v(spK12, "j2")))
+	fRefE := func(spc poly.Space, e1, e2, e3, e4 poly.Expr) VarRef {
+		return VarRef{Var: "F", Idx: poly.NewMap(spc, SpF(), []poly.Expr{
+			v(spc, "N"), v(spc, "M"), e1, e2, e3, e4,
+		})}
+	}
+	r0 := Reduce{Name: "R0", Op: OpMax, Extra: []string{"k1", "k2"}, Dom: k12Dom,
+		Body: Add(
+			fRefE(spK12, v(spK12, "i1"), v(spK12, "k1"), v(spK12, "i2"), v(spK12, "k2")),
+			fRefE(spK12, v(spK12, "k1").AddK(1), v(spK12, "j1"), v(spK12, "k2").AddK(1), v(spK12, "j2")),
+		)}
+	singleton := poly.NewSet(sp, poly.EQ(i1.Sub(j1)), poly.EQ(i2.Sub(j2)))
+	def := Case{Branches: []Branch{
+		{Guard: singleton, Body: MaxOf(Lit{0}, InRef{Name: "iscore", Idx: idx(sp, i1, i2)})},
+		{Body: MaxOf(Lit{0}, r0)},
+	}}
+	sys := NewSystem("DoubleMaxPlus", "N", "M")
+	sys.Define(&Variable{Name: "F", Domain: fDomain(sp), Def: def})
+	return sys
+}
+
+// NussinovSystem writes the single-strand S recurrence over parameter n
+// with input pair(i,j).
+func NussinovSystem() *System {
+	sp := poly.NewSpace("n", "i", "j")
+	i, j := v(sp, "i"), v(sp, "j")
+	dom := poly.NewSet(sp, poly.GE(i), poly.LE(i, j), poly.LT(j, v(sp, "n")))
+	sRef := func(spc poly.Space, a, b poly.Expr) VarRef {
+		return VarRef{Var: "S", Idx: poly.NewMap(spc, sp, []poly.Expr{v(spc, "n"), a, b})}
+	}
+	spK := poly.NewSpace("n", "i", "j", "k")
+	kDom := poly.NewSet(spK, poly.LE(v(spK, "i"), v(spK, "k")), poly.LT(v(spK, "k"), v(spK, "j")))
+	split := Reduce{Name: "Rs", Op: OpMax, Extra: []string{"k"}, Dom: kDom,
+		Body: Add(
+			sRef(spK, v(spK, "i"), v(spK, "k")),
+			sRef(spK, v(spK, "k").AddK(1), v(spK, "j")),
+		)}
+	dge2 := poly.NewSet(sp, poly.GE(j.Sub(i).AddK(-2)))
+	pairTerm := Add(
+		Case{Branches: []Branch{
+			{Guard: dge2, Body: sRef(sp, i.AddK(1), j.AddK(-1))},
+			{Body: Lit{0}},
+		}},
+		InRef{Name: "pair", Idx: idx(sp, i, j)},
+	)
+	diag := poly.NewSet(sp, poly.EQ(i.Sub(j)))
+	def := Case{Branches: []Branch{
+		{Guard: diag, Body: Lit{0}},
+		{Body: MaxOf(
+			sRef(sp, i.AddK(1), j),
+			sRef(sp, i, j.AddK(-1)),
+			pairTerm,
+			split,
+		)},
+	}}
+	sys := NewSystem("Nussinov", "n")
+	sys.Define(&Variable{Name: "S", Domain: dom, Def: def})
+	return sys
+}

@@ -1,0 +1,111 @@
+package alpha
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// ExtractDeps derives the dependence relation of a system from its
+// equations — the analysis AlphaZ performs before accepting a space-time
+// map. Every VarRef becomes one dependence; every named Reduce becomes a
+// schedulable entity of its own, contributing (a) a result dependence from
+// the defining variable to the reduction body and (b) body dependences from
+// the reduction to the variables it reads.
+//
+// Convention: a Reduce's domain space must extend the context space by the
+// Extra dimensions (same leading names, Extra appended); this is checked.
+func ExtractDeps(sys *System) []poly.Dependence {
+	var deps []poly.Dependence
+	n := 0
+	name := func(prefix string) string {
+		n++
+		return fmt.Sprintf("%s#%d", prefix, n)
+	}
+	for _, v := range sys.Vars {
+		walk(sys, v.Name, v.Name, v.Domain, v.Def, &deps, name)
+	}
+	return deps
+}
+
+// lift re-expresses a set over a space whose leading dimensions are the
+// set's space (extra trailing dimensions unconstrained).
+func lift(s poly.Set, ext poly.Space) poly.Set {
+	inner := s.Space.Names()
+	outer := ext.Names()
+	if len(outer) < len(inner) {
+		panic(fmt.Sprintf("alpha: cannot lift %s into smaller space %s", s.Space, ext))
+	}
+	for i, nm := range inner {
+		if outer[i] != nm {
+			panic(fmt.Sprintf("alpha: space %s does not extend %s (dim %d: %s vs %s)",
+				ext, s.Space, i, outer[i], nm))
+		}
+	}
+	out := poly.NewSet(ext)
+	for _, c := range s.Cons {
+		e := poly.Expr{Coeffs: make([]int64, ext.Dim()), K: c.Expr.K}
+		copy(e.Coeffs, c.Expr.Coeffs)
+		out.Cons = append(out.Cons, poly.Constraint{Expr: e, Eq: c.Eq})
+	}
+	return out
+}
+
+// projection builds the map from an extended space back onto its leading
+// prefix space.
+func projection(ext, onto poly.Space) poly.Map {
+	exprs := make([]poly.Expr, onto.Dim())
+	for i, nm := range onto.Names() {
+		if ext.Pos(nm) < 0 {
+			panic(fmt.Sprintf("alpha: projection target dim %q missing from %s", nm, ext))
+		}
+		exprs[i] = poly.Var(ext, nm)
+	}
+	return poly.NewMap(ext, onto, exprs)
+}
+
+// walk visits expr in the context of consumer variable cons (whose
+// iteration space is dom.Space, with dom the accumulated guard-restricted
+// domain), appending dependences.
+func walk(sys *System, root, cons string, dom poly.Set, expr Expr, deps *[]poly.Dependence, name func(string) string) {
+	switch e := expr.(type) {
+	case Lit, InRef:
+		// Inputs and literals carry no dependences.
+	case VarRef:
+		prodVar := sys.Var(e.Var)
+		consIter := dom.Space
+		*deps = append(*deps, poly.NewDependence(
+			name(cons+"<-"+e.Var),
+			dom,
+			cons, poly.Identity(consIter),
+			e.Var, e.Idx,
+		))
+		_ = prodVar
+	case Bin:
+		walk(sys, root, cons, dom, e.L, deps, name)
+		walk(sys, root, cons, dom, e.R, deps, name)
+	case Case:
+		for _, b := range e.Branches {
+			sub := dom
+			if b.Guard.Space.Dim() != 0 {
+				sub = dom.With(b.Guard.Cons...)
+			}
+			walk(sys, root, cons, sub, b.Body, deps, name)
+		}
+	case Reduce:
+		ext := e.Dom.Space
+		extDom := lift(dom, ext).With(e.Dom.Cons...)
+		// Result dependence: the consumer (at its projected point) reads
+		// every body instance.
+		*deps = append(*deps, poly.NewDependence(
+			name(cons+"<-"+e.Name),
+			extDom,
+			cons, projection(ext, dom.Space),
+			e.Name, poly.Identity(ext),
+		))
+		// Body dependences, with the reduction as the consumer.
+		walk(sys, root, e.Name, extDom, e.Body, deps, name)
+	default:
+		panic(fmt.Sprintf("alpha: unknown expression %T", expr))
+	}
+}

@@ -1,0 +1,110 @@
+package alpha
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// Design-space exploration: the paper's Phase I enumerates families of
+// multidimensional affine schedules ("the first two dimensions ... can be
+// either (j1-i1, i1) or (M-i1, j1) or (-i1, j1)"; "the inner three
+// dimensions of the R0 can be in any order") and relies on the tool to
+// keep only the valid ones. ExploreDMPSchedules reproduces that search for
+// the double max-plus system: a grid of outer-order × inner-permutation
+// candidates, each proved legal or refuted by the dependence checker.
+
+// Candidate is one point of the schedule search space.
+type Candidate struct {
+	Name  string
+	Outer string // triangle-order label
+	Inner string // inner-permutation label
+	Sched poly.Schedule
+	Legal bool
+}
+
+// outerChoice defines the first two time dimensions for both F and R0.
+type outerChoice struct {
+	name  string
+	exprs func(sp poly.Space) [2]poly.Expr
+	legal bool // expected classification, recorded in the paper's analysis
+}
+
+func outerChoices() []outerChoice {
+	d1 := func(sp poly.Space) poly.Expr { return poly.Var(sp, "j1").Sub(poly.Var(sp, "i1")) }
+	return []outerChoice{
+		{"(j1-i1, i1)", func(sp poly.Space) [2]poly.Expr {
+			return [2]poly.Expr{d1(sp), poly.Var(sp, "i1")}
+		}, true},
+		{"(-i1, j1)", func(sp poly.Space) [2]poly.Expr {
+			return [2]poly.Expr{poly.Var(sp, "i1").Neg(), poly.Var(sp, "j1")}
+		}, true},
+		{"(j1-i1, -i1)", func(sp poly.Space) [2]poly.Expr {
+			return [2]poly.Expr{d1(sp), poly.Var(sp, "i1").Neg()}
+		}, true},
+		{"(i1, j1)", func(sp poly.Space) [2]poly.Expr {
+			return [2]poly.Expr{poly.Var(sp, "i1"), poly.Var(sp, "j1")}
+		}, false}, // top-down rows: reads triangles below that don't exist yet
+		{"(j1, i1)", func(sp poly.Space) [2]poly.Expr {
+			return [2]poly.Expr{poly.Var(sp, "j1"), poly.Var(sp, "i1")}
+		}, false}, // column-major: reads (k1+1, j1) with larger i1 later
+		{"(-j1, -i1)", func(sp poly.Space) [2]poly.Expr {
+			return [2]poly.Expr{poly.Var(sp, "j1").Neg(), poly.Var(sp, "i1").Neg()}
+		}, false}, // reversed diagonals
+	}
+}
+
+// innerPerms lists the six orders of (i2, k2, j2) — all legal; the paper
+// distinguishes them only by vectorizability (k2 innermost blocks the
+// streaming store).
+func innerPerms() [][3]string {
+	return [][3]string{
+		{"i2", "k2", "j2"}, {"i2", "j2", "k2"},
+		{"k2", "i2", "j2"}, {"k2", "j2", "i2"},
+		{"j2", "i2", "k2"}, {"j2", "k2", "i2"},
+	}
+}
+
+// ExploreDMPSchedules builds and classifies the full candidate grid.
+func ExploreDMPSchedules() []Candidate {
+	deps := ExtractDeps(DoubleMaxPlusSystem())
+	f := SpF()
+	k12 := spK12()
+	var out []Candidate
+	for _, oc := range outerChoices() {
+		fo := oc.exprs(f)
+		ro := oc.exprs(k12)
+		for _, perm := range innerPerms() {
+			inner := make([]poly.Expr, 3)
+			for i, dim := range perm {
+				inner[i] = poly.Var(k12, dim)
+			}
+			sched := poly.NewSchedule(
+				fmt.Sprintf("dmp %s × (%s,%s,%s)", oc.name, perm[0], perm[1], perm[2]),
+				map[string]poly.Map{
+					// F finalized after every k1: time dim 3 = j1 > all k1,
+					// remaining dims don't matter for legality.
+					"F": tmap(f, fo[0], fo[1], poly.Var(f, "j1"), poly.Var(f, "i2"),
+						poly.Var(f, "j2"), poly.Var(f, "M")),
+					"R0": tmap(k12, ro[0], ro[1], poly.Var(k12, "k1"),
+						inner[0], inner[1], inner[2]),
+				})
+			out = append(out, Candidate{
+				Name:  sched.Name,
+				Outer: oc.name,
+				Inner: fmt.Sprintf("(%s,%s,%s)", perm[0], perm[1], perm[2]),
+				Sched: sched,
+				Legal: sched.Legal(deps),
+			})
+		}
+	}
+	return out
+}
+
+// Vectorizable reports the paper's auto-vectorization criterion for a
+// candidate: the innermost dimension must be j2 (a contiguous streaming
+// store), not k2 or i2 ("auto-vectorization is prohibited if k2 is the
+// innermost loop iteration").
+func (c Candidate) Vectorizable() bool {
+	return len(c.Inner) >= 2 && c.Inner[len(c.Inner)-3:len(c.Inner)-1] == "j2"
+}

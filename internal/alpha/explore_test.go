@@ -1,0 +1,75 @@
+package alpha
+
+import "testing"
+
+func TestExploreDMPSchedules(t *testing.T) {
+	cands := ExploreDMPSchedules()
+	if len(cands) != 36 { // 6 outer orders × 6 inner permutations
+		t.Fatalf("explored %d candidates, want 36", len(cands))
+	}
+	legalByOuter := map[string][2]int{}
+	for _, c := range cands {
+		cnt := legalByOuter[c.Outer]
+		if c.Legal {
+			cnt[0]++
+		} else {
+			cnt[1]++
+		}
+		legalByOuter[c.Outer] = cnt
+	}
+	// The paper's analysis: the triangle order decides legality; the inner
+	// permutation never does. So each outer choice is all-legal or
+	// all-illegal across its six inner permutations.
+	for outer, cnt := range legalByOuter {
+		if cnt[0] != 0 && cnt[1] != 0 {
+			t.Errorf("outer %s mixes legal (%d) and illegal (%d) candidates", outer, cnt[0], cnt[1])
+		}
+	}
+	// Expected classifications.
+	wantLegal := map[string]bool{
+		"(j1-i1, i1)": true, "(-i1, j1)": true, "(j1-i1, -i1)": true,
+		"(i1, j1)": false, "(j1, i1)": false, "(-j1, -i1)": false,
+	}
+	for outer, want := range wantLegal {
+		cnt, ok := legalByOuter[outer]
+		if !ok {
+			t.Errorf("outer %s missing from exploration", outer)
+			continue
+		}
+		if got := cnt[0] == 6; got != want {
+			t.Errorf("outer %s: legal=%v, want %v", outer, got, want)
+		}
+	}
+}
+
+func TestExplorationMatchesExpectedFlags(t *testing.T) {
+	// Cross-check the recorded expectations in outerChoices against the
+	// prover — the table in the source must not drift from the checker.
+	expect := map[string]bool{}
+	for _, oc := range outerChoices() {
+		expect[oc.name] = oc.legal
+	}
+	for _, c := range ExploreDMPSchedules() {
+		if c.Legal != expect[c.Outer] {
+			t.Errorf("%s: prover says legal=%v, recorded expectation %v", c.Name, c.Legal, expect[c.Outer])
+		}
+	}
+}
+
+func TestVectorizableCriterion(t *testing.T) {
+	var j2Inner, other int
+	for _, c := range ExploreDMPSchedules() {
+		if c.Vectorizable() {
+			j2Inner++
+			if c.Inner != "(i2,k2,j2)" && c.Inner != "(k2,i2,j2)" {
+				t.Errorf("unexpected vectorizable inner %s", c.Inner)
+			}
+		} else {
+			other++
+		}
+	}
+	// 2 of 6 inner permutations end in j2, over 6 outer choices.
+	if j2Inner != 12 || other != 24 {
+		t.Errorf("vectorizable split = %d/%d, want 12/24", j2Inner, other)
+	}
+}

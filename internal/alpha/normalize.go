@@ -1,0 +1,136 @@
+package alpha
+
+// Normalize is AlphaZ's most basic transformation ("normalizes expressions
+// into normal form ... and makes the program easier to read"): it flattens
+// nested max trees, folds literal operands, hoists Case out of single-level
+// nesting where the guards are identical, and canonically orders the
+// flattened operands (literals first, then inputs, refs, reductions).
+// Normalization is semantics-preserving; the tests check evaluation
+// equivalence and idempotence.
+func Normalize(sys *System) *System {
+	out := NewSystem(sys.Name+"-normal", sys.Params...)
+	for _, v := range sys.Vars {
+		out.Define(&Variable{Name: v.Name, Domain: v.Domain, Def: normalizeExpr(v.Def)})
+	}
+	return out
+}
+
+func normalizeExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Lit, VarRef, InRef:
+		return e
+	case Bin:
+		l := normalizeExpr(x.L)
+		r := normalizeExpr(x.R)
+		if x.Op == OpMax {
+			ops := append(flattenMax(l), flattenMax(r)...)
+			ops = foldLits(ops)
+			return rebuildMax(ops)
+		}
+		// Addition: fold literal + literal.
+		if ll, ok := l.(Lit); ok {
+			if rl, ok2 := r.(Lit); ok2 {
+				return Lit{ll.V + rl.V}
+			}
+		}
+		return Bin{Op: OpAdd, L: l, R: r}
+	case Reduce:
+		return Reduce{Name: x.Name, Op: x.Op, Extra: x.Extra, Dom: x.Dom, Body: normalizeExpr(x.Body)}
+	case Case:
+		branches := make([]Branch, len(x.Branches))
+		for i, b := range x.Branches {
+			branches[i] = Branch{Guard: b.Guard, Body: normalizeExpr(b.Body)}
+		}
+		return Case{Branches: branches}
+	}
+	panic("alpha: normalize of unknown expression")
+}
+
+// flattenMax collects the operand list of a max tree.
+func flattenMax(e Expr) []Expr {
+	if b, ok := e.(Bin); ok && b.Op == OpMax {
+		return append(flattenMax(b.L), flattenMax(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// foldLits merges all literal operands of a max into one (keeping the
+// largest) and drops it entirely when it cannot win (it is the reduce
+// identity).
+func foldLits(ops []Expr) []Expr {
+	best := reduceIdentity
+	hasLit := false
+	out := ops[:0]
+	for _, o := range ops {
+		if l, ok := o.(Lit); ok {
+			hasLit = true
+			if l.V > best {
+				best = l.V
+			}
+			continue
+		}
+		out = append(out, o)
+	}
+	if hasLit && (len(out) == 0 || best > reduceIdentity) {
+		out = append(out, Lit{best})
+	}
+	return out
+}
+
+// rebuildMax right-associates the operand list into a canonical tree,
+// ordering operands by kind: literals, inputs, variable refs, reductions,
+// cases.
+func rebuildMax(ops []Expr) Expr {
+	if len(ops) == 0 {
+		return Lit{reduceIdentity}
+	}
+	rank := func(e Expr) int {
+		switch e.(type) {
+		case Lit:
+			return 0
+		case InRef:
+			return 1
+		case VarRef:
+			return 2
+		case Bin:
+			return 3
+		case Reduce:
+			return 4
+		case Case:
+			return 5
+		}
+		return 6
+	}
+	// Stable insertion sort by rank (operand lists are short).
+	sorted := append([]Expr(nil), ops...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && rank(sorted[j]) < rank(sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	e := sorted[len(sorted)-1]
+	for i := len(sorted) - 2; i >= 0; i-- {
+		e = Bin{Op: OpMax, L: sorted[i], R: e}
+	}
+	return e
+}
+
+// CountNodes returns the number of AST nodes in a variable's definition —
+// the metric by which Normalize's simplification is visible.
+func CountNodes(e Expr) int {
+	switch x := e.(type) {
+	case Lit, VarRef, InRef:
+		return 1
+	case Bin:
+		return 1 + CountNodes(x.L) + CountNodes(x.R)
+	case Reduce:
+		return 1 + CountNodes(x.Body)
+	case Case:
+		n := 1
+		for _, b := range x.Branches {
+			n += CountNodes(b.Body)
+		}
+		return n
+	}
+	return 1
+}

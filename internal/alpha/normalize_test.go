@@ -1,0 +1,95 @@
+package alpha
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizePreservesSemantics(t *testing.T) {
+	for _, build := range []func() *System{BPMaxSystem, DoubleMaxPlusSystem, NussinovSystem} {
+		sys := build()
+		norm := Normalize(sys)
+		rng := rand.New(rand.NewSource(7))
+		n1, n2 := 4, 4
+		p := newProblem(t, 17, n1, n2)
+		params := map[string]int64{"N": int64(n1), "M": int64(n2), "n": int64(n1)}
+		inputs := problemInputs(p)
+		inputs["pair"] = inputs["score1"]
+		evA := NewEvaluator(sys, params, inputs)
+		evB := NewEvaluator(norm, params, inputs)
+		v := sys.Vars[0]
+		// Sample in-domain points and compare.
+		for trial := 0; trial < 200; trial++ {
+			pt := make([]int64, v.Domain.Space.Dim())
+			pt[0] = int64(n1)
+			if v.Domain.Space.Dim() > 4 {
+				pt[1] = int64(n2)
+			}
+			for d := 1; d < len(pt); d++ {
+				if v.Domain.Space.Names()[d] == "M" {
+					pt[d] = int64(n2)
+					continue
+				}
+				if v.Domain.Space.Names()[d] == "N" || v.Domain.Space.Names()[d] == "n" {
+					pt[d] = int64(n1)
+					continue
+				}
+				pt[d] = int64(rng.Intn(n1))
+			}
+			if !v.Domain.Contains(pt) {
+				continue
+			}
+			a := evA.Value(v.Name, pt)
+			b := evB.Value(v.Name, pt)
+			if a != b {
+				t.Fatalf("%s: normalized value differs at %v: %v vs %v", sys.Name, pt, a, b)
+			}
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	sys := BPMaxSystem()
+	once := Normalize(sys)
+	twice := Normalize(once)
+	if a, b := CountNodes(once.Vars[0].Def), CountNodes(twice.Vars[0].Def); a != b {
+		t.Errorf("normalize not idempotent: %d nodes then %d", a, b)
+	}
+}
+
+func TestNormalizeFoldsLiterals(t *testing.T) {
+	// max(1, max(2, 3)) collapses to the single literal 3.
+	e := MaxOf(Lit{1}, MaxOf(Lit{2}, Lit{3}))
+	n := normalizeExpr(e)
+	l, ok := n.(Lit)
+	if !ok || l.V != 3 {
+		t.Errorf("normalized literal max = %#v", n)
+	}
+	// 1 + 2 folds.
+	if got := normalizeExpr(Add(Lit{1}, Lit{2})); got.(Lit).V != 3 {
+		t.Errorf("literal add = %#v", got)
+	}
+}
+
+func TestNormalizeFlattens(t *testing.T) {
+	// A left-leaning max of 4 refs has 3 Bin nodes before and after, but
+	// normalize must produce a canonical right-associated chain regardless
+	// of input association.
+	in := InRef{Name: "x", Idx: idx(SpF(), v(SpF(), "i1"), v(SpF(), "i2"))}
+	a := MaxOf(MaxOf(in, in), MaxOf(in, in))
+	b := MaxOf(in, MaxOf(in, MaxOf(in, in)))
+	na := normalizeExpr(a)
+	nb := normalizeExpr(b)
+	if CountNodes(na) != CountNodes(nb) {
+		t.Errorf("flattened shapes differ: %d vs %d nodes", CountNodes(na), CountNodes(nb))
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	if CountNodes(Lit{1}) != 1 {
+		t.Error("Lit count")
+	}
+	if CountNodes(Add(Lit{1}, Lit{2})) != 3 {
+		t.Error("Bin count")
+	}
+}

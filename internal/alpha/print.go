@@ -1,0 +1,172 @@
+package alpha
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// Alphabets renders the system in the Alpha source syntax of the paper's
+// Algorithm 1 ("the program containing the system definition is called
+// alphabets"): the affine system header with its parameter domain, input
+// declarations inferred from InRefs, output variables with their domains,
+// and one equation per variable using case/reduce expressions.
+func (s *System) Alphabets() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "affine %s {%s | %s}\n", s.Name, strings.Join(s.Params, ", "),
+		paramConstraints(s.Params))
+	// Collect input names (sorted for stability).
+	inputs := map[string]int{}
+	for _, v := range s.Vars {
+		collectInputs(v.Def, inputs)
+	}
+	if len(inputs) > 0 {
+		sb.WriteString("input\n")
+		for _, name := range sortedKeys(inputs) {
+			fmt.Fprintf(&sb, "\tfloat %s {%s};\n", name, arity(inputs[name]))
+		}
+	}
+	sb.WriteString("output\n")
+	for _, v := range s.Vars {
+		fmt.Fprintf(&sb, "\tfloat %s %s;\n", v.Name, domainString(v.Domain, s.Params))
+	}
+	sb.WriteString("let\n")
+	for _, v := range s.Vars {
+		idxNames := nonParamDims(v.Domain.Space, s.Params)
+		fmt.Fprintf(&sb, "\t%s[%s] = %s;\n", v.Name, strings.Join(idxNames, ", "),
+			exprString(v.Def, v.Domain.Space, s.Params))
+	}
+	sb.WriteString(".\n")
+	return sb.String()
+}
+
+func paramConstraints(params []string) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p + " > 0"
+	}
+	return strings.Join(parts, " && ")
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func arity(n int) string {
+	dims := make([]string, n)
+	for i := range dims {
+		dims[i] = string(rune('a' + i))
+	}
+	return strings.Join(dims, ", ")
+}
+
+func collectInputs(e Expr, out map[string]int) {
+	switch x := e.(type) {
+	case InRef:
+		out[x.Name] = len(x.Idx.Exprs)
+	case Bin:
+		collectInputs(x.L, out)
+		collectInputs(x.R, out)
+	case Reduce:
+		collectInputs(x.Body, out)
+	case Case:
+		for _, b := range x.Branches {
+			collectInputs(b.Body, out)
+		}
+	}
+}
+
+func nonParamDims(sp poly.Space, params []string) []string {
+	isParam := map[string]bool{}
+	for _, p := range params {
+		isParam[p] = true
+	}
+	var out []string
+	for _, n := range sp.Names() {
+		if !isParam[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func domainString(dom poly.Set, params []string) string {
+	dims := nonParamDims(dom.Space, params)
+	var cons []string
+	for _, c := range dom.Cons {
+		op := " >= 0"
+		if c.Eq {
+			op = " == 0"
+		}
+		cons = append(cons, c.Expr.Format(dom.Space)+op)
+	}
+	return fmt.Sprintf("{%s | %s}", strings.Join(dims, ", "), strings.Join(cons, " && "))
+}
+
+func exprString(e Expr, sp poly.Space, params []string) string {
+	switch x := e.(type) {
+	case Lit:
+		return fmt.Sprintf("%g", x.V)
+	case VarRef:
+		return refString(x.Var, x.Idx, params)
+	case InRef:
+		return refString(x.Name, x.Idx, params)
+	case Bin:
+		l := exprString(x.L, sp, params)
+		r := exprString(x.R, sp, params)
+		if x.Op == OpAdd {
+			return "(" + l + " + " + r + ")"
+		}
+		return "max(" + l + ", " + r + ")"
+	case Reduce:
+		body := exprString(x.Body, x.Dom.Space, params)
+		return fmt.Sprintf("reduce(max, [%s], %s)", strings.Join(x.Extra, ", "), body)
+	case Case:
+		var parts []string
+		for _, b := range x.Branches {
+			guard := "otherwise"
+			if b.Guard.Space.Dim() != 0 {
+				var cs []string
+				for _, c := range b.Guard.Cons {
+					op := " >= 0"
+					if c.Eq {
+						op = " == 0"
+					}
+					cs = append(cs, c.Expr.Format(b.Guard.Space)+op)
+				}
+				guard = strings.Join(cs, " && ")
+			}
+			parts = append(parts, guard+": "+exprString(b.Body, sp, params))
+		}
+		return "case { " + strings.Join(parts, "; ") + " }"
+	}
+	return "?"
+}
+
+// refString drops the leading parameter pass-through coordinates of an
+// access map (they are always identity in this repository's systems).
+func refString(name string, m poly.Map, params []string) string {
+	isParam := map[string]bool{}
+	for _, p := range params {
+		isParam[p] = true
+	}
+	outNames := m.Out.Names()
+	var parts []string
+	for i, e := range m.Exprs {
+		if i < len(outNames) && isParam[outNames[i]] {
+			continue
+		}
+		parts = append(parts, e.Format(m.In))
+	}
+	return name + "[" + strings.Join(parts, ", ") + "]"
+}

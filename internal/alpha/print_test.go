@@ -1,0 +1,69 @@
+package alpha
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlphabetsBPMax(t *testing.T) {
+	src := BPMaxSystem().Alphabets()
+	for _, want := range []string{
+		"affine BPMax {N, M | N > 0 && M > 0}",
+		"input",
+		"float S1 {",
+		"float iscore {",
+		"output",
+		"float F {",
+		"let",
+		"F[i1, j1, i2, j2] =",
+		"reduce(max, [k1, k2],",
+		"reduce(max, [k2],",
+		"case {",
+		"otherwise:",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Alphabets missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestAlphabetsNussinov(t *testing.T) {
+	src := NussinovSystem().Alphabets()
+	if !strings.Contains(src, "affine Nussinov {n | n > 0}") {
+		t.Errorf("header wrong:\n%s", src)
+	}
+	if !strings.Contains(src, "S[i, j] =") {
+		t.Errorf("equation missing:\n%s", src)
+	}
+	if !strings.Contains(src, "reduce(max, [k],") {
+		t.Errorf("split reduce missing:\n%s", src)
+	}
+}
+
+func TestAlphabetsDeterministic(t *testing.T) {
+	a := BPMaxSystem().Alphabets()
+	b := BPMaxSystem().Alphabets()
+	if a != b {
+		t.Error("Alphabets output not deterministic")
+	}
+}
+
+func TestAlphabetsInputArities(t *testing.T) {
+	src := DoubleMaxPlusSystem().Alphabets()
+	// iscore is 2-D: declared with two dims.
+	if !strings.Contains(src, "float iscore {a, b}") {
+		t.Errorf("iscore arity wrong:\n%s", src)
+	}
+}
+
+func TestAlphabetsAccessDropsParams(t *testing.T) {
+	// F accesses must show 4 indices, not 6 (parameter pass-through
+	// dropped).
+	src := DoubleMaxPlusSystem().Alphabets()
+	if strings.Contains(src, "F[N, M") {
+		t.Errorf("access shows parameter coordinates:\n%s", src)
+	}
+	if !strings.Contains(src, "F[i1, k1, i2, k2]") {
+		t.Errorf("R0 body access missing:\n%s", src)
+	}
+}

@@ -1,0 +1,200 @@
+package alpha
+
+import "github.com/bpmax-go/bpmax/internal/poly"
+
+// The paper's space-time maps (Tables I–V), written over the alpha systems'
+// variables so poly can prove them legal against the extracted dependences.
+// Conventions: time spaces are anonymous (t0, t1, ...); the parameter N
+// (sequence 1 length) appears as a time coordinate where the paper writes
+// M as "a constant larger than any i1/k1" (the paper names the outer
+// sequence length M; this repository names it N throughout).
+
+func tspace(d int) poly.Space {
+	names := make([]string, d)
+	for i := range names {
+		names[i] = "t" + string(rune('0'+i))
+	}
+	return poly.NewSpace(names...)
+}
+
+func tmap(in poly.Space, exprs ...poly.Expr) poly.Map {
+	return poly.NewMap(in, tspace(len(exprs)), exprs)
+}
+
+// spK1, spK2, spK12 rebuild the reduction body spaces used by BPMaxSystem.
+func spK1() poly.Space  { return poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1") }
+func spK2() poly.Space  { return poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k2") }
+func spK12() poly.Space { return poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2") }
+
+// BaseSchedule is the original BPMax program's schedule,
+// (j1-i1, j2-i2, i1, i2, k1, k2): diagonal-by-diagonal over both interval
+// lengths with the reductions gathered per cell (k2 innermost).
+func BaseSchedule() poly.Schedule {
+	f, k1, k2, k12 := SpF(), spK1(), spK2(), spK12()
+	d1 := func(sp poly.Space) poly.Expr { return v(sp, "j1").Sub(v(sp, "i1")) }
+	d2 := func(sp poly.Space) poly.Expr { return v(sp, "j2").Sub(v(sp, "i2")) }
+	return poly.NewSchedule("base", map[string]poly.Map{
+		"F":  tmap(f, d1(f), d2(f), v(f, "i1"), v(f, "i2"), v(f, "N"), v(f, "M")),
+		"R0": tmap(k12, d1(k12), d2(k12), v(k12, "i1"), v(k12, "i2"), v(k12, "k1"), v(k12, "k2")),
+		"R1": tmap(k2, d1(k2), d2(k2), v(k2, "i1"), v(k2, "i2"), v(k2, "N"), v(k2, "k2")),
+		"R2": tmap(k2, d1(k2), d2(k2), v(k2, "i1"), v(k2, "i2"), v(k2, "N"), v(k2, "k2")),
+		"R3": tmap(k1, d1(k1), d2(k1), v(k1, "i1"), v(k1, "i2"), v(k1, "k1"), v(k1, "M")),
+		"R4": tmap(k1, d1(k1), d2(k1), v(k1, "i1"), v(k1, "i2"), v(k1, "k1"), v(k1, "M")),
+	})
+}
+
+// FineSchedule is Table II: triangles bottom-up/left-to-right (-i1, j1),
+// R0/R3/R4 accumulated per k1 with streaming j2-innermost bodies, and the
+// F/R1/R2 update pass after k1 reaches j1. Its parallel dimension is 5
+// (1-indexed), valid only for the R0/R3/R4 subset — see
+// FineParallelLevel.
+func FineSchedule() poly.Schedule {
+	f, k1, k2, k12 := SpF(), spK1(), spK2(), spK12()
+	one := func(sp poly.Space) poly.Expr { return poly.Konst(sp, 1) }
+	zero := func(sp poly.Space) poly.Expr { return poly.Konst(sp, 0) }
+	negI1 := func(sp poly.Space) poly.Expr { return v(sp, "i1").Neg() }
+	negI2 := func(sp poly.Space) poly.Expr { return v(sp, "i2").Neg() }
+	return poly.NewSchedule("fine", map[string]poly.Map{
+		"F": tmap(f, one(f), negI1(f), v(f, "j1"), v(f, "j1"), negI2(f), zero(f), v(f, "j2"), zero(f)),
+		"R1": tmap(k2, one(k2), negI1(k2), v(k2, "j1"), v(k2, "j1"), negI2(k2), zero(k2),
+			v(k2, "k2"), v(k2, "j2")),
+		"R2": tmap(k2, one(k2), negI1(k2), v(k2, "j1"), v(k2, "j1"), negI2(k2), zero(k2),
+			v(k2, "k2"), v(k2, "j2")),
+		"R0": tmap(k12, one(k12), negI1(k12), v(k12, "j1"), v(k12, "k1"), poly.Konst(k12, -1),
+			negI2(k12), v(k12, "k2"), v(k12, "j2")),
+		"R3": tmap(k1, one(k1), negI1(k1), v(k1, "j1"), v(k1, "k1"), poly.Konst(k1, -1),
+			negI2(k1), v(k1, "i2"), v(k1, "j2")),
+		"R4": tmap(k1, one(k1), negI1(k1), v(k1, "j1"), v(k1, "k1"), poly.Konst(k1, -1),
+			negI2(k1), v(k1, "i2"), v(k1, "j2")),
+	})
+}
+
+// FineParallelLevel is the 0-indexed time dimension the fine schedule
+// parallelizes (the paper's "parallel dimension 5").
+const FineParallelLevel = 4
+
+// CoarseSchedule is Table III: diagonal wavefronts (j1-i1, i1) with whole
+// triangles as the parallel unit (dimension 3, i.e. index 2).
+func CoarseSchedule() poly.Schedule {
+	f, k1, k2, k12 := SpF(), spK1(), spK2(), spK12()
+	one := func(sp poly.Space) poly.Expr { return poly.Konst(sp, 1) }
+	d1 := func(sp poly.Space) poly.Expr { return v(sp, "j1").Sub(v(sp, "i1")) }
+	negI2 := func(sp poly.Space) poly.Expr { return v(sp, "i2").Neg() }
+	return poly.NewSchedule("coarse", map[string]poly.Map{
+		"F": tmap(f, one(f), d1(f), v(f, "i1"), v(f, "j1"), negI2(f), v(f, "j2"), v(f, "j2")),
+		"R1": tmap(k2, one(k2), d1(k2), v(k2, "i1"), v(k2, "j1"), negI2(k2),
+			v(k2, "k2"), v(k2, "j2")),
+		"R2": tmap(k2, one(k2), d1(k2), v(k2, "i1"), v(k2, "j1"), negI2(k2),
+			v(k2, "k2"), v(k2, "j2")),
+		"R0": tmap(k12, one(k12), d1(k12), v(k12, "i1"), v(k12, "k1"), v(k12, "i2"),
+			v(k12, "k2"), v(k12, "j2")),
+		"R3": tmap(k1, one(k1), d1(k1), v(k1, "i1"), v(k1, "k1"), v(k1, "i2"),
+			v(k1, "i2"), v(k1, "j2")),
+		"R4": tmap(k1, one(k1), d1(k1), v(k1, "i1"), v(k1, "k1"), v(k1, "i2"),
+			v(k1, "i2"), v(k1, "j2")),
+	})
+}
+
+// CoarseParallelLevel is the coarse schedule's parallel dimension
+// (triangles of one wavefront; paper Table III, "parallel dimension 3").
+const CoarseParallelLevel = 2
+
+// HybridSchedule is Table IV: per wavefront, all R0/R3/R4 accumulation
+// (time dim 2 = i1 < N) precedes every F/R1/R2 update (time dim 2 = N).
+func HybridSchedule() poly.Schedule {
+	f, k1, k2, k12 := SpF(), spK1(), spK2(), spK12()
+	one := func(sp poly.Space) poly.Expr { return poly.Konst(sp, 1) }
+	zero := func(sp poly.Space) poly.Expr { return poly.Konst(sp, 0) }
+	d1 := func(sp poly.Space) poly.Expr { return v(sp, "j1").Sub(v(sp, "i1")) }
+	negI2 := func(sp poly.Space) poly.Expr { return v(sp, "i2").Neg() }
+	return poly.NewSchedule("hybrid", map[string]poly.Map{
+		"F": tmap(f, one(f), d1(f), v(f, "N"), zero(f), v(f, "i1"), negI2(f), v(f, "j2"), zero(f)),
+		"R1": tmap(k2, one(k2), d1(k2), v(k2, "N"), zero(k2), v(k2, "i1"), negI2(k2),
+			v(k2, "k2"), v(k2, "j2")),
+		"R2": tmap(k2, one(k2), d1(k2), v(k2, "N"), zero(k2), v(k2, "i1"), negI2(k2),
+			v(k2, "k2"), v(k2, "j2")),
+		"R0": tmap(k12, one(k12), d1(k12), v(k12, "i1"), v(k12, "k1"), v(k12, "i2"),
+			v(k12, "k2"), v(k12, "j2"), zero(k12)),
+		"R3": tmap(k1, one(k1), d1(k1), v(k1, "i1"), v(k1, "k1"), v(k1, "i2"),
+			v(k1, "i2"), v(k1, "j2"), zero(k1)),
+		"R4": tmap(k1, one(k1), d1(k1), v(k1, "i1"), v(k1, "k1"), v(k1, "i2"),
+			v(k1, "i2"), v(k1, "j2"), zero(k1)),
+	})
+}
+
+// BPMaxSchedules lists the full-BPMax schedules in the paper's order.
+func BPMaxSchedules() []poly.Schedule {
+	return []poly.Schedule{BaseSchedule(), CoarseSchedule(), FineSchedule(), HybridSchedule()}
+}
+
+// DMP schedules (Table I): the standalone double max-plus system has
+// variables F and R0 only.
+
+// DMPBaseSchedule is the original (j1-i1, j2-i2, i1, i2, k1, k2) order.
+func DMPBaseSchedule() poly.Schedule {
+	f, k12 := SpF(), spK12()
+	d1 := func(sp poly.Space) poly.Expr { return v(sp, "j1").Sub(v(sp, "i1")) }
+	d2 := func(sp poly.Space) poly.Expr { return v(sp, "j2").Sub(v(sp, "i2")) }
+	return poly.NewSchedule("dmp-base", map[string]poly.Map{
+		"F":  tmap(f, d1(f), d2(f), v(f, "i1"), v(f, "i2"), v(f, "N"), v(f, "M")),
+		"R0": tmap(k12, d1(k12), d2(k12), v(k12, "i1"), v(k12, "i2"), v(k12, "k1"), v(k12, "k2")),
+	})
+}
+
+// DMPFineSchedule processes triangles in diagonal order and streams
+// (i2, k2, j2) with j2 innermost; dimension 4 (index 3, the i2 loop) is the
+// fine-grain parallel row dimension.
+func DMPFineSchedule() poly.Schedule {
+	f, k12 := SpF(), spK12()
+	d1 := func(sp poly.Space) poly.Expr { return v(sp, "j1").Sub(v(sp, "i1")) }
+	return poly.NewSchedule("dmp-fine", map[string]poly.Map{
+		"F":  tmap(f, d1(f), v(f, "i1"), v(f, "j1"), v(f, "i2"), v(f, "j2"), v(f, "M")),
+		"R0": tmap(k12, d1(k12), v(k12, "i1"), v(k12, "k1"), v(k12, "i2"), v(k12, "k2"), v(k12, "j2")),
+	})
+}
+
+// DMPFineParallelLevel is the row-parallel dimension of DMPFineSchedule.
+const DMPFineParallelLevel = 3
+
+// DMPBottomUpSchedule fills triangles bottom-up and left-to-right
+// (-i1, j1) instead of diagonally — the paper's orange-vs-blue comparison.
+func DMPBottomUpSchedule() poly.Schedule {
+	f, k12 := SpF(), spK12()
+	return poly.NewSchedule("dmp-bottomup", map[string]poly.Map{
+		"F": tmap(f, v(f, "i1").Neg(), v(f, "j1"), v(f, "j1"), v(f, "i2"), v(f, "j2"), v(f, "M")),
+		"R0": tmap(k12, v(k12, "i1").Neg(), v(k12, "j1"), v(k12, "k1"), v(k12, "i2"),
+			v(k12, "k2"), v(k12, "j2")),
+	})
+}
+
+// DMPCoarseSchedule parallelizes dimension 2 (index 1): the triangles of
+// one wavefront.
+func DMPCoarseSchedule() poly.Schedule { return DMPFineSchedule() }
+
+// DMPCoarseParallelLevel is the triangle-parallel dimension of the coarse
+// variant (the schedule is the same map; only the parallel marking moves
+// out one level).
+const DMPCoarseParallelLevel = 1
+
+// DMPSchedules lists the Table I schedules.
+func DMPSchedules() []poly.Schedule {
+	return []poly.Schedule{DMPBaseSchedule(), DMPFineSchedule(), DMPBottomUpSchedule()}
+}
+
+// NussinovSchedules: the S-table orders (diagonal and bottom-up), both
+// legal, mirroring the "S¹ and S² can be scheduled before anything else"
+// observation.
+func NussinovSchedules() []poly.Schedule {
+	sp := poly.NewSpace("n", "i", "j")
+	k := poly.NewSpace("n", "i", "j", "k")
+	d := func(s poly.Space) poly.Expr { return v(s, "j").Sub(v(s, "i")) }
+	diag := poly.NewSchedule("nussinov-diag", map[string]poly.Map{
+		"S":  tmap(sp, d(sp), v(sp, "i"), v(sp, "n")),
+		"Rs": tmap(k, d(k), v(k, "i"), v(k, "k")),
+	})
+	bottomUp := poly.NewSchedule("nussinov-bottomup", map[string]poly.Map{
+		"S":  tmap(sp, v(sp, "i").Neg(), v(sp, "j"), v(sp, "n")),
+		"Rs": tmap(k, v(k, "i").Neg(), v(k, "j"), v(k, "k")),
+	})
+	return []poly.Schedule{diag, bottomUp}
+}

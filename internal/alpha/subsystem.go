@@ -1,0 +1,195 @@
+package alpha
+
+import "github.com/bpmax-go/bpmax/internal/poly"
+
+// The paper's Phase III partitions BPMax into two Alpha systems so tiling
+// can be applied to R0/R3/R4 in isolation (Table V): a *subsystem* that
+// produces one inner triangle's accumulator from already-finalized
+// triangles, and a *root system* that consolidates the subsystem's output
+// with R1, R2, the pairing terms and the base cases ("the use equation
+// construct integrates these two systems"). This file reproduces that
+// split; EvalSplit drives the two systems wavefront by wavefront exactly
+// like the generated code's subsystem calls, and the tests check the
+// composition against the monolithic specification.
+
+// PhaseIIISubsystem returns the subsystem: T[i1,j1,i2,j2] accumulates the
+// independent-folds seed with R0, R3 and R4, reading the F *prefix* (all
+// strictly shorter seq1 intervals) as an input.
+func PhaseIIISubsystem() *System {
+	sp := SpF()
+	i1, j1 := v(sp, "i1"), v(sp, "j1")
+	i2, j2 := v(sp, "i2"), v(sp, "j2")
+	in2 := func(name string, a, b poly.Expr) InRef {
+		return InRef{Name: name, Idx: idx(sp, a, b)}
+	}
+	spK1 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1")
+	spK12 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2")
+	k1Dom := poly.NewSet(spK1,
+		poly.LE(v(spK1, "i1"), v(spK1, "k1")), poly.LT(v(spK1, "k1"), v(spK1, "j1")))
+	k12Dom := poly.NewSet(spK12,
+		poly.LE(v(spK12, "i1"), v(spK12, "k1")), poly.LT(v(spK12, "k1"), v(spK12, "j1")),
+		poly.LE(v(spK12, "i2"), v(spK12, "k2")), poly.LT(v(spK12, "k2"), v(spK12, "j2")))
+	// F is an *input* here: the subsystem only reads finalized triangles.
+	fIn := func(spc poly.Space, a, b, c, d poly.Expr) InRef {
+		return InRef{Name: "F", Idx: idx(spc, a, b, c, d)}
+	}
+	in2e := func(spc poly.Space, name string, a, b poly.Expr) InRef {
+		return InRef{Name: name, Idx: idx(spc, a, b)}
+	}
+	r0 := Reduce{Name: "R0", Op: OpMax, Extra: []string{"k1", "k2"}, Dom: k12Dom,
+		Body: Add(
+			fIn(spK12, v(spK12, "i1"), v(spK12, "k1"), v(spK12, "i2"), v(spK12, "k2")),
+			fIn(spK12, v(spK12, "k1").AddK(1), v(spK12, "j1"), v(spK12, "k2").AddK(1), v(spK12, "j2")),
+		)}
+	r3 := Reduce{Name: "R3", Op: OpMax, Extra: []string{"k1"}, Dom: k1Dom,
+		Body: Add(
+			in2e(spK1, "S1", v(spK1, "i1"), v(spK1, "k1")),
+			fIn(spK1, v(spK1, "k1").AddK(1), v(spK1, "j1"), v(spK1, "i2"), v(spK1, "j2")),
+		)}
+	r4 := Reduce{Name: "R4", Op: OpMax, Extra: []string{"k1"}, Dom: k1Dom,
+		Body: Add(
+			fIn(spK1, v(spK1, "i1"), v(spK1, "k1"), v(spK1, "i2"), v(spK1, "j2")),
+			in2e(spK1, "S1", v(spK1, "k1").AddK(1), v(spK1, "j1")),
+		)}
+	def := MaxOf(Add(in2("S1", i1, j1), in2("S2", i2, j2)), r0, r3, r4)
+	sys := NewSystem("BPMaxSub", "N", "M")
+	sys.Define(&Variable{Name: "T", Domain: fDomain(sp), Def: def})
+	return sys
+}
+
+// PhaseIIIRoot returns the root system: F consolidates the subsystem's T
+// (an input wired by the use equation) with the pairing terms, R1, R2 and
+// the singleton base case. Same-triangle F reads (R1/R2 and the seq2
+// pairing) also arrive as inputs — the evaluation driver supplies the
+// finalized shorter-interval cells, matching the generated code's in-place
+// update.
+func PhaseIIIRoot() *System {
+	sp := SpF()
+	i1, j1 := v(sp, "i1"), v(sp, "j1")
+	i2, j2 := v(sp, "i2"), v(sp, "j2")
+	in2 := func(name string, a, b poly.Expr) InRef {
+		return InRef{Name: name, Idx: idx(sp, a, b)}
+	}
+	fIn := func(spc poly.Space, a, b, c, d poly.Expr) InRef {
+		return InRef{Name: "F", Idx: idx(spc, a, b, c, d)}
+	}
+	spK2 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k2")
+	k2Dom := poly.NewSet(spK2,
+		poly.LE(v(spK2, "i2"), v(spK2, "k2")), poly.LT(v(spK2, "k2"), v(spK2, "j2")))
+	in2e := func(spc poly.Space, name string, a, b poly.Expr) InRef {
+		return InRef{Name: name, Idx: idx(spc, a, b)}
+	}
+	r1 := Reduce{Name: "R1", Op: OpMax, Extra: []string{"k2"}, Dom: k2Dom,
+		Body: Add(
+			in2e(spK2, "S2", v(spK2, "i2"), v(spK2, "k2")),
+			fIn(spK2, v(spK2, "i1"), v(spK2, "j1"), v(spK2, "k2").AddK(1), v(spK2, "j2")),
+		)}
+	r2 := Reduce{Name: "R2", Op: OpMax, Extra: []string{"k2"}, Dom: k2Dom,
+		Body: Add(
+			fIn(spK2, v(spK2, "i1"), v(spK2, "j1"), v(spK2, "i2"), v(spK2, "k2")),
+			in2e(spK2, "S2", v(spK2, "k2").AddK(1), v(spK2, "j2")),
+		)}
+	tUse := InRef{Name: "T", Idx: idx(sp, i1, j1, i2, j2)}
+	pair1 := Add(fIn(sp, i1.AddK(1), j1.AddK(-1), i2, j2), in2("score1", i1, j1))
+	pair2 := Add(fIn(sp, i1, j1, i2.AddK(1), j2.AddK(-1)), in2("score2", i2, j2))
+	singleton := poly.NewSet(sp, poly.EQ(i1.Sub(j1)), poly.EQ(i2.Sub(j2)))
+	def := Case{Branches: []Branch{
+		{Guard: singleton, Body: MaxOf(Lit{0}, in2("iscore", i1, i2))},
+		{Body: MaxOf(pair1, pair2, tUse, r1, r2)},
+	}}
+	sys := NewSystem("BPMaxRoot", "N", "M")
+	sys.Define(&Variable{Name: "F", Domain: fDomain(sp), Def: def})
+	return sys
+}
+
+// EvalSplit evaluates BPMax through the Phase III two-system structure:
+// for each wavefront and triangle, it invokes the subsystem ("the
+// subsystem gets called for each instance of an inner F-table update"),
+// then consolidates with the root system cell by cell in d2 order. S1, S2
+// and the scores are supplied by inputs; the returned function reads the
+// finished table.
+func EvalSplit(n1, n2 int, inputs map[string]func([]int64) float32) func(i1, j1, i2, j2 int) float32 {
+	sub := PhaseIIISubsystem()
+	root := PhaseIIIRoot()
+	params := map[string]int64{"N": int64(n1), "M": int64(n2)}
+
+	type key [4]int
+	fVals := map[key]float32{}
+	s1 := inputs["S1"]
+	s2 := inputs["S2"]
+	// fAt resolves F reads with the empty-interval base cases, exactly
+	// like the generated code's boundary macros.
+	fAt := func(ix []int64) float32 {
+		i1, j1, i2, j2 := int(ix[0]), int(ix[1]), int(ix[2]), int(ix[3])
+		if j1 < i1 {
+			if j2 < i2 {
+				return 0
+			}
+			return s2([]int64{int64(i2), int64(j2)})
+		}
+		if j2 < i2 {
+			return s1([]int64{int64(i1), int64(j1)})
+		}
+		v, ok := fVals[key{i1, j1, i2, j2}]
+		if !ok {
+			panic("alpha: split evaluation read an unfinalized F cell")
+		}
+		return v
+	}
+
+	for d1 := 0; d1 < n1; d1++ {
+		for i1 := 0; i1+d1 < n1; i1++ {
+			j1 := i1 + d1
+			// Subsystem call: one inner triangle's accumulator.
+			subInputs := map[string]func([]int64) float32{
+				"S1": inputs["S1"], "S2": inputs["S2"], "F": fAt,
+			}
+			subEv := NewEvaluator(sub, params, subInputs)
+			tVals := map[key]float32{}
+			for i2 := 0; i2 < n2; i2++ {
+				for j2 := i2; j2 < n2; j2++ {
+					tVals[key{i1, j1, i2, j2}] = subEv.Value("T",
+						[]int64{int64(n1), int64(n2), int64(i1), int64(j1), int64(i2), int64(j2)})
+				}
+			}
+			// Root consolidation, cells in d2 order so same-triangle reads
+			// hit finalized values.
+			rootInputs := map[string]func([]int64) float32{
+				"S1": inputs["S1"], "S2": inputs["S2"],
+				"score1": inputs["score1"], "score2": inputs["score2"], "iscore": inputs["iscore"],
+				"F": fAt,
+				"T": func(ix []int64) float32 {
+					return tVals[key{int(ix[0]), int(ix[1]), int(ix[2]), int(ix[3])}]
+				},
+			}
+			for d2 := 0; d2 < n2; d2++ {
+				for i2 := 0; i2+d2 < n2; i2++ {
+					j2 := i2 + d2
+					rootEv := NewEvaluator(root, params, rootInputs)
+					fVals[key{i1, j1, i2, j2}] = rootEv.Value("F",
+						[]int64{int64(n1), int64(n2), int64(i1), int64(j1), int64(i2), int64(j2)})
+				}
+			}
+		}
+	}
+	return func(i1, j1, i2, j2 int) float32 { return fVals[key{i1, j1, i2, j2}] }
+}
+
+// SubsystemSchedule returns Table V's subsystem space-time map (the tiled
+// R0/R3/R4 band) for legality checking against the subsystem's own
+// dependences. Within the subsystem, F is an input, so only the T <- R
+// reduction-result orderings remain; the schedule orders every reduction
+// body before the T write.
+func SubsystemSchedule() poly.Schedule {
+	f := SpF()
+	k1 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1")
+	k12 := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2")
+	return poly.NewSchedule("subsystem", map[string]poly.Map{
+		// T written once every k1 has contributed: time (N, i2, j2, 0).
+		"T": tmap(f, v(f, "N"), v(f, "i2"), v(f, "j2"), poly.Konst(f, 0)),
+		// R0 body at (k1, i2, k2, j2); R3/R4 at (k1, i2, i2, j2).
+		"R0": tmap(k12, v(k12, "k1"), v(k12, "i2"), v(k12, "k2"), v(k12, "j2")),
+		"R3": tmap(k1, v(k1, "k1"), v(k1, "i2"), v(k1, "i2"), v(k1, "j2")),
+		"R4": tmap(k1, v(k1, "k1"), v(k1, "i2"), v(k1, "i2"), v(k1, "j2")),
+	})
+}

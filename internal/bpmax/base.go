@@ -1,0 +1,75 @@
+package bpmax
+
+// solveBase is the original BPMax program's implementation: the
+// (j1-i1, j2-i2, i1, i2, k1, k2) schedule, one cell at a time, with every
+// reduction performed as a per-cell gather (k2 innermost, defeating
+// streaming) and no parallelism. It is the 1× baseline of Figures 15/16.
+func solveBase(p *Problem, cfg Config) *FTable {
+	f := NewFTable(p.N1, p.N2, cfg.Map)
+	n1, n2 := p.N1, p.N2
+	for d1 := 0; d1 < n1; d1++ {
+		for d2 := 0; d2 < n2; d2++ {
+			for i1 := 0; i1+d1 < n1; i1++ {
+				j1 := i1 + d1
+				blk := f.Block(i1, j1)
+				for i2 := 0; i2+d2 < n2; i2++ {
+					j2 := i2 + d2
+					blk[f.Inner.At(i2, j2)] = p.baseCell(f, i1, j1, i2, j2)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// baseCell evaluates the full recurrence body for one cell by gathering.
+// All cells it reads are strictly shorter in (d1, d2) lexicographic order,
+// which the solveBase loop nest guarantees. Every candidate is a pairwise
+// sum of table entries, identical to the oracle's, so results are
+// bit-exact across variants.
+func (p *Problem) baseCell(f *FTable, i1, j1, i2, j2 int) float32 {
+	if i1 == j1 && i2 == j2 {
+		return p.singleton(i1, i2)
+	}
+	// Pair i1-j1.
+	v := p.at(f, i1+1, j1-1, i2, j2) + p.score1(i1, j1)
+	// Pair i2-j2.
+	if w := p.at(f, i1, j1, i2+1, j2-1) + p.score2(i2, j2); w > v {
+		v = w
+	}
+	// H: independent folds.
+	if w := p.S1.At(i1, j1) + p.S2.At(i2, j2); w > v {
+		v = w
+	}
+	// R0 (double max-plus), k2 innermost: the strided gather the paper's
+	// loop-permutation analysis rejects.
+	for k1 := i1; k1 < j1; k1++ {
+		ablk := f.Block(i1, k1)
+		bblk := f.Block(k1+1, j1)
+		for k2 := i2; k2 < j2; k2++ {
+			if w := ablk[f.Inner.At(i2, k2)] + bblk[f.Inner.At(k2+1, j2)]; w > v {
+				v = w
+			}
+		}
+	}
+	// R1 and R2.
+	blk := f.Block(i1, j1)
+	for k2 := i2; k2 < j2; k2++ {
+		if w := p.S2.At(i2, k2) + blk[f.Inner.At(k2+1, j2)]; w > v {
+			v = w
+		}
+		if w := blk[f.Inner.At(i2, k2)] + p.S2.At(k2+1, j2); w > v {
+			v = w
+		}
+	}
+	// R3 and R4.
+	for k1 := i1; k1 < j1; k1++ {
+		if w := p.S1.At(i1, k1) + f.Block(k1+1, j1)[f.Inner.At(i2, j2)]; w > v {
+			v = w
+		}
+		if w := f.Block(i1, k1)[f.Inner.At(i2, j2)] + p.S1.At(k1+1, j1); w > v {
+			v = w
+		}
+	}
+	return v
+}

@@ -1,0 +1,322 @@
+package bpmax
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// newTestProblem builds a problem over random sequences.
+func newTestProblem(t testing.TB, seed int64, n1, n2 int) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := NewProblem(rna.Random(rng, n1), rna.Random(rng, n2), score.DefaultParams())
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return p
+}
+
+// tablesEqual compares two filled tables cell by cell (exact equality: all
+// variants compute identical pairwise sums).
+func tablesEqual(t *testing.T, p *Problem, want, got *FTable, label string) {
+	t.Helper()
+	for i1 := 0; i1 < p.N1; i1++ {
+		for j1 := i1; j1 < p.N1; j1++ {
+			for i2 := 0; i2 < p.N2; i2++ {
+				for j2 := i2; j2 < p.N2; j2++ {
+					w := want.At(i1, j1, i2, j2)
+					g := got.At(i1, j1, i2, j2)
+					if w != g {
+						t.Fatalf("%s: F[%d,%d,%d,%d] = %v, want %v", label, i1, j1, i2, j2, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewProblemRejectsEmpty(t *testing.T) {
+	s := rna.MustNew("ACGU")
+	if _, err := NewProblem(rna.Sequence{}, s, score.DefaultParams()); err == nil {
+		t.Error("empty seq1 accepted")
+	}
+	if _, err := NewProblem(s, rna.Sequence{}, score.DefaultParams()); err == nil {
+		t.Error("empty seq2 accepted")
+	}
+}
+
+func TestAllVariantsMatchReference(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed + 100))
+		n1 := 1 + rng.Intn(9)
+		n2 := 1 + rng.Intn(9)
+		p := newTestProblem(t, seed, n1, n2)
+		ref := Solve(p, VariantReference, Config{})
+		for _, v := range Variants {
+			for _, workers := range []int{1, 3} {
+				got := Solve(p, v, Config{Workers: workers})
+				tablesEqual(t, p, ref, got, v.String())
+			}
+		}
+	}
+}
+
+func TestVariantsMatchOnLargerInstance(t *testing.T) {
+	// One moderately sized instance exercising multi-tile, multi-diagonal
+	// paths (tile size smaller than N2 to force tile boundaries).
+	p := newTestProblem(t, 7, 13, 21)
+	ref := Solve(p, VariantBase, Config{})
+	cfg := Config{Workers: 4, TileI2: 4, TileK2: 3}
+	for _, v := range []Variant{VariantCoarse, VariantFine, VariantHybrid, VariantHybridTiled} {
+		tablesEqual(t, p, ref, Solve(p, v, cfg), v.String())
+	}
+}
+
+func TestTileShapesDoNotChangeResults(t *testing.T) {
+	p := newTestProblem(t, 11, 6, 17)
+	ref := Solve(p, VariantBase, Config{})
+	shapes := []Config{
+		{TileI2: 1, TileK2: 1, TileJ2: 1},
+		{TileI2: 2, TileK2: 5, TileJ2: 3},
+		{TileI2: 17, TileK2: 17, TileJ2: 0},
+		{TileI2: 64, TileK2: 16, TileJ2: 0},
+		{TileI2: 3, TileK2: 2, TileJ2: 100},
+	}
+	for _, cfg := range shapes {
+		cfg.Workers = 2
+		got := Solve(p, VariantHybridTiled, cfg)
+		tablesEqual(t, p, ref, got, "tiled")
+	}
+}
+
+func TestMemoryMapsAgree(t *testing.T) {
+	p := newTestProblem(t, 3, 7, 9)
+	box := Solve(p, VariantHybrid, Config{Map: MapBox})
+	packed := Solve(p, VariantHybrid, Config{Map: MapPacked})
+	tablesEqual(t, p, box, packed, "packed-map")
+	if box.Bytes() <= packed.Bytes() {
+		t.Errorf("box (%d B) should use more memory than packed (%d B)", box.Bytes(), packed.Bytes())
+	}
+}
+
+func TestUnrolledKernelAgrees(t *testing.T) {
+	p := newTestProblem(t, 5, 8, 19)
+	plain := Solve(p, VariantHybridTiled, Config{})
+	unrolled := Solve(p, VariantHybridTiled, Config{Unroll: true})
+	tablesEqual(t, p, plain, unrolled, "unrolled")
+}
+
+func TestScratchAccumAgrees(t *testing.T) {
+	// Phase II (separate accumulator storage + copy) and Phase III (shared
+	// storage) memory maps must be observationally identical.
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 700))
+		p := newTestProblem(t, seed+70, 1+rng.Intn(9), 1+rng.Intn(9))
+		shared := Solve(p, VariantHybrid, Config{Workers: 2})
+		scratch := Solve(p, VariantHybrid, Config{Workers: 2, ScratchAccum: true})
+		tablesEqual(t, p, shared, scratch, "scratch-accum")
+	}
+}
+
+func TestStaticSchedulingAgrees(t *testing.T) {
+	p := newTestProblem(t, 6, 9, 11)
+	dyn := Solve(p, VariantHybrid, Config{Workers: 4})
+	st := Solve(p, VariantHybrid, Config{Workers: 4, StaticSched: true})
+	tablesEqual(t, p, dyn, st, "static-sched")
+}
+
+func TestRandomConfigurationsQuick(t *testing.T) {
+	// One combined property test: any variant under any configuration
+	// equals the oracle on a random small instance.
+	f := func(seed int64, rawV, rawW, rawTi, rawTk, rawTj uint8, packed, unroll, static, reg, scratch bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 1 + rng.Intn(7)
+		n2 := 1 + rng.Intn(7)
+		p, err := NewProblem(rna.Random(rng, n1), rna.Random(rng, n2), score.DefaultParams())
+		if err != nil {
+			return false
+		}
+		v := Variants[int(rawV)%len(Variants)]
+		cfg := Config{
+			Workers: 1 + int(rawW)%4,
+			TileI2:  1 + int(rawTi)%8,
+			TileK2:  1 + int(rawTk)%8,
+			TileJ2:  int(rawTj) % 8,
+			Unroll:  unroll, StaticSched: static,
+			RegisterTile: reg, ScratchAccum: scratch,
+		}
+		if packed {
+			cfg.Map = MapPacked
+		}
+		ref := Solve(p, VariantReference, Config{})
+		got := Solve(p, v, cfg)
+		for i1 := 0; i1 < n1; i1++ {
+			for j1 := i1; j1 < n1; j1++ {
+				for i2 := 0; i2 < n2; i2++ {
+					for j2 := i2; j2 < n2; j2++ {
+						if ref.At(i1, j1, i2, j2) != got.At(i1, j1, i2, j2) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleBasePair(t *testing.T) {
+	// One G against one C: the only structure is the intermolecular pair,
+	// F = iscore = 3.
+	p, err := NewProblem(rna.MustNew("G"), rna.MustNew("C"), score.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Solve(p, VariantHybridTiled, Config{})
+	if got := p.Score(f); got != 3 {
+		t.Errorf("G×C score = %v, want 3", got)
+	}
+	// G against A: nothing pairs, score 0 (not NegInf).
+	p2, _ := NewProblem(rna.MustNew("G"), rna.MustNew("A"), score.DefaultParams())
+	if got := p2.Score(Solve(p2, VariantBase, Config{})); got != 0 {
+		t.Errorf("G×A score = %v, want 0", got)
+	}
+}
+
+func TestKnownDuplex(t *testing.T) {
+	// GGG × CCC: three intermolecular GC pairs, weight 9, beats any
+	// intramolecular option (GG and CC cannot pair internally).
+	p, _ := NewProblem(rna.MustNew("GGG"), rna.MustNew("CCC"), score.DefaultParams())
+	if got := p.Score(Solve(p, VariantHybrid, Config{})); got != 9 {
+		t.Errorf("GGG×CCC = %v, want 9", got)
+	}
+}
+
+func TestScoreLowerBoundS1S2(t *testing.T) {
+	// F >= S1 + S2: the two strands can always just fold independently.
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := newTestProblem(t, seed, 2+rng.Intn(8), 2+rng.Intn(8))
+		f := Solve(p, VariantHybridTiled, Config{})
+		lower := p.S1.At(0, p.N1-1) + p.S2.At(0, p.N2-1)
+		if got := p.Score(f); got < lower {
+			t.Errorf("seed %d: F = %v < S1+S2 = %v", seed, got, lower)
+		}
+	}
+}
+
+func TestInteractionDisabledDegeneracy(t *testing.T) {
+	// With intermolecular pairing forbidden, F must equal S1+S2 exactly:
+	// no joint structure can beat independent folding.
+	inter := score.Forbidden("nointer")
+	params := score.DefaultParams()
+	params.InterModel = &inter
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := rna.Random(rng, 2+rng.Intn(7))
+		s2 := rna.Random(rng, 2+rng.Intn(7))
+		p, err := NewProblem(s1, s2, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := Solve(p, VariantHybrid, Config{})
+		want := p.S1.At(0, p.N1-1) + p.S2.At(0, p.N2-1)
+		if got := p.Score(f); got != want {
+			t.Errorf("seed %d: F = %v, want S1+S2 = %v", seed, got, want)
+		}
+	}
+}
+
+func TestSwapSymmetry(t *testing.T) {
+	// BPMax is symmetric in its two sequences: folding (s1, s2) and
+	// (s2, s1) give the same total score.
+	for seed := int64(20); seed < 26; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := rna.Random(rng, 2+rng.Intn(7))
+		s2 := rna.Random(rng, 2+rng.Intn(7))
+		pa, _ := NewProblem(s1, s2, score.DefaultParams())
+		pb, _ := NewProblem(s2, s1, score.DefaultParams())
+		a := pa.Score(Solve(pa, VariantHybrid, Config{}))
+		b := pb.Score(Solve(pb, VariantHybrid, Config{}))
+		if a != b {
+			t.Errorf("seed %d: F(s1,s2)=%v != F(s2,s1)=%v", seed, a, b)
+		}
+	}
+}
+
+func TestTableMonotonicity(t *testing.T) {
+	// Widening either interval can only increase F.
+	p := newTestProblem(t, 42, 7, 7)
+	f := Solve(p, VariantHybrid, Config{})
+	for i1 := 0; i1 < p.N1; i1++ {
+		for j1 := i1; j1 < p.N1; j1++ {
+			for i2 := 0; i2 < p.N2; i2++ {
+				for j2 := i2; j2 < p.N2; j2++ {
+					v := f.At(i1, j1, i2, j2)
+					if v < 0 {
+						t.Fatalf("F[%d,%d,%d,%d] = %v < 0", i1, j1, i2, j2, v)
+					}
+					if j2+1 < p.N2 && f.At(i1, j1, i2, j2+1) < v {
+						t.Fatalf("F not monotone in j2 at (%d,%d,%d,%d)", i1, j1, i2, j2)
+					}
+					if j1+1 < p.N1 && f.At(i1, j1+1, i2, j2) < v {
+						t.Fatalf("F not monotone in j1 at (%d,%d,%d,%d)", i1, j1, i2, j2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHairpinPlusTargetInteraction(t *testing.T) {
+	// A hairpin folded on its own vs. interacting with its own reverse
+	// complement: interaction can only help (monotone under adding a
+	// partner), and the score must be at least S1.
+	rng := rand.New(rand.NewSource(8))
+	s1 := rna.Hairpin(rng, 5, 3)
+	s2 := s1.ReverseComplement()
+	p, err := NewProblem(s1, s2, score.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Solve(p, VariantHybridTiled, Config{Workers: 2})
+	if got := p.Score(f); got < p.S1.At(0, p.N1-1) {
+		t.Errorf("interaction score %v < single-strand %v", got, p.S1.At(0, p.N1-1))
+	}
+}
+
+func TestThinProblems(t *testing.T) {
+	// Degenerate widths (1×n, n×1) exercise the boundary cases heavily.
+	for _, dims := range [][2]int{{1, 8}, {8, 1}, {1, 1}, {2, 1}, {1, 2}} {
+		p := newTestProblem(t, 55, dims[0], dims[1])
+		ref := Solve(p, VariantReference, Config{})
+		for _, v := range Variants {
+			got := Solve(p, v, Config{Workers: 2})
+			tablesEqual(t, p, ref, got, v.String())
+		}
+	}
+}
+
+func TestProblemAtBoundarySemantics(t *testing.T) {
+	p := newTestProblem(t, 1, 4, 5)
+	f := Solve(p, VariantBase, Config{})
+	// Empty seq1 interval: F = S2.
+	if got := p.at(f, 2, 1, 0, 3); got != p.S2.At(0, 3) {
+		t.Errorf("empty seq1: %v, want %v", got, p.S2.At(0, 3))
+	}
+	// Empty seq2 interval: F = S1.
+	if got := p.at(f, 0, 3, 4, 3); got != p.S1.At(0, 3) {
+		t.Errorf("empty seq2: %v, want %v", got, p.S1.At(0, 3))
+	}
+	// Both empty: 0 (S2 of empty interval).
+	if got := p.at(f, 3, 2, 4, 3); got != 0 {
+		t.Errorf("both empty: %v, want 0", got)
+	}
+}

@@ -1,0 +1,105 @@
+package bpmax
+
+import "fmt"
+
+// Variant selects one of the paper's BPMax execution schedules.
+type Variant int
+
+const (
+	// VariantReference is the top-down memoized oracle (test/debug only;
+	// asymptotically equal but constant-factor slow).
+	VariantReference Variant = iota
+	// VariantBase is the original BPMax program's schedule:
+	// (j1-i1, j2-i2, i1, i2, k1, k2) with per-cell gather reductions,
+	// single-threaded, no streaming. The 1× baseline of Figures 15/16.
+	VariantBase
+	// VariantCoarse parallelizes across the inner triangles of one outer
+	// anti-diagonal; each triangle is computed sequentially (streaming
+	// kernels, but every worker walks whole triangles: heavy DRAM traffic).
+	VariantCoarse
+	// VariantFine processes triangles one at a time and parallelizes the
+	// R0/R3/R4 accumulation across rows of the current triangle; the
+	// R1/R2+update pass runs on a single worker (the paper's fine-grain
+	// weakness).
+	VariantFine
+	// VariantHybrid uses fine-grain row parallelism for R0/R3/R4 across
+	// *all* triangles of the wavefront, then coarse-grain triangle
+	// parallelism for the R1/R2+update pass — the paper's Phase III
+	// schedule.
+	VariantHybrid
+	// VariantHybridTiled is VariantHybrid with the (i2 × k2 × j2) tiling of
+	// the double max-plus, the paper's best performer.
+	VariantHybridTiled
+)
+
+// String returns the label used in benchmark output.
+func (v Variant) String() string {
+	switch v {
+	case VariantReference:
+		return "reference"
+	case VariantBase:
+		return "base"
+	case VariantCoarse:
+		return "coarse"
+	case VariantFine:
+		return "fine"
+	case VariantHybrid:
+		return "hybrid"
+	case VariantHybridTiled:
+		return "hybrid-tiled"
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// Variants lists the production schedules in the order the paper's
+// Figures 15/16 present them.
+var Variants = []Variant{VariantBase, VariantCoarse, VariantFine, VariantHybrid, VariantHybridTiled}
+
+// Config tunes a solve. The zero value is valid: GOMAXPROCS workers,
+// paper-default tiles, bounding-box memory map, dynamic scheduling.
+type Config struct {
+	// Workers is the parallel width; <= 0 means GOMAXPROCS.
+	Workers int
+	// TileI2, TileK2, TileJ2 are the double max-plus tile sizes. Zero
+	// selects the paper's generic shape 64 × 16 × N (j2 untiled, the
+	// streaming dimension).
+	TileI2, TileK2, TileJ2 int
+	// Map selects the inner-triangle memory map (Fig 10 ablation).
+	Map MapKind
+	// Unroll selects the 8-way unrolled streaming kernel.
+	Unroll bool
+	// StaticSched switches row/triangle distribution from dynamic
+	// (default, OMP-dynamic analogue) to static blocked (ablation).
+	StaticSched bool
+	// RegisterTile enables register-level tiling of the double max-plus:
+	// pairs of accumulator rows consume each B row in one pass (the
+	// paper's future-work item, implemented for the DMP tiled schedule;
+	// ignored when TileJ2 > 0).
+	RegisterTile bool
+	// ScratchAccum reverts the hybrid schedule to the paper's Phase II
+	// memory map: the R0/R3/R4 accumulator lives in separate scratch
+	// storage and is copied into F before the update pass, instead of
+	// sharing F's memory (Phase III). Ablation only — extra memory and an
+	// extra copy pass per wavefront.
+	ScratchAccum bool
+}
+
+// withDefaults resolves zero fields to the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.TileI2 <= 0 {
+		c.TileI2 = 64
+	}
+	if c.TileK2 <= 0 {
+		c.TileK2 = 16
+	}
+	// TileJ2 == 0 means "untiled j2" and is itself the default.
+	return c
+}
+
+// pfor returns the configured parallel-for strategy.
+func (c Config) pfor() func(n, workers int, f func(int)) {
+	if c.StaticSched {
+		return parallelForStatic
+	}
+	return parallelFor
+}

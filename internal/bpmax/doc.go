@@ -1,0 +1,26 @@
+// Package bpmax implements the BPMax RNA-RNA interaction dynamic program —
+// the paper's primary contribution — in every execution variant the paper
+// evaluates.
+//
+// BPMax fills the 4-D table F[i1,j1,i2,j2]: the maximum weighted number of
+// base pairs in a joint, pseudoknot-free secondary structure of
+// seq1[i1..j1] interacting with seq2[i2..j2] (Equations 1–3 of the paper;
+// see DESIGN.md for the exact recurrence as implemented). The table is a
+// triangle over seq1 intervals of inner triangles over seq2 intervals;
+// filling it costs Θ(N1³·N2³) time, dominated by the "double max-plus"
+// reduction R0 (Equation 4).
+//
+// The package provides:
+//
+//   - a deliberately simple top-down reference implementation (the oracle
+//     every optimized variant is tested against),
+//   - VariantBase: the original program's diagonal-by-diagonal schedule
+//     with the k2-innermost gather loop,
+//   - VariantCoarse / VariantFine / VariantHybrid / VariantHybridTiled:
+//     the paper's Phase II–III parallelization schedules built on streaming
+//     max-plus kernels,
+//   - the standalone double max-plus system used by the paper's Table I
+//     and Figures 13/14/18 experiments,
+//   - a windowed (banded) variant reproducing the memory-bounded GPU
+//     formulation, a structure traceback, and analytic FLOP counts.
+package bpmax

@@ -1,0 +1,109 @@
+package bpmax
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/tri"
+)
+
+// MapKind selects the inner-triangle memory map (the paper's Fig 10
+// comparison).
+type MapKind int
+
+const (
+	// MapBox is option 1: each inner triangle occupies its N2×N2 bounding
+	// box. ~2× the memory, but rows are plain row-major slices. The paper
+	// found this option always faster; it is the default.
+	MapBox MapKind = iota
+	// MapPacked is option 2: (i2, j2) -> (i2, j2-i2) packed rows using
+	// exactly N2(N2+1)/2 slots per triangle (the quarter-space map).
+	MapPacked
+)
+
+// String returns the benchmark label for the map kind.
+func (k MapKind) String() string {
+	switch k {
+	case MapBox:
+		return "box"
+	case MapPacked:
+		return "packed"
+	}
+	return fmt.Sprintf("MapKind(%d)", int(k))
+}
+
+func (k MapKind) mapFor(n2 int) tri.Map {
+	switch k {
+	case MapBox:
+		return tri.BoxMap{N: n2}
+	case MapPacked:
+		return tri.PackedMap{N: n2}
+	}
+	panic(fmt.Sprintf("bpmax: unknown MapKind %d", int(k)))
+}
+
+// FTable stores F[i1,j1,i2,j2] for all 0<=i1<=j1<N1, 0<=i2<=j2<N2: a packed
+// triangle of inner triangles. The inner map is pluggable; the outer map is
+// always packed row-major (outer triangles are touched block-at-a-time, so
+// bounding-box padding would buy nothing there).
+type FTable struct {
+	N1, N2 int
+	Inner  tri.Map
+	isize  int
+	data   []float32
+}
+
+// NewFTable allocates a zeroed table.
+func NewFTable(n1, n2 int, kind MapKind) *FTable {
+	inner := kind.mapFor(n2)
+	isize := inner.Size()
+	return &FTable{
+		N1:    n1,
+		N2:    n2,
+		Inner: inner,
+		isize: isize,
+		data:  make([]float32, tri.Count(n1)*isize),
+	}
+}
+
+// Block returns the storage of inner triangle (i1, j1). Index cell (i2, j2)
+// within it via Inner.At or Row.
+func (f *FTable) Block(i1, j1 int) []float32 {
+	o := tri.Index(i1, j1, f.N1)
+	return f.data[o*f.isize : (o+1)*f.isize : (o+1)*f.isize]
+}
+
+// Row returns the slice of block such that row[j2] addresses cell (i2, j2)
+// for j2 in [i2, hi); hi is N2 for the full row. The returned slice is
+// indexed by absolute j2 (cell (i2,j2) at row[j2]) — both provided maps are
+// row-affine with stride 1, so this is a reslice, not a copy.
+func (f *FTable) Row(block []float32, i2 int) []float32 {
+	base, _ := f.Inner.RowSlice(i2)
+	return block[base : base+f.N2]
+}
+
+// At returns F[i1,j1,i2,j2] for a stored cell (all indices in-triangle).
+// Boundary cases (empty intervals) are the Problem's job, not the table's.
+func (f *FTable) At(i1, j1, i2, j2 int) float32 {
+	return f.Block(i1, j1)[f.Inner.At(i2, j2)]
+}
+
+// Set stores F[i1,j1,i2,j2].
+func (f *FTable) Set(i1, j1, i2, j2 int, v float32) {
+	f.Block(i1, j1)[f.Inner.At(i2, j2)] = v
+}
+
+// Bytes returns the storage footprint in bytes.
+func (f *FTable) Bytes() int64 { return int64(len(f.data)) * 4 }
+
+// at is the recurrence's full F accessor over a filled table: it resolves
+// the empty-interval base cases through the problem's S tables. j1 < i1
+// (empty seq1 interval) yields S²[i2,j2]; j2 < i2 yields S¹[i1,j1].
+func (p *Problem) at(f *FTable, i1, j1, i2, j2 int) float32 {
+	if j1 < i1 {
+		return p.S2.At(i2, j2)
+	}
+	if j2 < i2 {
+		return p.S1.At(i1, j1)
+	}
+	return f.At(i1, j1, i2, j2)
+}

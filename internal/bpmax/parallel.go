@@ -1,0 +1,91 @@
+package bpmax
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveWorkers maps a requested worker count to an actual one
+// (<=0 means GOMAXPROCS, the OMP_NUM_THREADS analogue).
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelFor runs f(i) for every i in [0, n) across workers goroutines
+// with dynamic (work-stealing counter) distribution — the analogue of
+// OpenMP's dynamic schedule, which the paper found best under BPMax's
+// imbalanced triangles.
+func parallelFor(n, workers int, f func(i int)) {
+	workers = resolveWorkers(workers)
+	if n == 0 {
+		return
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelForStatic runs f(i) for every i in [0, n) with a static blocked
+// distribution (worker w gets one contiguous chunk). It exists for the
+// static-vs-dynamic scheduling ablation; dynamic wins under imbalance.
+func parallelForStatic(n, workers int, f func(i int)) {
+	workers = resolveWorkers(workers)
+	if n == 0 {
+		return
+	}
+	if workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

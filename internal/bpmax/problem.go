@@ -1,0 +1,58 @@
+package bpmax
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// Problem bundles one BPMax instance: the two sequences, the precomputed
+// pair-score tables, and the single-strand folding tables S¹ and S² that
+// the recurrence consumes ("S¹ and S² can be scheduled before scheduling
+// any other variables").
+type Problem struct {
+	Seq1, Seq2 rna.Sequence
+	N1, N2     int
+	Tab        *score.Tables
+	S1, S2     *nussinov.Table
+}
+
+// NewProblem builds the scoring and S tables for a sequence pair. Both
+// sequences must be non-empty; the public API layer handles empty inputs by
+// degenerating to single-strand folding.
+func NewProblem(seq1, seq2 rna.Sequence, p score.Params) (*Problem, error) {
+	n1, n2 := seq1.Len(), seq2.Len()
+	if n1 == 0 || n2 == 0 {
+		return nil, fmt.Errorf("bpmax: both sequences must be non-empty (got %d and %d nt)", n1, n2)
+	}
+	tab := score.Build(seq1, seq2, p)
+	s1 := nussinov.Build(n1, func(i, j int) float32 { return tab.Score1(i, j) })
+	s2 := nussinov.Build(n2, func(i, j int) float32 { return tab.Score2(i, j) })
+	return &Problem{
+		Seq1: seq1, Seq2: seq2,
+		N1: n1, N2: n2,
+		Tab: tab,
+		S1:  s1, S2: s2,
+	}, nil
+}
+
+// score1 is the intramolecular pair weight for seq1 positions (i, j).
+func (p *Problem) score1(i, j int) float32 { return p.Tab.Score1(i, j) }
+
+// score2 is the intramolecular pair weight for seq2 positions (i, j).
+func (p *Problem) score2(i, j int) float32 { return p.Tab.Score2(i, j) }
+
+// iscore is the intermolecular pair weight between seq1 position i1 and
+// seq2 position i2. The recurrence's singleton base case uses
+// max(0, iscore): two unpaired single bases score 0.
+func (p *Problem) iscore(i1, i2 int) float32 { return p.Tab.IScore(i1, i2) }
+
+// singleton returns the base-case value F[i,i,k,k] = max(0, iscore(i,k)).
+func (p *Problem) singleton(i1, i2 int) float32 {
+	if v := p.iscore(i1, i2); v > 0 {
+		return v
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+package bpmax
+
+import "fmt"
+
+// Solve fills the full F table for p with the selected variant and returns
+// it. All variants produce bit-identical tables; they differ only in
+// schedule, parallelism and locality.
+func Solve(p *Problem, v Variant, cfg Config) *FTable {
+	switch v {
+	case VariantReference:
+		return solveReference(p, cfg.Map)
+	case VariantBase:
+		return solveBase(p, cfg)
+	case VariantCoarse:
+		return solveCoarse(p, cfg)
+	case VariantFine:
+		return solveFine(p, cfg)
+	case VariantHybrid:
+		return solveHybrid(p, cfg)
+	case VariantHybridTiled:
+		return solveHybridTiled(p, cfg)
+	}
+	panic(fmt.Sprintf("bpmax: unknown variant %d", int(v)))
+}
+
+// Score returns the interaction score of the whole pair,
+// F[0, N1-1, 0, N2-1], for an already-filled table.
+func (p *Problem) Score(f *FTable) float32 {
+	return f.At(0, p.N1-1, 0, p.N2-1)
+}
+
+// TriangleComputer fills an FTable one inner triangle at a time, exposing
+// the wavefront structure to external drivers (the cluster-distribution
+// simulation). The caller must respect the dependence order: triangle
+// (i1, j1) may be computed only after every (i1, k1) and (k1+1, j1) with
+// i1 <= k1 < j1.
+type TriangleComputer struct {
+	s *solver
+}
+
+// NewTriangleComputer allocates the table and solver state.
+func NewTriangleComputer(p *Problem, cfg Config) *TriangleComputer {
+	return &TriangleComputer{s: newSolver(p, cfg, cfg.Map)}
+}
+
+// Table returns the (partially) filled table.
+func (tc *TriangleComputer) Table() *FTable { return tc.s.f }
+
+// Compute fills triangle (i1, j1) sequentially (init, k1 accumulation,
+// finalize).
+func (tc *TriangleComputer) Compute(i1, j1 int) {
+	tc.s.computeTriangleSequential(i1, j1)
+}
+
+// TriangleOps returns the max-plus element count of one inner triangle at
+// outer span d1 = j1-i1: d1 wavefront-partners for R0/R3/R4 plus the
+// R1/R2+cell update pass. It drives the cluster simulation's load model.
+func TriangleOps(d1, n2 int) int64 {
+	return int64(d1)*(triples(n2)+2*pairs(n2)) + 2*triples(n2) + 2*pairs(n2)
+}
+
+// solveCoarse: for each outer anti-diagonal, the triangles are independent;
+// one worker computes one whole triangle (init + k1 accumulation +
+// finalize). Maximal parallelism, worst locality: each worker streams whole
+// west/south triangle blocks from DRAM.
+func solveCoarse(p *Problem, cfg Config) *FTable {
+	s := newSolver(p, cfg, cfg.Map)
+	pf := cfg.pfor()
+	for d1 := 0; d1 < p.N1; d1++ {
+		pf(p.N1-d1, cfg.Workers, func(i1 int) {
+			s.computeTriangleSequential(i1, i1+d1)
+		})
+	}
+	return s.f
+}
+
+// solveFine: triangles run one at a time (diagonal order); within the
+// current triangle the R0/R3/R4 accumulation is row-parallel, but the
+// R1/R2+update pass is inherently serial, so workers idle through it — the
+// imbalance the paper observed.
+func solveFine(p *Problem, cfg Config) *FTable {
+	s := newSolver(p, cfg, cfg.Map)
+	pf := cfg.pfor()
+	for d1 := 0; d1 < p.N1; d1++ {
+		for i1 := 0; i1+d1 < p.N1; i1++ {
+			j1 := i1 + d1
+			pf(p.N2, cfg.Workers, func(i2 int) {
+				s.accumulateRowTask(i1, j1, i2)
+			})
+			s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
+		}
+	}
+	return s.f
+}
+
+// solveHybrid: per wavefront, phase A row-parallelizes the R0/R3/R4
+// accumulation across *all* triangles of the diagonal (fine-grain), then
+// phase B finalizes the triangles coarse-grain in parallel — "the best of
+// both worlds".
+func solveHybrid(p *Problem, cfg Config) *FTable {
+	s := newSolver(p, cfg, cfg.Map)
+	if cfg.ScratchAccum {
+		return solveHybridScratch(p, s, cfg)
+	}
+	pf := cfg.pfor()
+	for d1 := 0; d1 < p.N1; d1++ {
+		tris := p.N1 - d1
+		pf(tris*p.N2, cfg.Workers, func(t int) {
+			i1 := t / p.N2
+			i2 := t % p.N2
+			s.accumulateRowTask(i1, i1+d1, i2)
+		})
+		pf(tris, cfg.Workers, func(i1 int) {
+			s.finalizeTriangle(s.f.Block(i1, i1+d1), i1, i1+d1)
+		})
+	}
+	return s.f
+}
+
+// solveHybridScratch is solveHybrid with the Phase II memory map: the
+// accumulation phase writes a scratch table whose blocks are then copied
+// into F — reproducing the redundant data movement the paper's Phase III
+// memory optimization ("R0, R3 and R4 ... share the memory with F-table")
+// eliminated.
+func solveHybridScratch(p *Problem, s *solver, cfg Config) *FTable {
+	pf := cfg.pfor()
+	scratch := NewFTable(p.N1, p.N2, cfg.Map)
+	main := s.f
+	for d1 := 0; d1 < p.N1; d1++ {
+		tris := p.N1 - d1
+		// Accumulate into scratch (reads finalized triangles from main).
+		pf(tris*p.N2, cfg.Workers, func(t int) {
+			i1 := t / p.N2
+			i2 := t % p.N2
+			j1 := i1 + d1
+			// Row addressing depends only on the shared inner map, so the
+			// solver's row helpers work on scratch blocks directly.
+			blk := scratch.Block(i1, j1)
+			s.initRow(blk, i1, j1, i2)
+			for k1 := i1; k1 < j1; k1++ {
+				s.accumulateRow(blk, main.Block(i1, k1), main.Block(k1+1, j1), i1, j1, k1, i2)
+			}
+		})
+		// Copy scratch blocks into F (the Phase II redundancy), then run
+		// the update pass in place.
+		pf(tris, cfg.Workers, func(i1 int) {
+			j1 := i1 + d1
+			copy(main.Block(i1, j1), scratch.Block(i1, j1))
+			s.finalizeTriangle(main.Block(i1, j1), i1, j1)
+		})
+	}
+	return main
+}
+
+// solveHybridTiled is solveHybrid with the (i2 × k2 × j2) tiling of the
+// double max-plus; the parallel unit of phase A becomes an i2 tile.
+func solveHybridTiled(p *Problem, cfg Config) *FTable {
+	cfg = cfg.withDefaults()
+	s := newSolver(p, cfg, cfg.Map)
+	pf := cfg.pfor()
+	ti := cfg.TileI2
+	tilesPerTri := (p.N2 + ti - 1) / ti
+	for d1 := 0; d1 < p.N1; d1++ {
+		tris := p.N1 - d1
+		pf(tris*tilesPerTri, cfg.Workers, func(t int) {
+			i1 := t / tilesPerTri
+			r0 := (t % tilesPerTri) * ti
+			r1 := r0 + ti
+			if r1 > p.N2 {
+				r1 = p.N2
+			}
+			s.accumulateTileTask(i1, i1+d1, r0, r1)
+		})
+		pf(tris, cfg.Workers, func(i1 int) {
+			s.finalizeTriangle(s.f.Block(i1, i1+d1), i1, i1+d1)
+		})
+	}
+	return s.f
+}

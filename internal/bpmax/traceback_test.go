@@ -1,0 +1,107 @@
+package bpmax
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+func TestTracebackWeightMatchesScore(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 1 + rng.Intn(10)
+		n2 := 1 + rng.Intn(10)
+		p := newTestProblem(t, seed+500, n1, n2)
+		f := Solve(p, VariantHybridTiled, Config{Workers: 2})
+		st := Traceback(p, f)
+		if got, want := st.Weight(p), p.Score(f); got != want {
+			t.Errorf("seed %d (%dx%d): traceback weight %v != score %v", seed, n1, n2, got, want)
+		}
+	}
+}
+
+func TestTracebackStructureValid(t *testing.T) {
+	for seed := int64(30); seed < 45; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n1 := 2 + rng.Intn(9)
+		n2 := 2 + rng.Intn(9)
+		p := newTestProblem(t, seed, n1, n2)
+		f := Solve(p, VariantHybrid, Config{})
+		st := Traceback(p, f)
+		// Intramolecular layers must be non-crossing and positions unique;
+		// DotBracket panics otherwise, including on intra/inter collisions.
+		b1, b2 := st.DotBracket(n1, n2)
+		if len(b1) != n1 || len(b2) != n2 {
+			t.Fatalf("dot-bracket lengths %d/%d", len(b1), len(b2))
+		}
+		// Intermolecular bonds compose through prefix-prefix splits, so
+		// sorted by I1 they must be strictly increasing in both coordinates.
+		for i := 1; i < len(st.Inter); i++ {
+			if st.Inter[i].I1 <= st.Inter[i-1].I1 || st.Inter[i].I2 <= st.Inter[i-1].I2 {
+				t.Fatalf("inter bonds not monotone: %v", st.Inter)
+			}
+		}
+		// Bracket counts line up.
+		if strings.Count(b1, "[") != len(st.Inter) || strings.Count(b2, "[") != len(st.Inter) {
+			t.Fatalf("inter markers inconsistent: %q %q vs %d bonds", b1, b2, len(st.Inter))
+		}
+	}
+}
+
+func TestTracebackDuplex(t *testing.T) {
+	// GGG × CCC: optimal structure is three intermolecular bonds.
+	p, _ := NewProblem(rna.MustNew("GGG"), rna.MustNew("CCC"), score.DefaultParams())
+	f := Solve(p, VariantBase, Config{})
+	st := Traceback(p, f)
+	if len(st.Inter) != 3 || len(st.Intra1) != 0 || len(st.Intra2) != 0 {
+		t.Fatalf("duplex structure = %+v", st)
+	}
+	b1, b2 := st.DotBracket(3, 3)
+	if b1 != "[[[" || b2 != "[[[" {
+		t.Errorf("dot-bracket = %q %q", b1, b2)
+	}
+}
+
+func TestTracebackIndependentFolds(t *testing.T) {
+	// Two self-contained hairpins with intermolecular pairing disabled:
+	// the structure must contain only intramolecular pairs.
+	inter := score.Forbidden("nointer")
+	params := score.DefaultParams()
+	params.InterModel = &inter
+	rng := rand.New(rand.NewSource(2))
+	s1 := rna.Hairpin(rng, 4, 3)
+	s2 := rna.Hairpin(rng, 3, 3)
+	p, err := NewProblem(s1, s2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Solve(p, VariantHybrid, Config{})
+	st := Traceback(p, f)
+	if len(st.Inter) != 0 {
+		t.Fatalf("intermolecular bonds despite forbidden model: %v", st.Inter)
+	}
+	if got, want := st.Weight(p), p.Score(f); got != want {
+		t.Errorf("weight %v != score %v", got, want)
+	}
+	if want := p.S1.At(0, p.N1-1); nussinov.PairsWeight(st.Intra1, func(i, j int) float32 { return p.score1(i, j) }) != want {
+		t.Errorf("intra1 weight != S1 optimum %v", want)
+	}
+}
+
+func TestTracebackWeightedModelPrefersGC(t *testing.T) {
+	// G can pair with both C (3) and U (1); the optimal single-pair
+	// interaction of G × CU picks C.
+	p, _ := NewProblem(rna.MustNew("G"), rna.MustNew("CU"), score.DefaultParams())
+	f := Solve(p, VariantBase, Config{})
+	if got := p.Score(f); got != 3 {
+		t.Fatalf("G×CU = %v, want 3", got)
+	}
+	st := Traceback(p, f)
+	if len(st.Inter) != 1 || st.Inter[0] != (InterPair{0, 0}) {
+		t.Errorf("structure = %+v, want single G-C bond", st)
+	}
+}

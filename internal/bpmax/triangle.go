@@ -1,0 +1,208 @@
+package bpmax
+
+import (
+	"github.com/bpmax-go/bpmax/internal/maxplus"
+)
+
+// solver carries the state shared by the optimized schedules: the problem,
+// the table being filled, the resolved configuration, and the selected
+// streaming kernel.
+type solver struct {
+	p   *Problem
+	f   *FTable
+	cfg Config
+	acc func(y, x []float32, a float32)
+}
+
+func newSolver(p *Problem, cfg Config, kind MapKind) *solver {
+	cfg = cfg.withDefaults()
+	s := &solver{
+		p:   p,
+		f:   NewFTable(p.N1, p.N2, kind),
+		cfg: cfg,
+		acc: maxplus.Accumulate,
+	}
+	if cfg.Unroll {
+		s.acc = maxplus.Accumulate8
+	}
+	return s
+}
+
+// initRow seeds row i2 of triangle (i1, j1) with the H term
+// S¹[i1,j1] + S²[i2,j2] — the "fold independently" candidate, which also
+// establishes F >= 0.
+func (s *solver) initRow(blk []float32, i1, j1, i2 int) {
+	n2 := s.p.N2
+	grow := s.f.Row(blk, i2)
+	s2row := s.p.S2.Row(i2)
+	maxplus.AddScalarInto(grow[i2:n2], s2row[i2:n2], s.p.S1.At(i1, j1))
+}
+
+// accumulateRow applies, for one k1, the R0, R3 and R4 contributions to row
+// i2 of triangle (i1, j1)'s accumulator. A = F(i1,k1) and B = F(k1+1,j1)
+// are finalized triangles from strictly earlier wavefronts.
+//
+//	R4: G[i2,j2] >= A[i2,j2]  + S¹[k1+1,j1]   (suffix of seq1 folds alone)
+//	R3: G[i2,j2] >= B[i2,j2]  + S¹[i1,k1]     (prefix of seq1 folds alone)
+//	R0: G[i2,j2] >= A[i2,k2]  + B[k2+1,j2]    (both sequences split)
+//
+// The R0 update for fixed (i2, k2) is one streaming max-plus over j2 — the
+// paper's "matrix instance" inner loop.
+func (s *solver) accumulateRow(blk, ablk, bblk []float32, i1, j1, k1, i2 int) {
+	n2 := s.p.N2
+	grow := s.f.Row(blk, i2)
+	arow := s.f.Row(ablk, i2)
+	brow := s.f.Row(bblk, i2)
+	s4 := s.p.S1.At(k1+1, j1)
+	s3 := s.p.S1.At(i1, k1)
+	s.acc(grow[i2:n2], arow[i2:n2], s4)
+	s.acc(grow[i2:n2], brow[i2:n2], s3)
+	for k2 := i2; k2 < n2-1; k2++ {
+		a := arow[k2]
+		bk := s.f.Row(bblk, k2+1)
+		s.acc(grow[k2+1:n2], bk[k2+1:n2], a)
+	}
+}
+
+// accumulateRowsTiled is the tiled form of accumulateRow over the row range
+// [r0, r1): R3/R4 stream once per row, then the R0 iteration space
+// (i2 × k2 × j2) is chopped into TileK2-deep k2 bands (and optionally
+// TileJ2-wide j2 bands) so that the B rows of one band stay cache-resident
+// while every row of the i2 tile consumes them.
+func (s *solver) accumulateRowsTiled(blk, ablk, bblk []float32, i1, j1, k1, r0, r1 int) {
+	n2 := s.p.N2
+	s4 := s.p.S1.At(k1+1, j1)
+	s3 := s.p.S1.At(i1, k1)
+	for i2 := r0; i2 < r1; i2++ {
+		grow := s.f.Row(blk, i2)
+		arow := s.f.Row(ablk, i2)
+		brow := s.f.Row(bblk, i2)
+		s.acc(grow[i2:n2], arow[i2:n2], s4)
+		s.acc(grow[i2:n2], brow[i2:n2], s3)
+	}
+	tk := s.cfg.TileK2
+	tj := s.cfg.TileJ2
+	for k2t := r0; k2t < n2-1; k2t += tk {
+		k2tEnd := k2t + tk
+		if k2tEnd > n2-1 {
+			k2tEnd = n2 - 1
+		}
+		for i2 := r0; i2 < r1; i2++ {
+			grow := s.f.Row(blk, i2)
+			arow := s.f.Row(ablk, i2)
+			kLo := k2t
+			if kLo < i2 {
+				kLo = i2
+			}
+			for k2 := kLo; k2 < k2tEnd; k2++ {
+				a := arow[k2]
+				bk := s.f.Row(bblk, k2+1)
+				if tj <= 0 {
+					s.acc(grow[k2+1:n2], bk[k2+1:n2], a)
+					continue
+				}
+				for j2t := k2 + 1; j2t < n2; j2t += tj {
+					hi := j2t + tj
+					if hi > n2 {
+						hi = n2
+					}
+					s.acc(grow[j2t:hi], bk[j2t:hi], a)
+				}
+			}
+		}
+	}
+}
+
+// finalizeTriangle turns the accumulated H partials of triangle (i1, j1)
+// into final F values. Rows run bottom-up and cells left-to-right so that
+// the intra-triangle dependences (the seq2 pairing term, R1 and R2) only
+// reach finalized cells; R1 and R2 are applied as streaming updates rather
+// than per-cell gathers, which is exactly the loop permutation the paper's
+// Table II/III schedules encode ("we ensure that the F-table gets updated
+// when k2 reaches j2").
+func (s *solver) finalizeTriangle(blk []float32, i1, j1 int) {
+	p := s.p
+	n2 := p.N2
+	sc1 := p.score1(i1, j1)
+	s1Self := p.S1.At(i1, j1)
+	for i2 := n2 - 1; i2 >= 0; i2-- {
+		grow := s.f.Row(blk, i2)
+		// R1: contributions S²[i2,k2] + F[i1,j1,k2+1,j2] from the already
+		// finalized rows below, streamed over j2.
+		s2row := p.S2.Row(i2)
+		for k2 := i2; k2 < n2-1; k2++ {
+			s.acc(grow[k2+1:n2], s.f.Row(blk, k2+1)[k2+1:n2], s2row[k2])
+		}
+		for j2 := i2; j2 < n2; j2++ {
+			v := grow[j2]
+			// Pair i1-j1 around the seq2 interval. p.at resolves the empty
+			// seq1 interval (d1 < 2) to S²[i2,j2].
+			if w := p.at(s.f, i1+1, j1-1, i2, j2) + sc1; w > v {
+				v = w
+			}
+			if j2 > i2 {
+				// Pair i2-j2 around the seq1 interval; the inner cell
+				// degenerates to S¹[i1,j1] when the seq2 interval empties.
+				inner := s1Self
+				if j2-1 >= i2+1 {
+					inner = s.f.Row(blk, i2+1)[j2-1]
+				}
+				if w := inner + p.score2(i2, j2); w > v {
+					v = w
+				}
+			} else if i1 == j1 {
+				// Singleton × singleton: the intermolecular base case.
+				if w := p.singleton(i1, i2); w > v {
+					v = w
+				}
+			}
+			grow[j2] = v
+			// R2: stream this finalized cell's contribution
+			// F[i1,j1,i2,j2] + S²[j2+1,j2'] to the rest of the row.
+			if j2 < n2-1 {
+				s.acc(grow[j2+1:n2], p.S2.Row(j2 + 1)[j2+1:n2], v)
+			}
+		}
+	}
+}
+
+// computeTriangleSequential runs the whole pipeline for one triangle on the
+// calling goroutine: init, accumulate over k1, finalize. This is the unit
+// of work of the coarse-grain schedule.
+func (s *solver) computeTriangleSequential(i1, j1 int) {
+	blk := s.f.Block(i1, j1)
+	n2 := s.p.N2
+	for i2 := 0; i2 < n2; i2++ {
+		s.initRow(blk, i1, j1, i2)
+	}
+	for k1 := i1; k1 < j1; k1++ {
+		ablk := s.f.Block(i1, k1)
+		bblk := s.f.Block(k1+1, j1)
+		for i2 := 0; i2 < n2; i2++ {
+			s.accumulateRow(blk, ablk, bblk, i1, j1, k1, i2)
+		}
+	}
+	s.finalizeTriangle(blk, i1, j1)
+}
+
+// accumulateRowTask runs init + the full k1 loop for a single row — the
+// unit of work of the fine-grain and hybrid schedules.
+func (s *solver) accumulateRowTask(i1, j1, i2 int) {
+	blk := s.f.Block(i1, j1)
+	s.initRow(blk, i1, j1, i2)
+	for k1 := i1; k1 < j1; k1++ {
+		s.accumulateRow(blk, s.f.Block(i1, k1), s.f.Block(k1+1, j1), i1, j1, k1, i2)
+	}
+}
+
+// accumulateTileTask runs init + the full k1 loop for the row tile
+// [r0, r1) — the unit of work of the hybrid-tiled schedule.
+func (s *solver) accumulateTileTask(i1, j1, r0, r1 int) {
+	blk := s.f.Block(i1, j1)
+	for i2 := r0; i2 < r1; i2++ {
+		s.initRow(blk, i1, j1, i2)
+	}
+	for k1 := i1; k1 < j1; k1++ {
+		s.accumulateRowsTiled(blk, s.f.Block(i1, k1), s.f.Block(k1+1, j1), i1, j1, k1, r0, r1)
+	}
+}

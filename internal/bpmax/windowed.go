@@ -1,0 +1,196 @@
+package bpmax
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/maxplus"
+	"github.com/bpmax-go/bpmax/internal/tri"
+)
+
+// WTable is the banded (windowed) F table: only cells with j1-i1 < W1 and
+// j2-i2 < W2 are computed and stored. This reproduces the windowed BPMax
+// formulation that Gildemaster et al. used to fit the GPU's memory: storage
+// drops from Θ(N1²N2²) to Θ(N1·W1·N2·W2), and because the recurrence for an
+// in-window cell reads only in-window cells, every stored value equals the
+// full table's value at the same indices.
+type WTable struct {
+	N1, N2, W1, W2 int
+	outer, inner   tri.BandMap
+	isize          int
+	data           []float32
+}
+
+// NewWTable allocates a zeroed banded table; windows are clamped to the
+// sequence lengths.
+func NewWTable(n1, n2, w1, w2 int) *WTable {
+	if w1 <= 0 || w2 <= 0 {
+		panic(fmt.Sprintf("bpmax: invalid windows (%d, %d)", w1, w2))
+	}
+	if w1 > n1 {
+		w1 = n1
+	}
+	if w2 > n2 {
+		w2 = n2
+	}
+	outer := tri.BandMap{N: n1, W: w1}
+	inner := tri.BandMap{N: n2, W: w2}
+	isize := inner.Size()
+	return &WTable{
+		N1: n1, N2: n2, W1: w1, W2: w2,
+		outer: outer, inner: inner,
+		isize: isize,
+		data:  make([]float32, outer.Size()*isize),
+	}
+}
+
+// InWindow reports whether the cell is stored.
+func (w *WTable) InWindow(i1, j1, i2, j2 int) bool {
+	return j1-i1 < w.W1 && j2-i2 < w.W2
+}
+
+// Block returns the storage of inner triangle (i1, j1); j1-i1 < W1
+// required.
+func (w *WTable) Block(i1, j1 int) []float32 {
+	o := w.outer.At(i1, j1)
+	return w.data[o*w.isize : (o+1)*w.isize : (o+1)*w.isize]
+}
+
+// rowHi returns the exclusive upper bound of stored j2 for row i2.
+func (w *WTable) rowHi(i2 int) int {
+	hi := i2 + w.W2
+	if hi > w.N2 {
+		hi = w.N2
+	}
+	return hi
+}
+
+// Row returns row i2 of a block, indexed by absolute j2 in [i2, rowHi(i2)).
+func (w *WTable) Row(blk []float32, i2 int) []float32 {
+	base, _ := w.inner.RowSlice(i2)
+	return blk[base : base+w.rowHi(i2)]
+}
+
+// At returns F[i1,j1,i2,j2]; the cell must be in-window.
+func (w *WTable) At(i1, j1, i2, j2 int) float32 {
+	return w.Block(i1, j1)[w.inner.At(i2, j2)]
+}
+
+// Bytes returns the storage footprint in bytes.
+func (w *WTable) Bytes() int64 { return int64(len(w.data)) * 4 }
+
+// at resolves empty-interval base cases like Problem.at, for band tables.
+func (w *WTable) at(p *Problem, i1, j1, i2, j2 int) float32 {
+	if j1 < i1 {
+		return p.S2.At(i2, j2)
+	}
+	if j2 < i2 {
+		return p.S1.At(i1, j1)
+	}
+	return w.At(i1, j1, i2, j2)
+}
+
+// SolveWindowed fills the banded table with the hybrid schedule (fine-grain
+// rows for R0/R3/R4 across the wavefront, coarse-grain triangles for the
+// R1/R2+update pass).
+func SolveWindowed(p *Problem, w1, w2 int, cfg Config) *WTable {
+	w := NewWTable(p.N1, p.N2, w1, w2)
+	acc := maxplus.Accumulate
+	if cfg.Unroll {
+		acc = maxplus.Accumulate8
+	}
+	pf := cfg.pfor()
+	n2 := p.N2
+
+	accumRow := func(i1, j1, i2 int) {
+		blk := w.Block(i1, j1)
+		grow := w.Row(blk, i2)
+		hi := w.rowHi(i2)
+		maxplus.AddScalarInto(grow[i2:hi], p.S2.Row(i2)[i2:hi], p.S1.At(i1, j1))
+		for k1 := i1; k1 < j1; k1++ {
+			ablk := w.Block(i1, k1)
+			bblk := w.Block(k1+1, j1)
+			arow := w.Row(ablk, i2)
+			brow := w.Row(bblk, i2)
+			acc(grow[i2:hi], arow[i2:hi], p.S1.At(k1+1, j1))
+			acc(grow[i2:hi], brow[i2:hi], p.S1.At(i1, k1))
+			for k2 := i2; k2 < hi-1; k2++ {
+				bk := w.Row(bblk, k2+1)
+				top := hi
+				if bt := w.rowHi(k2 + 1); bt < top {
+					top = bt
+				}
+				acc(grow[k2+1:top], bk[k2+1:top], arow[k2])
+			}
+		}
+	}
+
+	finalize := func(i1, j1 int) {
+		blk := w.Block(i1, j1)
+		sc1 := p.score1(i1, j1)
+		s1Self := p.S1.At(i1, j1)
+		for i2 := n2 - 1; i2 >= 0; i2-- {
+			grow := w.Row(blk, i2)
+			hi := w.rowHi(i2)
+			s2row := p.S2.Row(i2)
+			for k2 := i2; k2 < hi-1; k2++ {
+				acc(grow[k2+1:hi], w.Row(blk, k2+1)[k2+1:hi], s2row[k2])
+			}
+			for j2 := i2; j2 < hi; j2++ {
+				v := grow[j2]
+				if x := w.at(p, i1+1, j1-1, i2, j2) + sc1; x > v {
+					v = x
+				}
+				if j2 > i2 {
+					inner := s1Self
+					if j2-1 >= i2+1 {
+						inner = w.Row(blk, i2+1)[j2-1]
+					}
+					if x := inner + p.score2(i2, j2); x > v {
+						v = x
+					}
+				} else if i1 == j1 {
+					if x := p.singleton(i1, i2); x > v {
+						v = x
+					}
+				}
+				grow[j2] = v
+				if j2 < hi-1 {
+					acc(grow[j2+1:hi], p.S2.Row(j2 + 1)[j2+1:hi], v)
+				}
+			}
+		}
+	}
+
+	for d1 := 0; d1 < w.W1; d1++ {
+		tris := p.N1 - d1
+		pf(tris*n2, cfg.Workers, func(t int) {
+			i1 := t / n2
+			accumRow(i1, i1+d1, t%n2)
+		})
+		pf(tris, cfg.Workers, func(i1 int) {
+			finalize(i1, i1+d1)
+		})
+	}
+	return w
+}
+
+// Best returns the maximum interaction score over all in-window interval
+// pairs and one cell achieving it — the "best local interaction" a
+// windowed screen reports.
+func (w *WTable) Best() (v float32, i1, j1, i2, j2 int) {
+	v = float32(-1)
+	for a1 := 0; a1 < w.N1; a1++ {
+		for b1 := a1; b1 < w.N1 && b1-a1 < w.W1; b1++ {
+			blk := w.Block(a1, b1)
+			for a2 := 0; a2 < w.N2; a2++ {
+				row := w.Row(blk, a2)
+				for b2 := a2; b2 < w.rowHi(a2); b2++ {
+					if row[b2] > v {
+						v, i1, j1, i2, j2 = row[b2], a1, b1, a2, b2
+					}
+				}
+			}
+		}
+	}
+	return v, i1, j1, i2, j2
+}

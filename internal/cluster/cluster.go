@@ -1,0 +1,162 @@
+// Package cluster simulates the paper's stated future work: "distribute
+// the computation over a cluster using MPI".
+//
+// The simulation executes BPMax's coarse-grain wavefront schedule across P
+// virtual nodes. Triangle (i1, j1) is assigned to a node by a placement
+// policy; a node computing a triangle must hold the 2·(j1-i1) west/south
+// triangles it reads, and every block it does not already hold is
+// accounted as one message of the block's size (nodes cache everything
+// they receive — the infinite-memory model that bounds communication from
+// below). All arithmetic actually runs in one address space, so the
+// simulated result is verified bit-for-bit against the single-machine
+// solver; what the simulation adds is the communication/imbalance
+// accounting that decides whether the MPI port is worthwhile.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/tri"
+)
+
+// Placement assigns triangles to nodes.
+type Placement int
+
+const (
+	// Cyclic deals the triangles of each wavefront round-robin — good
+	// balance, more communication.
+	Cyclic Placement = iota
+	// Blocked gives each node one contiguous band of triangle rows (by
+	// i1) — fewer messages along a row, worse balance.
+	Blocked
+)
+
+// String returns the policy label.
+func (p Placement) String() string {
+	switch p {
+	case Cyclic:
+		return "cyclic"
+	case Blocked:
+		return "blocked"
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Stats summarizes one simulated run.
+type Stats struct {
+	Nodes     int
+	Placement Placement
+	// Messages and BytesMoved count inter-node block transfers.
+	Messages   int64
+	BytesMoved int64
+	// OpsPerNode is the max-plus element count each node executed.
+	OpsPerNode []int64
+	// CriticalPathOps sums, over wavefronts, the busiest node's ops — the
+	// parallel makespan under a bulk-synchronous model.
+	CriticalPathOps int64
+}
+
+// TotalOps sums all nodes' work.
+func (s *Stats) TotalOps() int64 {
+	var t int64
+	for _, v := range s.OpsPerNode {
+		t += v
+	}
+	return t
+}
+
+// Imbalance returns max node ops / mean node ops (1.0 = perfect).
+func (s *Stats) Imbalance() float64 {
+	if len(s.OpsPerNode) == 0 {
+		return 1
+	}
+	var max, sum int64
+	for _, v := range s.OpsPerNode {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(s.OpsPerNode))
+	return float64(max) / mean
+}
+
+// CommToCompute returns bytes moved per max-plus op — the ratio that must
+// stay small for the MPI port to scale.
+func (s *Stats) CommToCompute() float64 {
+	t := s.TotalOps()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.BytesMoved) / float64(t)
+}
+
+// MustLocal computes the reference single-machine table for comparison
+// with a simulated run.
+func MustLocal(p *bpmax.Problem) *bpmax.FTable {
+	return bpmax.Solve(p, bpmax.VariantHybridTiled, bpmax.Config{})
+}
+
+// Solve runs the simulated distributed fill and returns the (verified
+// identical) table plus the communication statistics.
+func Solve(p *bpmax.Problem, nodes int, place Placement, cfg bpmax.Config) (*bpmax.FTable, *Stats) {
+	if nodes < 1 {
+		panic(fmt.Sprintf("cluster: need at least one node, got %d", nodes))
+	}
+	tc := bpmax.NewTriangleComputer(p, cfg)
+	blockBytes := int64(tc.Table().Inner.Size()) * 4
+
+	owner := func(i1, j1 int) int {
+		switch place {
+		case Blocked:
+			band := (p.N1 + nodes - 1) / nodes
+			return i1 / band
+		default:
+			return tri.Index(i1, j1, p.N1) % nodes
+		}
+	}
+
+	// holds[n] records which triangle blocks node n holds (owned or
+	// received).
+	holds := make([]map[int]bool, nodes)
+	for n := range holds {
+		holds[n] = map[int]bool{}
+	}
+	st := &Stats{Nodes: nodes, Placement: place, OpsPerNode: make([]int64, nodes)}
+
+	for d1 := 0; d1 < p.N1; d1++ {
+		waveOps := make([]int64, nodes)
+		for i1 := 0; i1+d1 < p.N1; i1++ {
+			j1 := i1 + d1
+			n := owner(i1, j1)
+			// Fetch the west and south triangles this node lacks.
+			for k1 := i1; k1 < j1; k1++ {
+				for _, blk := range [][2]int{{i1, k1}, {k1 + 1, j1}} {
+					id := tri.Index(blk[0], blk[1], p.N1)
+					if !holds[n][id] {
+						holds[n][id] = true
+						st.Messages++
+						st.BytesMoved += blockBytes
+					}
+				}
+			}
+			tc.Compute(i1, j1)
+			holds[n][tri.Index(i1, j1, p.N1)] = true
+			ops := bpmax.TriangleOps(d1, p.N2)
+			st.OpsPerNode[n] += ops
+			waveOps[n] += ops
+		}
+		var busiest int64
+		for _, v := range waveOps {
+			if v > busiest {
+				busiest = v
+			}
+		}
+		st.CriticalPathOps += busiest
+	}
+	return tc.Table(), st
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+func newProblem(t *testing.T, seed int64, n1, n2 int) *bpmax.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := bpmax.NewProblem(rna.Random(rng, n1), rna.Random(rng, n2), score.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDistributedMatchesReference(t *testing.T) {
+	p := newProblem(t, 1, 9, 11)
+	ref := bpmax.Solve(p, bpmax.VariantBase, bpmax.Config{})
+	for _, nodes := range []int{1, 2, 3, 8} {
+		for _, place := range []Placement{Cyclic, Blocked} {
+			got, st := Solve(p, nodes, place, bpmax.Config{})
+			for i1 := 0; i1 < p.N1; i1++ {
+				for j1 := i1; j1 < p.N1; j1++ {
+					for i2 := 0; i2 < p.N2; i2++ {
+						for j2 := i2; j2 < p.N2; j2++ {
+							if got.At(i1, j1, i2, j2) != ref.At(i1, j1, i2, j2) {
+								t.Fatalf("nodes=%d %s: mismatch at (%d,%d,%d,%d)",
+									nodes, place, i1, j1, i2, j2)
+							}
+						}
+					}
+				}
+			}
+			if st.Nodes != nodes || len(st.OpsPerNode) != nodes {
+				t.Fatalf("stats shape: %+v", st)
+			}
+		}
+	}
+}
+
+func TestSingleNodeNoCommunication(t *testing.T) {
+	p := newProblem(t, 2, 8, 8)
+	_, st := Solve(p, 1, Cyclic, bpmax.Config{})
+	if st.Messages != 0 || st.BytesMoved != 0 {
+		t.Errorf("single node moved %d messages / %d bytes", st.Messages, st.BytesMoved)
+	}
+	if st.Imbalance() != 1 {
+		t.Errorf("single node imbalance = %v", st.Imbalance())
+	}
+}
+
+func TestCommunicationGrowsWithNodes(t *testing.T) {
+	p := newProblem(t, 3, 12, 8)
+	var prev int64 = -1
+	for _, nodes := range []int{1, 2, 4} {
+		_, st := Solve(p, nodes, Cyclic, bpmax.Config{})
+		if st.BytesMoved <= prev {
+			t.Errorf("bytes moved not increasing: %d nodes -> %d bytes (prev %d)",
+				nodes, st.BytesMoved, prev)
+		}
+		prev = st.BytesMoved
+	}
+}
+
+func TestTotalOpsIndependentOfDistribution(t *testing.T) {
+	p := newProblem(t, 4, 10, 9)
+	_, one := Solve(p, 1, Cyclic, bpmax.Config{})
+	for _, nodes := range []int{2, 3, 5} {
+		for _, place := range []Placement{Cyclic, Blocked} {
+			_, st := Solve(p, nodes, place, bpmax.Config{})
+			if st.TotalOps() != one.TotalOps() {
+				t.Errorf("nodes=%d %s: total ops %d != %d", nodes, place, st.TotalOps(), one.TotalOps())
+			}
+		}
+	}
+}
+
+func TestCyclicBalancesBetterThanBlocked(t *testing.T) {
+	// Blocked placement puts the long-lived top rows (which own the big
+	// triangles of every wavefront) on one node; cyclic deals them out.
+	p := newProblem(t, 5, 16, 6)
+	_, cyc := Solve(p, 4, Cyclic, bpmax.Config{})
+	_, blk := Solve(p, 4, Blocked, bpmax.Config{})
+	if cyc.Imbalance() > blk.Imbalance() {
+		t.Errorf("cyclic imbalance %.3f worse than blocked %.3f", cyc.Imbalance(), blk.Imbalance())
+	}
+}
+
+func TestCriticalPathShrinksWithNodes(t *testing.T) {
+	p := newProblem(t, 6, 14, 6)
+	_, one := Solve(p, 1, Cyclic, bpmax.Config{})
+	_, four := Solve(p, 4, Cyclic, bpmax.Config{})
+	if four.CriticalPathOps >= one.CriticalPathOps {
+		t.Errorf("critical path did not shrink: 1 node %d, 4 nodes %d",
+			one.CriticalPathOps, four.CriticalPathOps)
+	}
+	// And it can never beat total/P.
+	if four.CriticalPathOps*4 < one.CriticalPathOps {
+		t.Errorf("critical path below perfect speedup: %d*4 < %d",
+			four.CriticalPathOps, one.CriticalPathOps)
+	}
+}
+
+func TestCommToComputeReasonable(t *testing.T) {
+	p := newProblem(t, 7, 10, 32)
+	_, st := Solve(p, 4, Cyclic, bpmax.Config{})
+	r := st.CommToCompute()
+	if r <= 0 {
+		t.Fatalf("comm/compute = %v", r)
+	}
+	// With N2 = 32, each block is ~4 KB while a triangle's compute grows
+	// with d1·N2³; the ratio should be far below 1 byte/op for this shape.
+	if r > 1 {
+		t.Errorf("comm/compute ratio %v unexpectedly high", r)
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if Cyclic.String() != "cyclic" || Blocked.String() != "blocked" {
+		t.Error("placement labels")
+	}
+	if Placement(9).String() == "" {
+		t.Error("unknown placement should render")
+	}
+}
+
+func TestSolvePanicsOnZeroNodes(t *testing.T) {
+	p := newProblem(t, 8, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero nodes did not panic")
+		}
+	}()
+	Solve(p, 0, Cyclic, bpmax.Config{})
+}

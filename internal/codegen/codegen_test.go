@@ -1,0 +1,351 @@
+package codegen
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"strings"
+	"testing"
+
+	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/poly"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+func newProblem(t testing.TB, seed int64, n1, n2 int) *ibpmax.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := ibpmax.NewProblem(rna.Random(rng, n1), rna.Random(rng, n2), score.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func problemInputs(p *ibpmax.Problem) map[string]func([]int64) float32 {
+	return map[string]func([]int64) float32{
+		"S1":     func(ix []int64) float32 { return p.S1.At(int(ix[0]), int(ix[1])) },
+		"S2":     func(ix []int64) float32 { return p.S2.At(int(ix[0]), int(ix[1])) },
+		"score1": func(ix []int64) float32 { return p.Tab.Score1(int(ix[0]), int(ix[1])) },
+		"score2": func(ix []int64) float32 { return p.Tab.Score2(int(ix[0]), int(ix[1])) },
+		"iscore": func(ix []int64) float32 { return p.Tab.IScore(int(ix[0]), int(ix[1])) },
+	}
+}
+
+// runNest interprets prog and compares array name cell-for-cell against
+// want.
+func runNest(t *testing.T, prog *Program, p *ibpmax.Problem, array string, want *ibpmax.FTable) {
+	t.Helper()
+	st := NewStore(problemInputs(p))
+	prog.Run(map[string]int64{"N": int64(p.N1), "M": int64(p.N2)}, st)
+	for i1 := 0; i1 < p.N1; i1++ {
+		for j1 := i1; j1 < p.N1; j1++ {
+			for i2 := 0; i2 < p.N2; i2++ {
+				for j2 := i2; j2 < p.N2; j2++ {
+					got := st.Read(array, []int64{int64(i1), int64(j1), int64(i2), int64(j2)})
+					w := want.At(i1, j1, i2, j2)
+					if got != w {
+						t.Fatalf("%s: %s[%d,%d,%d,%d] = %v, want %v",
+							prog.Name, array, i1, j1, i2, j2, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDMPBaseNestMatchesSolver(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := newProblem(t, seed, 1+rng.Intn(6), 1+rng.Intn(6))
+		want := ibpmax.SolveDMP(p, ibpmax.DMPReference, ibpmax.Config{})
+		runNest(t, DMPBaseNest(), p, "G", want)
+	}
+}
+
+func TestDMPFineNestMatchesSolver(t *testing.T) {
+	for seed := int64(4); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := newProblem(t, seed, 1+rng.Intn(6), 1+rng.Intn(6))
+		want := ibpmax.SolveDMP(p, ibpmax.DMPReference, ibpmax.Config{})
+		runNest(t, DMPFineNest(), p, "G", want)
+	}
+}
+
+func TestDMPTiledNestMatchesSolver(t *testing.T) {
+	// The transformed (strip-mined, rebased, interchanged) nest must be
+	// semantically identical to the untransformed one — the semantics-
+	// preservation guarantee of the transformation pipeline.
+	for _, tiles := range [][2]int64{{1, 1}, {2, 3}, {4, 2}, {16, 16}} {
+		p := newProblem(t, 99, 5, 9)
+		want := ibpmax.SolveDMP(p, ibpmax.DMPReference, ibpmax.Config{})
+		runNest(t, DMPTiledNest(tiles[0], tiles[1]), p, "G", want)
+	}
+}
+
+func TestBPMaxBaseNestMatchesSolver(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 30))
+		p := newProblem(t, seed+10, 1+rng.Intn(5), 1+rng.Intn(5))
+		want := ibpmax.Solve(p, ibpmax.VariantBase, ibpmax.Config{})
+		runNest(t, BPMaxBaseNest(), p, "F", want)
+	}
+}
+
+func TestBPMaxHybridNestMatchesSolver(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 60))
+		p := newProblem(t, seed+20, 1+rng.Intn(5), 1+rng.Intn(5))
+		want := ibpmax.Solve(p, ibpmax.VariantHybrid, ibpmax.Config{})
+		runNest(t, BPMaxHybridNest(), p, "F", want)
+	}
+}
+
+func TestBPMaxHybridTiledNestMatchesSolver(t *testing.T) {
+	p := newProblem(t, 77, 5, 7)
+	want := ibpmax.Solve(p, ibpmax.VariantBase, ibpmax.Config{})
+	runNest(t, BPMaxHybridTiledNest(2, 2), p, "F", want)
+}
+
+// TestEmittedCodeParses wraps every emitted nest in a syntactic scaffold
+// and runs it through go/parser: the generated text must be valid Go once
+// the harness-level helpers (maxf/maxi/mini, arrays, parallelFor) are
+// declared — the same contract AlphaZ's C output has with its driver.
+func TestEmittedCodeParses(t *testing.T) {
+	progs := []*Program{
+		DMPBaseNest(), DMPFineNest(), DMPTiledNest(64, 16),
+		BPMaxBaseNest(), BPMaxHybridNest(), BPMaxHybridTiledNest(64, 16),
+	}
+	for _, p := range progs {
+		src := p.EmitGo()
+		// Strip the pseudo-syntax the emitter uses for readability: the
+		// signature placeholder and the parallel-loop marker.
+		src = strings.ReplaceAll(src, "(params, arrays)", "()")
+		src = strings.ReplaceAll(src, "parallelFor: for", "for")
+		// Array accesses use multi-index brackets; rewrite to a call so the
+		// parser accepts them: X[a, b] is valid generic-instantiation-like
+		// syntax only in type contexts, so map to at(X, a, b).
+		src = rewriteIndexing(src)
+		file := "package g\n\n" +
+			"func maxf(a, b float32) float32 { return 0 }\n" +
+			"func maxi(xs ...int) int { return 0 }\n" +
+			"func mini(xs ...int) int { return 0 }\n" +
+			"var N, M int\n" +
+			src
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, p.Name+".go", file, 0); err != nil {
+			t.Errorf("%s: emitted code does not parse: %v\n%s", p.Name, err, src)
+		}
+	}
+}
+
+// rewriteIndexing converts "Name[e1, e2, ...]" into "at_Name(e1, e2, ...)"
+// so multi-dimensional accesses parse as calls.
+func rewriteIndexing(src string) string {
+	var out strings.Builder
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		atIdentStart := isIdentStart(c) && (i == 0 || !isIdent(src[i-1]))
+		if atIdentStart {
+			// Possible array name start.
+			j := i
+			for j < len(src) && (isIdent(src[j])) {
+				j++
+			}
+			if j < len(src) && src[j] == '[' {
+				// Find matching bracket.
+				depth := 0
+				k := j
+				for ; k < len(src); k++ {
+					if src[k] == '[' {
+						depth++
+					} else if src[k] == ']' {
+						depth--
+						if depth == 0 {
+							break
+						}
+					}
+				}
+				inner := rewriteIndexing(src[j+1 : k])
+				fmt.Fprintf(&out, "at_%s(%s)", src[i:j], inner)
+				i = k + 1
+				continue
+			}
+			out.WriteString(src[i:j])
+			i = j
+			continue
+		}
+		out.WriteByte(c)
+		i++
+	}
+	return out.String()
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func TestEmitGoShape(t *testing.T) {
+	src := DMPFineNest().EmitGo()
+	for _, want := range []string{"for d1 :=", "for k1 :=", "for j2 :=", "parallel", "maxf("} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmittedLOCTrend(t *testing.T) {
+	// Table VI's qualitative content: generated code grows monotonically
+	// from the double max-plus nests to full BPMax to the tiled version.
+	dmpBase := DMPBaseNest().LOC()
+	dmpTiled := DMPTiledNest(64, 16).LOC()
+	bpBase := BPMaxBaseNest().LOC()
+	bpHybrid := BPMaxHybridNest().LOC()
+	bpTiled := BPMaxHybridTiledNest(64, 16).LOC()
+	if !(dmpBase < dmpTiled) {
+		t.Errorf("LOC: dmp base %d !< dmp tiled %d", dmpBase, dmpTiled)
+	}
+	if !(dmpBase < bpBase) {
+		t.Errorf("LOC: dmp base %d !< bpmax base %d", dmpBase, bpBase)
+	}
+	if !(bpBase < bpHybrid) {
+		t.Errorf("LOC: bpmax base %d !< hybrid %d", bpBase, bpHybrid)
+	}
+	if !(bpHybrid < bpTiled) {
+		t.Errorf("LOC: hybrid %d !< hybrid tiled %d", bpHybrid, bpTiled)
+	}
+}
+
+func TestStripMinePreservesIterationCount(t *testing.T) {
+	// Count assignments executed by a simple counting nest before and
+	// after strip-mining with awkward sizes.
+	sp := poly.NewSpace("N", "i")
+	n := poly.Var(sp, "N")
+	count := func(p *Program) int {
+		st := NewStore(nil)
+		total := 0
+		// Count by accumulating into a single cell.
+		p.Run(map[string]int64{"N": 13}, st)
+		total = int(st.Read("C", []int64{0}))
+		return total
+	}
+	base := &Program{Name: "count", Space: sp, Body: []Stmt{
+		Loop{Var: "i", Lo: []poly.Expr{poly.Konst(sp, 0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Assign{Array: "C", Idx: []poly.Expr{poly.Konst(sp, 0)},
+				Value: Add{Read{"C", []poly.Expr{poly.Konst(sp, 0)}}, Const{1}}},
+		}},
+	}}
+	if got := count(base); got != 13 {
+		t.Fatalf("base count = %d", got)
+	}
+	for _, size := range []int64{1, 2, 5, 13, 100} {
+		s := StripMine(base, "i", "iT", size)
+		st := NewStore(nil)
+		s.Run(map[string]int64{"N": 13}, st)
+		if got := int(st.Read("C", []int64{0})); got != 13 {
+			t.Errorf("strip size %d: count = %d, want 13", size, got)
+		}
+	}
+}
+
+func TestInterchangePanicsOnDependentBounds(t *testing.T) {
+	// j's bounds depend on i: interchange must refuse.
+	sp := poly.NewSpace("N", "i", "j")
+	n := poly.Var(sp, "N")
+	i := poly.Var(sp, "i")
+	p := &Program{Name: "tri", Space: sp, Body: []Stmt{
+		Loop{Var: "i", Lo: []poly.Expr{poly.Konst(sp, 0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "j", Lo: []poly.Expr{i}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+				Assign{Array: "X", Idx: []poly.Expr{i}, Value: Const{1}},
+			}},
+		}},
+	}}
+	defer func() {
+		if recover() == nil {
+			t.Error("interchange with dependent bounds did not panic")
+		}
+	}()
+	Interchange(p, "i", "j")
+}
+
+func TestInterchangeSwapsOrder(t *testing.T) {
+	// Record visit order via a counter array: interchange must transpose
+	// the traversal but execute the same set of iterations.
+	sp := poly.NewSpace("N", "i", "j")
+	n := poly.Var(sp, "N")
+	i, j := poly.Var(sp, "i"), poly.Var(sp, "j")
+	cell := []poly.Expr{i, j}
+	p := &Program{Name: "grid", Space: sp, Body: []Stmt{
+		Loop{Var: "i", Lo: []poly.Expr{poly.Konst(sp, 0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "j", Lo: []poly.Expr{poly.Konst(sp, 0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+				Assign{Array: "X", Idx: cell, Value: Add{Read{"X", cell}, Const{1}}},
+			}},
+		}},
+	}}
+	q := Interchange(p, "i", "j")
+	st1, st2 := NewStore(nil), NewStore(nil)
+	p.Run(map[string]int64{"N": 4}, st1)
+	q.Run(map[string]int64{"N": 4}, st2)
+	for a := int64(0); a < 4; a++ {
+		for b := int64(0); b < 4; b++ {
+			if st1.Read("X", []int64{a, b}) != 1 || st2.Read("X", []int64{a, b}) != 1 {
+				t.Fatalf("cell (%d,%d) visited wrong number of times", a, b)
+			}
+		}
+	}
+	// Loop order actually swapped in emitted code.
+	src := q.EmitGo()
+	if strings.Index(src, "for j :=") > strings.Index(src, "for i :=") {
+		t.Error("interchange did not swap emitted loop order")
+	}
+}
+
+func TestEnvUnboundPanics(t *testing.T) {
+	env := &Env{Space: poly.NewSpace("i"), Vals: []int64{0}}
+	defer func() {
+		if recover() == nil {
+			t.Error("unbound Get did not panic")
+		}
+	}()
+	env.Get("zz")
+}
+
+func TestProgramUnknownParamPanics(t *testing.T) {
+	p := DMPBaseNest()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown parameter did not panic")
+		}
+	}()
+	p.Run(map[string]int64{"Q": 3}, NewStore(nil))
+}
+
+func TestBPMaxCoarseFineNestsMatchSolver(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed + 90))
+		p := newProblem(t, seed+40, 1+rng.Intn(5), 1+rng.Intn(5))
+		want := ibpmax.Solve(p, ibpmax.VariantBase, ibpmax.Config{})
+		runNest(t, BPMaxCoarseNest(), p, "F", want)
+		runNest(t, BPMaxFineNest(), p, "F", want)
+	}
+}
+
+func TestCoarseFineDifferOnlyInParallelMarker(t *testing.T) {
+	coarse := BPMaxCoarseNest().EmitC()
+	fine := BPMaxFineNest().EmitC()
+	// Both carry exactly one OpenMP pragma, on different loops.
+	if strings.Count(coarse, "#pragma omp") != 1 || strings.Count(fine, "#pragma omp") != 1 {
+		t.Errorf("pragma counts: coarse %d fine %d",
+			strings.Count(coarse, "#pragma omp"), strings.Count(fine, "#pragma omp"))
+	}
+	if coarse == fine {
+		t.Error("coarse and fine emissions identical")
+	}
+}

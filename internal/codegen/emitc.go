@@ -1,0 +1,299 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// EmitC renders the program in the style of AlphaZ's generated C (the
+// paper's Listing 2): one #define macro per distinct statement, a loop
+// nest over renamed counters, and an OpenMP pragma on each parallel loop.
+// This is the form whose line count the paper reports in Table VI.
+func (p *Program) EmitC() string {
+	e := &cEmitter{
+		space:   p.Space,
+		macros:  map[string]string{},
+		counter: map[string]string{},
+	}
+	// Rename loop variables to c1, c2, ... like the paper's listing; the
+	// parameters keep their names.
+	body := &strings.Builder{}
+	e.body = body
+	e.indent = 1
+	for _, s := range p.Body {
+		e.stmt(s)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Code generated from schedule %q (AlphaZ-style C).\n", p.Name)
+	// Macros first, in definition order.
+	for _, name := range e.macroOrder {
+		fmt.Fprintf(&sb, "#define %s %s\n", name, e.macros[name])
+	}
+	fmt.Fprintf(&sb, "void %s(/* params, arrays */) {\n", sanitize(p.Name))
+	if len(e.counterOrder) > 0 {
+		fmt.Fprintf(&sb, "\tint %s;\n", strings.Join(e.counterOrder, ", "))
+	}
+	sb.WriteString(body.String())
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// LOCC returns the line count of the C rendering.
+func (p *Program) LOCC() int { return strings.Count(p.EmitC(), "\n") }
+
+type cEmitter struct {
+	space        poly.Space
+	body         *strings.Builder
+	indent       int
+	macros       map[string]string // name -> expansion
+	macroOrder   []string
+	macroByBody  map[string]string
+	counter      map[string]string // loop var -> cN
+	counterOrder []string
+}
+
+func (e *cEmitter) line(format string, args ...any) {
+	e.body.WriteString(strings.Repeat("\t", e.indent))
+	fmt.Fprintf(e.body, format, args...)
+	e.body.WriteByte('\n')
+}
+
+// cname maps a loop variable to its C counter, allocating on first use.
+func (e *cEmitter) cname(v string) string {
+	if c, ok := e.counter[v]; ok {
+		return c
+	}
+	c := fmt.Sprintf("c%d", len(e.counter)+1)
+	e.counter[v] = c
+	e.counterOrder = append(e.counterOrder, c)
+	return c
+}
+
+// cexpr renders an affine expression with counters renamed.
+func (e *cEmitter) cexpr(x poly.Expr) string {
+	s := x.Format(e.space)
+	// Replace loop-variable names with counters (longest names first so
+	// e.g. "i2T" is not clobbered by "i2").
+	names := e.space.Names()
+	sorted := append([]string(nil), names...)
+	sort.Slice(sorted, func(a, b int) bool { return len(sorted[a]) > len(sorted[b]) })
+	for _, n := range sorted {
+		if c, ok := e.counter[n]; ok {
+			s = replaceIdent(s, n, c)
+		}
+	}
+	return s
+}
+
+// replaceIdent substitutes whole-identifier occurrences.
+func replaceIdent(s, from, to string) string {
+	var out strings.Builder
+	for i := 0; i < len(s); {
+		if strings.HasPrefix(s[i:], from) {
+			before := i == 0 || !isIdentByte(s[i-1])
+			after := i+len(from) >= len(s) || !isIdentByte(s[i+len(from)])
+			if before && after {
+				out.WriteString(to)
+				i += len(from)
+				continue
+			}
+		}
+		out.WriteByte(s[i])
+		i++
+	}
+	return out.String()
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (e *cEmitter) stmt(s Stmt) {
+	switch st := s.(type) {
+	case Loop:
+		c := e.cname(st.Var)
+		lo := make([]string, len(st.Lo))
+		for i, x := range st.Lo {
+			lo[i] = e.cexpr(x)
+		}
+		hi := make([]string, len(st.Hi))
+		for i, x := range st.Hi {
+			hi[i] = e.cexpr(x)
+		}
+		loS := lo[0]
+		if len(lo) > 1 {
+			loS = "max(" + strings.Join(lo, ", ") + ")"
+		}
+		hiS := hi[0]
+		if len(hi) > 1 {
+			hiS = "min(" + strings.Join(hi, ", ") + ")"
+		}
+		step := "++"
+		if st.step() != 1 {
+			step = fmt.Sprintf(" += %d", st.step())
+		}
+		if st.Parallel {
+			priv := e.privates(st)
+			e.line("#pragma omp parallel for schedule(dynamic)%s", priv)
+		}
+		e.line("for (%s = %s; %s <= %s; %s%s) {", c, loS, c, hiS, c, step)
+		e.indent++
+		for _, inner := range st.Body {
+			e.stmt(inner)
+		}
+		e.indent--
+		e.line("}")
+	case If:
+		conds := make([]string, len(st.Cond))
+		for i, c := range st.Cond {
+			op := " >= 0"
+			if c.Eq {
+				op = " == 0"
+			}
+			conds[i] = "(" + e.cexpr(c.Expr) + op + ")"
+		}
+		e.line("if (%s) {", strings.Join(conds, " && "))
+		e.indent++
+		for _, inner := range st.Then {
+			e.stmt(inner)
+		}
+		e.indent--
+		if len(st.Else) > 0 {
+			e.line("} else {")
+			e.indent++
+			for _, inner := range st.Else {
+				e.stmt(inner)
+			}
+			e.indent--
+		}
+		e.line("}")
+	case Assign:
+		e.line("%s;", e.macroCall(st))
+	default:
+		panic(fmt.Sprintf("codegen: EmitC unknown statement %T", s))
+	}
+}
+
+// privates lists the inner loop counters of a parallel loop for the
+// OpenMP private clause, like the paper's "private(c2,c3)".
+func (e *cEmitter) privates(l Loop) string {
+	var vars []string
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case Loop:
+				vars = append(vars, e.cname(st.Var))
+				walk(st.Body)
+			case If:
+				walk(st.Then)
+				walk(st.Else)
+			}
+		}
+	}
+	walk(l.Body)
+	if len(vars) == 0 {
+		return ""
+	}
+	return " private(" + strings.Join(vars, ",") + ")"
+}
+
+// macroCall defines (once) and invokes the statement macro for an
+// assignment, mirroring AlphaZ's S0/S1 macros. The macro parameters are
+// the loop counters the statement reads.
+func (e *cEmitter) macroCall(a Assign) string {
+	if e.macroByBody == nil {
+		e.macroByBody = map[string]string{}
+	}
+	// Render the macro body with raw variable names (macros bind their own
+	// parameter names to the counters at the call site).
+	lhs := cRef(a.Array, a.Idx, e.space)
+	rhs := cExprRaw(a.Value, e.space)
+	body := fmt.Sprintf("%s = %s", lhs, rhs)
+	name, ok := e.macroByBody[body]
+	if !ok {
+		name = fmt.Sprintf("S%d", len(e.macroByBody))
+		e.macroByBody[body] = name
+		// Macro parameters: every dimension the statement mentions.
+		params := e.dimsUsed(a)
+		sig := name + "(" + strings.Join(params, ",") + ")"
+		e.macros[sig] = body
+		e.macroOrder = append(e.macroOrder, sig)
+	}
+	// Call with renamed counters.
+	params := e.dimsUsed(a)
+	args := make([]string, len(params))
+	for i, p := range params {
+		if c, ok := e.counter[p]; ok {
+			args[i] = c
+		} else {
+			args[i] = p
+		}
+	}
+	return name + "(" + strings.Join(args, ",") + ")"
+}
+
+// dimsUsed returns the dimensions an assignment references, in space
+// order.
+func (e *cEmitter) dimsUsed(a Assign) []string {
+	used := make([]bool, e.space.Dim())
+	mark := func(x poly.Expr) {
+		for i, c := range x.Coeffs {
+			if c != 0 {
+				used[i] = true
+			}
+		}
+	}
+	for _, x := range a.Idx {
+		mark(x)
+	}
+	var walk func(v Expr)
+	walk = func(v Expr) {
+		switch y := v.(type) {
+		case Read:
+			for _, x := range y.Idx {
+				mark(x)
+			}
+		case Max:
+			walk(y.A)
+			walk(y.B)
+		case Add:
+			walk(y.A)
+			walk(y.B)
+		}
+	}
+	walk(a.Value)
+	var out []string
+	for i, n := range e.space.Names() {
+		if used[i] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func cRef(array string, idx []poly.Expr, sp poly.Space) string {
+	parts := make([]string, len(idx))
+	for i, e := range idx {
+		parts[i] = e.Format(sp)
+	}
+	return array + "(" + strings.Join(parts, ",") + ")"
+}
+
+func cExprRaw(v Expr, sp poly.Space) string {
+	switch y := v.(type) {
+	case Read:
+		return cRef(y.Array, y.Idx, sp)
+	case Const:
+		return fmt.Sprintf("%g", y.V)
+	case Max:
+		return "MAX(" + cExprRaw(y.A, sp) + ", " + cExprRaw(y.B, sp) + ")"
+	case Add:
+		return "(" + cExprRaw(y.A, sp) + " + " + cExprRaw(y.B, sp) + ")"
+	}
+	panic(fmt.Sprintf("codegen: EmitC unknown expression %T", v))
+}

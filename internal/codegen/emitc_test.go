@@ -1,0 +1,86 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEmitCListingShape(t *testing.T) {
+	// The C rendering must carry the paper's Listing-2 features: statement
+	// macros, renamed counters, and an OpenMP pragma with a private clause
+	// on the parallel loop.
+	src := DMPFineNest().EmitC()
+	for _, want := range []string{
+		"#define S0(", "#define S1(",
+		"int c1, c2",
+		"#pragma omp parallel for schedule(dynamic) private(",
+		"MAX(",
+		"for (c1 = 0;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("EmitC missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitCMacrosDeduplicated(t *testing.T) {
+	// The hybrid nest reuses the same accumulation statement shape in
+	// several loops; each distinct statement defines exactly one macro.
+	src := BPMaxHybridNest().EmitC()
+	defines := strings.Count(src, "#define S")
+	// Count macro *calls* (Sk( appearing outside the defines).
+	if defines < 3 {
+		t.Errorf("expected several statement macros, got %d:\n%s", defines, src)
+	}
+	// No duplicate macro names.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(src, "\n") {
+		if !strings.HasPrefix(line, "#define ") {
+			continue
+		}
+		name := strings.SplitN(strings.TrimPrefix(line, "#define "), "(", 2)[0]
+		if seen[name] {
+			t.Errorf("macro %s defined twice", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestLOCCOrderingMatchesTableVI(t *testing.T) {
+	dmpBase := DMPBaseNest().LOCC()
+	bpBase := BPMaxBaseNest().LOCC()
+	bpHybrid := BPMaxHybridNest().LOCC()
+	bpTiled := BPMaxHybridTiledNest(64, 16).LOCC()
+	if !(dmpBase < bpBase && bpBase < bpHybrid && bpHybrid < bpTiled) {
+		t.Errorf("C LOC ordering violated: %d, %d, %d, %d", dmpBase, bpBase, bpHybrid, bpTiled)
+	}
+	// The C rendering is more verbose than the Go one (macros + decls),
+	// pushing the counts toward the paper's scale.
+	if DMPBaseNest().LOCC() < DMPBaseNest().LOC() {
+		t.Error("C rendering should not be shorter than the Go rendering")
+	}
+}
+
+func TestEmitCTiledHasStridedLoop(t *testing.T) {
+	src := DMPTiledNest(64, 16).EmitC()
+	if !strings.Contains(src, "+= 64") || !strings.Contains(src, "+= 16") {
+		t.Errorf("tiled C nest missing strided tile loops:\n%s", src)
+	}
+	if !strings.Contains(src, "min(") || !strings.Contains(src, "max(") {
+		t.Errorf("tiled C nest missing clamp bounds:\n%s", src)
+	}
+}
+
+func TestReplaceIdent(t *testing.T) {
+	cases := []struct{ s, from, to, want string }{
+		{"i2 + i2T", "i2", "c1", "c1 + i2T"},
+		{"i2T + i2", "i2T", "c9", "c9 + i2"},
+		{"xi2x", "i2", "c1", "xi2x"},
+		{"i2", "i2", "c1", "c1"},
+	}
+	for _, c := range cases {
+		if got := replaceIdent(c.s, c.from, c.to); got != c.want {
+			t.Errorf("replaceIdent(%q, %q, %q) = %q, want %q", c.s, c.from, c.to, got, c.want)
+		}
+	}
+}

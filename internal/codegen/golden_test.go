@@ -1,0 +1,63 @@
+package codegen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/alpha"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// mustAuto builds the simplified automatically generated nest.
+func mustAuto() string {
+	p, err := AutoDMPFineProgram()
+	if err != nil {
+		panic(err)
+	}
+	return Simplify(p).EmitGo()
+}
+
+// TestGoldenEmission snapshots the emitted code of every nest in both
+// languages plus the Alpha renderings of the specification systems.
+// Regenerate with `go test ./internal/codegen -run Golden -update` after
+// an intentional emitter/nest/spec change; an unintentional diff here
+// means generated code drifted.
+func TestGoldenEmission(t *testing.T) {
+	cases := map[string]string{
+		"dmp-base.go.golden":      DMPBaseNest().EmitGo(),
+		"dmp-fine.go.golden":      DMPFineNest().EmitGo(),
+		"dmp-tiled.go.golden":     DMPTiledNest(64, 16).EmitGo(),
+		"dmp-fine.c.golden":       DMPFineNest().EmitC(),
+		"bpmax-base.c.golden":     BPMaxBaseNest().EmitC(),
+		"bpmax-hybrid.go.golden":  BPMaxHybridNest().EmitGo(),
+		"bpmax-coarse.c.golden":   BPMaxCoarseNest().EmitC(),
+		"bpmax-fine.c.golden":     BPMaxFineNest().EmitC(),
+		"auto-dmp-fine.go.golden": mustAuto(),
+		"bpmax-tiled.c.golden":    BPMaxHybridTiledNest(64, 16).EmitC(),
+		"dmp-system.alphabets":    alpha.DoubleMaxPlusSystem().Alphabets(),
+		"bpmax-system.alphabets":  alpha.BPMaxSystem().Alphabets(),
+		"nussinov-sys.alphabets":  alpha.NussinovSystem().Alphabets(),
+	}
+	for name, got := range cases {
+		path := filepath.Join("testdata", name)
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden %s (run with -update): %v", name, err)
+		}
+		if string(want) != got {
+			t.Errorf("%s: emitted code drifted from golden; run with -update if intentional", name)
+		}
+	}
+}

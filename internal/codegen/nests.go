@@ -1,0 +1,342 @@
+package codegen
+
+import "github.com/bpmax-go/bpmax/internal/poly"
+
+// Nest builders: loop nests realizing the paper's schedules for the double
+// max-plus system (Table I) and the full BPMax system (Tables II–V),
+// parameterized by N (sequence 1 length) and M (sequence 2 length). Arrays:
+// G (double max-plus) or F (BPMax) indexed [i1, j1, i2, j2]; inputs S1, S2,
+// score1, score2, iscore as in package alpha.
+
+// dmpSpace returns params + the loop variables the DMP nests use.
+func dmpSpace(extra ...string) poly.Space {
+	names := append([]string{"N", "M", "d1", "i1", "i2", "d2", "k1", "k2", "j2"}, extra...)
+	return poly.NewSpace(names...)
+}
+
+// DMPBaseNest is the original (d1, d2, i1, i2, k1, k2) gather nest.
+func DMPBaseNest() *Program {
+	sp := dmpSpace()
+	vv := func(n string) poly.Expr { return poly.Var(sp, n) }
+	kk := func(k int64) poly.Expr { return poly.Konst(sp, k) }
+	n, m := vv("N"), vv("M")
+	d1, d2, i1, i2, k1, k2 := vv("d1"), vv("d2"), vv("i1"), vv("i2"), vv("k1"), vv("k2")
+	j1 := i1.Add(d1)
+	j2 := i2.Add(d2)
+	cell := []poly.Expr{i1, j1, i2, j2}
+
+	seed := If{
+		Cond: []poly.Constraint{poly.EQ(d1), poly.EQ(d2)},
+		Then: []Stmt{Assign{Array: "G", Idx: cell,
+			Value: Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}}}},
+	}
+	accum := Loop{Var: "k1", Lo: []poly.Expr{i1}, Hi: []poly.Expr{j1.AddK(-1)}, Body: []Stmt{
+		Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{j2.AddK(-1)}, Body: []Stmt{
+			Assign{Array: "G", Idx: cell, Value: Max{
+				Read{"G", cell},
+				Add{Read{"G", []poly.Expr{i1, k1, i2, k2}},
+					Read{"G", []poly.Expr{k1.AddK(1), j1, k2.AddK(1), j2}}},
+			}},
+		}},
+	}}
+	return &Program{Name: "dmp-base", Space: sp, Body: []Stmt{
+		Loop{Var: "d1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "d2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+				Loop{Var: "i1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1).Sub(d1)}, Body: []Stmt{
+					Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1).Sub(d2)}, Body: []Stmt{
+						seed, accum,
+					}},
+				}},
+			}},
+		}},
+	}}
+}
+
+// DMPFineNest is the streaming (d1, i1, k1, i2, k2, j2) nest with j2
+// innermost (the loop permutation that enables vectorization) and the i2
+// row loop marked parallel.
+func DMPFineNest() *Program {
+	sp := dmpSpace()
+	vv := func(n string) poly.Expr { return poly.Var(sp, n) }
+	kk := func(k int64) poly.Expr { return poly.Konst(sp, k) }
+	n, m := vv("N"), vv("M")
+	d1, i1, i2, k1, k2, j2 := vv("d1"), vv("i1"), vv("i2"), vv("k1"), vv("k2"), vv("j2")
+	j1 := i1.Add(d1)
+
+	seed := If{
+		Cond: []poly.Constraint{poly.EQ(d1)},
+		Then: []Stmt{Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+			Assign{Array: "G", Idx: []poly.Expr{i1, j1, i2, i2},
+				Value: Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}}},
+		}}},
+	}
+	stream := Loop{Var: "k1", Lo: []poly.Expr{i1}, Hi: []poly.Expr{j1.AddK(-1)}, Body: []Stmt{
+		Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Parallel: true, Body: []Stmt{
+			Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-2)}, Body: []Stmt{
+				Loop{Var: "j2", Lo: []poly.Expr{k2.AddK(1)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+					Assign{Array: "G", Idx: []poly.Expr{i1, j1, i2, j2}, Value: Max{
+						Read{"G", []poly.Expr{i1, j1, i2, j2}},
+						Add{Read{"G", []poly.Expr{i1, k1, i2, k2}},
+							Read{"G", []poly.Expr{k1.AddK(1), j1, k2.AddK(1), j2}}},
+					}},
+				}},
+			}},
+		}},
+	}}
+	return &Program{Name: "dmp-fine", Space: sp, Body: []Stmt{
+		Loop{Var: "d1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "i1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1).Sub(d1)}, Body: []Stmt{
+				seed, stream,
+			}},
+		}},
+	}}
+}
+
+// DMPTiledNest derives the tiled nest from DMPFineNest by the transforms
+// the paper applies: strip-mine i2 and k2 and hoist the k2 tile loop above
+// the intra-tile i2 loop, yielding (i2T, k2T, i2, k2, j2) with j2 left
+// untiled for streaming.
+func DMPTiledNest(tileI2, tileK2 int64) *Program {
+	p := DMPFineNest()
+	p = StripMine(p, "i2", "i2T", tileI2)
+	p = StripMine(p, "k2", "k2T", tileK2)
+	// After strip-mining: ... i2T { i2 { k2T { k2 { j2 }}}}. The k2 tile
+	// loop starts at i2; lower it to the i2 tile base (the inner k2 clamp
+	// keeps semantics) so it can hoist above i2, making the tile of B rows
+	// reusable across the whole i2 tile.
+	p = RebaseLoopBound(p, "k2T", "i2", "i2T")
+	p = Interchange(p, "i2", "k2T")
+	p.Name = "dmp-tiled"
+	return p
+}
+
+// bpmaxSpace returns the loop space of the full BPMax nests.
+func bpmaxSpace() poly.Space {
+	return poly.NewSpace("N", "M", "d1", "d2", "i1", "i2", "k1", "k2")
+}
+
+// BPMaxBaseNest is the original BPMax program: the
+// (j1-i1, j2-i2, i1, i2, k1, k2) schedule with per-cell gather reductions —
+// the nest whose generated form the paper reports as 140 lines.
+func BPMaxBaseNest() *Program {
+	sp := bpmaxSpace()
+	vv := func(n string) poly.Expr { return poly.Var(sp, n) }
+	kk := func(k int64) poly.Expr { return poly.Konst(sp, k) }
+	n, m := vv("N"), vv("M")
+	d1, d2, i1, i2, k1, k2 := vv("d1"), vv("d2"), vv("i1"), vv("i2"), vv("k1"), vv("k2")
+	j1 := i1.Add(d1)
+	j2 := i2.Add(d2)
+	cell := []poly.Expr{i1, j1, i2, j2}
+	readF := func(a, b, c, d poly.Expr) Expr { return Read{"F", []poly.Expr{a, b, c, d}} }
+	acc := func(v Expr) Stmt { return Assign{Array: "F", Idx: cell, Value: Max{Read{"F", cell}, v}} }
+
+	body := []Stmt{
+		// Singleton base case.
+		If{Cond: []poly.Constraint{poly.EQ(d1), poly.EQ(d2)},
+			Then: []Stmt{Assign{Array: "F", Idx: cell,
+				Value: Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}}}}},
+		// Independent folds.
+		acc(Add{Read{"S1", []poly.Expr{i1, j1}}, Read{"S2", []poly.Expr{i2, j2}}}),
+		// Pair i1-j1 (empty seq1 inner interval degenerates to S2).
+		If{Cond: []poly.Constraint{poly.GE(d1.AddK(-2))},
+			Then: []Stmt{acc(Add{readF(i1.AddK(1), j1.AddK(-1), i2, j2), Read{"score1", []poly.Expr{i1, j1}}})},
+			Else: []Stmt{acc(Add{Read{"S2", []poly.Expr{i2, j2}}, Read{"score1", []poly.Expr{i1, j1}}})}},
+		// Pair i2-j2.
+		If{Cond: []poly.Constraint{poly.GE(d2.AddK(-1))},
+			Then: []Stmt{
+				If{Cond: []poly.Constraint{poly.GE(d2.AddK(-2))},
+					Then: []Stmt{acc(Add{readF(i1, j1, i2.AddK(1), j2.AddK(-1)), Read{"score2", []poly.Expr{i2, j2}}})},
+					Else: []Stmt{acc(Add{Read{"S1", []poly.Expr{i1, j1}}, Read{"score2", []poly.Expr{i2, j2}}})}},
+			}},
+		// R0.
+		Loop{Var: "k1", Lo: []poly.Expr{i1}, Hi: []poly.Expr{j1.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{j2.AddK(-1)}, Body: []Stmt{
+				acc(Add{readF(i1, k1, i2, k2), readF(k1.AddK(1), j1, k2.AddK(1), j2)}),
+			}},
+		}},
+		// R1 and R2.
+		Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{j2.AddK(-1)}, Body: []Stmt{
+			acc(Add{Read{"S2", []poly.Expr{i2, k2}}, readF(i1, j1, k2.AddK(1), j2)}),
+			acc(Add{readF(i1, j1, i2, k2), Read{"S2", []poly.Expr{k2.AddK(1), j2}}}),
+		}},
+		// R3 and R4.
+		Loop{Var: "k1", Lo: []poly.Expr{i1}, Hi: []poly.Expr{j1.AddK(-1)}, Body: []Stmt{
+			acc(Add{Read{"S1", []poly.Expr{i1, k1}}, readF(k1.AddK(1), j1, i2, j2)}),
+			acc(Add{readF(i1, k1, i2, j2), Read{"S1", []poly.Expr{k1.AddK(1), j1}}}),
+		}},
+	}
+	return &Program{Name: "bpmax-base", Space: sp, Body: []Stmt{
+		Loop{Var: "d1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "d2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+				Loop{Var: "i1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1).Sub(d1)}, Body: []Stmt{
+					Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1).Sub(d2)}, Body: body},
+				}},
+			}},
+		}},
+	}}
+}
+
+// BPMaxHybridNest realizes the Table IV hybrid schedule as a nest: per
+// outer wavefront, a parallel accumulation phase (R0/R3/R4 + the
+// independent-folds seed, rows of all triangles in parallel) followed by a
+// parallel per-triangle update phase (pairings, R1, R2, base cases,
+// bottom-up rows and left-to-right cells).
+func BPMaxHybridNest() *Program {
+	sp := poly.NewSpace("N", "M", "d1", "i1", "i2", "j2", "k1", "k2", "d2")
+	vv := func(n string) poly.Expr { return poly.Var(sp, n) }
+	kk := func(k int64) poly.Expr { return poly.Konst(sp, k) }
+	n, m := vv("N"), vv("M")
+	d1, i1, i2, j2, k1, k2, d2 := vv("d1"), vv("i1"), vv("i2"), vv("j2"), vv("k1"), vv("k2"), vv("d2")
+	j1 := i1.Add(d1)
+	readF := func(a, b, c, d poly.Expr) Expr { return Read{"F", []poly.Expr{a, b, c, d}} }
+	cellJ2 := []poly.Expr{i1, j1, i2, j2}
+	accJ2 := func(v Expr) Stmt { return Assign{Array: "F", Idx: cellJ2, Value: Max{Read{"F", cellJ2}, v}} }
+
+	// Phase A: seed + R0/R3/R4 accumulation, rows in parallel.
+	phaseA := Loop{Var: "i1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1).Sub(d1)}, Body: []Stmt{
+		Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Parallel: true, Body: []Stmt{
+			// Seed row with the independent-folds term.
+			Loop{Var: "j2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+				Assign{Array: "F", Idx: cellJ2,
+					Value: Add{Read{"S1", []poly.Expr{i1, j1}}, Read{"S2", []poly.Expr{i2, j2}}}},
+			}},
+			Loop{Var: "k1", Lo: []poly.Expr{i1}, Hi: []poly.Expr{j1.AddK(-1)}, Body: []Stmt{
+				// R3 / R4 streams.
+				Loop{Var: "j2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+					accJ2(Add{Read{"S1", []poly.Expr{i1, k1}}, readF(k1.AddK(1), j1, i2, j2)}),
+					accJ2(Add{readF(i1, k1, i2, j2), Read{"S1", []poly.Expr{k1.AddK(1), j1}}}),
+				}},
+				// R0 stream, j2 innermost.
+				Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-2)}, Body: []Stmt{
+					Loop{Var: "j2", Lo: []poly.Expr{k2.AddK(1)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+						accJ2(Add{readF(i1, k1, i2, k2), readF(k1.AddK(1), j1, k2.AddK(1), j2)}),
+					}},
+				}},
+			}},
+		}},
+	}}
+
+	// Phase B: per-triangle finalization, triangles in parallel, inner
+	// cells in (d2, i2) diagonal order with gathered R1/R2.
+	cellD2 := []poly.Expr{i1, j1, i2, i2.Add(d2)}
+	accD2 := func(v Expr) Stmt { return Assign{Array: "F", Idx: cellD2, Value: Max{Read{"F", cellD2}, v}} }
+	j2b := i2.Add(d2)
+	phaseB := Loop{Var: "i1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1).Sub(d1)}, Parallel: true, Body: []Stmt{
+		Loop{Var: "d2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1).Sub(d2)}, Body: []Stmt{
+				If{Cond: []poly.Constraint{poly.EQ(d1), poly.EQ(d2)},
+					Then: []Stmt{accD2(Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}})}},
+				If{Cond: []poly.Constraint{poly.GE(d1.AddK(-2))},
+					Then: []Stmt{accD2(Add{readF(i1.AddK(1), j1.AddK(-1), i2, j2b), Read{"score1", []poly.Expr{i1, j1}}})},
+					Else: []Stmt{accD2(Add{Read{"S2", []poly.Expr{i2, j2b}}, Read{"score1", []poly.Expr{i1, j1}}})}},
+				If{Cond: []poly.Constraint{poly.GE(d2.AddK(-1))},
+					Then: []Stmt{
+						If{Cond: []poly.Constraint{poly.GE(d2.AddK(-2))},
+							Then: []Stmt{accD2(Add{readF(i1, j1, i2.AddK(1), j2b.AddK(-1)), Read{"score2", []poly.Expr{i2, j2b}}})},
+							Else: []Stmt{accD2(Add{Read{"S1", []poly.Expr{i1, j1}}, Read{"score2", []poly.Expr{i2, j2b}}})}},
+					}},
+				Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{j2b.AddK(-1)}, Body: []Stmt{
+					accD2(Add{Read{"S2", []poly.Expr{i2, k2}}, readF(i1, j1, k2.AddK(1), j2b)}),
+					accD2(Add{readF(i1, j1, i2, k2), Read{"S2", []poly.Expr{k2.AddK(1), j2b}}}),
+				}},
+			}},
+		}},
+	}}
+
+	return &Program{Name: "bpmax-hybrid", Space: sp, Body: []Stmt{
+		Loop{Var: "d1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{phaseA, phaseB}},
+	}}
+}
+
+// BPMaxCoarseNest realizes the Table III coarse-grain schedule: per
+// wavefront, whole triangles are the parallel unit; inside each triangle
+// the R0/R3/R4 accumulation (streaming, j2 innermost) precedes the
+// per-cell update pass.
+func BPMaxCoarseNest() *Program {
+	sp := poly.NewSpace("N", "M", "d1", "i1", "i2", "j2", "k1", "k2", "d2")
+	vv := func(n string) poly.Expr { return poly.Var(sp, n) }
+	kk := func(k int64) poly.Expr { return poly.Konst(sp, k) }
+	n, m := vv("N"), vv("M")
+	d1, i1, i2, j2, k1, k2, d2 := vv("d1"), vv("i1"), vv("i2"), vv("j2"), vv("k1"), vv("k2"), vv("d2")
+	j1 := i1.Add(d1)
+	readF := func(a, b, c, d poly.Expr) Expr { return Read{"F", []poly.Expr{a, b, c, d}} }
+	cellJ2 := []poly.Expr{i1, j1, i2, j2}
+	accJ2 := func(v Expr) Stmt { return Assign{Array: "F", Idx: cellJ2, Value: Max{Read{"F", cellJ2}, v}} }
+
+	accumulate := []Stmt{
+		Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "j2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+				Assign{Array: "F", Idx: cellJ2,
+					Value: Add{Read{"S1", []poly.Expr{i1, j1}}, Read{"S2", []poly.Expr{i2, j2}}}},
+			}},
+			Loop{Var: "k1", Lo: []poly.Expr{i1}, Hi: []poly.Expr{j1.AddK(-1)}, Body: []Stmt{
+				Loop{Var: "j2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+					accJ2(Add{Read{"S1", []poly.Expr{i1, k1}}, readF(k1.AddK(1), j1, i2, j2)}),
+					accJ2(Add{readF(i1, k1, i2, j2), Read{"S1", []poly.Expr{k1.AddK(1), j1}}}),
+				}},
+				Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{m.AddK(-2)}, Body: []Stmt{
+					Loop{Var: "j2", Lo: []poly.Expr{k2.AddK(1)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+						accJ2(Add{readF(i1, k1, i2, k2), readF(k1.AddK(1), j1, k2.AddK(1), j2)}),
+					}},
+				}},
+			}},
+		}},
+	}
+	cellD2 := []poly.Expr{i1, j1, i2, i2.Add(d2)}
+	j2b := i2.Add(d2)
+	accD2 := func(v Expr) Stmt { return Assign{Array: "F", Idx: cellD2, Value: Max{Read{"F", cellD2}, v}} }
+	update := []Stmt{
+		Loop{Var: "d2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "i2", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{m.AddK(-1).Sub(d2)}, Body: []Stmt{
+				If{Cond: []poly.Constraint{poly.EQ(d1), poly.EQ(d2)},
+					Then: []Stmt{accD2(Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}})}},
+				If{Cond: []poly.Constraint{poly.GE(d1.AddK(-2))},
+					Then: []Stmt{accD2(Add{readF(i1.AddK(1), j1.AddK(-1), i2, j2b), Read{"score1", []poly.Expr{i1, j1}}})},
+					Else: []Stmt{accD2(Add{Read{"S2", []poly.Expr{i2, j2b}}, Read{"score1", []poly.Expr{i1, j1}}})}},
+				If{Cond: []poly.Constraint{poly.GE(d2.AddK(-1))},
+					Then: []Stmt{
+						If{Cond: []poly.Constraint{poly.GE(d2.AddK(-2))},
+							Then: []Stmt{accD2(Add{readF(i1, j1, i2.AddK(1), j2b.AddK(-1)), Read{"score2", []poly.Expr{i2, j2b}}})},
+							Else: []Stmt{accD2(Add{Read{"S1", []poly.Expr{i1, j1}}, Read{"score2", []poly.Expr{i2, j2b}}})}},
+					}},
+				Loop{Var: "k2", Lo: []poly.Expr{i2}, Hi: []poly.Expr{j2b.AddK(-1)}, Body: []Stmt{
+					accD2(Add{Read{"S2", []poly.Expr{i2, k2}}, readF(i1, j1, k2.AddK(1), j2b)}),
+					accD2(Add{readF(i1, j1, i2, k2), Read{"S2", []poly.Expr{k2.AddK(1), j2b}}}),
+				}},
+			}},
+		}},
+	}
+	return &Program{Name: "bpmax-coarse", Space: sp, Body: []Stmt{
+		Loop{Var: "d1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1)}, Body: []Stmt{
+			Loop{Var: "i1", Lo: []poly.Expr{kk(0)}, Hi: []poly.Expr{n.AddK(-1).Sub(d1)}, Parallel: true,
+				Body: append(append([]Stmt{}, accumulate...), update...)},
+		}},
+	}}
+}
+
+// BPMaxFineNest realizes the Table II fine-grain schedule: triangles run
+// one at a time; the accumulation's row loop is the parallel dimension and
+// the update pass is serial — the imbalance the hybrid schedule fixes.
+func BPMaxFineNest() *Program {
+	p := BPMaxCoarseNest()
+	// Structurally: move the parallel marker from the triangle loop to the
+	// accumulation row loop.
+	outer := p.Body[0].(Loop)
+	tri := outer.Body[0].(Loop)
+	tri.Parallel = false
+	accum := tri.Body[0].(Loop)
+	accum.Parallel = true
+	tri.Body = append([]Stmt{accum}, tri.Body[1:]...)
+	outer.Body = []Stmt{tri}
+	return &Program{Name: "bpmax-fine", Space: p.Space, Body: []Stmt{outer}}
+}
+
+// BPMaxHybridTiledNest applies the double max-plus tiling to the hybrid
+// nest (strip-mined i2 rows and k2, j2 untiled), the paper's final program
+// version.
+func BPMaxHybridTiledNest(tileI2, tileK2 int64) *Program {
+	p := BPMaxHybridNest()
+	p = StripMine(p, "k2", "k2T", tileK2)
+	p.Name = "bpmax-hybrid-tiled"
+	return p
+}

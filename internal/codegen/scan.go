@@ -1,0 +1,547 @@
+package codegen
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// Automatic nest generation ("generateScheduleC"): given a statement's
+// iteration domain and a space-time map, produce the loop nest that visits
+// its instances in schedule order. The generator
+//
+//  1. inverts the schedule (exact rational Gaussian elimination, checked
+//     integral) so iterators become affine expressions of time,
+//  2. derives each time dimension's loop bounds by Fourier–Motzkin
+//     projection of the domain's image, and
+//  3. guards the body with the (time-substituted) domain constraints, so
+//     the nest is exact even where the rational projection over-covers.
+//
+// Statements whose time ranges provably do not interleave (Precedes) may
+// be sequenced into one program; interleaved statement sets are beyond
+// this generator (AlphaZ's full scanner handles them; the hand-built nests
+// in nests.go cover those cases here).
+
+// ScanStmt is one statement family to scan.
+type ScanStmt struct {
+	Name string
+	// Domain is the statement's iteration domain over
+	// [params..., iterators...].
+	Domain poly.Set
+	// Schedule maps the domain space to time (every instance gets a
+	// distinct time vector; the iterator part must be invertible).
+	Schedule poly.Map
+	// Params names the leading parameter dimensions of Domain.Space.
+	Params []string
+	// Body builds the statement's IR given, for each iterator, its affine
+	// expression over the generated program's space (params + time dims).
+	Body func(iter map[string]poly.Expr, space poly.Space) []Stmt
+}
+
+// frac is an exact rational.
+type frac struct{ n, d int64 }
+
+func fr(n int64) frac { return frac{n, 1} }
+
+func (f frac) norm() frac {
+	if f.d == 0 {
+		panic("codegen: zero denominator")
+	}
+	if f.d < 0 {
+		f.n, f.d = -f.n, -f.d
+	}
+	g := gcd64(f.n, f.d)
+	if g > 1 {
+		f.n /= g
+		f.d /= g
+	}
+	return f
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (f frac) add(g frac) frac { return frac{f.n*g.d + g.n*f.d, f.d * g.d}.norm() }
+func (f frac) mul(g frac) frac { return frac{f.n * g.n, f.d * g.d}.norm() }
+func (f frac) neg() frac       { return frac{-f.n, f.d} }
+func (f frac) isZero() bool    { return f.n == 0 }
+func (f frac) inv() frac       { return frac{f.d, f.n}.norm() }
+
+// invertSchedule solves the schedule equations for the iterators,
+// returning each iterator as an affine Expr over the generated space
+// [params..., t0..tk], plus the leftover equality constraints among time
+// dimensions and parameters (rows without an iterator pivot — e.g. a time
+// dimension that duplicates another, or is a constant). It errors when an
+// iterator is unresolved or a solution is non-integral.
+func invertSchedule(dom poly.Set, sched poly.Map, params []string, genSpace poly.Space) (map[string]poly.Expr, []poly.Constraint, error) {
+	inNames := dom.Space.Names()
+	isParam := map[string]bool{}
+	for _, p := range params {
+		isParam[p] = true
+	}
+	var iters []string
+	for _, n := range inNames {
+		if !isParam[n] {
+			iters = append(iters, n)
+		}
+	}
+	nI := len(iters)
+	nT := len(sched.Exprs)
+	nP := len(params)
+	cols := nI + nT + nP + 1 // iter | t | param | const
+	iterCol := map[string]int{}
+	for i, n := range iters {
+		iterCol[n] = i
+	}
+	paramCol := map[string]int{}
+	for i, p := range params {
+		paramCol[p] = nI + nT + i
+	}
+	// Row l: sum a_li*iter_i - t_l + sum b_lp*param_p + k_l = 0.
+	rows := make([][]frac, nT)
+	for l, ex := range sched.Exprs {
+		row := make([]frac, cols)
+		for i := range row {
+			row[i] = fr(0)
+		}
+		for d, c := range ex.Coeffs {
+			if c == 0 {
+				continue
+			}
+			name := inNames[d]
+			if isParam[name] {
+				row[paramCol[name]] = fr(c)
+			} else {
+				row[iterCol[name]] = fr(c)
+			}
+		}
+		row[nI+l] = fr(-1)
+		row[cols-1] = fr(ex.K)
+		rows[l] = row
+	}
+	// Gauss-Jordan on the iterator columns.
+	pivotRow := make([]int, nI)
+	for i := range pivotRow {
+		pivotRow[i] = -1
+	}
+	r := 0
+	for c := 0; c < nI && r < nT; c++ {
+		// Find a pivot.
+		p := -1
+		for rr := r; rr < nT; rr++ {
+			if !rows[rr][c].isZero() {
+				p = rr
+				break
+			}
+		}
+		if p == -1 {
+			continue
+		}
+		rows[r], rows[p] = rows[p], rows[r]
+		// Scale to 1.
+		inv := rows[r][c].inv()
+		for k := 0; k < cols; k++ {
+			rows[r][k] = rows[r][k].mul(inv)
+		}
+		// Eliminate elsewhere.
+		for rr := 0; rr < nT; rr++ {
+			if rr == r || rows[rr][c].isZero() {
+				continue
+			}
+			f := rows[rr][c]
+			for k := 0; k < cols; k++ {
+				rows[rr][k] = rows[rr][k].add(rows[r][k].mul(f.neg()))
+			}
+		}
+		pivotRow[c] = r
+		r++
+	}
+	out := map[string]poly.Expr{}
+	for i, name := range iters {
+		pr := pivotRow[i]
+		if pr == -1 {
+			return nil, nil, fmt.Errorf("codegen: schedule not invertible: iterator %s unresolved", name)
+		}
+		// Row: iter_i + (t/param/const part) = 0 -> iter_i = -(rest).
+		e := poly.Konst(genSpace, 0)
+		row := rows[pr]
+		addTerm := func(col int, dimName string) error {
+			f := row[col].neg().norm()
+			if f.isZero() {
+				return nil
+			}
+			if f.d != 1 {
+				return fmt.Errorf("codegen: non-integral inverse for iterator %s", name)
+			}
+			e = e.Add(poly.Var(genSpace, dimName).Scale(f.n))
+			return nil
+		}
+		for l := 0; l < nT; l++ {
+			if err := addTerm(nI+l, fmt.Sprintf("t%d", l)); err != nil {
+				return nil, nil, err
+			}
+		}
+		for pi, p := range params {
+			if err := addTerm(nI+nT+pi, p); err != nil {
+				return nil, nil, err
+			}
+		}
+		k := row[cols-1].neg().norm()
+		if !k.isZero() {
+			if k.d != 1 {
+				return nil, nil, fmt.Errorf("codegen: non-integral constant for iterator %s", name)
+			}
+			e = e.AddK(k.n)
+		}
+		out[name] = e
+	}
+	// Leftover rows (all-zero iterator part) are equalities among time
+	// dims, params and constants that the scan must respect.
+	var leftovers []poly.Constraint
+	for _, row := range rows {
+		zeroIter := true
+		for c := 0; c < nI; c++ {
+			if !row[c].isZero() {
+				zeroIter = false
+				break
+			}
+		}
+		if !zeroIter {
+			continue
+		}
+		allZero := true
+		for c := nI; c < cols; c++ {
+			if !row[c].isZero() {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		// Clear denominators.
+		lcm := int64(1)
+		for c := nI; c < cols; c++ {
+			if !row[c].isZero() {
+				lcm = lcm / gcd64(lcm, row[c].d) * row[c].d
+			}
+		}
+		e := poly.Konst(genSpace, row[cols-1].n*(lcm/row[cols-1].d))
+		for l := 0; l < nT; l++ {
+			f := row[nI+l]
+			if !f.isZero() {
+				e = e.Add(poly.Var(genSpace, fmt.Sprintf("t%d", l)).Scale(f.n * (lcm / f.d)))
+			}
+		}
+		for pi, p := range params {
+			f := row[nI+nT+pi]
+			if !f.isZero() {
+				e = e.Add(poly.Var(genSpace, p).Scale(f.n * (lcm / f.d)))
+			}
+		}
+		leftovers = append(leftovers, poly.EQ(e))
+	}
+	return out, leftovers, nil
+}
+
+// timeImage builds the set over [params..., t0..tk] that is the image of
+// the statement's domain under its schedule: the original constraints with
+// iterators substituted by their time expressions.
+func timeImage(st ScanStmt, genSpace poly.Space, iter map[string]poly.Expr) poly.Set {
+	img := poly.NewSet(genSpace)
+	inNames := st.Domain.Space.Names()
+	for _, c := range st.Domain.Cons {
+		e := poly.Konst(genSpace, c.Expr.K)
+		for d, coeff := range c.Expr.Coeffs {
+			if coeff == 0 {
+				continue
+			}
+			name := inNames[d]
+			if ie, ok := iter[name]; ok {
+				e = e.Add(ie.Scale(coeff))
+			} else {
+				e = e.Add(poly.Var(genSpace, name).Scale(coeff))
+			}
+		}
+		img.Cons = append(img.Cons, poly.Constraint{Expr: e, Eq: c.Eq})
+	}
+	return img
+}
+
+// GenerateNest scans one statement family in schedule order.
+func GenerateNest(st ScanStmt) (*Program, error) {
+	nT := len(st.Schedule.Exprs)
+	names := append([]string{}, st.Params...)
+	for l := 0; l < nT; l++ {
+		names = append(names, fmt.Sprintf("t%d", l))
+	}
+	genSpace := poly.NewSpace(names...)
+	iter, leftovers, err := invertSchedule(st.Domain, st.Schedule, st.Params, genSpace)
+	if err != nil {
+		return nil, err
+	}
+	img := timeImage(st, genSpace, iter)
+	img.Cons = append(img.Cons, leftovers...)
+
+	// Innermost: the body guarded by the (substituted) domain constraints,
+	// which makes the nest exact regardless of projection slack.
+	inner := []Stmt{If{Cond: img.Cons, Then: st.Body(iter, genSpace)}}
+
+	// Build loops outside-in; bounds for t_l come from projecting the
+	// image onto [params, t0..tl].
+	for l := nT - 1; l >= 0; l-- {
+		var drop []string
+		for ll := l + 1; ll < nT; ll++ {
+			drop = append(drop, fmt.Sprintf("t%d", ll))
+		}
+		shadow := img.Project(drop...)
+		tPos := genSpace.Pos(fmt.Sprintf("t%d", l))
+		var lo, hi []poly.Expr
+		for _, c := range shadow.Cons {
+			// shadow's space is a sub-space of genSpace; re-express.
+			e := widenNamed(c.Expr, shadow.Space, genSpace)
+			coeff := e.Coeffs[tPos]
+			if coeff == 0 {
+				continue
+			}
+			if coeff != 1 && coeff != -1 {
+				return nil, fmt.Errorf("codegen: non-unit bound coefficient %d on t%d", coeff, l)
+			}
+			rest := e
+			rest.Coeffs = append([]int64(nil), e.Coeffs...)
+			rest.Coeffs[tPos] = 0
+			if c.Eq {
+				// t_l == ±rest: both bounds.
+				b := rest.Scale(-coeff)
+				lo = append(lo, b)
+				hi = append(hi, b)
+				continue
+			}
+			if coeff > 0 {
+				// t_l + rest >= 0 -> t_l >= -rest.
+				lo = append(lo, rest.Neg())
+			} else {
+				// -t_l + rest >= 0 -> t_l <= rest.
+				hi = append(hi, rest)
+			}
+		}
+		if len(lo) == 0 || len(hi) == 0 {
+			return nil, fmt.Errorf("codegen: t%d unbounded (lo=%d hi=%d)", l, len(lo), len(hi))
+		}
+		inner = []Stmt{Loop{Var: fmt.Sprintf("t%d", l), Lo: lo, Hi: hi, Body: inner}}
+	}
+	return &Program{Name: "scan:" + st.Name, Space: genSpace, Body: inner}, nil
+}
+
+// widenNamed re-expresses an expression from a sub-space into genSpace by
+// dimension name.
+func widenNamed(e poly.Expr, from, to poly.Space) poly.Expr {
+	out := poly.Konst(to, e.K)
+	for d, c := range e.Coeffs {
+		if c != 0 {
+			out = out.Add(poly.Var(to, from.Names()[d]).Scale(c))
+		}
+	}
+	return out
+}
+
+// Precedes proves that every instance of a happens strictly before every
+// instance of b (their time ranges do not interleave), which licenses
+// sequencing their generated nests. It checks, by Fourier–Motzkin, that no
+// pair (x ∈ a, y ∈ b) has time_a(x) ⪰ time_b(y); parameters are unified by
+// name.
+func Precedes(a, b ScanStmt) bool {
+	if len(a.Schedule.Exprs) != len(b.Schedule.Exprs) {
+		return false
+	}
+	// Product space: params (shared by name) + a's iterators + b's
+	// iterators (renamed with a "b_" prefix on collision).
+	isParam := map[string]bool{}
+	for _, p := range a.Params {
+		isParam[p] = true
+	}
+	names := append([]string{}, a.Params...)
+	aName := map[string]string{}
+	for _, n := range a.Domain.Space.Names() {
+		if isParam[n] {
+			continue
+		}
+		aName[n] = "a_" + n
+		names = append(names, "a_"+n)
+	}
+	bName := map[string]string{}
+	for _, n := range b.Domain.Space.Names() {
+		if isParam[n] {
+			continue
+		}
+		bName[n] = "b_" + n
+		names = append(names, "b_"+n)
+	}
+	prod := poly.NewSpace(names...)
+	lift := func(e poly.Expr, sp poly.Space, rename map[string]string) poly.Expr {
+		out := poly.Konst(prod, e.K)
+		for d, c := range e.Coeffs {
+			if c == 0 {
+				continue
+			}
+			n := sp.Names()[d]
+			if r, ok := rename[n]; ok {
+				n = r
+			}
+			out = out.Add(poly.Var(prod, n).Scale(c))
+		}
+		return out
+	}
+	base := poly.NewSet(prod)
+	for _, c := range a.Domain.Cons {
+		base.Cons = append(base.Cons, poly.Constraint{Expr: lift(c.Expr, a.Domain.Space, aName), Eq: c.Eq})
+	}
+	for _, c := range b.Domain.Cons {
+		base.Cons = append(base.Cons, poly.Constraint{Expr: lift(c.Expr, b.Domain.Space, bName), Eq: c.Eq})
+	}
+	// Violation: time_a lexicographically >= time_b.
+	d := len(a.Schedule.Exprs)
+	eqs := make([]poly.Constraint, 0, d)
+	for l := 0; l <= d; l++ {
+		ta := func(l int) poly.Expr { return lift(a.Schedule.Exprs[l], a.Domain.Space, aName) }
+		tb := func(l int) poly.Expr { return lift(b.Schedule.Exprs[l], b.Domain.Space, bName) }
+		var viol poly.Set
+		if l < d {
+			viol = base.With(eqs...).With(poly.LT(tb(l), ta(l)))
+		} else {
+			viol = base.With(eqs...) // exact tie
+		}
+		if !viol.IsEmpty() {
+			return false
+		}
+		if l < d {
+			eqs = append(eqs, poly.EQ(lift(a.Schedule.Exprs[l], a.Domain.Space, aName).
+				Sub(lift(b.Schedule.Exprs[l], b.Domain.Space, bName))))
+		}
+	}
+	return true
+}
+
+// GenerateProgram sequences multiple statements' nests after proving their
+// time ranges do not interleave (in the given order).
+func GenerateProgram(name string, stmts ...ScanStmt) (*Program, error) {
+	for i := 0; i+1 < len(stmts); i++ {
+		if !Precedes(stmts[i], stmts[i+1]) {
+			return nil, fmt.Errorf("codegen: statements %q and %q interleave in time; cannot sequence",
+				stmts[i].Name, stmts[i+1].Name)
+		}
+	}
+	// All nests share the same parameter names; merge their spaces by
+	// giving each nest its own time dims suffix? Each nest has its own
+	// program space; run them as separate sub-programs under one wrapper.
+	progs := make([]*Program, len(stmts))
+	for i, st := range stmts {
+		p, err := GenerateNest(st)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = p
+	}
+	// Unify: rename each nest's time dims t<l> -> s<i>_t<l> and merge.
+	var names []string
+	names = append(names, stmts[0].Params...)
+	for i, p := range progs {
+		for _, n := range p.Space.Names() {
+			if isParamName(n, stmts[0].Params) {
+				continue
+			}
+			names = append(names, fmt.Sprintf("s%d_%s", i, n))
+		}
+	}
+	merged := poly.NewSpace(names...)
+	out := &Program{Name: name, Space: merged}
+	for i, p := range progs {
+		rename := func(n string) string {
+			if isParamName(n, stmts[0].Params) {
+				return n
+			}
+			return fmt.Sprintf("s%d_%s", i, n)
+		}
+		out.Body = append(out.Body, remapStmts(p.Body, p.Space, merged, rename)...)
+	}
+	return out, nil
+}
+
+func isParamName(n string, params []string) bool {
+	for _, p := range params {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// remapStmts rewrites statements from one space into another under a
+// dimension renaming.
+func remapStmts(body []Stmt, from, to poly.Space, rename func(string) string) []Stmt {
+	remapExpr := func(e poly.Expr) poly.Expr {
+		out := poly.Konst(to, e.K)
+		for d, c := range e.Coeffs {
+			if c != 0 {
+				out = out.Add(poly.Var(to, rename(from.Names()[d])).Scale(c))
+			}
+		}
+		return out
+	}
+	remapExprs := func(es []poly.Expr) []poly.Expr {
+		out := make([]poly.Expr, len(es))
+		for i, e := range es {
+			out[i] = remapExpr(e)
+		}
+		return out
+	}
+	var remapVal func(v Expr) Expr
+	remapVal = func(v Expr) Expr {
+		switch y := v.(type) {
+		case Read:
+			return Read{Array: y.Array, Idx: remapExprs(y.Idx)}
+		case Const:
+			return y
+		case Max:
+			return Max{remapVal(y.A), remapVal(y.B)}
+		case Add:
+			return Add{remapVal(y.A), remapVal(y.B)}
+		}
+		panic("codegen: remap unknown expr")
+	}
+	var walk func(s Stmt) Stmt
+	walkAll := func(b []Stmt) []Stmt {
+		out := make([]Stmt, len(b))
+		for i, s := range b {
+			out[i] = walk(s)
+		}
+		return out
+	}
+	walk = func(s Stmt) Stmt {
+		switch st := s.(type) {
+		case Loop:
+			return Loop{Var: rename(st.Var), Lo: remapExprs(st.Lo), Hi: remapExprs(st.Hi),
+				Step: st.Step, Parallel: st.Parallel, Body: walkAll(st.Body)}
+		case If:
+			cond := make([]poly.Constraint, len(st.Cond))
+			for i, c := range st.Cond {
+				cond[i] = poly.Constraint{Expr: remapExpr(c.Expr), Eq: c.Eq}
+			}
+			return If{Cond: cond, Then: walkAll(st.Then), Else: walkAll(st.Else)}
+		case Assign:
+			return Assign{Array: st.Array, Idx: remapExprs(st.Idx), Value: remapVal(st.Value)}
+		}
+		panic("codegen: remap unknown stmt")
+	}
+	return walkAll(body)
+}

@@ -1,0 +1,241 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// dmpSeedStmt builds the singleton-seed statement of the double max-plus
+// system: G[i1,i1,i2,i2] = max(0, iscore[i1,i2]) over 0<=i1<N, 0<=i2<M,
+// scheduled into the given 6-D time vector.
+func dmpSeedStmt(sched func(sp poly.Space) []poly.Expr) ScanStmt {
+	sp := poly.NewSpace("N", "M", "i1", "i2")
+	i1, i2 := poly.Var(sp, "i1"), poly.Var(sp, "i2")
+	dom := poly.NewSet(sp,
+		poly.GE(i1), poly.LT(i1, poly.Var(sp, "N")),
+		poly.GE(i2), poly.LT(i2, poly.Var(sp, "M")),
+	)
+	return ScanStmt{
+		Name:     "seed",
+		Domain:   dom,
+		Schedule: poly.NewMap(sp, tSpace(6), sched(sp)),
+		Params:   []string{"N", "M"},
+		Body: func(iter map[string]poly.Expr, space poly.Space) []Stmt {
+			i1, i2 := iter["i1"], iter["i2"]
+			return []Stmt{Assign{
+				Array: "G", Idx: []poly.Expr{i1, i1, i2, i2},
+				Value: Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}},
+			}}
+		},
+	}
+}
+
+// dmpR0Stmt builds the accumulation statement over its 6 iterators.
+func dmpR0Stmt(sched func(sp poly.Space) []poly.Expr) ScanStmt {
+	sp := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2")
+	v := func(n string) poly.Expr { return poly.Var(sp, n) }
+	dom := poly.NewSet(sp,
+		poly.GE(v("i1")), poly.LE(v("i1"), v("k1")), poly.LT(v("k1"), v("j1")), poly.LT(v("j1"), v("N")),
+		poly.GE(v("i2")), poly.LE(v("i2"), v("k2")), poly.LT(v("k2"), v("j2")), poly.LT(v("j2"), v("M")),
+	)
+	return ScanStmt{
+		Name:     "r0",
+		Domain:   dom,
+		Schedule: poly.NewMap(sp, tSpace(6), sched(sp)),
+		Params:   []string{"N", "M"},
+		Body: func(iter map[string]poly.Expr, space poly.Space) []Stmt {
+			i1, j1 := iter["i1"], iter["j1"]
+			i2, j2 := iter["i2"], iter["j2"]
+			k1, k2 := iter["k1"], iter["k2"]
+			cell := []poly.Expr{i1, j1, i2, j2}
+			return []Stmt{Assign{
+				Array: "G", Idx: cell,
+				Value: Max{Read{"G", cell}, Add{
+					Read{"G", []poly.Expr{i1, k1, i2, k2}},
+					Read{"G", []poly.Expr{k1.AddK(1), j1, k2.AddK(1), j2}},
+				}},
+			}}
+		},
+	}
+}
+
+func tSpace(d int) poly.Space {
+	names := make([]string, d)
+	for i := range names {
+		names[i] = "t" + string(rune('0'+i))
+	}
+	return poly.NewSpace(names...)
+}
+
+// fineTime builds the fine schedule's time vectors.
+func fineSeedTime(sp poly.Space) []poly.Expr {
+	i1, i2 := poly.Var(sp, "i1"), poly.Var(sp, "i2")
+	return []poly.Expr{poly.Konst(sp, 0), i1, i1, i2, i2, poly.Var(sp, "M")}
+}
+
+func fineR0Time(sp poly.Space) []poly.Expr {
+	v := func(n string) poly.Expr { return poly.Var(sp, n) }
+	return []poly.Expr{v("j1").Sub(v("i1")), v("i1"), v("k1"), v("i2"), v("k2"), v("j2")}
+}
+
+func TestGeneratedDMPNestMatchesSolver(t *testing.T) {
+	// The fully automatic pipeline: schedule -> inverted iterators ->
+	// FM-bounded loops -> guarded body, executed and compared against the
+	// production solver.
+	prog, err := AutoDMPFineProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed + 7))
+		p := newProblem(t, seed, 1+rng.Intn(6), 1+rng.Intn(6))
+		want := ibpmax.SolveDMP(p, ibpmax.DMPReference, ibpmax.Config{})
+		runNest(t, prog, p, "G", want)
+	}
+}
+
+func TestGeneratedNestEmits(t *testing.T) {
+	prog, err := GenerateProgram("auto-dmp-fine",
+		dmpSeedStmt(fineSeedTime), dmpR0Stmt(fineR0Time))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prog.EmitGo()
+	// Six time loops for the R0 statement plus the seed nest.
+	if strings.Count(src, "for ") < 8 {
+		t.Errorf("generated nest unexpectedly shallow:\n%s", src)
+	}
+	if !strings.Contains(src, "if ") {
+		t.Errorf("generated nest missing exactness guard:\n%s", src)
+	}
+}
+
+func TestPrecedesFineOrder(t *testing.T) {
+	seed := dmpSeedStmt(fineSeedTime)
+	r0 := dmpR0Stmt(fineR0Time)
+	if !Precedes(seed, r0) {
+		t.Error("fine order: seeds should precede all accumulation")
+	}
+	if Precedes(r0, seed) {
+		t.Error("reverse claim should fail")
+	}
+}
+
+func TestGenerateProgramRefusesInterleaving(t *testing.T) {
+	// Bottom-up triangle order interleaves seeds with accumulation (the
+	// seed of row i1 runs after the accumulation of rows > i1), which the
+	// sequencing proof must detect.
+	buSeed := func(sp poly.Space) []poly.Expr {
+		i1, i2 := poly.Var(sp, "i1"), poly.Var(sp, "i2")
+		return []poly.Expr{i1.Neg(), i1, i1, i2, i2, poly.Var(sp, "M")}
+	}
+	buR0 := func(sp poly.Space) []poly.Expr {
+		v := func(n string) poly.Expr { return poly.Var(sp, n) }
+		return []poly.Expr{v("i1").Neg(), v("j1"), v("k1"), v("i2"), v("k2"), v("j2")}
+	}
+	if _, err := GenerateProgram("auto-dmp-bu", dmpSeedStmt(buSeed), dmpR0Stmt(buR0)); err == nil {
+		t.Error("interleaving statements sequenced without error")
+	}
+}
+
+func TestGenerateNestSimpleTriangle(t *testing.T) {
+	// A toy statement: count the cells of a triangle via the identity
+	// schedule, checking bounds and guard exactness.
+	sp := poly.NewSpace("N", "i", "j")
+	i, j := poly.Var(sp, "i"), poly.Var(sp, "j")
+	dom := poly.NewSet(sp, poly.GE(i), poly.LE(i, j), poly.LT(j, poly.Var(sp, "N")))
+	st := ScanStmt{
+		Name:   "count",
+		Domain: dom,
+		Schedule: poly.NewMap(sp, tSpace(2), []poly.Expr{
+			j.Sub(i), i, // diagonal order
+		}),
+		Params: []string{"N"},
+		Body: func(iter map[string]poly.Expr, space poly.Space) []Stmt {
+			zero := []poly.Expr{poly.Konst(space, 0)}
+			return []Stmt{Assign{Array: "C", Idx: zero,
+				Value: Add{Read{"C", zero}, Const{1}}}}
+		},
+	}
+	prog, err := GenerateNest(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore(nil)
+	prog.Run(map[string]int64{"N": 9}, store)
+	if got := store.Read("C", []int64{0}); got != 45 { // 9*10/2
+		t.Errorf("triangle cell count = %v, want 45", got)
+	}
+}
+
+func TestInvertScheduleErrors(t *testing.T) {
+	sp := poly.NewSpace("N", "i", "j")
+	i, j := poly.Var(sp, "i"), poly.Var(sp, "j")
+	dom := poly.NewSet(sp, poly.GE(i), poly.LE(i, j), poly.LT(j, poly.Var(sp, "N")))
+	// Non-invertible: time mentions only i.
+	st := ScanStmt{
+		Name: "bad", Domain: dom, Params: []string{"N"},
+		Schedule: poly.NewMap(sp, tSpace(2), []poly.Expr{i, i}),
+		Body: func(map[string]poly.Expr, poly.Space) []Stmt {
+			return nil
+		},
+	}
+	if _, err := GenerateNest(st); err == nil {
+		t.Error("singular schedule accepted")
+	}
+	// Non-integral: t0 = i+j, t1 = i-j gives i = (t0+t1)/2.
+	st2 := st
+	st2.Schedule = poly.NewMap(sp, tSpace(2), []poly.Expr{i.Add(j), i.Sub(j)})
+	if _, err := GenerateNest(st2); err == nil {
+		t.Error("half-integral inverse accepted")
+	}
+}
+
+func TestGeneratedNestGoldenStability(t *testing.T) {
+	// Generation is deterministic: two builds emit identical source.
+	a, err := GenerateProgram("auto", dmpSeedStmt(fineSeedTime), dmpR0Stmt(fineR0Time))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateProgram("auto", dmpSeedStmt(fineSeedTime), dmpR0Stmt(fineR0Time))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EmitGo() != b.EmitGo() {
+		t.Error("generated nests differ between runs")
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	prog, err := AutoDMPFineProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simp := Simplify(prog)
+	if simp.LOC() >= prog.LOC() {
+		t.Errorf("Simplify did not shrink the nest: %d -> %d lines", prog.LOC(), simp.LOC())
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		rng := rand.New(rand.NewSource(seed + 70))
+		p := newProblem(t, seed+7, 1+rng.Intn(6), 1+rng.Intn(6))
+		want := ibpmax.SolveDMP(p, ibpmax.DMPReference, ibpmax.Config{})
+		runNest(t, simp, p, "G", want)
+	}
+}
+
+func TestSimplifyCollapsesDegenerateLoops(t *testing.T) {
+	prog, err := AutoDMPFineProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Simplify(prog).EmitGo()
+	// The seed statement's five degenerate dimensions collapse: its nest
+	// should keep only the two genuine loops (over i1 and i2).
+	if strings.Contains(src, "t0 := 0; s0_t0 <= 0") {
+		t.Errorf("degenerate loop survived simplification:\n%s", src)
+	}
+}

@@ -1,0 +1,76 @@
+package codegen
+
+import "github.com/bpmax-go/bpmax/internal/poly"
+
+// Canonical ScanStmt builders for the double max-plus system, used by the
+// automatic generator ("generateScheduleC") and cmd/alphagen.
+
+// scanTSpace returns the anonymous 6-D time space of the DMP schedules.
+func scanTSpace() poly.Space {
+	return poly.NewSpace("t0", "t1", "t2", "t3", "t4", "t5")
+}
+
+// DMPSeedScan is the singleton-seed statement G[i1,i1,i2,i2] =
+// max(0, iscore[i1,i2]) under the fine schedule's time placement
+// (wavefront 0).
+func DMPSeedScan() ScanStmt {
+	sp := poly.NewSpace("N", "M", "i1", "i2")
+	i1, i2 := poly.Var(sp, "i1"), poly.Var(sp, "i2")
+	dom := poly.NewSet(sp,
+		poly.GE(i1), poly.LT(i1, poly.Var(sp, "N")),
+		poly.GE(i2), poly.LT(i2, poly.Var(sp, "M")),
+	)
+	return ScanStmt{
+		Name:   "seed",
+		Domain: dom,
+		Schedule: poly.NewMap(sp, scanTSpace(), []poly.Expr{
+			poly.Konst(sp, 0), i1, i1, i2, i2, poly.Var(sp, "M"),
+		}),
+		Params: []string{"N", "M"},
+		Body: func(iter map[string]poly.Expr, space poly.Space) []Stmt {
+			i1, i2 := iter["i1"], iter["i2"]
+			return []Stmt{Assign{
+				Array: "G", Idx: []poly.Expr{i1, i1, i2, i2},
+				Value: Max{Const{0}, Read{"iscore", []poly.Expr{i1, i2}}},
+			}}
+		},
+	}
+}
+
+// DMPR0Scan is the accumulation statement under the fine streaming
+// schedule (j1-i1, i1, k1, i2, k2, j2).
+func DMPR0Scan() ScanStmt {
+	sp := poly.NewSpace("N", "M", "i1", "j1", "i2", "j2", "k1", "k2")
+	v := func(n string) poly.Expr { return poly.Var(sp, n) }
+	dom := poly.NewSet(sp,
+		poly.GE(v("i1")), poly.LE(v("i1"), v("k1")), poly.LT(v("k1"), v("j1")), poly.LT(v("j1"), v("N")),
+		poly.GE(v("i2")), poly.LE(v("i2"), v("k2")), poly.LT(v("k2"), v("j2")), poly.LT(v("j2"), v("M")),
+	)
+	return ScanStmt{
+		Name:   "r0",
+		Domain: dom,
+		Schedule: poly.NewMap(sp, scanTSpace(), []poly.Expr{
+			v("j1").Sub(v("i1")), v("i1"), v("k1"), v("i2"), v("k2"), v("j2"),
+		}),
+		Params: []string{"N", "M"},
+		Body: func(iter map[string]poly.Expr, space poly.Space) []Stmt {
+			i1, j1 := iter["i1"], iter["j1"]
+			i2, j2 := iter["i2"], iter["j2"]
+			k1, k2 := iter["k1"], iter["k2"]
+			cell := []poly.Expr{i1, j1, i2, j2}
+			return []Stmt{Assign{
+				Array: "G", Idx: cell,
+				Value: Max{Read{"G", cell}, Add{
+					Read{"G", []poly.Expr{i1, k1, i2, k2}},
+					Read{"G", []poly.Expr{k1.AddK(1), j1, k2.AddK(1), j2}},
+				}},
+			}}
+		},
+	}
+}
+
+// AutoDMPFineProgram runs the full automatic pipeline for the double
+// max-plus system under the fine schedule: invert, bound, guard, sequence.
+func AutoDMPFineProgram() (*Program, error) {
+	return GenerateProgram("auto-dmp-fine", DMPSeedScan(), DMPR0Scan())
+}

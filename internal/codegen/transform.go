@@ -1,0 +1,355 @@
+package codegen
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/poly"
+)
+
+// Transformations on loop nests. These are the Tiling-phase operations of
+// the AlphaZ flow: strip-mining a loop into a tile loop plus an intra-tile
+// loop, and interchanging perfectly nested loops. Their legality for the
+// BPMax nests is established by the schedule proofs in package alpha; the
+// tests additionally verify semantic preservation by executing the
+// transformed nests.
+
+// StripMine replaces every loop over varName with a tile loop tileVar
+// stepping by size and an inner loop clamped to the tile, extending the
+// program space with tileVar. The loop bounds may reference outer loop
+// variables (they are affine, so the clamp min/max stays affine).
+func StripMine(p *Program, varName, tileVar string, size int64) *Program {
+	if size <= 0 {
+		panic(fmt.Sprintf("codegen: tile size %d", size))
+	}
+	if p.Space.Pos(tileVar) >= 0 {
+		panic(fmt.Sprintf("codegen: tile variable %q already exists", tileVar))
+	}
+	newSpace := poly.NewSpace(append(p.Space.Names(), tileVar)...)
+	out := &Program{Name: p.Name + "+strip(" + varName + ")", Space: newSpace}
+	out.Body = stripStmts(p.Body, p.Space, newSpace, varName, tileVar, size)
+	return out
+}
+
+// widen re-expresses an expression over the extended space (same leading
+// dims).
+func widen(e poly.Expr, from, to poly.Space) poly.Expr {
+	w := poly.Expr{Coeffs: make([]int64, to.Dim()), K: e.K}
+	copy(w.Coeffs, e.Coeffs)
+	return w
+}
+
+func widenAll(es []poly.Expr, from, to poly.Space) []poly.Expr {
+	out := make([]poly.Expr, len(es))
+	for i, e := range es {
+		out[i] = widen(e, from, to)
+	}
+	return out
+}
+
+func stripStmts(body []Stmt, from, to poly.Space, varName, tileVar string, size int64) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		out = append(out, stripStmt(s, from, to, varName, tileVar, size))
+	}
+	return out
+}
+
+func stripStmt(s Stmt, from, to poly.Space, varName, tileVar string, size int64) Stmt {
+	switch st := s.(type) {
+	case Loop:
+		lo := widenAll(st.Lo, from, to)
+		hi := widenAll(st.Hi, from, to)
+		body := stripStmts(st.Body, from, to, varName, tileVar, size)
+		if st.Var != varName {
+			return Loop{Var: st.Var, Lo: lo, Hi: hi, Step: st.Step, Parallel: st.Parallel, Body: body}
+		}
+		// tile loop: tileVar from lo..hi step size; inner loop clamped.
+		tv := poly.Var(to, tileVar)
+		inner := Loop{
+			Var:  st.Var,
+			Lo:   append([]poly.Expr{tv}, lo...),
+			Hi:   append([]poly.Expr{tv.AddK(size - 1)}, hi...),
+			Step: st.Step,
+			Body: body,
+		}
+		return Loop{
+			Var: tileVar, Lo: lo, Hi: hi, Step: size, Parallel: st.Parallel,
+			Body: []Stmt{inner},
+		}
+	case If:
+		cond := make([]poly.Constraint, len(st.Cond))
+		for i, c := range st.Cond {
+			cond[i] = poly.Constraint{Expr: widen(c.Expr, from, to), Eq: c.Eq}
+		}
+		return If{
+			Cond: cond,
+			Then: stripStmts(st.Then, from, to, varName, tileVar, size),
+			Else: stripStmts(st.Else, from, to, varName, tileVar, size),
+		}
+	case Assign:
+		return Assign{Array: st.Array, Idx: widenAll(st.Idx, from, to), Value: widenExpr(st.Value, from, to)}
+	}
+	panic(fmt.Sprintf("codegen: unknown statement %T", s))
+}
+
+func widenExpr(e Expr, from, to poly.Space) Expr {
+	switch x := e.(type) {
+	case Read:
+		return Read{Array: x.Array, Idx: widenAll(x.Idx, from, to)}
+	case Const:
+		return x
+	case Max:
+		return Max{widenExpr(x.A, from, to), widenExpr(x.B, from, to)}
+	case Add:
+		return Add{widenExpr(x.A, from, to), widenExpr(x.B, from, to)}
+	}
+	panic(fmt.Sprintf("codegen: unknown expression %T", e))
+}
+
+// RebaseLoopBound rewrites the bounds of every loop over loopVar,
+// replacing references to dimension from with dimension to. It is used
+// before Interchange when a tile loop's bound references the intra-tile
+// variable of an outer tile (e.g. lowering a k2-tile start from i2 to the
+// i2-tile base): the replacement must only enlarge the iteration range
+// with iterations made empty by inner clamps — the caller asserts that,
+// the tests verify it by execution.
+func RebaseLoopBound(p *Program, loopVar, from, to string) *Program {
+	fi, ti := p.Space.Pos(from), p.Space.Pos(to)
+	if fi < 0 || ti < 0 {
+		panic(fmt.Sprintf("codegen: RebaseLoopBound unknown dims %q/%q", from, to))
+	}
+	subst := func(e poly.Expr) poly.Expr {
+		if e.Coeffs[fi] == 0 {
+			return e
+		}
+		out := poly.Expr{Coeffs: append([]int64(nil), e.Coeffs...), K: e.K}
+		out.Coeffs[ti] += out.Coeffs[fi]
+		out.Coeffs[fi] = 0
+		return out
+	}
+	var rewrite func(s Stmt) Stmt
+	rewriteAll := func(body []Stmt) []Stmt {
+		o := make([]Stmt, 0, len(body))
+		for _, s := range body {
+			o = append(o, rewrite(s))
+		}
+		return o
+	}
+	rewrite = func(s Stmt) Stmt {
+		switch st := s.(type) {
+		case Loop:
+			lo, hi := st.Lo, st.Hi
+			if st.Var == loopVar {
+				lo = make([]poly.Expr, len(st.Lo))
+				for i, e := range st.Lo {
+					lo[i] = subst(e)
+				}
+				hi = make([]poly.Expr, len(st.Hi))
+				for i, e := range st.Hi {
+					hi[i] = subst(e)
+				}
+			}
+			return Loop{Var: st.Var, Lo: lo, Hi: hi, Step: st.Step, Parallel: st.Parallel,
+				Body: rewriteAll(st.Body)}
+		case If:
+			return If{Cond: st.Cond, Then: rewriteAll(st.Then), Else: rewriteAll(st.Else)}
+		default:
+			return s
+		}
+	}
+	return &Program{Name: p.Name + "+rebase(" + loopVar + ")", Space: p.Space, Body: rewriteAll(p.Body)}
+}
+
+// Simplify cleans machine-generated nests: loops whose lower and upper
+// bound are the same single expression collapse into a substitution of
+// their body, and guard constraints that become literally trivial
+// (0 >= 0 / 0 == 0) are dropped; Ifs with no remaining conditions inline
+// their Then branch. Iterates to a fixed point; semantics preserved (the
+// tests re-execute simplified nests).
+func Simplify(p *Program) *Program {
+	body := p.Body
+	for {
+		next, changed := simplifyStmts(body, p.Space)
+		body = next
+		if !changed {
+			break
+		}
+	}
+	return &Program{Name: p.Name, Space: p.Space, Body: body}
+}
+
+func simplifyStmts(body []Stmt, sp poly.Space) ([]Stmt, bool) {
+	var out []Stmt
+	changed := false
+	for _, s := range body {
+		ss, ch := simplifyStmt(s, sp)
+		out = append(out, ss...)
+		changed = changed || ch
+	}
+	return out, changed
+}
+
+func exprEqual(a, b poly.Expr) bool {
+	if a.K != b.K || len(a.Coeffs) != len(b.Coeffs) {
+		return false
+	}
+	for i := range a.Coeffs {
+		if a.Coeffs[i] != b.Coeffs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// substDim replaces dimension v with expression e throughout an affine
+// expression.
+func substDim(x poly.Expr, pos int, e poly.Expr) poly.Expr {
+	c := x.Coeffs[pos]
+	if c == 0 {
+		return x
+	}
+	out := poly.Expr{Coeffs: append([]int64(nil), x.Coeffs...), K: x.K}
+	out.Coeffs[pos] = 0
+	return out.Add(e.Scale(c))
+}
+
+func substStmts(body []Stmt, pos int, e poly.Expr) []Stmt {
+	out := make([]Stmt, 0, len(body))
+	for _, s := range body {
+		out = append(out, substStmt(s, pos, e))
+	}
+	return out
+}
+
+func substStmt(s Stmt, pos int, e poly.Expr) Stmt {
+	mapAll := func(es []poly.Expr) []poly.Expr {
+		out := make([]poly.Expr, len(es))
+		for i, x := range es {
+			out[i] = substDim(x, pos, e)
+		}
+		return out
+	}
+	var mapVal func(v Expr) Expr
+	mapVal = func(v Expr) Expr {
+		switch y := v.(type) {
+		case Read:
+			return Read{Array: y.Array, Idx: mapAll(y.Idx)}
+		case Const:
+			return y
+		case Max:
+			return Max{mapVal(y.A), mapVal(y.B)}
+		case Add:
+			return Add{mapVal(y.A), mapVal(y.B)}
+		}
+		panic("codegen: subst unknown expr")
+	}
+	switch st := s.(type) {
+	case Loop:
+		return Loop{Var: st.Var, Lo: mapAll(st.Lo), Hi: mapAll(st.Hi), Step: st.Step,
+			Parallel: st.Parallel, Body: substStmts(st.Body, pos, e)}
+	case If:
+		cond := make([]poly.Constraint, len(st.Cond))
+		for i, c := range st.Cond {
+			cond[i] = poly.Constraint{Expr: substDim(c.Expr, pos, e), Eq: c.Eq}
+		}
+		return If{Cond: cond, Then: substStmts(st.Then, pos, e), Else: substStmts(st.Else, pos, e)}
+	case Assign:
+		return Assign{Array: st.Array, Idx: mapAll(st.Idx), Value: mapVal(st.Value)}
+	}
+	panic("codegen: subst unknown stmt")
+}
+
+func trivialConstraint(c poly.Constraint) bool {
+	for _, co := range c.Expr.Coeffs {
+		if co != 0 {
+			return false
+		}
+	}
+	if c.Eq {
+		return c.Expr.K == 0
+	}
+	return c.Expr.K >= 0
+}
+
+func simplifyStmt(s Stmt, sp poly.Space) ([]Stmt, bool) {
+	switch st := s.(type) {
+	case Loop:
+		// Single-iteration loop: substitute and inline.
+		if len(st.Lo) == 1 && len(st.Hi) == 1 && exprEqual(st.Lo[0], st.Hi[0]) && st.step() == 1 {
+			pos := -1
+			for i, n := range sp.Names() {
+				if n == st.Var {
+					pos = i
+				}
+			}
+			if pos >= 0 && st.Lo[0].Coeffs[pos] == 0 {
+				inlined := substStmts(st.Body, pos, st.Lo[0])
+				out, _ := simplifyStmts(inlined, sp)
+				return out, true
+			}
+		}
+		body, ch := simplifyStmts(st.Body, sp)
+		return []Stmt{Loop{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step,
+			Parallel: st.Parallel, Body: body}}, ch
+	case If:
+		var cond []poly.Constraint
+		dropped := false
+		for _, c := range st.Cond {
+			if trivialConstraint(c) {
+				dropped = true
+				continue
+			}
+			cond = append(cond, c)
+		}
+		then, ch1 := simplifyStmts(st.Then, sp)
+		els, ch2 := simplifyStmts(st.Else, sp)
+		if len(cond) == 0 && len(els) == 0 {
+			return then, true
+		}
+		return []Stmt{If{Cond: cond, Then: then, Else: els}}, dropped || ch1 || ch2
+	default:
+		return []Stmt{s}, false
+	}
+}
+
+// Interchange swaps a loop over outerVar with an immediately nested loop
+// over innerVar wherever that exact pattern occurs (the inner loop must be
+// the loop body's only statement, and its bounds must not reference
+// outerVar — the caller asserts legality, the tests verify semantics).
+func Interchange(p *Program, outerVar, innerVar string) *Program {
+	out := &Program{Name: p.Name + "+swap(" + outerVar + "," + innerVar + ")", Space: p.Space}
+	var rewrite func(s Stmt) Stmt
+	rewriteAll := func(body []Stmt) []Stmt {
+		o := make([]Stmt, 0, len(body))
+		for _, s := range body {
+			o = append(o, rewrite(s))
+		}
+		return o
+	}
+	rewrite = func(s Stmt) Stmt {
+		switch st := s.(type) {
+		case Loop:
+			if st.Var == outerVar && len(st.Body) == 1 {
+				if in, ok := st.Body[0].(Loop); ok && in.Var == innerVar {
+					for _, e := range append(append([]poly.Expr{}, in.Lo...), in.Hi...) {
+						if e.Coeffs[p.Space.Pos(outerVar)] != 0 {
+							panic(fmt.Sprintf("codegen: cannot interchange %s/%s: inner bounds use %s",
+								outerVar, innerVar, outerVar))
+						}
+					}
+					inner := Loop{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step, Body: rewriteAll(in.Body)}
+					return Loop{Var: in.Var, Lo: in.Lo, Hi: in.Hi, Step: in.Step,
+						Parallel: st.Parallel || in.Parallel, Body: []Stmt{inner}}
+				}
+			}
+			return Loop{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step, Parallel: st.Parallel,
+				Body: rewriteAll(st.Body)}
+		case If:
+			return If{Cond: st.Cond, Then: rewriteAll(st.Then), Else: rewriteAll(st.Else)}
+		default:
+			return s
+		}
+	}
+	out.Body = rewriteAll(p.Body)
+	return out
+}

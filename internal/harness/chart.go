@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders a Table's numeric columns as horizontal ASCII bar charts,
+// grouped by the first column — a terminal-friendly stand-in for the
+// paper's figures. Cells that do not parse as numbers (after stripping a
+// trailing "x") are skipped.
+func (t *Table) Chart(width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s — %s (%s)\n", t.ID, t.Title, t.PaperRef)
+	if len(t.Header) < 2 || len(t.Rows) == 0 {
+		sb.WriteString("(nothing to chart)\n")
+		return sb.String()
+	}
+	// Find the global maximum per numeric column for scaling.
+	numeric := make([]bool, len(t.Header))
+	maxv := make([]float64, len(t.Header))
+	for c := 1; c < len(t.Header); c++ {
+		any := false
+		for _, row := range t.Rows {
+			if c >= len(row) {
+				continue
+			}
+			if v, ok := parseCell(row[c]); ok {
+				any = true
+				if v > maxv[c] {
+					maxv[c] = v
+				}
+			}
+		}
+		numeric[c] = any
+	}
+	labelW := len(t.Header[0])
+	for _, row := range t.Rows {
+		if len(row[0]) > labelW {
+			labelW = len(row[0])
+		}
+	}
+	for c := 1; c < len(t.Header); c++ {
+		if !numeric[c] || maxv[c] <= 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n%s\n", t.Header[c])
+		for _, row := range t.Rows {
+			if c >= len(row) {
+				continue
+			}
+			v, ok := parseCell(row[c])
+			if !ok {
+				continue
+			}
+			n := int(v / maxv[c] * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s %s\n", labelW, row[0], strings.Repeat("#", n), row[c])
+		}
+	}
+	return sb.String()
+}
+
+// parseCell extracts a float from a table cell, tolerating a trailing "x"
+// (speedups) or "*" (extrapolation marker).
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSpace(s), "*"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,233 @@
+// Package maxplus provides the tropical (max, +) streaming kernels at the
+// heart of the optimized BPMax implementation.
+//
+// The paper's entire optimization story reduces to making the innermost
+// loop the streaming update
+//
+//	Y[j] = max(a + X[j], Y[j])
+//
+// over contiguous single-precision rows (arithmetic intensity 2 FLOPs per
+// 3 memory operations = 1/6 FLOP/byte), which the C compiler then
+// auto-vectorizes. Go has no vector intrinsics, so this package supplies
+// the same access pattern in scalar form plus an 8-way unrolled variant
+// mirroring the paper's "one scalar and a vector of 8 elements" shape; the
+// unroll keeps the loop free of bounds checks and gives the hardware
+// independent max chains to retire in parallel.
+//
+// The gather kernels (DotMaxPlus*) implement the *rejected* schedules that
+// keep k2 innermost; they exist so the benchmarks can demonstrate why those
+// schedules lose.
+package maxplus
+
+// Accumulate performs the streaming update y[i] = max(a + x[i], y[i]) over
+// the common prefix of x and y. This is simultaneously Algorithm 3's
+// micro-benchmark kernel and the inner loop of the double max-plus.
+func Accumulate(y, x []float32, a float32) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	x = x[:n]
+	y = y[:n]
+	for i := range y {
+		if v := a + x[i]; v > y[i] {
+			y[i] = v
+		}
+	}
+}
+
+// Accumulate8 is Accumulate with an 8-way unrolled main loop. The unroll
+// factor matches one AVX2 lane of float32 on the paper's machines.
+func Accumulate8(y, x []float32, a float32) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	x = x[:n]
+	y = y[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x8 := x[i : i+8 : i+8]
+		y8 := y[i : i+8 : i+8]
+		v0 := a + x8[0]
+		v1 := a + x8[1]
+		v2 := a + x8[2]
+		v3 := a + x8[3]
+		v4 := a + x8[4]
+		v5 := a + x8[5]
+		v6 := a + x8[6]
+		v7 := a + x8[7]
+		if v0 > y8[0] {
+			y8[0] = v0
+		}
+		if v1 > y8[1] {
+			y8[1] = v1
+		}
+		if v2 > y8[2] {
+			y8[2] = v2
+		}
+		if v3 > y8[3] {
+			y8[3] = v3
+		}
+		if v4 > y8[4] {
+			y8[4] = v4
+		}
+		if v5 > y8[5] {
+			y8[5] = v5
+		}
+		if v6 > y8[6] {
+			y8[6] = v6
+		}
+		if v7 > y8[7] {
+			y8[7] = v7
+		}
+	}
+	for ; i < n; i++ {
+		if v := a + x[i]; v > y[i] {
+			y[i] = v
+		}
+	}
+}
+
+// MaxScalar performs y[i] = max(y[i], a): the whole-row scalar max used by
+// the R3/R4 contributions ("almost free since those get computed along with
+// the R0").
+func MaxScalar(y []float32, a float32) {
+	for i := range y {
+		if a > y[i] {
+			y[i] = a
+		}
+	}
+}
+
+// AccumulatePair fuses y[i] = max(y[i], a + x[i], b): one pass applying
+// both an R0-style stream (a+x) and an R3/R4-style scalar bound (b).
+func AccumulatePair(y, x []float32, a, b float32) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	x = x[:n]
+	y = y[:n]
+	for i := range y {
+		v := a + x[i]
+		if b > v {
+			v = b
+		}
+		if v > y[i] {
+			y[i] = v
+		}
+	}
+}
+
+// DotMaxPlus computes max_i (a[i] + b[i]) over the common prefix, the
+// per-cell reduction form used by k2-innermost (non-streaming) schedules.
+// It returns negative infinity behaviour via the caller's initialization:
+// for empty inputs it returns -3.4e38 (≈ float32 min).
+func DotMaxPlus(a, b []float32) float32 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	best := float32(-3.4e38)
+	for i := 0; i < n; i++ {
+		if v := a[i] + b[i]; v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// DotMaxPlusStride computes max_i (a[i] + b[i*stride]), the column-gather
+// reduction the original BPMax schedule performs when k2 is innermost and
+// the second operand is walked down a column of the bounding box.
+func DotMaxPlusStride(a, b []float32, stride int) float32 {
+	best := float32(-3.4e38)
+	bi := 0
+	for i := 0; i < len(a); i++ {
+		if v := a[i] + b[bi]; v > best {
+			best = v
+		}
+		bi += stride
+	}
+	return best
+}
+
+// AccumulateDual applies one shared x stream to two destination rows:
+// y1[i] = max(y1[i], a1 + x[i]) and y2[i] = max(y2[i], a2 + x[i]) in a
+// single pass. This is the register-level tiling the paper's conclusion
+// calls for ("an additional level of tiling at the register level is
+// required to make the program compute-bound"): the B row is read once for
+// two output rows, halving stream traffic per FLOP.
+func AccumulateDual(y1, y2, x []float32, a1, a2 float32) {
+	n := len(x)
+	if len(y1) < n {
+		n = len(y1)
+	}
+	if len(y2) < n {
+		n = len(y2)
+	}
+	x = x[:n]
+	y1 = y1[:n]
+	y2 = y2[:n]
+	for i := range x {
+		v := x[i]
+		if w := a1 + v; w > y1[i] {
+			y1[i] = w
+		}
+		if w := a2 + v; w > y2[i] {
+			y2[i] = w
+		}
+	}
+}
+
+// AddScalarInto initializes dst[i] = a + x[i] over the common prefix of dst
+// and x: the row-initialization kernel (G = S¹(i1,j1) + S² row) that seeds
+// the H accumulator before the R0/R3/R4 streams run.
+func AddScalarInto(dst, x []float32, a float32) {
+	n := len(dst)
+	if len(x) < n {
+		n = len(x)
+	}
+	x = x[:n]
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = a + x[i]
+	}
+}
+
+// MulAddAccumulate performs y[i] += a * x[i] — the multiply-add analogue
+// of Accumulate. It exists for the related-work comparison: Varadarajan's
+// surrogate kernel (which the paper benchmarks its schedules against) used
+// multiply-add where BPMax uses max-plus; the two kernels share the exact
+// access pattern, so any performance difference isolates the ALU operation
+// mix ("a 1.5×-2× improvement over a similar kernel optimized
+// previously").
+func MulAddAccumulate(y, x []float32, a float32) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	x = x[:n]
+	y = y[:n]
+	for i := range y {
+		y[i] += a * x[i]
+	}
+}
+
+// Max returns the larger of two float32 values. The kernels above inline
+// this comparison manually; Max exists for the scalar orchestration code.
+func Max(a, b float32) float32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Max3 returns the maximum of three values.
+func Max3(a, b, c float32) float32 { return Max(Max(a, b), c) }
+
+// FlopsPerElement is the number of max-plus floating-point operations
+// (one add, one max) performed per element by Accumulate — the convention
+// the paper uses when converting element counts to GFLOPS.
+const FlopsPerElement = 2

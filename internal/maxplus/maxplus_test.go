@@ -1,0 +1,328 @@
+package maxplus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refAccumulate is the obviously-correct form of the streaming update.
+func refAccumulate(y, x []float32, a float32) {
+	n := len(y)
+	if len(x) < n {
+		n = len(x)
+	}
+	for i := 0; i < n; i++ {
+		v := a + x[i]
+		if v > y[i] {
+			y[i] = v
+		}
+	}
+}
+
+func randomSlice(rng *rand.Rand, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = rng.Float32()*200 - 100
+	}
+	return s
+}
+
+func equalSlices(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAccumulateMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 100, 1023} {
+		x := randomSlice(rng, n)
+		y := randomSlice(rng, n)
+		want := append([]float32(nil), y...)
+		a := rng.Float32()*10 - 5
+		refAccumulate(want, x, a)
+		Accumulate(y, x, a)
+		if !equalSlices(y, want) {
+			t.Errorf("n=%d: Accumulate differs from reference", n)
+		}
+	}
+}
+
+func TestAccumulate8MatchesAccumulate(t *testing.T) {
+	f := func(seed int64, rawN uint16, a float32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN % 300)
+		x := randomSlice(rng, n)
+		y1 := randomSlice(rng, n)
+		y2 := append([]float32(nil), y1...)
+		Accumulate(y1, x, a)
+		Accumulate8(y2, x, a)
+		return equalSlices(y1, y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulateUnevenLengths(t *testing.T) {
+	// y longer than x: only the prefix is updated.
+	y := []float32{0, 0, 0, -50}
+	x := []float32{10, 20}
+	Accumulate(y, x, 1)
+	want := []float32{11, 21, 0, -50}
+	if !equalSlices(y, want) {
+		t.Errorf("Accumulate uneven = %v, want %v", y, want)
+	}
+	// x longer than y: no out-of-bounds writes.
+	y2 := []float32{0}
+	Accumulate(y2, []float32{5, 6, 7}, 0)
+	if y2[0] != 5 {
+		t.Errorf("Accumulate prefix = %v", y2)
+	}
+}
+
+func TestAccumulate8UnevenLengths(t *testing.T) {
+	y := make([]float32, 20)
+	x := make([]float32, 13)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	Accumulate8(y, x, 1)
+	for i := 0; i < 13; i++ {
+		if y[i] != float32(i)+1 {
+			t.Fatalf("y[%d] = %v", i, y[i])
+		}
+	}
+	for i := 13; i < 20; i++ {
+		if y[i] != 0 {
+			t.Fatalf("y[%d] = %v, should be untouched", i, y[i])
+		}
+	}
+}
+
+func TestAccumulateIdempotentWhenDominated(t *testing.T) {
+	y := []float32{100, 100, 100}
+	x := []float32{0, 0, 0}
+	Accumulate(y, x, 1)
+	if !equalSlices(y, []float32{100, 100, 100}) {
+		t.Errorf("dominated update changed y: %v", y)
+	}
+}
+
+func TestMaxScalar(t *testing.T) {
+	y := []float32{-5, 3, 0}
+	MaxScalar(y, 1)
+	if !equalSlices(y, []float32{1, 3, 1}) {
+		t.Errorf("MaxScalar = %v", y)
+	}
+	MaxScalar(nil, 10) // must not panic
+}
+
+func TestAccumulatePairMatchesTwoPasses(t *testing.T) {
+	f := func(seed int64, rawN uint8, a, b float32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN % 100)
+		x := randomSlice(rng, n)
+		y1 := randomSlice(rng, n)
+		y2 := append([]float32(nil), y1...)
+		AccumulatePair(y1, x, a, b)
+		Accumulate(y2, x, a)
+		MaxScalar(y2, b)
+		return equalSlices(y1, y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDotMaxPlus(t *testing.T) {
+	a := []float32{1, 2, 3}
+	b := []float32{30, 20, 10}
+	if got := DotMaxPlus(a, b); got != 31 {
+		t.Errorf("DotMaxPlus = %v, want 31", got)
+	}
+	if got := DotMaxPlus(nil, nil); got != -3.4e38 {
+		t.Errorf("empty DotMaxPlus = %v", got)
+	}
+	// Uneven lengths use the common prefix.
+	if got := DotMaxPlus([]float32{1, 100}, []float32{1}); got != 2 {
+		t.Errorf("uneven DotMaxPlus = %v, want 2", got)
+	}
+}
+
+func TestDotMaxPlusStride(t *testing.T) {
+	// b laid out as a 3x3 row-major matrix; walk column 1 (stride 3).
+	b := []float32{
+		0, 10, 0,
+		0, 20, 0,
+		0, 5, 0,
+	}
+	a := []float32{1, 1, 1}
+	if got := DotMaxPlusStride(a, b[1:], 3); got != 21 {
+		t.Errorf("DotMaxPlusStride = %v, want 21", got)
+	}
+}
+
+func TestDotMaxPlusStrideMatchesDense(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN%50) + 1
+		a := randomSlice(rng, n)
+		b := randomSlice(rng, n)
+		return DotMaxPlus(a, b) == DotMaxPlusStride(a, b, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulateDualMatchesTwoCalls(t *testing.T) {
+	f := func(seed int64, rawN uint8, a1, a2 float32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rawN % 120)
+		x := randomSlice(rng, n)
+		y1 := randomSlice(rng, n)
+		y2 := randomSlice(rng, n)
+		w1 := append([]float32(nil), y1...)
+		w2 := append([]float32(nil), y2...)
+		AccumulateDual(y1, y2, x, a1, a2)
+		Accumulate(w1, x, a1)
+		Accumulate(w2, x, a2)
+		return equalSlices(y1, w1) && equalSlices(y2, w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulateDualUneven(t *testing.T) {
+	y1 := []float32{0, 0, 0}
+	y2 := []float32{0}
+	AccumulateDual(y1, y2, []float32{10, 20}, 1, 2)
+	if y1[0] != 11 || y1[1] != 0 || y2[0] != 12 {
+		t.Errorf("uneven dual = %v %v", y1, y2)
+	}
+}
+
+func BenchmarkAccumulateDual(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSlice(rng, 4096)
+	y1 := randomSlice(rng, 4096)
+	y2 := randomSlice(rng, 4096)
+	b.SetBytes(4096 * 4 * 3) // one x read amortized over two row updates
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AccumulateDual(y1, y2, x, 1.5, 2.5)
+	}
+}
+
+func TestAddScalarInto(t *testing.T) {
+	dst := make([]float32, 4)
+	AddScalarInto(dst, []float32{1, 2, 3, 4}, 10)
+	if !equalSlices(dst, []float32{11, 12, 13, 14}) {
+		t.Errorf("AddScalarInto = %v", dst)
+	}
+	// Uneven lengths: only the common prefix is written.
+	dst2 := []float32{-1, -1, -1}
+	AddScalarInto(dst2, []float32{5}, 1)
+	if !equalSlices(dst2, []float32{6, -1, -1}) {
+		t.Errorf("AddScalarInto uneven = %v", dst2)
+	}
+	AddScalarInto(nil, nil, 0) // must not panic
+}
+
+func TestMaxHelpers(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 || Max(-1, -2) != -1 {
+		t.Error("Max wrong")
+	}
+	if Max3(1, 5, 3) != 5 || Max3(7, 5, 3) != 7 || Max3(1, 2, 9) != 9 {
+		t.Error("Max3 wrong")
+	}
+}
+
+func TestAccumulateCommutesWithOrder(t *testing.T) {
+	// Applying updates (a1,x1) then (a2,x2) must equal the reverse order:
+	// max-plus accumulation is order-independent.
+	f := func(seed int64, a1, a2 float32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x1 := randomSlice(rng, n)
+		x2 := randomSlice(rng, n)
+		y1 := randomSlice(rng, n)
+		y2 := append([]float32(nil), y1...)
+		Accumulate(y1, x1, a1)
+		Accumulate(y1, x2, a2)
+		Accumulate(y2, x2, a2)
+		Accumulate(y2, x1, a1)
+		return equalSlices(y1, y2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAddAccumulate(t *testing.T) {
+	y := []float32{1, 2, 3}
+	MulAddAccumulate(y, []float32{10, 20, 30}, 2)
+	if !equalSlices(y, []float32{21, 42, 63}) {
+		t.Errorf("MulAddAccumulate = %v", y)
+	}
+	// Common-prefix semantics like the other kernels.
+	y2 := []float32{1, 1}
+	MulAddAccumulate(y2, []float32{5}, 1)
+	if !equalSlices(y2, []float32{6, 1}) {
+		t.Errorf("uneven MulAdd = %v", y2)
+	}
+}
+
+// BenchmarkMulAddAccumulate measures the multiply-add twin of the
+// streaming kernel (the Varadarajan-comparison data point).
+func BenchmarkMulAddAccumulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSlice(rng, 4096)
+	y := randomSlice(rng, 4096)
+	b.SetBytes(4096 * 4 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddAccumulate(y, x, 1.0001)
+	}
+}
+
+func BenchmarkAccumulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSlice(rng, 4096)
+	y := randomSlice(rng, 4096)
+	b.SetBytes(4096 * 4 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Accumulate(y, x, 1.5)
+	}
+}
+
+func BenchmarkAccumulate8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSlice(rng, 4096)
+	y := randomSlice(rng, 4096)
+	b.SetBytes(4096 * 4 * 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Accumulate8(y, x, 1.5)
+	}
+}
+
+func BenchmarkDotMaxPlusStride(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomSlice(rng, 4096*64)
+	a := randomSlice(rng, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DotMaxPlusStride(a, x, 64)
+	}
+}

@@ -1,0 +1,230 @@
+// Package nussinov computes the weighted single-strand folding tables
+// S[i,j] used by BPMax (its S¹ and S² inputs) and, standalone, the classic
+// Nussinov secondary-structure prediction.
+//
+// S[i,j] is the maximum total weight of a non-crossing set of base pairs
+// within the closed subsequence [i, j]. The recurrence is
+//
+//	S[i,j] = max( S[i+1,j], S[i,j-1],
+//	              S[i+1,j-1] + score(i,j),
+//	              max_{k=i..j-1} S[i,k] + S[k+1,j] )
+//
+// with S[i,j] = 0 when j <= i. Dependences only reach strictly shorter
+// intervals, so anti-diagonals (j-i constant) are independent wavefronts;
+// BuildParallel exploits that, mirroring how the paper schedules S¹/S²
+// "before scheduling any other variables".
+package nussinov
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ScoreFunc returns the pairing weight for positions i < j, or a very
+// large negative value (score.NegInf) when the pairing is forbidden.
+type ScoreFunc func(i, j int) float32
+
+// Table holds S over a bounding-box memory map (option 1 of the paper's
+// Fig 10): row-contiguous so BPMax's kernels can stream rows of S².
+type Table struct {
+	N    int
+	data []float32 // data[i*N+j] = S[i,j] for i <= j
+}
+
+// NewTable allocates an empty (all-zero) table for n positions.
+func NewTable(n int) *Table {
+	if n < 0 {
+		panic(fmt.Sprintf("nussinov: negative size %d", n))
+	}
+	return &Table{N: n, data: make([]float32, n*n)}
+}
+
+// At returns S[i,j]; intervals with j < i (and the empty table) are 0 by
+// definition.
+func (t *Table) At(i, j int) float32 {
+	if j < i {
+		return 0
+	}
+	if i < 0 || j >= t.N {
+		panic(fmt.Sprintf("nussinov: At(%d, %d) out of table of size %d", i, j, t.N))
+	}
+	return t.data[i*t.N+j]
+}
+
+// Row returns the slice holding row i (cells (i, 0..N-1) of the bounding
+// box; only j >= i are meaningful). Callers must not modify it.
+func (t *Table) Row(i int) []float32 { return t.data[i*t.N : (i+1)*t.N] }
+
+// set stores S[i,j].
+func (t *Table) set(i, j int, v float32) { t.data[i*t.N+j] = v }
+
+// cell computes the recurrence body for (i, j), assuming all shorter
+// intervals are final.
+func (t *Table) cell(i, j int, score ScoreFunc) float32 {
+	best := t.At(i+1, j)
+	if v := t.At(i, j-1); v > best {
+		best = v
+	}
+	if v := t.At(i+1, j-1) + score(i, j); v > best {
+		best = v
+	}
+	for k := i; k < j; k++ {
+		if v := t.At(i, k) + t.At(k+1, j); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Build fills the table sequentially in diagonal order. O(n³) time,
+// O(n²) space.
+func Build(n int, score ScoreFunc) *Table {
+	t := NewTable(n)
+	for d := 1; d < n; d++ {
+		for i := 0; i+d < n; i++ {
+			j := i + d
+			t.set(i, j, t.cell(i, j, score))
+		}
+	}
+	return t
+}
+
+// BuildParallel fills the table with workers goroutines cooperating on each
+// anti-diagonal wavefront. workers <= 0 selects GOMAXPROCS.
+func BuildParallel(n int, score ScoreFunc, workers int) *Table {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t := NewTable(n)
+	if n < 2 {
+		return t
+	}
+	if workers == 1 || n < 64 {
+		// Fork-join overhead dominates tiny tables.
+		for d := 1; d < n; d++ {
+			for i := 0; i+d < n; i++ {
+				t.set(i, i+d, t.cell(i, i+d, score))
+			}
+		}
+		return t
+	}
+	var wg sync.WaitGroup
+	for d := 1; d < n; d++ {
+		cells := n - d
+		w := workers
+		if w > cells {
+			w = cells
+		}
+		chunk := (cells + w - 1) / w
+		for p := 0; p < w; p++ {
+			lo := p * chunk
+			hi := lo + chunk
+			if hi > cells {
+				hi = cells
+			}
+			wg.Add(1)
+			go func(lo, hi, d int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					t.set(i, i+d, t.cell(i, i+d, score))
+				}
+			}(lo, hi, d)
+		}
+		wg.Wait()
+	}
+	return t
+}
+
+// Pair is one base pair (I, J) with I < J, 0-based.
+type Pair struct{ I, J int }
+
+// Traceback recovers one optimal set of base pairs for the whole sequence.
+// The returned pairs are non-crossing and their total weight equals
+// S[0, N-1].
+func (t *Table) Traceback(score ScoreFunc) []Pair {
+	return t.TracebackInterval(0, t.N-1, score)
+}
+
+// TracebackInterval recovers one optimal pair set for the closed interval
+// [i0, j0]; the total weight equals S[i0, j0]. BPMax's traceback calls this
+// whenever its decomposition bottoms out in a single-strand fold.
+func (t *Table) TracebackInterval(i0, j0 int, score ScoreFunc) []Pair {
+	var pairs []Pair
+	var walk func(i, j int)
+	walk = func(i, j int) {
+		if j <= i {
+			return
+		}
+		v := t.At(i, j)
+		if v == t.At(i+1, j) {
+			walk(i+1, j)
+			return
+		}
+		if v == t.At(i, j-1) {
+			walk(i, j-1)
+			return
+		}
+		if v == t.At(i+1, j-1)+score(i, j) {
+			pairs = append(pairs, Pair{i, j})
+			walk(i+1, j-1)
+			return
+		}
+		for k := i; k < j; k++ {
+			if v == t.At(i, k)+t.At(k+1, j) {
+				walk(i, k)
+				walk(k+1, j)
+				return
+			}
+		}
+		panic(fmt.Sprintf("nussinov: traceback stuck at (%d, %d)", i, j))
+	}
+	walk(i0, j0)
+	return pairs
+}
+
+// DotBracket renders a pair set over n positions in dot-bracket notation.
+// It panics if the pairs cross or reuse a position, making it usable as a
+// structure validity check in tests.
+func DotBracket(n int, pairs []Pair) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '.'
+	}
+	for _, p := range pairs {
+		if p.I < 0 || p.J >= n || p.I >= p.J {
+			panic(fmt.Sprintf("nussinov: invalid pair %v", p))
+		}
+		if out[p.I] != '.' || out[p.J] != '.' {
+			panic(fmt.Sprintf("nussinov: position reused by pair %v", p))
+		}
+		out[p.I], out[p.J] = '(', ')'
+	}
+	// Crossing check via bracket matching.
+	depthStack := make([]int, 0, n)
+	open := make(map[int]int) // open position -> its pair J
+	for _, p := range pairs {
+		open[p.I] = p.J
+	}
+	for i := 0; i < n; i++ {
+		switch out[i] {
+		case '(':
+			depthStack = append(depthStack, open[i])
+		case ')':
+			if len(depthStack) == 0 || depthStack[len(depthStack)-1] != i {
+				panic("nussinov: crossing pairs")
+			}
+			depthStack = depthStack[:len(depthStack)-1]
+		}
+	}
+	return string(out)
+}
+
+// PairsWeight sums score over a pair set.
+func PairsWeight(pairs []Pair, score ScoreFunc) float32 {
+	var total float32
+	for _, p := range pairs {
+		total += score(p.I, p.J)
+	}
+	return total
+}

@@ -1,0 +1,160 @@
+package poly
+
+import "fmt"
+
+// Dependence records that, for every point e of Domain (an "extended"
+// space that may include reduction indices and parameters), the consumer
+// statement instance Cons(e) of variable ConsVar reads the value produced
+// by instance Prod(e) of variable ProdVar. A schedule is legal only if
+// every such read happens strictly after its write.
+type Dependence struct {
+	Name             string
+	Domain           Set
+	ConsVar, ProdVar string
+	Cons, Prod       Map
+}
+
+// NewDependence validates arities and builds a dependence.
+func NewDependence(name string, dom Set, consVar string, cons Map, prodVar string, prod Map) Dependence {
+	if !cons.In.Equal(dom.Space) || !prod.In.Equal(dom.Space) {
+		panic(fmt.Sprintf("poly: dependence %q maps must take the domain space %s", name, dom.Space))
+	}
+	return Dependence{Name: name, Domain: dom, ConsVar: consVar, ProdVar: prodVar, Cons: cons, Prod: prod}
+}
+
+// Schedule assigns each variable a multidimensional affine space-time map
+// into a common time space. All maps must share the output dimensionality
+// (AlphaZ: "a system with multiple variables requires the dimension of all
+// the space-time maps to be equal").
+type Schedule struct {
+	Name string
+	Maps map[string]Map
+}
+
+// NewSchedule builds a schedule and checks the common-dimension rule.
+func NewSchedule(name string, maps map[string]Map) Schedule {
+	d := -1
+	for v, m := range maps {
+		if d == -1 {
+			d = m.Out.Dim()
+		} else if m.Out.Dim() != d {
+			panic(fmt.Sprintf("poly: schedule %q: map for %q has %d time dims, want %d", name, v, m.Out.Dim(), d))
+		}
+	}
+	return Schedule{Name: name, Maps: maps}
+}
+
+// TimeDim returns the dimensionality of the common time space.
+func (s Schedule) TimeDim() int {
+	for _, m := range s.Maps {
+		return m.Out.Dim()
+	}
+	return 0
+}
+
+// Violation describes a dependence instance a schedule mis-orders.
+type Violation struct {
+	Dep   string
+	Level int // lexicographic level of the tie/beat, or -1 for exact tie
+	Point []int64
+	Set   Set // the (possibly parametric) violation set at that level
+}
+
+// Check proves or refutes legality of the schedule against the
+// dependences. For each dependence it forms, per lexicographic level l,
+// the violation set
+//
+//	Domain ∧ { θc_k(Cons(e)) == θp_k(Prod(e)) for k < l }
+//	       ∧ { θc_l(Cons(e))  < θp_l(Prod(e)) }
+//
+// plus the exact-tie set (all levels equal), and proves each empty by
+// Fourier–Motzkin. Emptiness of every set is a size-independent legality
+// proof. When a set is not provably empty and searchBound >= 0, an integer
+// witness is searched in the box [0, searchBound]^dim of the dependence's
+// domain; pass searchBound < 0 to skip the search and report the set
+// itself.
+func (s Schedule) Check(deps []Dependence, searchBound int) []Violation {
+	var out []Violation
+	for _, dep := range deps {
+		tc, okc := s.Maps[dep.ConsVar]
+		tp, okp := s.Maps[dep.ProdVar]
+		if !okc || !okp {
+			panic(fmt.Sprintf("poly: schedule %q lacks a map for dependence %q (%s <- %s)",
+				s.Name, dep.Name, dep.ConsVar, dep.ProdVar))
+		}
+		// Time of consumer / producer as functions of the extended domain.
+		ctime := tc.Compose(dep.Cons)
+		ptime := tp.Compose(dep.Prod)
+		d := len(ctime.Exprs)
+		// Per-level violation sets.
+		eqs := make([]Constraint, 0, d)
+		for l := 0; l <= d; l++ {
+			var viol Set
+			if l < d {
+				// Ties above, consumer strictly earlier at level l.
+				viol = dep.Domain.With(eqs...).With(LT(ctime.Exprs[l], ptime.Exprs[l]))
+			} else {
+				// Exact tie on every level: producer never precedes consumer.
+				viol = dep.Domain.With(eqs...)
+			}
+			if !viol.IsEmpty() {
+				v := Violation{Dep: dep.Name, Level: l, Set: viol}
+				if l == d {
+					v.Level = -1
+				}
+				if searchBound >= 0 {
+					dim := viol.Space.Dim()
+					lo := make([]int64, dim)
+					hi := make([]int64, dim)
+					for i := range hi {
+						hi[i] = int64(searchBound)
+					}
+					v.Point = viol.AnyPoint(lo, hi)
+				}
+				// Only report sets that are either provably inhabited (a
+				// witness was found) or whose emptiness could not be
+				// proved with no search requested.
+				if searchBound < 0 || v.Point != nil {
+					out = append(out, v)
+				}
+			}
+			if l < d {
+				eqs = append(eqs, EQ(ctime.Exprs[l].Sub(ptime.Exprs[l])))
+			}
+		}
+	}
+	return out
+}
+
+// Legal reports whether Check finds no violations (with no witness search:
+// pure Fourier–Motzkin proof).
+func (s Schedule) Legal(deps []Dependence) bool {
+	return len(s.Check(deps, -1)) == 0
+}
+
+// ParallelValid reports whether time dimension level may be executed in
+// parallel (AlphaZ setParallel): no dependence may be carried at that
+// level. For every dependence, the set of instances whose time vectors tie
+// on all dimensions before level but differ at level must be empty — such
+// an instance would order two iterations of the parallel loop against each
+// other.
+func (s Schedule) ParallelValid(deps []Dependence, level int) bool {
+	for _, dep := range deps {
+		ctime := s.Maps[dep.ConsVar].Compose(dep.Cons)
+		ptime := s.Maps[dep.ProdVar].Compose(dep.Prod)
+		if level >= len(ctime.Exprs) {
+			panic(fmt.Sprintf("poly: parallel level %d out of %d time dims", level, len(ctime.Exprs)))
+		}
+		eqs := make([]Constraint, 0, level)
+		for k := 0; k < level; k++ {
+			eqs = append(eqs, EQ(ctime.Exprs[k].Sub(ptime.Exprs[k])))
+		}
+		// Carried at `level` in either direction.
+		lt := dep.Domain.With(eqs...).With(LT(ctime.Exprs[level], ptime.Exprs[level]))
+		gt := dep.Domain.With(eqs...).With(LT(ptime.Exprs[level], ctime.Exprs[level]))
+		if !lt.IsEmpty() || !gt.IsEmpty() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Constraint is Expr >= 0 (inequality) or Expr == 0 (equality).
+type Constraint struct {
+	Expr Expr
+	Eq   bool
+}
+
+// GE builds the constraint e >= 0.
+func GE(e Expr) Constraint { return Constraint{Expr: e} }
+
+// EQ builds the constraint e == 0.
+func EQ(e Expr) Constraint { return Constraint{Expr: e, Eq: true} }
+
+// LE builds e <= f as f - e >= 0.
+func LE(e, f Expr) Constraint { return GE(f.Sub(e)) }
+
+// LT builds e < f as f - e - 1 >= 0 (integer strictness).
+func LT(e, f Expr) Constraint { return GE(f.Sub(e).AddK(-1)) }
+
+// Holds reports whether the constraint is satisfied at a point.
+func (c Constraint) Holds(pt []int64) bool {
+	v := c.Expr.Eval(pt)
+	if c.Eq {
+		return v == 0
+	}
+	return v >= 0
+}
+
+// normalize divides the constraint by the gcd of its coefficients (for
+// inequalities the constant is floor-divided, which is exact for integer
+// feasibility and keeps Fourier–Motzkin coefficients small).
+func (c Constraint) normalize() Constraint {
+	g := int64(0)
+	for _, co := range c.Expr.Coeffs {
+		g = gcd(g, co)
+	}
+	if g == 0 {
+		return c // purely constant constraint
+	}
+	if c.Eq {
+		g = gcd(g, c.Expr.K)
+		if g <= 1 {
+			return c
+		}
+	}
+	out := c
+	out.Expr = c.Expr.clone()
+	for i := range out.Expr.Coeffs {
+		out.Expr.Coeffs[i] /= g
+	}
+	if c.Eq {
+		out.Expr.K /= g
+	} else {
+		out.Expr.K = floorDiv(c.Expr.K, g)
+	}
+	return out
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Set is a polyhedral set: the integer points of a space satisfying a
+// conjunction of affine constraints.
+type Set struct {
+	Space Space
+	Cons  []Constraint
+}
+
+// NewSet builds a set over sp.
+func NewSet(sp Space, cons ...Constraint) Set {
+	for _, c := range cons {
+		if len(c.Expr.Coeffs) != sp.Dim() {
+			panic(fmt.Sprintf("poly: constraint arity %d does not match space %s", len(c.Expr.Coeffs), sp))
+		}
+	}
+	return Set{Space: sp, Cons: cons}
+}
+
+// With returns the set intersected with additional constraints.
+func (s Set) With(cons ...Constraint) Set {
+	out := Set{Space: s.Space, Cons: make([]Constraint, 0, len(s.Cons)+len(cons))}
+	out.Cons = append(out.Cons, s.Cons...)
+	out.Cons = append(out.Cons, cons...)
+	return out
+}
+
+// Contains reports whether the integer point pt satisfies every
+// constraint.
+func (s Set) Contains(pt []int64) bool {
+	if len(pt) != s.Space.Dim() {
+		panic(fmt.Sprintf("poly: point arity %d does not match space %s", len(pt), s.Space))
+	}
+	for _, c := range s.Cons {
+		if !c.Holds(pt) {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate calls f for every integer point of the bounding box
+// [lo[i], hi[i]] (inclusive) that lies in the set. It is the brute-force
+// companion to IsEmpty used for cross-validation and witness search.
+// It stops early if f returns false and reports whether the scan ran to
+// completion.
+func (s Set) Enumerate(lo, hi []int64, f func(pt []int64) bool) bool {
+	d := s.Space.Dim()
+	if len(lo) != d || len(hi) != d {
+		panic("poly: Enumerate bounds arity mismatch")
+	}
+	pt := make([]int64, d)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == d {
+			if s.Contains(pt) {
+				cp := make([]int64, d)
+				copy(cp, pt)
+				return f(cp)
+			}
+			return true
+		}
+		for v := lo[i]; v <= hi[i]; v++ {
+			pt[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// AnyPoint searches the bounding box for one point of the set, returning
+// nil if none exists there.
+func (s Set) AnyPoint(lo, hi []int64) []int64 {
+	var found []int64
+	s.Enumerate(lo, hi, func(pt []int64) bool {
+		found = pt
+		return false
+	})
+	return found
+}
+
+// String renders the set in an isl-like syntax.
+func (s Set) String() string {
+	var parts []string
+	for _, c := range s.Cons {
+		op := ">= 0"
+		if c.Eq {
+			op = "== 0"
+		}
+		parts = append(parts, c.Expr.Format(s.Space)+" "+op)
+	}
+	return "{ " + s.Space.String() + " : " + strings.Join(parts, " and ") + " }"
+}

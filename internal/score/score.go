@@ -1,0 +1,212 @@
+// Package score defines the weighted base-pair scoring model used by BPMax
+// and the Nussinov-style single-strand tables.
+//
+// BPMax maximizes a weighted count of base pairs. Following the BPPart/BPMax
+// base-pair counting model, canonical pairs carry ring-strength weights
+// (GC strongest, then AU, then the GU wobble); all other pairings are
+// forbidden (score -inf, represented here as a large negative value that
+// survives float32 max-plus arithmetic without overflow).
+package score
+
+import (
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/rna"
+)
+
+// Value is the scalar score type. Single precision matches the paper's
+// storage choice ("we use single-precision storage to reduce the memory
+// footprint of BPMax").
+type Value = float32
+
+// NegInf is the additive identity for forbidden pairings. It is chosen so
+// that summing O(N+M) of them still stays far below any feasible score and
+// far above float32 -Inf (avoiding NaNs from -Inf + -Inf cancellation in
+// tests that subtract scores).
+const NegInf Value = -1e30
+
+// Model assigns weights to base pairs. A zero-valued Model forbids
+// everything; use one of the constructors.
+type Model struct {
+	// pairs[a][b] is the weight for pairing base ordinal a with ordinal b.
+	pairs [4][4]Value
+	name  string
+}
+
+// ord maps a canonical base to its 0..3 ordinal.
+func ord(b rna.Base) int {
+	switch b {
+	case rna.A:
+		return 0
+	case rna.C:
+		return 1
+	case rna.G:
+		return 2
+	case rna.U:
+		return 3
+	}
+	panic(fmt.Sprintf("score: non-canonical base %q", byte(b)))
+}
+
+// BasePair returns the canonical weighted base-pair counting model:
+// GC/CG = 3, AU/UA = 2, GU/UG = 1, everything else forbidden.
+func BasePair() Model {
+	m := Forbidden("basepair")
+	m.setPair(rna.G, rna.C, 3)
+	m.setPair(rna.A, rna.U, 2)
+	m.setPair(rna.G, rna.U, 1)
+	return m
+}
+
+// Unit returns the unweighted Nussinov model: every canonical pair
+// (GC, AU, GU) scores 1, so the optimum counts base pairs.
+func Unit() Model {
+	m := Forbidden("unit")
+	m.setPair(rna.G, rna.C, 1)
+	m.setPair(rna.A, rna.U, 1)
+	m.setPair(rna.G, rna.U, 1)
+	return m
+}
+
+// Forbidden returns a model in which every pairing is disallowed. It is the
+// neutral starting point for Custom models and the natural "interaction
+// disabled" model for degeneracy tests.
+func Forbidden(name string) Model {
+	var m Model
+	m.name = name
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			m.pairs[a][b] = NegInf
+		}
+	}
+	return m
+}
+
+// Custom builds a model from explicit pair weights. Each entry sets the
+// weight symmetrically for (a,b) and (b,a).
+func Custom(name string, weights map[[2]rna.Base]Value) Model {
+	m := Forbidden(name)
+	for pair, w := range weights {
+		m.setPair(pair[0], pair[1], w)
+	}
+	return m
+}
+
+func (m *Model) setPair(a, b rna.Base, w Value) {
+	m.pairs[ord(a)][ord(b)] = w
+	m.pairs[ord(b)][ord(a)] = w
+}
+
+// Name returns the model's display name.
+func (m Model) Name() string { return m.name }
+
+// Pair returns the weight for pairing bases a and b (NegInf when
+// forbidden).
+func (m Model) Pair(a, b rna.Base) Value { return m.pairs[ord(a)][ord(b)] }
+
+// Allowed reports whether the pairing of a and b carries a usable
+// (non-forbidden) weight.
+func (m Model) Allowed(a, b rna.Base) bool { return m.pairs[ord(a)][ord(b)] > NegInf/2 }
+
+// Symmetric reports whether m.Pair(a,b) == m.Pair(b,a) for all bases; all
+// models built by this package's constructors are symmetric, and callers of
+// Custom may use this as a sanity check.
+func (m Model) Symmetric() bool {
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if m.pairs[a][b] != m.pairs[b][a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Tables bundles the precomputed pair-score lookups for one BPMax problem
+// instance: intramolecular scores for each strand and the intermolecular
+// score matrix. Precomputing them lifts model dispatch out of the O(N³M³)
+// kernels.
+type Tables struct {
+	N1, N2 int
+	// Intra1[i*N1+j] = weight of pairing seq1[i] with seq1[j].
+	Intra1 []Value
+	// Intra2[i*N2+j] = weight of pairing seq2[i] with seq2[j].
+	Intra2 []Value
+	// Inter[i1*N2+i2] = weight of pairing seq1[i1] with seq2[i2].
+	Inter []Value
+}
+
+// MinPairLoop is the minimum number of unpaired bases required between the
+// two ends of an intramolecular pair (the hairpin-loop constraint). BPMax's
+// simplified counting model, like Nussinov's original formulation, uses 0;
+// the field exists so callers can model a sterically realistic loop.
+type Params struct {
+	Model Model
+	// InterModel scores intermolecular pairs; if unset (zero Model name and
+	// all-forbidden), Model is used for intermolecular pairs too.
+	InterModel *Model
+	// MinHairpin is the minimum i..j distance for an intramolecular pair:
+	// pair (i,j) requires j-i > MinHairpin.
+	MinHairpin int
+}
+
+// DefaultParams returns the configuration used throughout the paper's
+// experiments: the weighted base-pair model for both intra- and
+// intermolecular pairs and no hairpin constraint.
+func DefaultParams() Params {
+	return Params{Model: BasePair()}
+}
+
+// Build precomputes scoring tables for a pair of sequences under p.
+func Build(seq1, seq2 rna.Sequence, p Params) *Tables {
+	n1, n2 := seq1.Len(), seq2.Len()
+	inter := p.Model
+	if p.InterModel != nil {
+		inter = *p.InterModel
+	}
+	t := &Tables{
+		N1:     n1,
+		N2:     n2,
+		Intra1: make([]Value, n1*n1),
+		Intra2: make([]Value, n2*n2),
+		Inter:  make([]Value, n1*n2),
+	}
+	fill := func(dst []Value, seq rna.Sequence, n int) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if abs(j-i) <= p.MinHairpin {
+					dst[i*n+j] = NegInf
+					continue
+				}
+				dst[i*n+j] = p.Model.Pair(seq.At(i), seq.At(j))
+			}
+		}
+	}
+	fill(t.Intra1, seq1, n1)
+	fill(t.Intra2, seq2, n2)
+	for i1 := 0; i1 < n1; i1++ {
+		for i2 := 0; i2 < n2; i2++ {
+			t.Inter[i1*n2+i2] = inter.Pair(seq1.At(i1), seq2.At(i2))
+		}
+	}
+	return t
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Score1 returns the intramolecular weight for pairing positions i and j of
+// sequence 1.
+func (t *Tables) Score1(i, j int) Value { return t.Intra1[i*t.N1+j] }
+
+// Score2 returns the intramolecular weight for pairing positions i and j of
+// sequence 2.
+func (t *Tables) Score2(i, j int) Value { return t.Intra2[i*t.N2+j] }
+
+// IScore returns the intermolecular weight for pairing position i1 of
+// sequence 1 with position i2 of sequence 2.
+func (t *Tables) IScore(i1, i2 int) Value { return t.Inter[i1*t.N2+i2] }

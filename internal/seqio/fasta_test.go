@@ -1,0 +1,227 @@
+package seqio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/rna"
+)
+
+func TestReadSimple(t *testing.T) {
+	recs, err := ReadString(">seq1\nACGU\n>seq2\nGGCC\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Name != "seq1" || recs[0].Seq.String() != "ACGU" {
+		t.Errorf("record 0 = %q %q", recs[0].Name, recs[0].Seq)
+	}
+	if recs[1].Name != "seq2" || recs[1].Seq.String() != "GGCC" {
+		t.Errorf("record 1 = %q %q", recs[1].Name, recs[1].Seq)
+	}
+}
+
+func TestReadWrappedLines(t *testing.T) {
+	recs, err := ReadString(">x\nACG\nU\nGG\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if recs[0].Seq.String() != "ACGUGG" {
+		t.Errorf("wrapped sequence = %q", recs[0].Seq)
+	}
+}
+
+func TestReadCRLFAndBlankLines(t *testing.T) {
+	recs, err := ReadString(">x\r\nAC\r\n\r\nGU\r\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if recs[0].Seq.String() != "ACGU" {
+		t.Errorf("sequence = %q", recs[0].Seq)
+	}
+}
+
+func TestReadDNAAndLowercase(t *testing.T) {
+	recs, err := ReadString(">d\nacgt\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if recs[0].Seq.String() != "ACGU" {
+		t.Errorf("normalized = %q", recs[0].Seq)
+	}
+}
+
+func TestReadCommentLines(t *testing.T) {
+	recs, err := ReadString(">x\n; a comment\nACGU\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if recs[0].Seq.String() != "ACGU" {
+		t.Errorf("sequence = %q", recs[0].Seq)
+	}
+}
+
+func TestReadHeaderTrimsSpace(t *testing.T) {
+	recs, err := ReadString(">  padded name \nA\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if recs[0].Name != "padded name" {
+		t.Errorf("name = %q", recs[0].Name)
+	}
+}
+
+func TestReadErrorsNoHeader(t *testing.T) {
+	if _, err := ReadString("ACGU\n"); err == nil {
+		t.Error("expected error for sequence before header")
+	}
+}
+
+func TestReadErrorsBadBase(t *testing.T) {
+	_, err := ReadString(">x\nACGN\n")
+	if err == nil {
+		t.Fatal("expected error for invalid nucleotide")
+	}
+	if !strings.Contains(err.Error(), "x") {
+		t.Errorf("error should name the record: %v", err)
+	}
+}
+
+func TestReadEmptyInput(t *testing.T) {
+	recs, err := ReadString("")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("got %d records from empty input", len(recs))
+	}
+}
+
+func TestReadEmptyRecord(t *testing.T) {
+	recs, err := ReadString(">empty\n>full\nAC\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if len(recs) != 2 || recs[0].Seq.Len() != 0 || recs[1].Seq.String() != "AC" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestWriteWraps(t *testing.T) {
+	rec := Record{Name: "w", Seq: rna.MustNew(strings.Repeat("ACGU", 5))}
+	out, err := WriteString([]Record{rec}, 8)
+	if err != nil {
+		t.Fatalf("WriteString: %v", err)
+	}
+	want := ">w\nACGUACGU\nACGUACGU\nACGU\n"
+	if out != want {
+		t.Errorf("WriteString = %q, want %q", out, want)
+	}
+}
+
+func TestWriteDefaultWidth(t *testing.T) {
+	rec := Record{Name: "w", Seq: rna.MustNew(strings.Repeat("A", 70))}
+	out, err := WriteString([]Record{rec}, 0)
+	if err != nil {
+		t.Fatalf("WriteString: %v", err)
+	}
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 3 || len(lines[1]) != 60 || len(lines[2]) != 10 {
+		t.Errorf("default wrap produced %v", lines)
+	}
+}
+
+func TestReadResolving(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs, err := ReadResolving(strings.NewReader(">amb\nACGNNRY\n"), rng)
+	if err != nil {
+		t.Fatalf("ReadResolving: %v", err)
+	}
+	if recs[0].Seq.Len() != 7 {
+		t.Fatalf("length = %d", recs[0].Seq.Len())
+	}
+	// Plain Read must still reject ambiguity codes.
+	if _, err := ReadString(">amb\nACGN\n"); err == nil {
+		t.Error("Read accepted N")
+	}
+	// ReadResolving still rejects junk.
+	if _, err := ReadResolving(strings.NewReader(">x\nAC-G\n"), rng); err == nil {
+		t.Error("ReadResolving accepted '-'")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var recs []Record
+	for i := 0; i < 10; i++ {
+		recs = append(recs, Record{
+			Name: strings.Repeat("n", i+1),
+			Seq:  rna.Random(rng, rng.Intn(200)),
+		})
+	}
+	text, err := WriteString(recs, 37)
+	if err != nil {
+		t.Fatalf("WriteString: %v", err)
+	}
+	back, err := ReadString(text)
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round trip record count %d != %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Name != recs[i].Name || !back[i].Seq.Equal(recs[i].Seq) {
+			t.Errorf("record %d did not round-trip", i)
+		}
+	}
+}
+
+// failWriter errors after n bytes, exercising Write's error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errShort
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errShort
+	}
+	return n, nil
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestWriteErrorPropagates(t *testing.T) {
+	recs := []Record{
+		{Name: "a", Seq: rna.MustNew(strings.Repeat("ACGU", 100))},
+		{Name: "empty"},
+	}
+	for _, budget := range []int{0, 1, 5, 50, 200} {
+		if err := Write(&failWriter{left: budget}, recs, 10); err == nil {
+			t.Errorf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestSequenceCarriesName(t *testing.T) {
+	recs, err := ReadString(">named\nAC\n")
+	if err != nil {
+		t.Fatalf("ReadString: %v", err)
+	}
+	if recs[0].Seq.Name() != "named" {
+		t.Errorf("Seq.Name() = %q", recs[0].Seq.Name())
+	}
+}

@@ -1,0 +1,229 @@
+// Package tropical is a max-plus (tropical semiring) matrix library — the
+// substrate of the related-work GPU comparator (Gildemaster et al., "A
+// tropical semiring multiple matrix-product library on GPUs"), rebuilt for
+// the CPU. BPMax's double max-plus reduction is, per the paper, "matrix
+// multiplication like computation" over this semiring; the library exposes
+// that computation directly: single products, blocked/tiled products,
+// parallel products, and chained multiple-matrix products.
+package tropical
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bpmax-go/bpmax/internal/maxplus"
+)
+
+// NegInf is the tropical additive identity used for empty reductions.
+const NegInf float32 = -1e30
+
+// Matrix is a dense row-major max-plus matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a matrix filled with NegInf (the tropical zero matrix).
+func New(rows, cols int) *Matrix {
+	m := &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+	for i := range m.Data {
+		m.Data[i] = NegInf
+	}
+	return m
+}
+
+// Identity returns the tropical identity: 0 on the diagonal, NegInf
+// elsewhere.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 0)
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := &Matrix{Rows: len(rows), Cols: len(rows[0]), Data: make([]float32, 0, len(rows)*len(rows[0]))}
+	for _, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tropical: ragged rows (%d vs %d)", len(r), m.Cols))
+		}
+		m.Data = append(m.Data, r...)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set stores element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i (shared storage).
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Equal reports element-wise equality.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if o.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MulNaive computes C = A ⊗ B with the k-innermost gather order — the
+// schedule the paper's Phase I rejects.
+func MulNaive(a, b *Matrix) *Matrix {
+	checkDims(a, b)
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			best := NegInf
+			for k := 0; k < a.Cols; k++ {
+				if v := a.At(i, k) + b.At(k, j); v > best {
+					best = v
+				}
+			}
+			c.Set(i, j, best)
+		}
+	}
+	return c
+}
+
+// Mul computes C = A ⊗ B with the streaming (i, k, j) order: for each
+// (i, k), one max-plus stream over B's row k — the vectorizable loop
+// permutation.
+func Mul(a, b *Matrix) *Matrix {
+	checkDims(a, b)
+	c := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		crow := c.Row(i)
+		arow := a.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			maxplus.Accumulate(crow, b.Row(k), arow[k])
+		}
+	}
+	return c
+}
+
+// MulBlocked computes C = A ⊗ B with (i, k) tiling and streaming j — the
+// tiled kernel shape of the paper's Fig 8 "matrix instance".
+func MulBlocked(a, b *Matrix, tileI, tileK int) *Matrix {
+	checkDims(a, b)
+	if tileI <= 0 {
+		tileI = 64
+	}
+	if tileK <= 0 {
+		tileK = 16
+	}
+	c := New(a.Rows, b.Cols)
+	for it := 0; it < a.Rows; it += tileI {
+		iEnd := min(it+tileI, a.Rows)
+		for kt := 0; kt < a.Cols; kt += tileK {
+			kEnd := min(kt+tileK, a.Cols)
+			for i := it; i < iEnd; i++ {
+				crow := c.Row(i)
+				arow := a.Row(i)
+				for k := kt; k < kEnd; k++ {
+					maxplus.Accumulate(crow, b.Row(k), arow[k])
+				}
+			}
+		}
+	}
+	return c
+}
+
+// MulParallel is Mul with rows distributed over workers goroutines
+// (<= 0 means one per row up to a small multiple of CPUs handled by the
+// scheduler).
+func MulParallel(a, b *Matrix, workers int) *Matrix {
+	checkDims(a, b)
+	c := New(a.Rows, b.Cols)
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	if workers <= 1 {
+		return Mul(a, b)
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, a.Rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				crow := c.Row(i)
+				arow := a.Row(i)
+				for k := 0; k < a.Cols; k++ {
+					maxplus.Accumulate(crow, b.Row(k), arow[k])
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return c
+}
+
+// MultiProduct computes the chained product M₁ ⊗ M₂ ⊗ … ⊗ Mₙ left to
+// right — the "multiple matrix-product" primitive of the GPU library. An
+// empty chain panics (no dimensions to build an identity from).
+func MultiProduct(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("tropical: empty product")
+	}
+	acc := ms[0]
+	for _, m := range ms[1:] {
+		acc = Mul(acc, m)
+	}
+	return acc
+}
+
+// Closure computes A* = I ⊕ A ⊕ A² ⊕ … ⊕ Aⁿ⁻¹ for a square matrix — the
+// all-pairs longest-path operator of the tropical semiring (well-defined
+// for DAG-like weight matrices; diverges conceptually with positive
+// cycles, which callers must avoid).
+func Closure(a *Matrix) *Matrix {
+	if a.Rows != a.Cols {
+		panic("tropical: Closure of non-square matrix")
+	}
+	n := a.Rows
+	acc := Identity(n)
+	pow := Identity(n)
+	for step := 0; step < n-1; step++ {
+		pow = Mul(pow, a)
+		for i, v := range pow.Data {
+			if v > acc.Data[i] {
+				acc.Data[i] = v
+			}
+		}
+	}
+	return acc
+}
+
+func checkDims(a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tropical: dimension mismatch %dx%d ⊗ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package tropical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.Intn(200)-100) / 4
+	}
+	return m
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 7, 7)
+	if !Mul(a, Identity(7)).Equal(a) {
+		t.Error("A ⊗ I != A")
+	}
+	if !Mul(Identity(7), a).Equal(a) {
+		t.Error("I ⊗ A != A")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randMatrix(rng, r, k)
+		b := randMatrix(rng, k, c)
+		return Mul(a, b).Equal(MulNaive(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockedAndParallelMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatrix(rng, 33, 29)
+	b := randMatrix(rng, 29, 41)
+	want := MulNaive(a, b)
+	for _, tiles := range [][2]int{{1, 1}, {8, 4}, {64, 16}, {100, 100}} {
+		if !MulBlocked(a, b, tiles[0], tiles[1]).Equal(want) {
+			t.Errorf("blocked %v differs", tiles)
+		}
+	}
+	for _, workers := range []int{0, 1, 3, 64} {
+		if !MulParallel(a, b, workers).Equal(want) {
+			t.Errorf("parallel %d differs", workers)
+		}
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 6, 7)
+	b := randMatrix(rng, 7, 5)
+	c := randMatrix(rng, 5, 9)
+	left := Mul(Mul(a, b), c)
+	right := Mul(a, Mul(b, c))
+	// Tropical products of exact quarter-integers stay exact in float32 at
+	// these magnitudes, so associativity holds exactly.
+	if !left.Equal(right) {
+		t.Error("(AB)C != A(BC)")
+	}
+}
+
+func TestMultiProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randMatrix(rng, 4, 5)
+	b := randMatrix(rng, 5, 6)
+	c := randMatrix(rng, 6, 3)
+	if !MultiProduct(a, b, c).Equal(Mul(Mul(a, b), c)) {
+		t.Error("MultiProduct differs from folded Mul")
+	}
+	if !MultiProduct(a).Equal(a) {
+		t.Error("singleton MultiProduct should be identity operation")
+	}
+}
+
+func TestMultiProductPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty MultiProduct did not panic")
+		}
+	}()
+	MultiProduct()
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	Mul(New(2, 3), New(4, 2))
+}
+
+func TestClosureLongestPath(t *testing.T) {
+	// DAG 0->1 (5), 1->2 (7), 0->2 (4): longest 0->2 path is 12.
+	a := New(3, 3)
+	a.Set(0, 1, 5)
+	a.Set(1, 2, 7)
+	a.Set(0, 2, 4)
+	st := Closure(a)
+	if got := st.At(0, 2); got != 12 {
+		t.Errorf("longest path = %v, want 12", got)
+	}
+	if st.At(0, 0) != 0 {
+		t.Errorf("closure diagonal = %v, want 0", st.At(0, 0))
+	}
+	if st.At(2, 0) != NegInf {
+		t.Errorf("unreachable = %v, want NegInf", st.At(2, 0))
+	}
+}
+
+func TestClosurePanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-square Closure did not panic")
+		}
+	}()
+	Closure(New(2, 3))
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float32{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("FromRows layout wrong")
+	}
+	if got := FromRows(nil); got.Rows != 0 {
+		t.Error("empty FromRows")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float32{{1, 2}, {3}})
+}
+
+func BenchmarkMulNaive128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 128, 128)
+	y := randMatrix(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulNaive(x, y)
+	}
+}
+
+func BenchmarkMulStreaming128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 128, 128)
+	y := randMatrix(rng, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(x, y)
+	}
+}
+
+func BenchmarkMulBlocked512(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 512, 512)
+	y := randMatrix(rng, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulBlocked(x, y, 64, 16)
+	}
+}
