@@ -1,0 +1,34 @@
+# Tier-1 gate (what CI must keep green) plus the deeper checks.
+
+GO ?= go
+
+.PHONY: all build test vet race ci fuzz bench
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel solver and the cancellation/panic-isolation machinery under
+# the race detector. The full -race ./... run is slow on small hosts; this
+# target covers every package that spawns goroutines.
+race:
+	$(GO) test -race ./internal/bpmax/ ./internal/nussinov/ . ./cmd/bpmax/
+
+ci: build test vet race
+
+# Short fuzz pass over each fuzz target (regression corpus always runs as
+# part of `make test`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzFoldContextParity -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzFold -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzFastaRoundTrip -fuzztime 10s .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,8 +1,10 @@
 package bpmax
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 )
@@ -18,21 +20,42 @@ type BatchItem struct {
 // BatchResult is one completed (or failed) fold of a batch.
 type BatchResult struct {
 	Name string
-	// Result is nil when Err is set.
+	// Result is nil when the interaction fold itself failed (Err then says
+	// why). It is set even when Err reports a later failure of the
+	// single-strand folds behind Gain.
 	Result *Result
 	// Gain is Score minus the two strands' independent single-strand
 	// optima — the screening statistic that ranks true interactions above
-	// incidental self-structure.
+	// incidental self-structure. It is only meaningful when Err is nil.
 	Gain float32
-	Err  error
+	// Degradation echoes Result.Degradation for quick per-item status
+	// reporting (DegradeNone when the item failed).
+	Degradation Degradation
+	Err         error
 }
+
+// batchFoldSingle is the single-strand fold used for the gain statistic;
+// a variable so tests can inject failures.
+var batchFoldSingle = FoldSingleContext
 
 // FoldBatch folds every pair concurrently (the embarrassingly parallel
 // outer level of a target screen: distinct pairs share nothing). workers
 // <= 0 selects GOMAXPROCS. Per-fold options apply to every item. Results
 // come back in input order; individual failures are reported per item, not
-// as a batch failure.
+// as a batch failure. It is FoldBatchContext with a background context.
 func FoldBatch(items []BatchItem, workers int, opts ...Option) []BatchResult {
+	return FoldBatchContext(context.Background(), items, workers, opts...)
+}
+
+// FoldBatchContext is FoldBatch under a context: every per-item fold runs
+// with ctx (so a deadline bounds the whole screen), items not yet started
+// when ctx is cancelled are marked failed with ctx.Err() instead of being
+// folded, and a panic while processing one item — in the fold or in the
+// batch goroutine itself — fails that item only, never the batch.
+func FoldBatchContext(ctx context.Context, items []BatchItem, workers int, opts ...Option) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -53,28 +76,62 @@ func FoldBatch(items []BatchItem, workers int, opts ...Option) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				it := items[i]
-				out[i].Name = it.Name
-				res, err := Fold(it.Seq1, it.Seq2, foldOpts...)
-				if err != nil {
-					out[i].Err = fmt.Errorf("%s: %w", it.Name, err)
-					continue
-				}
-				out[i].Result = res
-				s1, err1 := FoldSingle(it.Seq1, foldOpts...)
-				s2, err2 := FoldSingle(it.Seq2, foldOpts...)
-				if err1 == nil && err2 == nil {
-					out[i].Gain = res.Score - s1.Score - s2.Score
-				}
+				out[i] = foldBatchItem(ctx, items[i], foldOpts)
 			}
 		}()
 	}
+	// Dispatch until done or cancelled; undispatched items fail fast with
+	// the context's error rather than burning hours after a deadline.
+	sent := len(items)
 	for i := range items {
-		next <- i
+		select {
+		case <-ctx.Done():
+			sent = i
+		case next <- i:
+			continue
+		}
+		break
 	}
 	close(next)
 	wg.Wait()
+	for i := sent; i < len(items); i++ {
+		out[i] = BatchResult{Name: items[i].Name, Err: fmt.Errorf("%s: %w", items[i].Name, ctx.Err())}
+	}
 	return out
+}
+
+// foldBatchItem folds one batch item and computes its gain statistic. Any
+// panic escaping the fold machinery is recovered here so that one poisoned
+// item cannot take down the worker (and with it the process).
+func foldBatchItem(ctx context.Context, it BatchItem, foldOpts []Option) (br BatchResult) {
+	br.Name = it.Name
+	defer func() {
+		if r := recover(); r != nil {
+			br = BatchResult{
+				Name: it.Name,
+				Err:  fmt.Errorf("%s: %w", it.Name, &PanicError{Value: r, Stack: debug.Stack()}),
+			}
+		}
+	}()
+	res, err := FoldContext(ctx, it.Seq1, it.Seq2, foldOpts...)
+	if err != nil {
+		br.Err = fmt.Errorf("%s: %w", it.Name, err)
+		return br
+	}
+	br.Result = res
+	br.Degradation = res.Degradation
+	s1, err := batchFoldSingle(ctx, it.Seq1, foldOpts...)
+	if err != nil {
+		br.Err = fmt.Errorf("%s: single-strand fold of seq1: %w", it.Name, err)
+		return br
+	}
+	s2, err := batchFoldSingle(ctx, it.Seq2, foldOpts...)
+	if err != nil {
+		br.Err = fmt.Errorf("%s: single-strand fold of seq2: %w", it.Name, err)
+		return br
+	}
+	br.Gain = res.Score - s1.Score - s2.Score
+	return br
 }
 
 // RankByGain returns the successful results sorted by descending Gain

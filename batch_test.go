@@ -1,6 +1,9 @@
 package bpmax
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -97,6 +100,117 @@ func TestRankByGain(t *testing.T) {
 	}
 	if ranked[0].Gain <= ranked[1].Gain {
 		t.Errorf("ranking not descending: %v then %v", ranked[0].Gain, ranked[1].Gain)
+	}
+}
+
+func TestFoldBatchContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := []BatchItem{
+		{Name: "a", Seq1: "GGG", Seq2: "CCC"},
+		{Name: "b", Seq1: "AAA", Seq2: "UUU"},
+	}
+	results := FoldBatchContext(ctx, items, 2)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) || r.Result != nil {
+			t.Errorf("item %d: result=%v err=%v, want nil result and Canceled", i, r.Result != nil, r.Err)
+		}
+		if !strings.Contains(r.Err.Error(), items[i].Name) {
+			t.Errorf("item %d error %q does not name the item", i, r.Err)
+		}
+	}
+	if got := RankByGain(results); len(got) != 0 {
+		t.Errorf("cancelled items leaked into the ranking: %d", len(got))
+	}
+}
+
+// TestFoldBatchSingleStrandFailurePropagates pins the fix for the silent
+// Gain:0 bug: when the interaction fold succeeds but a single-strand fold
+// behind the gain statistic fails, the item must carry the error (and drop
+// out of the ranking) instead of reporting a bogus zero gain.
+func TestFoldBatchSingleStrandFailurePropagates(t *testing.T) {
+	orig := batchFoldSingle
+	defer func() { batchFoldSingle = orig }()
+	batchFoldSingle = func(ctx context.Context, seq string, opts ...Option) (*SingleResult, error) {
+		if seq == "GGGG" {
+			return nil, fmt.Errorf("injected substrate failure")
+		}
+		return orig(ctx, seq, opts...)
+	}
+	items := []BatchItem{
+		{Name: "poisoned", Seq1: "GGGG", Seq2: "CCCC"},
+		{Name: "healthy", Seq1: "GGG", Seq2: "CCC"},
+	}
+	results := FoldBatch(items, 2)
+	r := results[0]
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "single-strand fold of seq1") {
+		t.Fatalf("poisoned item Err = %v, want the single-strand failure", r.Err)
+	}
+	if r.Result == nil {
+		t.Error("interaction result dropped although the pair fold succeeded")
+	}
+	if results[1].Err != nil {
+		t.Errorf("healthy item failed: %v", results[1].Err)
+	}
+	ranked := RankByGain(results)
+	if len(ranked) != 1 || ranked[0].Name != "healthy" {
+		t.Errorf("ranking = %v, want only the healthy item", ranked)
+	}
+}
+
+// TestFoldBatchPanicFailsOneItem injects a panic into one item's
+// processing and checks it is confined to that item as a *PanicError.
+func TestFoldBatchPanicFailsOneItem(t *testing.T) {
+	orig := batchFoldSingle
+	defer func() { batchFoldSingle = orig }()
+	batchFoldSingle = func(ctx context.Context, seq string, opts ...Option) (*SingleResult, error) {
+		if seq == "GGGG" {
+			panic("poisoned item")
+		}
+		return orig(ctx, seq, opts...)
+	}
+	items := []BatchItem{
+		{Name: "boom", Seq1: "GGGG", Seq2: "CCCC"},
+		{Name: "fine", Seq1: "GGG", Seq2: "CCC"},
+	}
+	results := FoldBatch(items, 2)
+	var pe *PanicError
+	if !errors.As(results[0].Err, &pe) {
+		t.Fatalf("boom item Err = %v, want *PanicError", results[0].Err)
+	}
+	if pe.Value != "poisoned item" || len(pe.Stack) == 0 {
+		t.Errorf("panic value %v, stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	if results[1].Err != nil {
+		t.Errorf("healthy item failed: %v", results[1].Err)
+	}
+}
+
+func TestFoldBatchDegradationStatus(t *testing.T) {
+	// One item over budget with windowed fallback enabled, one in budget.
+	const w = 4
+	items := []BatchItem{
+		{Name: "big", Seq1: "GGGAAACCCGGGAAACCC", Seq2: "GGGUUUCCCGGGUUUCCC"},
+		{Name: "small", Seq1: "GG", Seq2: "CC"},
+	}
+	// A limit that admits the small pair's full table and the big pair's
+	// banded fallback, but neither full layout of the big pair.
+	limit := EstimateWindowedBytes(18, 18, w, w)
+	if packed := EstimateBytes(18, 18, WithPackedMemory()); limit >= packed {
+		t.Fatalf("banded %d not below packed %d; test premise broken", limit, packed)
+	}
+	results := FoldBatch(items, 1, WithMemoryLimit(limit), WithDegradeToWindowed(w, w))
+	if results[0].Err != nil {
+		t.Fatalf("big item failed: %v", results[0].Err)
+	}
+	if results[0].Degradation != DegradeWindowed {
+		t.Errorf("big item degradation = %v, want windowed", results[0].Degradation)
+	}
+	if results[1].Err != nil || results[1].Degradation != DegradeNone {
+		t.Errorf("small item: err=%v degradation=%v", results[1].Err, results[1].Degradation)
 	}
 }
 

@@ -26,6 +26,7 @@
 package bpmax
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -72,6 +73,12 @@ type options struct {
 	cfg        ibpmax.Config
 	weights    Weights
 	minHairpin int
+	// memLimit caps the F-table bytes a fold may allocate (0 = unlimited);
+	// see WithMemoryLimit.
+	memLimit int64
+	// degradeW1/degradeW2, when positive, allow an over-budget fold to fall
+	// back to a windowed scan; see WithDegradeToWindowed.
+	degradeW1, degradeW2 int
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.
@@ -175,6 +182,15 @@ type Result struct {
 	Elapsed time.Duration
 	// TableBytes is the F-table storage footprint.
 	TableBytes int64
+	// Degradation records which memory fallback, if any, produced this
+	// result (DegradeNone for an ordinary full-table fold); see
+	// WithMemoryLimit and WithDegradeToWindowed.
+	Degradation Degradation
+	// Window holds the windowed scan backing this result when Degradation
+	// is DegradeWindowed, nil otherwise. In that mode Score is the best
+	// in-window interaction score (not the full-pair optimum), FLOPs is 0,
+	// and SubScore is defined only for in-window cells.
+	Window *WindowResult
 
 	prob *ibpmax.Problem
 	ft   *ibpmax.FTable
@@ -182,44 +198,18 @@ type Result struct {
 }
 
 // Fold computes the BPMax interaction of two RNA sequences given as
-// strings (IUPAC letters ACGU; T and lower case accepted).
+// strings (IUPAC letters ACGU; T and lower case accepted). It is
+// FoldContext with a background context: uncancellable, no deadline.
 func Fold(seq1, seq2 string, opts ...Option) (*Result, error) {
-	s1, err := rna.New(seq1)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
-	}
-	s2, err := rna.New(seq2)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
-	}
-	o := buildOptions(opts)
-	v, err := o.internalVariant()
-	if err != nil {
-		return nil, err
-	}
-	p, err := ibpmax.NewProblem(s1, s2, o.params())
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	ft := ibpmax.Solve(p, v, o.cfg)
-	elapsed := time.Since(start)
-	return &Result{
-		Score:      p.Score(ft),
-		N1:         p.N1,
-		N2:         p.N2,
-		FLOPs:      ibpmax.BPMaxFlops(p.N1, p.N2),
-		Elapsed:    elapsed,
-		TableBytes: ft.Bytes(),
-		prob:       p,
-		ft:         ft,
-	}, nil
+	return FoldContext(context.Background(), seq1, seq2, opts...)
 }
 
 // SubScore returns F[i1,j1,i2,j2]: the optimal score for the interaction of
 // seq1[i1..j1] with seq2[i2..j2] (closed intervals). Empty intervals
 // (j < i) are allowed and resolve to the single-strand optimum of the other
-// interval.
+// interval. On a result that degraded to a windowed scan only in-window
+// cells are stored; SubScore panics on cells outside the band (check
+// Degradation, or Window.InWindow, first).
 func (r *Result) SubScore(i1, j1, i2, j2 int) float32 {
 	if j1 < i1 && j2 < i2 {
 		return 0
@@ -234,6 +224,12 @@ func (r *Result) at(i1, j1, i2, j2 int) float32 {
 	if j2 < i2 {
 		return r.SingleScore1(i1, j1)
 	}
+	if r.ft == nil && r.Window != nil {
+		if r.Window.InWindow(i1, j1, i2, j2) {
+			return r.Window.At(i1, j1, i2, j2)
+		}
+		panic(fmt.Sprintf("bpmax: SubScore(%d,%d,%d,%d) outside the windowed band of a degraded fold", i1, j1, i2, j2))
+	}
 	return r.ft.At(i1, j1, i2, j2)
 }
 
@@ -247,6 +243,11 @@ func (r *Result) SingleScore2(i, j int) float32 { return r.prob.S2.At(i, j) }
 // once and cached).
 func (r *Result) Structure() *Structure {
 	if r.st != nil {
+		return r.st
+	}
+	if r.ft == nil && r.Window != nil {
+		// Degraded fold: the structure of the best in-window interaction.
+		r.st = r.Window.Structure()
 		return r.st
 	}
 	ist := ibpmax.Traceback(r.prob, r.ft)
@@ -272,6 +273,10 @@ func (r *Result) Structure() *Structure {
 // monotone under widening). It answers "where is the strongest local
 // interaction?" without refolding.
 func (r *Result) BestLocal(maxSpan1, maxSpan2 int) (score float32, i1, j1, i2, j2 int) {
+	if r.ft == nil && r.Window != nil {
+		// Degraded fold: scan the stored band, additionally span-capped.
+		return r.Window.wt.BestWithin(maxSpan1, maxSpan2)
+	}
 	score = -1
 	for a1 := 0; a1 < r.N1; a1++ {
 		for b1 := a1; b1 < r.N1 && b1-a1 < maxSpan1; b1++ {
@@ -308,8 +313,18 @@ type SingleResult struct {
 }
 
 // FoldSingle folds one RNA strand on its own (the S-table substrate,
-// exposed because it is independently useful).
+// exposed because it is independently useful). It is FoldSingleContext
+// with a background context.
 func FoldSingle(seq string, opts ...Option) (*SingleResult, error) {
+	return FoldSingleContext(context.Background(), seq, opts...)
+}
+
+// FoldSingleContext is FoldSingle with cooperative cancellation, checked
+// once per anti-diagonal wavefront of the S-table build.
+func FoldSingleContext(ctx context.Context, seq string, opts ...Option) (*SingleResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s, err := rna.New(seq)
 	if err != nil {
 		return nil, fmt.Errorf("bpmax: %w", err)
@@ -317,7 +332,10 @@ func FoldSingle(seq string, opts ...Option) (*SingleResult, error) {
 	o := buildOptions(opts)
 	tab := score.Build(s, s, o.params())
 	sc := func(i, j int) float32 { return tab.Score1(i, j) }
-	t := nussinov.BuildParallel(s.Len(), sc, o.cfg.Workers)
+	t, err := nussinov.BuildParallelContext(ctx, s.Len(), sc, o.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
 	res := &SingleResult{N: s.Len()}
 	if s.Len() > 0 {
 		res.Score = t.At(0, s.Len()-1)
@@ -408,6 +426,8 @@ type WindowResult struct {
 	I1, J1, I2, J2 int
 	// TableBytes is the banded storage footprint.
 	TableBytes int64
+	// Elapsed is the wall time of the banded fill.
+	Elapsed time.Duration
 
 	wt   *ibpmax.WTable
 	prob *ibpmax.Problem
@@ -432,8 +452,20 @@ func (w *WindowResult) Structure() *Structure {
 
 // ScanWindowed computes all interactions between subsequences of seq1
 // shorter than w1 and subsequences of seq2 shorter than w2 — the local
-// interaction screen used when full-table memory is prohibitive.
+// interaction screen used when full-table memory is prohibitive. It is
+// ScanWindowedContext with a background context.
 func ScanWindowed(seq1, seq2 string, w1, w2 int, opts ...Option) (*WindowResult, error) {
+	return ScanWindowedContext(context.Background(), seq1, seq2, w1, w2, opts...)
+}
+
+// ScanWindowedContext is ScanWindowed with cooperative cancellation and
+// panic isolation (see FoldContext for the guarantees) and memory
+// budgeting: with WithMemoryLimit set, an over-budget band is rejected with
+// a *MemoryLimitError before any allocation.
+func ScanWindowedContext(ctx context.Context, seq1, seq2 string, w1, w2 int, opts ...Option) (*WindowResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s1, err := rna.New(seq1)
 	if err != nil {
 		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
@@ -446,15 +478,26 @@ func ScanWindowed(seq1, seq2 string, w1, w2 int, opts ...Option) (*WindowResult,
 		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
 	}
 	o := buildOptions(opts)
+	if o.memLimit > 0 {
+		if est := ibpmax.EstimateWindowedBytes(s1.Len(), s2.Len(), w1, w2); est > o.memLimit {
+			return nil, &MemoryLimitError{EstimateBytes: est, LimitBytes: o.memLimit}
+		}
+	}
 	p, err := ibpmax.NewProblem(s1, s2, o.params())
 	if err != nil {
 		return nil, err
 	}
-	wt := ibpmax.SolveWindowed(p, w1, w2, o.cfg)
+	start := time.Now()
+	wt, err := ibpmax.SolveWindowedContext(ctx, p, w1, w2, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
 	best, i1, j1, i2, j2 := wt.Best()
 	return &WindowResult{
 		Best: best, I1: i1, J1: j1, I2: i2, J2: j2,
 		TableBytes: wt.Bytes(),
+		Elapsed:    elapsed,
 		wt:         wt,
 		prob:       p,
 	}, nil

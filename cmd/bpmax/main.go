@@ -11,24 +11,40 @@
 //	bpmax GGGAAACCC GGGUUUCCC
 //	bpmax -variant base -workers 1 GGGAAACCC GGGUUUCCC
 //	bpmax -window 64 longseq1.txt-content longseq2.txt-content
+//	bpmax -timeout 30s -mem-limit 2GB -degrade-window 100 SEQ1 SEQ2
+//
+// A first SIGINT cancels the fold gracefully (the partial table is
+// discarded and the process exits with an error); a second one kills the
+// process the usual way.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
 
 	"github.com/bpmax-go/bpmax"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// NotifyContext cancels on the first SIGINT and, by restoring the
+	// default handler after cancellation, lets a second SIGINT terminate a
+	// process stuck past the cooperative checkpoints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "bpmax:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bpmax", flag.ContinueOnError)
 	variant := fs.String("variant", string(bpmax.HybridTiled),
 		"schedule: base, coarse, fine, hybrid, hybrid-tiled")
@@ -39,6 +55,9 @@ func run(args []string) error {
 	window := fs.Int("window", 0, "windowed scan with this span for both sequences (0 = full fold)")
 	unit := fs.Bool("unit", false, "unweighted pair counting instead of GC=3/AU=2/GU=1")
 	packed := fs.Bool("packed", false, "use the packed (quarter-space) memory map")
+	timeout := fs.Duration("timeout", 0, "abort the fold after this long, e.g. 30s (0 = no deadline)")
+	memLimit := fs.String("mem-limit", "", "refuse folds whose table exceeds this size, e.g. 500MB or 2GB (empty = unlimited)")
+	degradeWindow := fs.Int("degrade-window", 0, "with -mem-limit: fall back to a windowed scan with this span when the full table is over budget")
 	fasta := fs.String("fasta", "", "read the first two records of this FASTA file instead of arguments")
 	resolve := fs.Int64("resolve", 0, "accept IUPAC ambiguity codes in FASTA, resolving them randomly with this seed (0 = strict)")
 	batch := fs.Bool("batch", false, "treat the FASTA file as consecutive pairs; fold all and rank by interaction gain")
@@ -50,6 +69,24 @@ func run(args []string) error {
 		return err
 	}
 
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	limitBytes, err := parseBytes(*memLimit)
+	if err != nil {
+		return fmt.Errorf("-mem-limit: %w", err)
+	}
+	options, err := buildOpts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed, limitBytes, *degradeWindow)
+	if err != nil {
+		return err
+	}
+
 	var s1, s2, name1, name2 string
 	if *fasta != "" {
 		recs, err := bpmax.LoadFasta(*fasta, *resolve)
@@ -57,7 +94,7 @@ func run(args []string) error {
 			return err
 		}
 		if *batch {
-			return runBatch(recs, *workers, opts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed))
+			return runBatch(ctx, recs, *workers, options)
 		}
 		if len(recs) < 2 {
 			return fmt.Errorf("FASTA file %s has %d records, need 2", *fasta, len(recs))
@@ -72,26 +109,34 @@ func run(args []string) error {
 		name1, name2 = "seq1", "seq2"
 	}
 
-	opts := opts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed)
-
 	if *window > 0 {
-		res, err := bpmax.ScanWindowed(s1, s2, *window, *window, opts...)
+		res, err := bpmax.ScanWindowedContext(ctx, s1, s2, *window, *window, options...)
 		if err != nil {
-			return err
+			return describeFoldErr(err)
 		}
 		fmt.Printf("best windowed interaction score: %g\n", res.Best)
 		fmt.Printf("at %s[%d..%d] x %s[%d..%d]\n", name1, res.I1, res.J1, name2, res.I2, res.J2)
 		if *stats {
-			fmt.Printf("banded table: %.1f MB\n", float64(res.TableBytes)/(1<<20))
+			fmt.Printf("scan time: %v  rate: %.1f Mcells/s  banded table: %.1f MB\n",
+				res.Elapsed, cellRate(res.TableBytes/4, res.Elapsed), float64(res.TableBytes)/(1<<20))
 		}
 		return nil
 	}
 
-	res, err := bpmax.Fold(s1, s2, opts...)
+	res, err := bpmax.FoldContext(ctx, s1, s2, options...)
 	if err != nil {
-		return err
+		return describeFoldErr(err)
 	}
-	fmt.Printf("interaction score: %g  (%s: %d nt, %s: %d nt)\n", res.Score, name1, res.N1, name2, res.N2)
+	if res.Degradation != bpmax.DegradeNone {
+		fmt.Printf("note: fold degraded to the %s layout to fit the memory limit\n", res.Degradation)
+	}
+	if res.Degradation == bpmax.DegradeWindowed {
+		w := res.Window
+		fmt.Printf("best windowed interaction score: %g\n", w.Best)
+		fmt.Printf("at %s[%d..%d] x %s[%d..%d]\n", name1, w.I1, w.J1, name2, w.I2, w.J2)
+	} else {
+		fmt.Printf("interaction score: %g  (%s: %d nt, %s: %d nt)\n", res.Score, name1, res.N1, name2, res.N2)
+	}
 	if *structure {
 		st := res.Structure()
 		fmt.Printf("%s  %s\n", st.Bracket1, name1)
@@ -113,14 +158,74 @@ func run(args []string) error {
 		}
 	}
 	if *stats {
-		fmt.Printf("fill time: %v  rate: %.2f GFLOPS  table: %.1f MB\n",
-			res.Elapsed, res.GFLOPS(), float64(res.TableBytes)/(1<<20))
+		if res.Degradation == bpmax.DegradeWindowed {
+			fmt.Printf("scan time: %v  rate: %.1f Mcells/s  banded table: %.1f MB\n",
+				res.Elapsed, cellRate(res.TableBytes/4, res.Elapsed), float64(res.TableBytes)/(1<<20))
+		} else {
+			fmt.Printf("fill time: %v  rate: %.2f GFLOPS  table: %.1f MB\n",
+				res.Elapsed, res.GFLOPS(), float64(res.TableBytes)/(1<<20))
+		}
 	}
 	return nil
 }
 
-// opts assembles the fold options shared by the single and batch paths.
-func opts(variant string, workers, tileI, tileK, tileJ int, unit, packed bool) []bpmax.Option {
+// describeFoldErr rewrites the robustness-layer errors into actionable CLI
+// messages; anything else passes through.
+func describeFoldErr(err error) error {
+	var mle *bpmax.MemoryLimitError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("fold exceeded -timeout and was cancelled (%w)", err)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("fold interrupted (%w)", err)
+	case errors.As(err, &mle):
+		return fmt.Errorf("%w; raise -mem-limit or enable -degrade-window", err)
+	}
+	return err
+}
+
+// cellRate converts a cell count and duration to millions of cells/second.
+func cellRate(cells int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(cells) / d.Seconds() / 1e6
+}
+
+// parseBytes parses a human byte size: a plain integer is bytes, and the
+// suffixes KB/MB/GB/TB (binary, case-insensitive, optionally just K/M/G/T)
+// scale by 1024 steps. Empty means 0 (unlimited).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	num := s
+	for _, u := range []struct {
+		suffix string
+		scale  int64
+	}{
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"TB", 1 << 40},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			mult = u.scale
+			num = strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// buildOpts assembles the fold options shared by the single and batch
+// paths.
+func buildOpts(variant string, workers, tileI, tileK, tileJ int, unit, packed bool, memLimit int64, degradeWindow int) ([]bpmax.Option, error) {
 	out := []bpmax.Option{
 		bpmax.WithVariant(bpmax.Variant(variant)),
 		bpmax.WithWorkers(workers),
@@ -132,26 +237,44 @@ func opts(variant string, workers, tileI, tileK, tileJ int, unit, packed bool) [
 	if packed {
 		out = append(out, bpmax.WithPackedMemory())
 	}
-	return out
+	if memLimit > 0 {
+		out = append(out, bpmax.WithMemoryLimit(memLimit))
+	}
+	if degradeWindow > 0 {
+		if memLimit <= 0 {
+			return nil, fmt.Errorf("-degrade-window requires -mem-limit")
+		}
+		out = append(out, bpmax.WithDegradeToWindowed(degradeWindow, degradeWindow))
+	}
+	return out, nil
 }
 
 // runBatch folds consecutive FASTA pairs and prints them ranked by
-// interaction gain.
-func runBatch(recs []bpmax.FastaRecord, workers int, options []bpmax.Option) error {
+// interaction gain, with per-item failure and degradation status.
+func runBatch(ctx context.Context, recs []bpmax.FastaRecord, workers int, options []bpmax.Option) error {
 	items, err := bpmax.PairsFromFasta(recs)
 	if err != nil {
 		return err
 	}
-	results := bpmax.FoldBatch(items, workers, options...)
+	results := bpmax.FoldBatchContext(ctx, items, workers, options...)
+	failed := 0
 	for _, r := range results {
 		if r.Err != nil {
+			failed++
 			fmt.Fprintf(os.Stderr, "bpmax: skipping %v\n", r.Err)
 		}
 	}
 	ranked := bpmax.RankByGain(results)
-	fmt.Printf("%-40s %10s %10s\n", "pair", "score", "gain")
+	fmt.Printf("%-40s %10s %10s  %s\n", "pair", "score", "gain", "status")
 	for _, r := range ranked {
-		fmt.Printf("%-40s %10.1f %10.1f\n", r.Name, r.Result.Score, r.Gain)
+		status := "ok"
+		if r.Degradation != bpmax.DegradeNone {
+			status = "degraded:" + r.Degradation.String()
+		}
+		fmt.Printf("%-40s %10.1f %10.1f  %s\n", r.Name, r.Result.Score, r.Gain, status)
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d pairs failed (timeouts/cancellations/errors reported above)\n", failed, len(results))
 	}
 	return nil
 }

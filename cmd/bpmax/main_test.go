@@ -1,40 +1,66 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/bpmax-go/bpmax"
 )
 
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
 func TestRunWithArgs(t *testing.T) {
-	if err := run([]string{"GGG", "CCC"}); err != nil {
+	if err := run(t.Context(), []string{"GGG", "CCC"}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunAllVariants(t *testing.T) {
 	for _, v := range []string{"base", "coarse", "fine", "hybrid", "hybrid-tiled"} {
-		if err := run([]string{"-variant", v, "GGAUCC", "GGAUCC"}); err != nil {
+		if err := run(t.Context(), []string{"-variant", v, "GGAUCC", "GGAUCC"}); err != nil {
 			t.Errorf("variant %s: %v", v, err)
 		}
 	}
 }
 
 func TestRunWithTuning(t *testing.T) {
-	err := run([]string{"-workers", "2", "-tile-i2", "4", "-tile-k2", "2", "-unit", "-packed", "-stats", "GGG", "CCC"})
+	err := run(t.Context(), []string{"-workers", "2", "-tile-i2", "4", "-tile-k2", "2", "-unit", "-packed", "-stats", "GGG", "CCC"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
 func TestRunWindowed(t *testing.T) {
-	if err := run([]string{"-window", "4", "-stats", "GGGAAACCC", "GGGUUUCCC"}); err != nil {
+	if err := run(t.Context(), []string{"-window", "4", "-stats", "GGGAAACCC", "GGGUUUCCC"}); err != nil {
 		t.Fatalf("windowed run: %v", err)
 	}
 }
 
 func TestRunDrawAndEnsemble(t *testing.T) {
-	if err := run([]string{"-draw", "-ensemble", "GGGAAACCC", "gggtttccc"}); err != nil {
+	if err := run(t.Context(), []string{"-draw", "-ensemble", "GGGAAACCC", "gggtttccc"}); err != nil {
 		t.Fatalf("run -draw -ensemble: %v", err)
 	}
 }
@@ -45,7 +71,7 @@ func TestRunFasta(t *testing.T) {
 	if err := os.WriteFile(path, []byte(">a\nGGG\n>b\nCCC\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fasta", path}); err != nil {
+	if err := run(t.Context(), []string{"-fasta", path}); err != nil {
 		t.Fatalf("fasta run: %v", err)
 	}
 }
@@ -60,7 +86,7 @@ func TestRunErrors(t *testing.T) {
 		{"-fasta", "/nonexistent/x.fa"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(t.Context(), args); err == nil {
 			t.Errorf("run(%v): expected error", args)
 		}
 	}
@@ -72,7 +98,7 @@ func TestRunFastaTooFewRecords(t *testing.T) {
 	if err := os.WriteFile(path, []byte(">a\nGGG\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fasta", path}); err == nil {
+	if err := run(t.Context(), []string{"-fasta", path}); err == nil {
 		t.Error("expected error for single-record FASTA")
 	}
 }
@@ -83,11 +109,94 @@ func TestRunFastaResolving(t *testing.T) {
 	if err := os.WriteFile(path, []byte(">a\nGGNN\n>b\nCCNN\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fasta", path}); err == nil {
+	if err := run(t.Context(), []string{"-fasta", path}); err == nil {
 		t.Error("strict mode accepted N")
 	}
-	if err := run([]string{"-fasta", path, "-resolve", "7"}); err != nil {
+	if err := run(t.Context(), []string{"-fasta", path, "-resolve", "7"}); err != nil {
 		t.Fatalf("resolving run: %v", err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"":       0,
+		"123":    123,
+		"123B":   123,
+		"1KB":    1 << 10,
+		"2K":     2 << 10,
+		"1.5MB":  3 << 19,
+		"2GB":    2 << 30,
+		"1tb":    1 << 40,
+		" 4 MB ": 4 << 20,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"x", "-5", "1XB", "GB", "1.2.3MB"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}
+
+func TestRunTimeoutExpires(t *testing.T) {
+	// A 1 ns deadline is already expired at the first cooperative check, so
+	// this is deterministic regardless of machine speed.
+	err := run(t.Context(), []string{"-timeout", "1ns", "GGGAAACCC", "GGGUUUCCC"})
+	if err == nil || !strings.Contains(err.Error(), "-timeout") {
+		t.Errorf("err = %v, want the -timeout explanation", err)
+	}
+}
+
+func TestRunMemLimit(t *testing.T) {
+	// Over budget with no fallback: the actionable message.
+	err := run(t.Context(), []string{"-mem-limit", "1", "GGGAAACCC", "GGGUUUCCC"})
+	if err == nil || !strings.Contains(err.Error(), "-degrade-window") {
+		t.Errorf("err = %v, want the memory-limit explanation", err)
+	}
+	// Unparseable size.
+	if err := run(t.Context(), []string{"-mem-limit", "lots", "GGG", "CCC"}); err == nil {
+		t.Error("invalid -mem-limit accepted")
+	}
+	// Generous limit: folds normally.
+	if err := run(t.Context(), []string{"-mem-limit", "1GB", "GGG", "CCC"}); err != nil {
+		t.Errorf("generous limit failed: %v", err)
+	}
+}
+
+func TestRunDegradeWindow(t *testing.T) {
+	// -degrade-window without -mem-limit is a usage error.
+	if err := run(t.Context(), []string{"-degrade-window", "4", "GGG", "CCC"}); err == nil {
+		t.Error("-degrade-window without -mem-limit accepted")
+	}
+	// A limit that only the banded table fits: the fold degrades and says so.
+	s1, s2 := "GGGAAACCCGGGAAACCC", "GGGUUUCCCGGGUUUCCC"
+	limit := fmt.Sprint(bpmax.EstimateWindowedBytes(len(s1), len(s2), 4, 4))
+	out, err := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-mem-limit", limit, "-degrade-window", "4", "-stats", s1, s2})
+	})
+	if err != nil {
+		t.Fatalf("degraded run: %v", err)
+	}
+	for _, want := range []string{"degraded to the windowed layout", "best windowed interaction score", "scan time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWindowStats(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-window", "4", "-stats", "GGGAAACCC", "GGGUUUCCC"})
+	})
+	if err != nil {
+		t.Fatalf("windowed run: %v", err)
+	}
+	if !strings.Contains(out, "scan time") || !strings.Contains(out, "Mcells/s") {
+		t.Errorf("-window -stats output missing timing:\n%s", out)
 	}
 }
 
@@ -99,11 +208,11 @@ func TestRunBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Strict parse rejects the N record up front...
-	if err := run([]string{"-fasta", path, "-batch"}); err == nil {
+	if err := run(t.Context(), []string{"-fasta", path, "-batch"}); err == nil {
 		t.Error("strict batch accepted N")
 	}
 	// ...while -resolve folds all three pairs.
-	if err := run([]string{"-fasta", path, "-batch", "-resolve", "3"}); err != nil {
+	if err := run(t.Context(), []string{"-fasta", path, "-batch", "-resolve", "3"}); err != nil {
 		t.Fatalf("batch run: %v", err)
 	}
 	// Odd record count errors.
@@ -111,7 +220,7 @@ func TestRunBatch(t *testing.T) {
 	if err := os.WriteFile(odd, []byte(">a\nGG\n>b\nCC\n>c\nAA\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fasta", odd, "-batch"}); err == nil {
+	if err := run(t.Context(), []string{"-fasta", odd, "-batch"}); err == nil {
 		t.Error("odd batch accepted")
 	}
 }

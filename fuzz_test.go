@@ -1,6 +1,7 @@
 package bpmax
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -33,6 +34,38 @@ func FuzzFold(f *testing.F) {
 		}
 		if len(st.Inter) > min(res.N1, res.N2) {
 			t.Fatalf("more intermolecular bonds (%d) than the shorter strand", len(st.Inter))
+		}
+	})
+}
+
+// FuzzFoldContextParity checks that the context-aware path with a
+// background context is bit-identical to plain Fold for every schedule:
+// same acceptance, same score, same traceback.
+func FuzzFoldContextParity(f *testing.F) {
+	f.Add("GGG", "CCC")
+	f.Add("GGGAAACCC", "GGGUUUCCC")
+	f.Add("acgu", "ugca")
+	f.Add("A", "")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		if len(s1) > 12 || len(s2) > 12 {
+			t.Skip("keep the O(N3M3) fill small")
+		}
+		want, wantErr := Fold(s1, s2)
+		for _, v := range publicVariants {
+			got, err := FoldContext(context.Background(), s1, s2, WithVariant(v))
+			if (err != nil) != (wantErr != nil) {
+				t.Fatalf("%s: err = %v, Fold err = %v", v, err, wantErr)
+			}
+			if err != nil {
+				continue
+			}
+			if got.Score != want.Score {
+				t.Fatalf("%s: score %v, Fold score %v", v, got.Score, want.Score)
+			}
+			gs, ws := got.Structure(), want.Structure()
+			if gs.Bracket1 != ws.Bracket1 || gs.Bracket2 != ws.Bracket2 {
+				t.Fatalf("%s: structure %q/%q, Fold %q/%q", v, gs.Bracket1, gs.Bracket2, ws.Bracket1, ws.Bracket2)
+			}
 		}
 	})
 }

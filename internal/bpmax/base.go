@@ -1,16 +1,30 @@
 package bpmax
 
+import "context"
+
 // solveBase is the original BPMax program's implementation: the
 // (j1-i1, j2-i2, i1, i2, k1, k2) schedule, one cell at a time, with every
 // reduction performed as a per-cell gather (k2 innermost, defeating
 // streaming) and no parallelism. It is the 1× baseline of Figures 15/16.
-func solveBase(p *Problem, cfg Config) *FTable {
+// Cancellation is checked once per (d1, d2, i1) triangle-row — the largest
+// such unit costs O(N2·d1·d2) gathered elements, small enough that a cancel
+// returns promptly even on large problems.
+func solveBase(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	f := NewFTable(p.N1, p.N2, cfg.Map)
 	n1, n2 := p.N1, p.N2
+	done := ctx.Done()
 	for d1 := 0; d1 < n1; d1++ {
 		for d2 := 0; d2 < n2; d2++ {
 			for i1 := 0; i1+d1 < n1; i1++ {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
 				j1 := i1 + d1
+				if h := cfg.triangleHook; h != nil && d2 == 0 {
+					h(i1, j1)
+				}
 				blk := f.Block(i1, j1)
 				for i2 := 0; i2+d2 < n2; i2++ {
 					j2 := i2 + d2
@@ -19,7 +33,7 @@ func solveBase(p *Problem, cfg Config) *FTable {
 			}
 		}
 	}
-	return f
+	return f, nil
 }
 
 // baseCell evaluates the full recurrence body for one cell by gathering.

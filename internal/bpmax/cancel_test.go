@@ -1,0 +1,274 @@
+package bpmax
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pforCtxKinds enumerates both distribution strategies for the runtime
+// tests.
+var pforCtxKinds = []struct {
+	name string
+	fn   func(ctx context.Context, n, workers int, f func(int)) error
+}{
+	{"dynamic", parallelForCtx},
+	{"static", parallelForStaticCtx},
+}
+
+func TestParallelForCtxCoversAllIndices(t *testing.T) {
+	for _, k := range pforCtxKinds {
+		for _, workers := range []int{0, 1, 2, 7, 100} {
+			for _, n := range []int{0, 1, 5, 64} {
+				var count atomic.Int64
+				seen := make([]atomic.Bool, n+1)
+				err := k.fn(context.Background(), n, workers, func(i int) {
+					if seen[i].Swap(true) {
+						t.Errorf("%s workers=%d n=%d: index %d visited twice", k.name, workers, n, i)
+					}
+					count.Add(1)
+				})
+				if err != nil {
+					t.Errorf("%s workers=%d n=%d: %v", k.name, workers, n, err)
+				}
+				if int(count.Load()) != n {
+					t.Errorf("%s workers=%d n=%d: visited %d", k.name, workers, n, count.Load())
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, k := range pforCtxKinds {
+		for _, workers := range []int{1, 4} {
+			var count atomic.Int64
+			err := k.fn(ctx, 100, workers, func(i int) { count.Add(1) })
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: err = %v, want Canceled", k.name, workers, err)
+			}
+			if count.Load() != 0 {
+				t.Errorf("%s workers=%d: ran %d iterations after cancel", k.name, workers, count.Load())
+			}
+		}
+	}
+}
+
+func TestParallelForCtxCancelMidway(t *testing.T) {
+	for _, k := range pforCtxKinds {
+		for _, workers := range []int{1, 4} {
+			ctx, cancel := context.WithCancel(context.Background())
+			var count atomic.Int64
+			err := k.fn(ctx, 10000, workers, func(i int) {
+				if count.Add(1) == 5 {
+					cancel()
+				}
+			})
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s workers=%d: err = %v, want Canceled", k.name, workers, err)
+			}
+			// Each in-flight worker may finish its current item, no more.
+			if c := count.Load(); c > 5+int64(workers) {
+				t.Errorf("%s workers=%d: %d iterations ran after cancel", k.name, workers, c)
+			}
+		}
+	}
+}
+
+func TestParallelForCtxPanicBecomesError(t *testing.T) {
+	for _, k := range pforCtxKinds {
+		for _, workers := range []int{1, 4} {
+			err := k.fn(context.Background(), 64, workers, func(i int) {
+				if i == 7 {
+					panic("poisoned cell")
+				}
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s workers=%d: err = %v, want *PanicError", k.name, workers, err)
+			}
+			if pe.Value != "poisoned cell" {
+				t.Errorf("%s workers=%d: panic value = %v", k.name, workers, pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Errorf("%s workers=%d: no stack captured", k.name, workers)
+			}
+		}
+	}
+}
+
+// checkNoGoroutineLeak fails the test if the goroutine count has not
+// settled back to the baseline within a grace period.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// solveVariants are the production schedules every robustness test must
+// cover, plus the configs that exercise their special paths.
+var solveVariants = []struct {
+	name string
+	v    Variant
+	cfg  Config
+}{
+	{"base", VariantBase, Config{}},
+	{"coarse", VariantCoarse, Config{Workers: 3}},
+	{"fine", VariantFine, Config{Workers: 3}},
+	{"hybrid", VariantHybrid, Config{Workers: 3}},
+	{"hybrid-scratch", VariantHybrid, Config{Workers: 3, ScratchAccum: true}},
+	{"hybrid-static", VariantHybrid, Config{Workers: 3, StaticSched: true}},
+	{"hybrid-tiled", VariantHybridTiled, Config{Workers: 3, TileI2: 4, TileK2: 3}},
+}
+
+func TestSolveContextBackgroundMatchesSolve(t *testing.T) {
+	p := newTestProblem(t, 11, 9, 11)
+	ref := Solve(p, VariantReference, Config{})
+	for _, sv := range solveVariants {
+		got, err := SolveContext(context.Background(), p, sv.v, sv.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", sv.name, err)
+		}
+		tablesEqual(t, p, ref, got, sv.name)
+	}
+}
+
+func TestSolveContextPreCancelled(t *testing.T) {
+	p := newTestProblem(t, 12, 8, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sv := range solveVariants {
+		ft, err := SolveContext(ctx, p, sv.v, sv.cfg)
+		if !errors.Is(err, context.Canceled) || ft != nil {
+			t.Errorf("%s: table=%v err=%v, want nil table and Canceled", sv.name, ft != nil, err)
+		}
+	}
+	if _, err := SolveWindowedContext(ctx, p, 4, 4, Config{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("windowed: err = %v, want Canceled", err)
+	}
+}
+
+// TestSolveContextDeadlinePrompt is the acceptance scenario: a 50 ms
+// deadline on a 200×200 fold must come back with DeadlineExceeded in well
+// under a second for every schedule, leaking no goroutines. (A full
+// 200×200 fill takes minutes to hours per variant, so finishing early
+// proves the cooperative checks fire.)
+func TestSolveContextDeadlinePrompt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-ms timing test")
+	}
+	// Each variant allocates a ~3.2 GB table. Left to its own pacing the GC
+	// recycles the previous iteration's span, and mallocgc must then re-zero
+	// all of it through page faults before Solve even starts — an
+	// uncancellable multi-second stall that exists only because this loop
+	// allocates eight such tables in one process. A real fold gets a fresh
+	// lazily-zeroed mapping (measured: the same cancel returns in ~50 ms), so
+	// pin that condition by suspending GC for the duration of the loop.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	defer runtime.GC()
+	p := newTestProblem(t, 3, 200, 200)
+	for _, sv := range solveVariants {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		start := time.Now()
+		ft, err := SolveContext(ctx, p, sv.v, sv.cfg)
+		elapsed := time.Since(start)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) || ft != nil {
+			t.Errorf("%s: table=%v err=%v, want nil table and DeadlineExceeded", sv.name, ft != nil, err)
+		}
+		if elapsed > time.Second {
+			t.Errorf("%s: cancellation took %v, want well under 1s", sv.name, elapsed)
+		}
+		checkNoGoroutineLeak(t, before)
+	}
+	// The windowed solver under the same deadline.
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	wt, err := SolveWindowedContext(ctx, p, 150, 150, Config{Workers: 3})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("windowed: cancellation took %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) || wt != nil {
+		t.Errorf("windowed: table=%v err=%v, want nil table and DeadlineExceeded", wt != nil, err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestSolveContextPanicIsolation injects a panic into a triangle task of
+// every schedule (via the test-only hook) and checks it surfaces as a
+// *PanicError instead of crashing, with all workers joined.
+func TestSolveContextPanicIsolation(t *testing.T) {
+	p := newTestProblem(t, 4, 10, 10)
+	for _, sv := range solveVariants {
+		before := runtime.NumGoroutine()
+		cfg := sv.cfg
+		cfg.triangleHook = func(i1, j1 int) {
+			if i1 == 0 && j1 == 5 {
+				panic("injected fault")
+			}
+		}
+		ft, err := SolveContext(context.Background(), p, sv.v, cfg)
+		var pe *PanicError
+		if !errors.As(err, &pe) || ft != nil {
+			t.Errorf("%s: table=%v err=%v, want nil table and *PanicError", sv.name, ft != nil, err)
+			continue
+		}
+		if pe.Value != "injected fault" {
+			t.Errorf("%s: panic value = %v", sv.name, pe.Value)
+		}
+		checkNoGoroutineLeak(t, before)
+	}
+	// Windowed solver: same contract.
+	cfg := Config{Workers: 3}
+	cfg.triangleHook = func(i1, j1 int) {
+		if i1 == 2 && j1 == 4 {
+			panic("injected fault")
+		}
+	}
+	wt, err := SolveWindowedContext(context.Background(), p, 4, 4, cfg)
+	var pe *PanicError
+	if !errors.As(err, &pe) || wt != nil {
+		t.Errorf("windowed: table=%v err=%v, want nil table and *PanicError", wt != nil, err)
+	}
+}
+
+func TestSolveContextPanicInline(t *testing.T) {
+	// With workers=1 the row tasks run inline on the calling goroutine
+	// (no worker goroutines at all); the panic must still come back as an
+	// error rather than escaping SolveContext.
+	p := newTestProblem(t, 5, 6, 6)
+	cfg := Config{Workers: 1}
+	cfg.triangleHook = func(i1, j1 int) {
+		if i1 == 1 && j1 == 3 {
+			panic("serial fault")
+		}
+	}
+	ft, err := SolveContext(context.Background(), p, VariantFine, cfg)
+	var pe *PanicError
+	if !errors.As(err, &pe) || ft != nil {
+		t.Fatalf("table=%v err=%v, want nil table and *PanicError", ft != nil, err)
+	}
+}
+
+func TestSolveUnknownVariantErrors(t *testing.T) {
+	p := newTestProblem(t, 6, 4, 4)
+	if _, err := SolveContext(context.Background(), p, Variant(99), Config{}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

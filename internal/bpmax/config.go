@@ -1,6 +1,9 @@
 package bpmax
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Variant selects one of the paper's BPMax execution schedules.
 type Variant int
@@ -82,6 +85,13 @@ type Config struct {
 	// sharing F's memory (Phase III). Ablation only — extra memory and an
 	// extra copy pass per wavefront.
 	ScratchAccum bool
+
+	// triangleHook, when set, runs at the start of each triangle-level unit
+	// of work in every schedule. Test-only fault injection seam: it lets the
+	// robustness tests provoke a worker panic inside any variant without
+	// poisoning real data. Unexported so only this package (and its tests)
+	// can set it.
+	triangleHook func(i1, j1 int)
 }
 
 // withDefaults resolves zero fields to the paper's defaults.
@@ -102,4 +112,13 @@ func (c Config) pfor() func(n, workers int, f func(int)) {
 		return parallelForStatic
 	}
 	return parallelFor
+}
+
+// pforCtx returns the cancellable form of the configured parallel-for
+// strategy; the solvers' context plumbing runs through it.
+func (c Config) pforCtx() func(ctx context.Context, n, workers int, f func(int)) error {
+	if c.StaticSched {
+		return parallelForStaticCtx
+	}
+	return parallelForCtx
 }

@@ -1,0 +1,35 @@
+package bpmax
+
+import "github.com/bpmax-go/bpmax/internal/tri"
+
+// EstimateBytes returns the F-table storage a full fold of an n1 × n2
+// problem allocates under the given memory map, in bytes, without
+// allocating anything. It is exact: NewFTable(n1, n2, kind).Bytes() returns
+// the same number. The S¹/S² substrate tables (O(N²) apiece) and traceback
+// scratch are not counted — the F table dominates by orders of magnitude at
+// any size where budgeting matters.
+func EstimateBytes(n1, n2 int, kind MapKind) int64 {
+	if n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	return int64(tri.Count(n1)) * int64(kind.mapFor(n2).Size()) * 4
+}
+
+// EstimateWindowedBytes returns the banded table storage of a windowed scan
+// with windows (w1, w2), in bytes, clamping the windows to the sequence
+// lengths exactly as NewWTable does. Non-positive sizes or windows
+// estimate to 0.
+func EstimateWindowedBytes(n1, n2, w1, w2 int) int64 {
+	if n1 <= 0 || n2 <= 0 || w1 <= 0 || w2 <= 0 {
+		return 0
+	}
+	if w1 > n1 {
+		w1 = n1
+	}
+	if w2 > n2 {
+		w2 = n2
+	}
+	outer := tri.BandMap{N: n1, W: w1}
+	inner := tri.BandMap{N: n2, W: w2}
+	return int64(outer.Size()) * int64(inner.Size()) * 4
+}

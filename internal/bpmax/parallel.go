@@ -1,10 +1,37 @@
 package bpmax
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError reports a panic recovered from a solver goroutine, carrying the
+// panic value and the stack of the panicking goroutine. Worker panics must
+// not take down the process: one poisoned fold should fail one call, so the
+// parallel runtime converts them into errors that surface through
+// SolveContext and the batch API.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("bpmax: solver panic: %v", e.Value)
+}
+
+// capturePanic wraps a recovered value into a *PanicError. Values that
+// already are one pass through unchanged, so nested recovery (a worker's
+// recover re-surfacing through SolveContext's) keeps the original stack.
+func capturePanic(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
 
 // resolveWorkers maps a requested worker count to an actual one
 // (<=0 means GOMAXPROCS, the OMP_NUM_THREADS analogue).
@@ -15,31 +42,76 @@ func resolveWorkers(w int) int {
 	return w
 }
 
-// parallelFor runs f(i) for every i in [0, n) across workers goroutines
+// sequentialFor is the inline path shared by both schedules when fork-join
+// buys nothing: it runs every iteration on the calling goroutine, checking
+// ctx between iterations and converting a panic in f into a *PanicError.
+func sequentialFor(done <-chan struct{}, ctxErr func() error, n int, f func(i int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = capturePanic(r)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+			return ctxErr()
+		default:
+		}
+		f(i)
+	}
+	return nil
+}
+
+// parallelForCtx runs f(i) for every i in [0, n) across workers goroutines
 // with dynamic (work-stealing counter) distribution — the analogue of
 // OpenMP's dynamic schedule, which the paper found best under BPMax's
 // imbalanced triangles.
-func parallelFor(n, workers int, f func(i int)) {
+//
+// Cancellation is cooperative at iteration granularity: every worker checks
+// ctx.Done() before claiming the next index, so the latency of a cancel is
+// bounded by the longest single task, and no goroutine outlives the call —
+// parallelForCtx always joins all workers before returning. A panic in f is
+// recovered on the worker, stops the remaining workers, and is returned as
+// a *PanicError. When both happen, the first event wins.
+func parallelForCtx(ctx context.Context, n, workers int, f func(i int)) error {
 	workers = resolveWorkers(workers)
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
+	done := ctx.Done()
 	if workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
+		return sequentialFor(done, ctx.Err, n, f)
 	}
 	if workers > n {
 		workers = n
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		err     error
+	)
+	fail := func(e error) {
+		errOnce.Do(func() { err = e })
+		stop.Store(true)
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			defer func() {
+				if r := recover(); r != nil {
+					fail(capturePanic(r))
+				}
+			}()
+			for !stop.Load() {
+				select {
+				case <-done:
+					fail(ctx.Err())
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -49,27 +121,36 @@ func parallelFor(n, workers int, f func(i int)) {
 		}()
 	}
 	wg.Wait()
+	return err
 }
 
-// parallelForStatic runs f(i) for every i in [0, n) with a static blocked
+// parallelForStaticCtx runs f(i) for every i in [0, n) with a static blocked
 // distribution (worker w gets one contiguous chunk). It exists for the
 // static-vs-dynamic scheduling ablation; dynamic wins under imbalance.
-func parallelForStatic(n, workers int, f func(i int)) {
+// Cancellation and panic isolation behave exactly as in parallelForCtx.
+func parallelForStaticCtx(ctx context.Context, n, workers int, f func(i int)) error {
 	workers = resolveWorkers(workers)
 	if n == 0 {
-		return
+		return ctx.Err()
 	}
+	done := ctx.Done()
 	if workers == 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
+		return sequentialFor(done, ctx.Err, n, f)
 	}
 	if workers > n {
 		workers = n
 	}
+	var (
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		err     error
+	)
+	fail := func(e error) {
+		errOnce.Do(func() { err = e })
+		stop.Store(true)
+	}
 	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
@@ -82,10 +163,38 @@ func parallelForStatic(n, workers int, f func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
+			defer func() {
+				if r := recover(); r != nil {
+					fail(capturePanic(r))
+				}
+			}()
+			for i := lo; i < hi && !stop.Load(); i++ {
+				select {
+				case <-done:
+					fail(ctx.Err())
+					return
+				default:
+				}
 				f(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	return err
+}
+
+// parallelFor is the non-cancellable wrapper kept for callers without a
+// context. A worker panic re-panics on the caller (as a *PanicError) to
+// preserve the historical crash semantics.
+func parallelFor(n, workers int, f func(i int)) {
+	if err := parallelForCtx(context.Background(), n, workers, f); err != nil {
+		panic(err)
+	}
+}
+
+// parallelForStatic is the non-cancellable wrapper of parallelForStaticCtx.
+func parallelForStatic(n, workers int, f func(i int)) {
+	if err := parallelForStaticCtx(context.Background(), n, workers, f); err != nil {
+		panic(err)
+	}
 }

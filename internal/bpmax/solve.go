@@ -1,26 +1,65 @@
 package bpmax
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Solve fills the full F table for p with the selected variant and returns
 // it. All variants produce bit-identical tables; they differ only in
-// schedule, parallelism and locality.
+// schedule, parallelism and locality. Solve cannot be cancelled; a solver
+// panic propagates to the caller (as a *PanicError). Long-running or
+// fallible callers should prefer SolveContext.
 func Solve(p *Problem, v Variant, cfg Config) *FTable {
+	f, err := SolveContext(context.Background(), p, v, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// SolveContext is Solve with cooperative cancellation and fault isolation.
+//
+// Cancellation checks sit at the granularity of the schedule's unit of
+// work — one triangle for the coarse schedule, one accumulation row or row
+// tile for the fine/hybrid/hybrid-tiled schedules, one triangle-row of a
+// wavefront for the base schedule — so a cancel returns after at most one
+// in-flight unit per worker finishes (milliseconds, even on large
+// problems). The partially filled table is discarded: on error the returned
+// table is nil.
+//
+// Any panic raised while filling — on a parallel worker or on the calling
+// goroutine — is recovered and returned as a *PanicError carrying the
+// panicking goroutine's stack; no goroutine leaks either way.
+// (VariantReference, the test/debug oracle, only honors ctx between
+// top-level cells.)
+func SolveContext(ctx context.Context, p *Problem, v Variant, cfg Config) (ft *FTable, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ft, err = nil, capturePanic(r)
+		}
+	}()
+	if e := ctx.Err(); e != nil {
+		return nil, e
+	}
 	switch v {
 	case VariantReference:
-		return solveReference(p, cfg.Map)
+		return solveReference(p, cfg.Map), nil
 	case VariantBase:
-		return solveBase(p, cfg)
+		return solveBase(ctx, p, cfg)
 	case VariantCoarse:
-		return solveCoarse(p, cfg)
+		return solveCoarse(ctx, p, cfg)
 	case VariantFine:
-		return solveFine(p, cfg)
+		return solveFine(ctx, p, cfg)
 	case VariantHybrid:
-		return solveHybrid(p, cfg)
+		return solveHybrid(ctx, p, cfg)
 	case VariantHybridTiled:
-		return solveHybridTiled(p, cfg)
+		return solveHybridTiled(ctx, p, cfg)
 	}
-	panic(fmt.Sprintf("bpmax: unknown variant %d", int(v)))
+	return nil, fmt.Errorf("bpmax: unknown variant %d", int(v))
 }
 
 // Score returns the interaction score of the whole pair,
@@ -62,59 +101,74 @@ func TriangleOps(d1, n2 int) int64 {
 // solveCoarse: for each outer anti-diagonal, the triangles are independent;
 // one worker computes one whole triangle (init + k1 accumulation +
 // finalize). Maximal parallelism, worst locality: each worker streams whole
-// west/south triangle blocks from DRAM.
-func solveCoarse(p *Problem, cfg Config) *FTable {
+// west/south triangle blocks from DRAM. Cancellation granularity: one
+// triangle.
+func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	s := newSolver(p, cfg, cfg.Map)
-	pf := cfg.pfor()
+	pf := cfg.pforCtx()
 	for d1 := 0; d1 < p.N1; d1++ {
-		pf(p.N1-d1, cfg.Workers, func(i1 int) {
+		err := pf(ctx, p.N1-d1, cfg.Workers, func(i1 int) {
 			s.computeTriangleSequential(i1, i1+d1)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s.f
+	return s.f, nil
 }
 
 // solveFine: triangles run one at a time (diagonal order); within the
 // current triangle the R0/R3/R4 accumulation is row-parallel, but the
 // R1/R2+update pass is inherently serial, so workers idle through it — the
-// imbalance the paper observed.
-func solveFine(p *Problem, cfg Config) *FTable {
+// imbalance the paper observed. Cancellation granularity: one accumulation
+// row (the serial finalize pass of one triangle runs to completion).
+func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	s := newSolver(p, cfg, cfg.Map)
-	pf := cfg.pfor()
+	pf := cfg.pforCtx()
 	for d1 := 0; d1 < p.N1; d1++ {
 		for i1 := 0; i1+d1 < p.N1; i1++ {
 			j1 := i1 + d1
-			pf(p.N2, cfg.Workers, func(i2 int) {
+			err := pf(ctx, p.N2, cfg.Workers, func(i2 int) {
 				s.accumulateRowTask(i1, j1, i2)
 			})
+			if err != nil {
+				return nil, err
+			}
 			s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
 		}
 	}
-	return s.f
+	return s.f, nil
 }
 
 // solveHybrid: per wavefront, phase A row-parallelizes the R0/R3/R4
 // accumulation across *all* triangles of the diagonal (fine-grain), then
 // phase B finalizes the triangles coarse-grain in parallel — "the best of
-// both worlds".
-func solveHybrid(p *Problem, cfg Config) *FTable {
+// both worlds". Cancellation granularity: one row task (phase A) or one
+// triangle finalize (phase B).
+func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	s := newSolver(p, cfg, cfg.Map)
 	if cfg.ScratchAccum {
-		return solveHybridScratch(p, s, cfg)
+		return solveHybridScratch(ctx, p, s, cfg)
 	}
-	pf := cfg.pfor()
+	pf := cfg.pforCtx()
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
-		pf(tris*p.N2, cfg.Workers, func(t int) {
+		err := pf(ctx, tris*p.N2, cfg.Workers, func(t int) {
 			i1 := t / p.N2
 			i2 := t % p.N2
 			s.accumulateRowTask(i1, i1+d1, i2)
 		})
-		pf(tris, cfg.Workers, func(i1 int) {
+		if err != nil {
+			return nil, err
+		}
+		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
 			s.finalizeTriangle(s.f.Block(i1, i1+d1), i1, i1+d1)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s.f
+	return s.f, nil
 }
 
 // solveHybridScratch is solveHybrid with the Phase II memory map: the
@@ -122,17 +176,20 @@ func solveHybrid(p *Problem, cfg Config) *FTable {
 // into F — reproducing the redundant data movement the paper's Phase III
 // memory optimization ("R0, R3 and R4 ... share the memory with F-table")
 // eliminated.
-func solveHybridScratch(p *Problem, s *solver, cfg Config) *FTable {
-	pf := cfg.pfor()
+func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) (*FTable, error) {
+	pf := cfg.pforCtx()
 	scratch := NewFTable(p.N1, p.N2, cfg.Map)
 	main := s.f
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
 		// Accumulate into scratch (reads finalized triangles from main).
-		pf(tris*p.N2, cfg.Workers, func(t int) {
+		err := pf(ctx, tris*p.N2, cfg.Workers, func(t int) {
 			i1 := t / p.N2
 			i2 := t % p.N2
 			j1 := i1 + d1
+			if h := cfg.triangleHook; h != nil && i2 == 0 {
+				h(i1, j1)
+			}
 			// Row addressing depends only on the shared inner map, so the
 			// solver's row helpers work on scratch blocks directly.
 			blk := scratch.Block(i1, j1)
@@ -141,28 +198,35 @@ func solveHybridScratch(p *Problem, s *solver, cfg Config) *FTable {
 				s.accumulateRow(blk, main.Block(i1, k1), main.Block(k1+1, j1), i1, j1, k1, i2)
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Copy scratch blocks into F (the Phase II redundancy), then run
 		// the update pass in place.
-		pf(tris, cfg.Workers, func(i1 int) {
+		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
 			j1 := i1 + d1
 			copy(main.Block(i1, j1), scratch.Block(i1, j1))
 			s.finalizeTriangle(main.Block(i1, j1), i1, j1)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return main
+	return main, nil
 }
 
 // solveHybridTiled is solveHybrid with the (i2 × k2 × j2) tiling of the
 // double max-plus; the parallel unit of phase A becomes an i2 tile.
-func solveHybridTiled(p *Problem, cfg Config) *FTable {
+// Cancellation granularity: one row tile or one triangle finalize.
+func solveHybridTiled(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	cfg = cfg.withDefaults()
 	s := newSolver(p, cfg, cfg.Map)
-	pf := cfg.pfor()
+	pf := cfg.pforCtx()
 	ti := cfg.TileI2
 	tilesPerTri := (p.N2 + ti - 1) / ti
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
-		pf(tris*tilesPerTri, cfg.Workers, func(t int) {
+		err := pf(ctx, tris*tilesPerTri, cfg.Workers, func(t int) {
 			i1 := t / tilesPerTri
 			r0 := (t % tilesPerTri) * ti
 			r1 := r0 + ti
@@ -171,9 +235,15 @@ func solveHybridTiled(p *Problem, cfg Config) *FTable {
 			}
 			s.accumulateTileTask(i1, i1+d1, r0, r1)
 		})
-		pf(tris, cfg.Workers, func(i1 int) {
+		if err != nil {
+			return nil, err
+		}
+		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
 			s.finalizeTriangle(s.f.Block(i1, i1+d1), i1, i1+d1)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return s.f
+	return s.f, nil
 }

@@ -170,6 +170,9 @@ func (s *solver) finalizeTriangle(blk []float32, i1, j1 int) {
 // calling goroutine: init, accumulate over k1, finalize. This is the unit
 // of work of the coarse-grain schedule.
 func (s *solver) computeTriangleSequential(i1, j1 int) {
+	if h := s.cfg.triangleHook; h != nil {
+		h(i1, j1)
+	}
 	blk := s.f.Block(i1, j1)
 	n2 := s.p.N2
 	for i2 := 0; i2 < n2; i2++ {
@@ -188,6 +191,9 @@ func (s *solver) computeTriangleSequential(i1, j1 int) {
 // accumulateRowTask runs init + the full k1 loop for a single row — the
 // unit of work of the fine-grain and hybrid schedules.
 func (s *solver) accumulateRowTask(i1, j1, i2 int) {
+	if h := s.cfg.triangleHook; h != nil && i2 == 0 {
+		h(i1, j1)
+	}
 	blk := s.f.Block(i1, j1)
 	s.initRow(blk, i1, j1, i2)
 	for k1 := i1; k1 < j1; k1++ {
@@ -198,6 +204,9 @@ func (s *solver) accumulateRowTask(i1, j1, i2 int) {
 // accumulateTileTask runs init + the full k1 loop for the row tile
 // [r0, r1) — the unit of work of the hybrid-tiled schedule.
 func (s *solver) accumulateTileTask(i1, j1, r0, r1 int) {
+	if h := s.cfg.triangleHook; h != nil && r0 == 0 {
+		h(i1, j1)
+	}
 	blk := s.f.Block(i1, j1)
 	for i2 := r0; i2 < r1; i2++ {
 		s.initRow(blk, i1, j1, i2)

@@ -1,6 +1,7 @@
 package bpmax
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/bpmax-go/bpmax/internal/maxplus"
@@ -91,17 +92,44 @@ func (w *WTable) at(p *Problem, i1, j1, i2, j2 int) float32 {
 
 // SolveWindowed fills the banded table with the hybrid schedule (fine-grain
 // rows for R0/R3/R4 across the wavefront, coarse-grain triangles for the
-// R1/R2+update pass).
+// R1/R2+update pass). It cannot be cancelled; see SolveWindowedContext.
 func SolveWindowed(p *Problem, w1, w2 int, cfg Config) *WTable {
+	w, err := SolveWindowedContext(context.Background(), p, w1, w2, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// SolveWindowedContext is SolveWindowed with cooperative cancellation and
+// panic isolation, mirroring SolveContext: checks sit at row/triangle task
+// granularity inside each of the W1 wavefronts, a cancel discards the
+// partial band and returns ctx.Err(), and a panic on any worker comes back
+// as a *PanicError instead of killing the process.
+func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Config) (wt *WTable, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			wt, err = nil, capturePanic(r)
+		}
+	}()
+	if e := ctx.Err(); e != nil {
+		return nil, e
+	}
 	w := NewWTable(p.N1, p.N2, w1, w2)
 	acc := maxplus.Accumulate
 	if cfg.Unroll {
 		acc = maxplus.Accumulate8
 	}
-	pf := cfg.pfor()
+	pf := cfg.pforCtx()
 	n2 := p.N2
 
 	accumRow := func(i1, j1, i2 int) {
+		if h := cfg.triangleHook; h != nil && i2 == 0 {
+			h(i1, j1)
+		}
 		blk := w.Block(i1, j1)
 		grow := w.Row(blk, i2)
 		hi := w.rowHi(i2)
@@ -163,15 +191,21 @@ func SolveWindowed(p *Problem, w1, w2 int, cfg Config) *WTable {
 
 	for d1 := 0; d1 < w.W1; d1++ {
 		tris := p.N1 - d1
-		pf(tris*n2, cfg.Workers, func(t int) {
+		err := pf(ctx, tris*n2, cfg.Workers, func(t int) {
 			i1 := t / n2
 			accumRow(i1, i1+d1, t%n2)
 		})
-		pf(tris, cfg.Workers, func(i1 int) {
+		if err != nil {
+			return nil, err
+		}
+		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
 			finalize(i1, i1+d1)
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return w
+	return w, nil
 }
 
 // Best returns the maximum interaction score over all in-window interval
@@ -185,6 +219,37 @@ func (w *WTable) Best() (v float32, i1, j1, i2, j2 int) {
 			for a2 := 0; a2 < w.N2; a2++ {
 				row := w.Row(blk, a2)
 				for b2 := a2; b2 < w.rowHi(a2); b2++ {
+					if row[b2] > v {
+						v, i1, j1, i2, j2 = row[b2], a1, b1, a2, b2
+					}
+				}
+			}
+		}
+	}
+	return v, i1, j1, i2, j2
+}
+
+// BestWithin is Best restricted to interval pairs with spans j1-i1 < s1 and
+// j2-i2 < s2 (additionally to the band itself). It backs BestLocal on folds
+// that degraded to the windowed scan.
+func (w *WTable) BestWithin(s1, s2 int) (v float32, i1, j1, i2, j2 int) {
+	if s1 > w.W1 {
+		s1 = w.W1
+	}
+	if s2 > w.W2 {
+		s2 = w.W2
+	}
+	v = float32(-1)
+	for a1 := 0; a1 < w.N1; a1++ {
+		for b1 := a1; b1 < w.N1 && b1-a1 < s1; b1++ {
+			blk := w.Block(a1, b1)
+			for a2 := 0; a2 < w.N2; a2++ {
+				row := w.Row(blk, a2)
+				hi := a2 + s2
+				if rh := w.rowHi(a2); rh < hi {
+					hi = rh
+				}
+				for b2 := a2; b2 < hi; b2++ {
 					if row[b2] > v {
 						v, i1, j1, i2, j2 = row[b2], a1, b1, a2, b2
 					}

@@ -16,6 +16,7 @@
 package nussinov
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -90,48 +91,82 @@ func Build(n int, score ScoreFunc) *Table {
 	return t
 }
 
-// BuildParallel fills the table with workers goroutines cooperating on each
-// anti-diagonal wavefront. workers <= 0 selects GOMAXPROCS.
-func BuildParallel(n int, score ScoreFunc, workers int) *Table {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// BuildParallelContext is BuildParallel with cooperative cancellation,
+// checked once per anti-diagonal wavefront (each wavefront costs O(n²)
+// work, so a cancel returns promptly). On cancellation the partial table is
+// discarded and ctx.Err() returned.
+func BuildParallelContext(ctx context.Context, n int, score ScoreFunc, workers int) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := ctx.Done()
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	t := NewTable(n)
 	if n < 2 {
-		return t
+		return t, nil
 	}
-	if workers == 1 || n < 64 {
-		// Fork-join overhead dominates tiny tables.
-		for d := 1; d < n; d++ {
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	for d := 1; d < n; d++ {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+		if w == 1 || n < 64 {
+			// Fork-join overhead dominates tiny tables.
 			for i := 0; i+d < n; i++ {
 				t.set(i, i+d, t.cell(i, i+d, score))
 			}
+			continue
 		}
-		return t
+		t.fillDiagonal(d, w, score)
 	}
+	return t, nil
+}
+
+// fillDiagonal fills anti-diagonal d with up to workers goroutines in
+// static contiguous chunks (the wavefronts are perfectly balanced, so
+// static wins here).
+func (t *Table) fillDiagonal(d, workers int, score ScoreFunc) {
+	n := t.N
+	cells := n - d
+	w := workers
+	if w > cells {
+		w = cells
+	}
+	chunk := (cells + w - 1) / w
 	var wg sync.WaitGroup
-	for d := 1; d < n; d++ {
-		cells := n - d
-		w := workers
-		if w > cells {
-			w = cells
+	for p := 0; p < w; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > cells {
+			hi = cells
 		}
-		chunk := (cells + w - 1) / w
-		for p := 0; p < w; p++ {
-			lo := p * chunk
-			hi := lo + chunk
-			if hi > cells {
-				hi = cells
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				t.set(i, i+d, t.cell(i, i+d, score))
 			}
-			wg.Add(1)
-			go func(lo, hi, d int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					t.set(i, i+d, t.cell(i, i+d, score))
-				}
-			}(lo, hi, d)
-		}
-		wg.Wait()
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// BuildParallel fills the table with workers goroutines cooperating on each
+// anti-diagonal wavefront. workers <= 0 selects GOMAXPROCS.
+func BuildParallel(n int, score ScoreFunc, workers int) *Table {
+	t, err := BuildParallelContext(context.Background(), n, score, workers)
+	if err != nil {
+		panic(err) // unreachable: the background context never cancels
 	}
 	return t
 }

@@ -1,0 +1,236 @@
+// Robustness layer: cancellation, deadlines, memory budgeting, graceful
+// degradation and panic isolation for long-running folds.
+//
+// BPMax is Θ(N³M³) time and Θ(N²M²) space, so a production caller must be
+// able to bound both before committing: FoldContext honors a
+// context.Context cooperatively at wavefront/triangle granularity in every
+// schedule, WithMemoryLimit rejects over-budget folds with a typed
+// *MemoryLimitError before the table is allocated, and
+// WithDegradeToWindowed opts into the degradation ladder
+//
+//	full table (box map) → packed map (half the memory) → windowed scan
+//
+// recording which rung fired in Result.Degradation. A panic on any solver
+// worker is recovered and returned as a *PanicError instead of killing the
+// process, so one poisoned fold fails one call (or one batch item), not the
+// service.
+
+package bpmax
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/rna"
+)
+
+// PanicError is the error a fold returns when a solver goroutine panicked;
+// it carries the panic value and the panicking goroutine's stack. Match it
+// with errors.As.
+type PanicError = ibpmax.PanicError
+
+// Degradation records which memory fallback, if any, a budgeted fold took.
+type Degradation int
+
+const (
+	// DegradeNone: the fold ran with the requested table layout.
+	DegradeNone Degradation = iota
+	// DegradePacked: the bounding-box table was over budget but the packed
+	// quarter-space map (half the memory) fit, so the fold used that. Same
+	// exact scores, somewhat slower fill.
+	DegradePacked
+	// DegradeWindowed: no full-table layout fit the budget; the fold fell
+	// back to the windowed scan configured by WithDegradeToWindowed.
+	// Result.Score is then the best in-window interaction score.
+	DegradeWindowed
+)
+
+// String returns "none", "packed" or "windowed".
+func (d Degradation) String() string {
+	switch d {
+	case DegradeNone:
+		return "none"
+	case DegradePacked:
+		return "packed"
+	case DegradeWindowed:
+		return "windowed"
+	}
+	return fmt.Sprintf("Degradation(%d)", int(d))
+}
+
+// MemoryLimitError reports a fold rejected before any table allocation
+// because every permitted layout exceeds the configured memory limit.
+type MemoryLimitError struct {
+	// EstimateBytes is the smallest table footprint among the layouts the
+	// fold was permitted to consider (box, packed, and — when degradation
+	// is enabled — the windowed band).
+	EstimateBytes int64
+	// LimitBytes is the limit set with WithMemoryLimit.
+	LimitBytes int64
+}
+
+func (e *MemoryLimitError) Error() string {
+	return fmt.Sprintf("bpmax: fold needs at least %d bytes of table storage, over the %d-byte memory limit",
+		e.EstimateBytes, e.LimitBytes)
+}
+
+// WithMemoryLimit bounds the F-table storage a fold may allocate, in bytes
+// (0, the default, means unlimited). The footprint is computed analytically
+// before allocation: a fold that cannot fit returns a *MemoryLimitError —
+// or degrades, see WithDegradeToWindowed — without touching the allocator.
+func WithMemoryLimit(bytes int64) Option {
+	return func(o *options) { o.memLimit = bytes }
+}
+
+// WithDegradeToWindowed lets a fold that exceeds its WithMemoryLimit budget
+// fall back down the degradation ladder instead of failing: first the
+// packed quarter-space map (exact, half the bounding-box memory), then a
+// windowed scan with windows (w1, w2) (the local-interaction screen; the
+// memory-bounded mode of the GPU formulations). Result.Degradation records
+// which rung fired. Without WithMemoryLimit this option has no effect.
+func WithDegradeToWindowed(w1, w2 int) Option {
+	return func(o *options) { o.degradeW1, o.degradeW2 = w1, w2 }
+}
+
+// EstimateBytes returns the F-table storage, in bytes, that a full fold of
+// sequences with lengths n1 and n2 would allocate under the given options
+// (only the memory map matters: WithPackedMemory halves it). Use it to
+// budget before folding; Fold with WithMemoryLimit performs the same check
+// internally.
+func EstimateBytes(n1, n2 int, opts ...Option) int64 {
+	o := buildOptions(opts)
+	return ibpmax.EstimateBytes(n1, n2, o.cfg.Map)
+}
+
+// EstimateWindowedBytes returns the banded-table storage, in bytes, of a
+// windowed scan over lengths n1, n2 with windows w1, w2.
+func EstimateWindowedBytes(n1, n2, w1, w2 int) int64 {
+	return ibpmax.EstimateWindowedBytes(n1, n2, w1, w2)
+}
+
+// FoldContext is Fold with cooperative cancellation, deadlines, memory
+// budgeting and panic isolation.
+//
+// Cancellation: every schedule checks ctx at wavefront/triangle granularity
+// (one triangle, row or row-tile of work per check), so cancellation
+// latency is bounded by one in-flight task per worker — milliseconds even
+// on large problems — and no goroutine outlives the call. On cancellation
+// the partial table is discarded and ctx.Err() (context.Canceled or
+// context.DeadlineExceeded) is returned.
+//
+// Memory budgeting: with WithMemoryLimit set, the table footprint is
+// estimated analytically first. An over-budget fold either degrades (see
+// WithDegradeToWindowed) or returns a *MemoryLimitError without allocating.
+//
+// Panic isolation: a panic on any solver worker is recovered and returned
+// as a *PanicError instead of crashing the process.
+//
+// The background-context fast path is bit-identical to Fold: same table,
+// same score, same traceback.
+func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s1, err := rna.New(seq1)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
+	}
+	s2, err := rna.New(seq2)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
+	}
+	o := buildOptions(opts)
+	v, err := o.internalVariant()
+	if err != nil {
+		return nil, err
+	}
+	cfg, deg, err := o.budget(s1.Len(), s2.Len())
+	if err != nil {
+		return nil, err
+	}
+	p, err := ibpmax.NewProblem(s1, s2, o.params())
+	if err != nil {
+		return nil, err
+	}
+	if deg == DegradeWindowed {
+		return foldViaWindow(ctx, p, o)
+	}
+	start := time.Now()
+	ft, err := ibpmax.SolveContext(ctx, p, v, cfg)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	return &Result{
+		Score:       p.Score(ft),
+		N1:          p.N1,
+		N2:          p.N2,
+		FLOPs:       ibpmax.BPMaxFlops(p.N1, p.N2),
+		Elapsed:     elapsed,
+		TableBytes:  ft.Bytes(),
+		Degradation: deg,
+		prob:        p,
+		ft:          ft,
+	}, nil
+}
+
+// budget resolves the memory-limit policy for an n1 × n2 fold: it returns
+// the (possibly downgraded) solver config and which degradation fired, or a
+// *MemoryLimitError when nothing permitted fits. It allocates nothing.
+func (o options) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
+	cfg := o.cfg
+	if o.memLimit <= 0 {
+		return cfg, DegradeNone, nil
+	}
+	smallest := ibpmax.EstimateBytes(n1, n2, cfg.Map)
+	if smallest <= o.memLimit {
+		return cfg, DegradeNone, nil
+	}
+	// Rung 1: the packed quarter-space map (no-op when already selected).
+	if packed := ibpmax.EstimateBytes(n1, n2, ibpmax.MapPacked); packed <= o.memLimit {
+		cfg.Map = ibpmax.MapPacked
+		return cfg, DegradePacked, nil
+	} else if packed < smallest {
+		smallest = packed
+	}
+	// Rung 2: the windowed scan, if the caller opted in.
+	if o.degradeW1 > 0 && o.degradeW2 > 0 {
+		if w := ibpmax.EstimateWindowedBytes(n1, n2, o.degradeW1, o.degradeW2); w <= o.memLimit {
+			return cfg, DegradeWindowed, nil
+		} else if w < smallest {
+			smallest = w
+		}
+	}
+	return cfg, DegradeNone, &MemoryLimitError{EstimateBytes: smallest, LimitBytes: o.memLimit}
+}
+
+// foldViaWindow runs the windowed-scan rung of the degradation ladder and
+// wraps it as a Result (Degradation == DegradeWindowed, Window set).
+func foldViaWindow(ctx context.Context, p *ibpmax.Problem, o options) (*Result, error) {
+	start := time.Now()
+	wt, err := ibpmax.SolveWindowedContext(ctx, p, o.degradeW1, o.degradeW2, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	best, i1, j1, i2, j2 := wt.Best()
+	win := &WindowResult{
+		Best: best, I1: i1, J1: j1, I2: i2, J2: j2,
+		TableBytes: wt.Bytes(),
+		Elapsed:    elapsed,
+		wt:         wt,
+		prob:       p,
+	}
+	return &Result{
+		Score:       best,
+		N1:          p.N1,
+		N2:          p.N2,
+		Elapsed:     elapsed,
+		TableBytes:  wt.Bytes(),
+		Degradation: DegradeWindowed,
+		Window:      win,
+		prob:        p,
+	}, nil
+}

@@ -1,0 +1,240 @@
+package bpmax
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// publicVariants enumerates every schedule reachable through the public
+// API.
+var publicVariants = []Variant{Base, Coarse, Fine, Hybrid, HybridTiled}
+
+func TestFoldContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, v := range publicVariants {
+		res, err := FoldContext(ctx, "GGGAAACCC", "GGGUUUCCC", WithVariant(v))
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Errorf("%s: res=%v err=%v, want nil result and Canceled", v, res != nil, err)
+		}
+	}
+}
+
+func TestFoldContextNilContextWorks(t *testing.T) {
+	res, err := FoldContext(nil, "GGG", "CCC") //lint:ignore SA1012 the nil guard is part of the contract
+	if err != nil || res == nil {
+		t.Fatalf("nil ctx: res=%v err=%v", res, err)
+	}
+	want, _ := Fold("GGG", "CCC")
+	if res.Score != want.Score {
+		t.Errorf("nil-ctx score %v, want %v", res.Score, want.Score)
+	}
+}
+
+func TestFoldContextDeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	// Large enough that a full fill takes seconds; the 10 ms deadline must
+	// interrupt it.
+	rng := rand.New(rand.NewSource(7))
+	s1, s2 := randSeq(rng, 64), randSeq(rng, 64)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	res, err := FoldContext(ctx, s1, s2)
+	if !errors.Is(err, context.DeadlineExceeded) || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result and DeadlineExceeded", res != nil, err)
+	}
+}
+
+func TestWithMemoryLimitRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s1, s2 := randSeq(rng, 24), randSeq(rng, 24)
+	// Below even the packed layout: the fold must fail without degradation
+	// enabled, reporting the smallest layout it considered.
+	limit := EstimateBytes(24, 24, WithPackedMemory()) - 1
+	res, err := Fold(s1, s2, WithMemoryLimit(limit))
+	var mle *MemoryLimitError
+	if !errors.As(err, &mle) || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result and *MemoryLimitError", res != nil, err)
+	}
+	if mle.LimitBytes != limit {
+		t.Errorf("LimitBytes = %d, want %d", mle.LimitBytes, limit)
+	}
+	if want := EstimateBytes(24, 24, WithPackedMemory()); mle.EstimateBytes != want {
+		t.Errorf("EstimateBytes = %d, want the packed footprint %d", mle.EstimateBytes, want)
+	}
+}
+
+func TestWithMemoryLimitGenerousIsNoop(t *testing.T) {
+	res, err := Fold("GGGAAACCC", "GGGUUUCCC", WithMemoryLimit(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation != DegradeNone {
+		t.Errorf("degradation = %v, want none", res.Degradation)
+	}
+	want, _ := Fold("GGGAAACCC", "GGGUUUCCC")
+	if res.Score != want.Score {
+		t.Errorf("score %v, want %v", res.Score, want.Score)
+	}
+}
+
+func TestDegradeToPackedKeepsScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s1, s2 := randSeq(rng, 24), randSeq(rng, 24)
+	box := EstimateBytes(24, 24)
+	packed := EstimateBytes(24, 24, WithPackedMemory())
+	if packed >= box {
+		t.Fatalf("packed %d not below box %d; test premise broken", packed, box)
+	}
+	res, err := Fold(s1, s2, WithMemoryLimit(packed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation != DegradePacked {
+		t.Fatalf("degradation = %v, want packed", res.Degradation)
+	}
+	if res.TableBytes > packed {
+		t.Errorf("allocated %d bytes over the %d limit", res.TableBytes, packed)
+	}
+	// The packed map is exact: same optimum, same sub-scores.
+	want, err := Fold(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != want.Score {
+		t.Errorf("packed score %v, full score %v", res.Score, want.Score)
+	}
+	if a, b := res.SubScore(2, 20, 3, 19), want.SubScore(2, 20, 3, 19); a != b {
+		t.Errorf("packed SubScore %v, full %v", a, b)
+	}
+}
+
+func TestDegradeToWindowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	s1, s2 := randSeq(rng, 24), randSeq(rng, 24)
+	const w = 6
+	packed := EstimateBytes(24, 24, WithPackedMemory())
+	banded := EstimateWindowedBytes(24, 24, w, w)
+	if banded >= packed {
+		t.Fatalf("banded %d not below packed %d; test premise broken", banded, packed)
+	}
+	res, err := Fold(s1, s2, WithMemoryLimit(banded), WithDegradeToWindowed(w, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degradation != DegradeWindowed || res.Window == nil {
+		t.Fatalf("degradation = %v (window %v), want windowed", res.Degradation, res.Window != nil)
+	}
+	// The degraded fold must agree with a direct windowed scan.
+	scan, err := ScanWindowed(s1, s2, w, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != scan.Best || res.Window.Best != scan.Best {
+		t.Errorf("degraded score %v / window best %v, direct scan %v", res.Score, res.Window.Best, scan.Best)
+	}
+	if res.FLOPs != 0 {
+		t.Errorf("FLOPs = %d on a windowed fallback, want 0", res.FLOPs)
+	}
+	// Accessors stay functional on the degraded result.
+	if got, _, _, _, _ := res.BestLocal(w, w); got != scan.Best {
+		t.Errorf("BestLocal = %v, want %v", got, scan.Best)
+	}
+	wr := res.Window
+	if !wr.InWindow(wr.I1, wr.J1, wr.I2, wr.J2) {
+		t.Error("best cell reported out of window")
+	}
+	if got := res.SubScore(wr.I1, wr.J1, wr.I2, wr.J2); got != scan.Best {
+		t.Errorf("SubScore at best cell = %v, want %v", got, scan.Best)
+	}
+	st := res.Structure()
+	if len(st.Bracket1) != res.N1 || len(st.Bracket2) != res.N2 {
+		t.Errorf("bracket lengths %d/%d for %d/%d nt", len(st.Bracket1), len(st.Bracket2), res.N1, res.N2)
+	}
+}
+
+func TestDegradeLadderExhausted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s1, s2 := randSeq(rng, 24), randSeq(rng, 24)
+	const w = 6
+	banded := EstimateWindowedBytes(24, 24, w, w)
+	res, err := Fold(s1, s2, WithMemoryLimit(banded-1), WithDegradeToWindowed(w, w))
+	var mle *MemoryLimitError
+	if !errors.As(err, &mle) || res != nil {
+		t.Fatalf("res=%v err=%v, want nil result and *MemoryLimitError", res != nil, err)
+	}
+	// With every rung over budget the error reports the cheapest one — the
+	// windowed band.
+	if mle.EstimateBytes != banded {
+		t.Errorf("EstimateBytes = %d, want the banded footprint %d", mle.EstimateBytes, banded)
+	}
+}
+
+func TestDegradationString(t *testing.T) {
+	for d, want := range map[Degradation]string{
+		DegradeNone:     "none",
+		DegradePacked:   "packed",
+		DegradeWindowed: "windowed",
+		Degradation(42): "Degradation(42)",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestFoldSingleContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := FoldSingleContext(ctx, "GGGAAACCC")
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("res=%v err=%v, want nil result and Canceled", res != nil, err)
+	}
+	// Background path unchanged.
+	got, err := FoldSingleContext(context.Background(), "GGGAAACCC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := FoldSingle("GGGAAACCC")
+	if got.Score != want.Score {
+		t.Errorf("score %v, want %v", got.Score, want.Score)
+	}
+}
+
+func TestScanWindowedContextCancelAndBudget(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ScanWindowedContext(ctx, "GGGAAACCC", "GGGUUUCCC", 4, 4)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("res=%v err=%v, want nil result and Canceled", res != nil, err)
+	}
+	// An over-budget band is rejected up front with the typed error.
+	est := EstimateWindowedBytes(9, 9, 4, 4)
+	var mle *MemoryLimitError
+	_, err = ScanWindowed("GGGAAACCC", "GGGUUUCCC", 4, 4, WithMemoryLimit(est-1))
+	if !errors.As(err, &mle) {
+		t.Fatalf("err = %v, want *MemoryLimitError", err)
+	}
+	if mle.EstimateBytes != est || mle.LimitBytes != est-1 {
+		t.Errorf("error fields %d/%d, want %d/%d", mle.EstimateBytes, mle.LimitBytes, est, est-1)
+	}
+	// At the limit it runs.
+	if _, err := ScanWindowed("GGGAAACCC", "GGGUUUCCC", 4, 4, WithMemoryLimit(est)); err != nil {
+		t.Errorf("scan at exactly the limit failed: %v", err)
+	}
+}
+
+func TestScanWindowedElapsedPopulated(t *testing.T) {
+	res, err := ScanWindowed("GGGAAACCCGGGAAACCC", "GGGUUUCCCGGGUUUCCC", 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", res.Elapsed)
+	}
+}
