@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci fuzz bench
+.PHONY: all build test vet race ci fuzz bench bench-engine
 
 all: ci
 
@@ -27,8 +27,14 @@ ci: build test vet race
 # part of `make test`).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFoldContextParity -fuzztime 20s .
+	$(GO) test -run '^$$' -fuzz FuzzPooledParity -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzFold -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzFastaRoundTrip -fuzztime 10s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the engine/pool steady-state table (docs/PERFORMANCE.md) as a
+# JSON artifact.
+bench-engine:
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine -json BENCH_engine.json

@@ -20,13 +20,12 @@ type BatchItem struct {
 // BatchResult is one completed (or failed) fold of a batch.
 type BatchResult struct {
 	Name string
-	// Result is nil when the interaction fold itself failed (Err then says
-	// why). It is set even when Err reports a later failure of the
-	// single-strand folds behind Gain.
+	// Result is nil when the fold failed (Err then says why).
 	Result *Result
 	// Gain is Score minus the two strands' independent single-strand
 	// optima — the screening statistic that ranks true interactions above
-	// incidental self-structure. It is only meaningful when Err is nil.
+	// incidental self-structure. Both optima are read from the fold's own
+	// S¹/S² substrate tables, so Gain costs nothing beyond the fold itself.
 	Gain float32
 	// Degradation echoes Result.Degradation for quick per-item status
 	// reporting (DegradeNone when the item failed).
@@ -34,9 +33,25 @@ type BatchResult struct {
 	Err         error
 }
 
-// batchFoldSingle is the single-strand fold used for the gain statistic;
-// a variable so tests can inject failures.
-var batchFoldSingle = FoldSingleContext
+// batchBudget splits a global worker budget across concurrent batch items:
+// conc items fold at once, each with perFold-way parallelism, so the total
+// number of active workers never exceeds budget. Small batches get deeper
+// per-fold parallelism instead of idle batch slots; large batches get one
+// worker per item.
+func batchBudget(budget, items int) (conc, perFold int) {
+	conc = budget
+	if conc > items {
+		conc = items
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	perFold = budget / conc
+	if perFold < 1 {
+		perFold = 1
+	}
+	return conc, perFold
+}
 
 // FoldBatch folds every pair concurrently (the embarrassingly parallel
 // outer level of a target screen: distinct pairs share nothing). workers
@@ -52,26 +67,38 @@ func FoldBatch(items []BatchItem, workers int, opts ...Option) []BatchResult {
 // when ctx is cancelled are marked failed with ctx.Err() instead of being
 // folded, and a panic while processing one item — in the fold or in the
 // batch goroutine itself — fails that item only, never the batch.
+//
+// The workers argument is a global budget shared between the batch level
+// and the per-fold level: conc = min(workers, len(items)) items fold
+// concurrently, each with workers/conc-way parallelism, and when the folds
+// are parallel they draw their helpers from one shared Engine of exactly
+// that budget (the caller's via WithEngine, or a batch-scoped one). Batch
+// concurrency times fold parallelism therefore cannot oversubscribe the
+// machine, which the naive workers × WithWorkers product would.
 func FoldBatchContext(ctx context.Context, items []BatchItem, workers int, opts ...Option) []BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(items) {
-		workers = len(items)
 	}
 	out := make([]BatchResult, len(items))
 	if len(items) == 0 {
 		return out
 	}
-	// Run each fold single-threaded: the batch level already saturates the
-	// workers, and nested parallelism would oversubscribe.
-	foldOpts := append(append([]Option(nil), opts...), WithWorkers(1))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	conc, perFold := batchBudget(workers, len(items))
+	foldOpts := append(append([]Option(nil), opts...), WithWorkers(perFold))
+	if perFold > 1 && buildOptions(foldOpts).cfg.Engine == nil {
+		// Parallel per-item folds with no caller-supplied engine: give the
+		// batch its own worker team sized to the budget. The engine caps
+		// physical parallelism even when conc folds contend for helpers.
+		e := NewEngine(workers)
+		defer e.Close()
+		foldOpts = append(foldOpts, WithEngine(e))
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -120,17 +147,9 @@ func foldBatchItem(ctx context.Context, it BatchItem, foldOpts []Option) (br Bat
 	}
 	br.Result = res
 	br.Degradation = res.Degradation
-	s1, err := batchFoldSingle(ctx, it.Seq1, foldOpts...)
-	if err != nil {
-		br.Err = fmt.Errorf("%s: single-strand fold of seq1: %w", it.Name, err)
-		return br
-	}
-	s2, err := batchFoldSingle(ctx, it.Seq2, foldOpts...)
-	if err != nil {
-		br.Err = fmt.Errorf("%s: single-strand fold of seq2: %w", it.Name, err)
-		return br
-	}
-	br.Gain = res.Score - s1.Score - s2.Score
+	// The whole-strand single optima are the S-table corner cells the fold
+	// already computed; no refolds.
+	br.Gain = res.Score - res.SingleScore1(0, res.N1-1) - res.SingleScore2(0, res.N2-1)
 	return br
 }
 

@@ -3,7 +3,6 @@ package bpmax
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -127,56 +126,118 @@ func TestFoldBatchContextPreCancelled(t *testing.T) {
 	}
 }
 
-// TestFoldBatchSingleStrandFailurePropagates pins the fix for the silent
-// Gain:0 bug: when the interaction fold succeeds but a single-strand fold
-// behind the gain statistic fails, the item must carry the error (and drop
-// out of the ranking) instead of reporting a bogus zero gain.
-func TestFoldBatchSingleStrandFailurePropagates(t *testing.T) {
-	orig := batchFoldSingle
-	defer func() { batchFoldSingle = orig }()
-	batchFoldSingle = func(ctx context.Context, seq string, opts ...Option) (*SingleResult, error) {
-		if seq == "GGGG" {
-			return nil, fmt.Errorf("injected substrate failure")
+// withTriangleHook is a test-only option injecting a fault hook into every
+// schedule's triangle loop.
+func withTriangleHook(h func(i1, j1 int)) Option {
+	return func(o *options) { o.cfg.SetTriangleHook(h) }
+}
+
+// TestBatchBudget pins the worker-budget split: batch concurrency times
+// per-fold parallelism never exceeds the global budget.
+func TestBatchBudget(t *testing.T) {
+	cases := []struct {
+		budget, items, conc, perFold int
+	}{
+		{8, 2, 2, 4},  // few big items: deep per-fold parallelism
+		{8, 16, 8, 1}, // many items: one worker each
+		{4, 4, 4, 1},  // exact fit
+		{5, 2, 2, 2},  // non-divisible budget rounds down
+		{1, 10, 1, 1}, // serial budget
+		{3, 1, 1, 3},  // single item gets the whole budget
+	}
+	for _, c := range cases {
+		conc, perFold := batchBudget(c.budget, c.items)
+		if conc != c.conc || perFold != c.perFold {
+			t.Errorf("batchBudget(%d, %d) = (%d, %d), want (%d, %d)",
+				c.budget, c.items, conc, perFold, c.conc, c.perFold)
 		}
-		return orig(ctx, seq, opts...)
-	}
-	items := []BatchItem{
-		{Name: "poisoned", Seq1: "GGGG", Seq2: "CCCC"},
-		{Name: "healthy", Seq1: "GGG", Seq2: "CCC"},
-	}
-	results := FoldBatch(items, 2)
-	r := results[0]
-	if r.Err == nil || !strings.Contains(r.Err.Error(), "single-strand fold of seq1") {
-		t.Fatalf("poisoned item Err = %v, want the single-strand failure", r.Err)
-	}
-	if r.Result == nil {
-		t.Error("interaction result dropped although the pair fold succeeded")
-	}
-	if results[1].Err != nil {
-		t.Errorf("healthy item failed: %v", results[1].Err)
-	}
-	ranked := RankByGain(results)
-	if len(ranked) != 1 || ranked[0].Name != "healthy" {
-		t.Errorf("ranking = %v, want only the healthy item", ranked)
+		if conc*perFold > c.budget {
+			t.Errorf("batchBudget(%d, %d): %d x %d oversubscribes the budget",
+				c.budget, c.items, conc, perFold)
+		}
 	}
 }
 
-// TestFoldBatchPanicFailsOneItem injects a panic into one item's
-// processing and checks it is confined to that item as a *PanicError.
+// TestFoldBatchGainFromSubstrateTables checks the gain statistic read from
+// the fold's own S tables matches independent single-strand refolds — the
+// two O(n³) refolds the old implementation paid per item.
+func TestFoldBatchGainFromSubstrateTables(t *testing.T) {
+	items := []BatchItem{
+		{Name: "duplex", Seq1: "GGGGAAAA", Seq2: "UUUUCCCC"},
+		{Name: "hairpinish", Seq1: "GGGAAACCC", Seq2: "AAAA"},
+	}
+	for _, r := range FoldBatch(items, 2) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		var it BatchItem
+		for _, cand := range items {
+			if cand.Name == r.Name {
+				it = cand
+			}
+		}
+		s1, err := FoldSingle(it.Seq1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := FoldSingle(it.Seq2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := r.Result.Score - s1.Score - s2.Score; r.Gain != want {
+			t.Errorf("%s: gain %v, want %v", r.Name, r.Gain, want)
+		}
+	}
+}
+
+// TestFoldBatchSharedEngine runs a batch on a caller-supplied engine and
+// checks the scores are unchanged — the budgeted runtime is bit-identical.
+func TestFoldBatchSharedEngine(t *testing.T) {
+	e := NewEngine(4)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(7))
+	var items []BatchItem
+	for i := 0; i < 6; i++ {
+		items = append(items, BatchItem{
+			Name: string(rune('a' + i)),
+			Seq1: randSeq(rng, 10+rng.Intn(6)),
+			Seq2: randSeq(rng, 10+rng.Intn(6)),
+		})
+	}
+	got := FoldBatch(items, 2, WithEngine(e))
+	for i, r := range got {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		want, err := Fold(items[i].Seq1, items[i].Seq2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Result.Score != want.Score || r.Gain != want.Score-want.SingleScore1(0, want.N1-1)-want.SingleScore2(0, want.N2-1) {
+			t.Errorf("item %d: score %v gain %v, want score %v", i, r.Result.Score, r.Gain, want.Score)
+		}
+	}
+	// The engine must survive the batch for subsequent folds.
+	if _, err := Fold(items[0].Seq1, items[0].Seq2, WithEngine(e), WithWorkers(4)); err != nil {
+		t.Fatalf("fold after batch: %v", err)
+	}
+}
+
+// TestFoldBatchPanicFailsOneItem injects a panic deep inside one item's
+// solver (only the 10-nt pair reaches triangle j1 == 9) and checks it is
+// confined to that item as a *PanicError while the rest of the batch — and
+// the shared worker team — survive.
 func TestFoldBatchPanicFailsOneItem(t *testing.T) {
-	orig := batchFoldSingle
-	defer func() { batchFoldSingle = orig }()
-	batchFoldSingle = func(ctx context.Context, seq string, opts ...Option) (*SingleResult, error) {
-		if seq == "GGGG" {
+	hook := withTriangleHook(func(i1, j1 int) {
+		if j1 == 9 {
 			panic("poisoned item")
 		}
-		return orig(ctx, seq, opts...)
-	}
+	})
 	items := []BatchItem{
-		{Name: "boom", Seq1: "GGGG", Seq2: "CCCC"},
-		{Name: "fine", Seq1: "GGG", Seq2: "CCC"},
+		{Name: "boom", Seq1: "GGGGGAAAAA", Seq2: "UUUUUCCCCC"}, // 10 nt: hits j1 == 9
+		{Name: "fine", Seq1: "GGG", Seq2: "CCC"},               // 3 nt: never does
 	}
-	results := FoldBatch(items, 2)
+	results := FoldBatch(items, 2, hook)
 	var pe *PanicError
 	if !errors.As(results[0].Err, &pe) {
 		t.Fatalf("boom item Err = %v, want *PanicError", results[0].Err)
@@ -184,8 +245,17 @@ func TestFoldBatchPanicFailsOneItem(t *testing.T) {
 	if pe.Value != "poisoned item" || len(pe.Stack) == 0 {
 		t.Errorf("panic value %v, stack %d bytes", pe.Value, len(pe.Stack))
 	}
+	if !strings.Contains(results[0].Err.Error(), "boom") {
+		t.Errorf("error %q does not name the item", results[0].Err)
+	}
+	if results[0].Result != nil {
+		t.Error("poisoned item returned a result")
+	}
 	if results[1].Err != nil {
 		t.Errorf("healthy item failed: %v", results[1].Err)
+	}
+	if got := RankByGain(results); len(got) != 1 || got[0].Name != "fine" {
+		t.Errorf("ranking = %v, want only the healthy item", got)
 	}
 }
 

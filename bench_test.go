@@ -37,6 +37,7 @@ func reportGFLOPS(b *testing.B, flopsPerOp int64) {
 // BenchmarkMicroMaxPlus is Figure 12 / Algorithm 3: the streaming
 // Y = max(a+X, Y) kernel at an L1-resident chunk.
 func BenchmarkMicroMaxPlus(b *testing.B) {
+	b.ReportAllocs()
 	const chunk = 4096
 	x := make([]float32, chunk)
 	y := make([]float32, chunk)
@@ -45,18 +46,21 @@ func BenchmarkMicroMaxPlus(b *testing.B) {
 		y[i] = float32(i % 89)
 	}
 	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			maxplus.Accumulate(y, x, float32(i%7))
 		}
 		reportGFLOPS(b, chunk*maxplus.FlopsPerElement)
 	})
 	b.Run("unrolled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			maxplus.Accumulate8(y, x, float32(i%7))
 		}
 		reportGFLOPS(b, chunk*maxplus.FlopsPerElement)
 	})
 	b.Run("gather", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			maxplus.DotMaxPlusStride(x, y, 1)
 		}
@@ -80,6 +84,7 @@ func uniqueThreads(xs []int) []int {
 
 // BenchmarkMicroThreads is Figure 12's thread sweep.
 func BenchmarkMicroThreads(b *testing.B) {
+	b.ReportAllocs()
 	cores := runtime.GOMAXPROCS(0)
 	for _, th := range uniqueThreads([]int{1, 2, cores, 2 * cores}) {
 		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
@@ -96,10 +101,12 @@ func BenchmarkMicroThreads(b *testing.B) {
 // BenchmarkDoubleMaxPlus is Figures 13/14 and Table I: the standalone
 // double max-plus system under every schedule.
 func BenchmarkDoubleMaxPlus(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 64)
 	flops := ibpmax.DMPFlops(12, 64)
 	for _, v := range ibpmax.DMPVariants {
 		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ibpmax.SolveDMP(p, v, ibpmax.Config{})
 			}
@@ -111,10 +118,12 @@ func BenchmarkDoubleMaxPlus(b *testing.B) {
 // BenchmarkBPMaxVariants is Figures 1/15/16: the full BPMax fill under
 // every schedule.
 func BenchmarkBPMaxVariants(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 48)
 	flops := ibpmax.BPMaxFlops(12, 48)
 	for _, v := range ibpmax.Variants {
 		b.Run(v.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ibpmax.Solve(p, v, ibpmax.Config{})
 			}
@@ -126,6 +135,7 @@ func BenchmarkBPMaxVariants(b *testing.B) {
 // BenchmarkTiledThreads is Figure 17: worker scaling of the tiled double
 // max-plus, including past the physical core count.
 func BenchmarkTiledThreads(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 96)
 	flops := ibpmax.DMPFlops(12, 96)
 	cores := runtime.GOMAXPROCS(0)
@@ -142,6 +152,7 @@ func BenchmarkTiledThreads(b *testing.B) {
 // BenchmarkTileShapes is Figure 18: tile-shape sensitivity of the double
 // max-plus (cubic vs j2-untiled shapes).
 func BenchmarkTileShapes(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 96)
 	flops := ibpmax.DMPFlops(12, 96)
 	shapes := []struct {
@@ -156,6 +167,7 @@ func BenchmarkTileShapes(b *testing.B) {
 	}
 	for _, sh := range shapes {
 		b.Run(sh.name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ibpmax.Config{TileI2: sh.ti, TileK2: sh.tk, TileJ2: sh.tj}
 			for i := 0; i < b.N; i++ {
 				ibpmax.SolveDMP(p, ibpmax.DMPTiled, cfg)
@@ -168,10 +180,12 @@ func BenchmarkTileShapes(b *testing.B) {
 // BenchmarkMemoryMaps is the Fig 10 ablation: bounding-box vs packed
 // quarter-space inner maps.
 func BenchmarkMemoryMaps(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 48)
 	flops := ibpmax.BPMaxFlops(12, 48)
 	for _, kind := range []ibpmax.MapKind{ibpmax.MapBox, ibpmax.MapPacked} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ibpmax.Solve(p, ibpmax.VariantHybridTiled, ibpmax.Config{Map: kind})
 			}
@@ -183,6 +197,7 @@ func BenchmarkMemoryMaps(b *testing.B) {
 // BenchmarkScheduling is the OMP-dynamic-vs-static ablation (paper:
 // dynamic wins under the triangles' imbalance).
 func BenchmarkScheduling(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 48)
 	flops := ibpmax.BPMaxFlops(12, 48)
 	for _, static := range []bool{false, true} {
@@ -191,6 +206,7 @@ func BenchmarkScheduling(b *testing.B) {
 			name = "static"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ibpmax.Config{StaticSched: static}
 			for i := 0; i < b.N; i++ {
 				ibpmax.Solve(p, ibpmax.VariantHybridTiled, cfg)
@@ -202,6 +218,7 @@ func BenchmarkScheduling(b *testing.B) {
 
 // BenchmarkUnroll is the streaming-kernel unroll ablation.
 func BenchmarkUnroll(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 64)
 	flops := ibpmax.DMPFlops(12, 64)
 	for _, unroll := range []bool{false, true} {
@@ -210,6 +227,7 @@ func BenchmarkUnroll(b *testing.B) {
 			name = "unrolled8"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ibpmax.Config{Unroll: unroll}
 			for i := 0; i < b.N; i++ {
 				ibpmax.SolveDMP(p, ibpmax.DMPTiled, cfg)
@@ -223,6 +241,7 @@ func BenchmarkUnroll(b *testing.B) {
 // dual-row kernel halves B-row stream traffic in the tiled double
 // max-plus.
 func BenchmarkRegisterTile(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 96)
 	flops := ibpmax.DMPFlops(12, 96)
 	for _, reg := range []bool{false, true} {
@@ -231,6 +250,7 @@ func BenchmarkRegisterTile(b *testing.B) {
 			name = "dualrow"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ibpmax.Config{RegisterTile: reg}
 			for i := 0; i < b.N; i++ {
 				ibpmax.SolveDMP(p, ibpmax.DMPTiled, cfg)
@@ -243,6 +263,7 @@ func BenchmarkRegisterTile(b *testing.B) {
 // BenchmarkMemoryPhases is the Phase II vs Phase III memory-map ablation:
 // separate accumulator storage (+copy) vs reductions sharing F's memory.
 func BenchmarkMemoryPhases(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 48)
 	flops := ibpmax.BPMaxFlops(12, 48)
 	for _, scratch := range []bool{false, true} {
@@ -251,6 +272,7 @@ func BenchmarkMemoryPhases(b *testing.B) {
 			name = "phase2-scratch"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := ibpmax.Config{ScratchAccum: scratch}
 			for i := 0; i < b.N; i++ {
 				ibpmax.Solve(p, ibpmax.VariantHybrid, cfg)
@@ -263,13 +285,16 @@ func BenchmarkMemoryPhases(b *testing.B) {
 // BenchmarkWindowed measures the banded scan (the GPU comparator's
 // formulation) against the full fill at the same lengths.
 func BenchmarkWindowed(b *testing.B) {
+	b.ReportAllocs()
 	p := benchProblem(b, 12, 96)
 	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ibpmax.Solve(p, ibpmax.VariantHybridTiled, ibpmax.Config{})
 		}
 	})
 	b.Run("window=16", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ibpmax.SolveWindowed(p, 12, 16, ibpmax.Config{})
 		}
@@ -279,6 +304,7 @@ func BenchmarkWindowed(b *testing.B) {
 // BenchmarkFoldAPI measures the public entry point end to end (S tables,
 // fill, metadata).
 func BenchmarkFoldAPI(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(9))
 	s1 := rna.Random(rng, 12).String()
 	s2 := rna.Random(rng, 48).String()
@@ -288,4 +314,63 @@ func BenchmarkFoldAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFoldBatchSteadyState measures the screening steady state — the
+// fold → score → release cycle FoldBatch performs per item — with fresh
+// per-fold allocation versus a shared engine and pool. The pooled
+// sub-benchmark is PR 2's acceptance gate: after the warm-up fold its
+// allocs/op must be O(1), at least 90% below the fresh sub-benchmark, with
+// no throughput regression.
+func BenchmarkFoldBatchSteadyState(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	s1 := rna.Random(rng, 12).String()
+	s2 := rna.Random(rng, 48).String()
+	cycle := func(b *testing.B, opts ...Option) {
+		res, err := Fold(s1, s2, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cycle(b)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine(4)
+		defer e.Close()
+		opts := []Option{WithEngine(e), WithPool(NewPool()), WithWorkers(4)}
+		cycle(b, opts...) // warm the pool before counting
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle(b, opts...)
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine(4)
+		defer e.Close()
+		opts := []Option{WithEngine(e), WithPool(NewPool())}
+		items := []BatchItem{
+			{Name: "a", Seq1: s1, Seq2: s2},
+			{Name: "b", Seq1: s2, Seq2: s1},
+		}
+		release := func(rs []BatchResult) {
+			for _, r := range rs {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+				r.Result.Release()
+			}
+		}
+		release(FoldBatch(items, 2, opts...))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			release(FoldBatch(items, 2, opts...))
+		}
+	})
 }

@@ -27,6 +27,7 @@ package bpmax
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -79,6 +80,10 @@ type options struct {
 	// degradeW1/degradeW2, when positive, allow an over-budget fold to fall
 	// back to a windowed scan; see WithDegradeToWindowed.
 	degradeW1, degradeW2 int
+	// pool, when set via WithPool, recycles fold state (tables, problem
+	// substrates, result shells) across calls; cfg.Pool mirrors it at the
+	// solver layer.
+	pool *Pool
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.
@@ -195,6 +200,7 @@ type Result struct {
 	prob *ibpmax.Problem
 	ft   *ibpmax.FTable
 	st   *Structure
+	pool *Pool
 }
 
 // Fold computes the BPMax interaction of two RNA sequences given as
@@ -431,6 +437,7 @@ type WindowResult struct {
 
 	wt   *ibpmax.WTable
 	prob *ibpmax.Problem
+	pool *Pool
 }
 
 // Structure recovers one optimal structure for the best in-window cell.
@@ -466,41 +473,60 @@ func ScanWindowedContext(ctx context.Context, seq1, seq2 string, w1, w2 int, opt
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s1, err := rna.New(seq1)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
-	}
-	s2, err := rna.New(seq2)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
-	}
 	if w1 <= 0 || w2 <= 0 {
 		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
 	}
 	o := buildOptions(opts)
-	if o.memLimit > 0 {
-		if est := ibpmax.EstimateWindowedBytes(s1.Len(), s2.Len(), w1, w2); est > o.memLimit {
-			return nil, &MemoryLimitError{EstimateBytes: est, LimitBytes: o.memLimit}
+	var p *ibpmax.Problem
+	if o.pool != nil {
+		var err error
+		p, err = o.pool.p.NewProblem(seq1, seq2, o.params())
+		if err != nil {
+			var se *ibpmax.SequenceError
+			if errors.As(err, &se) {
+				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
+			}
+			return nil, err
+		}
+	} else {
+		s1, err := rna.New(seq1)
+		if err != nil {
+			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
+		}
+		s2, err := rna.New(seq2)
+		if err != nil {
+			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
+		}
+		p, err = ibpmax.NewProblem(s1, s2, o.params())
+		if err != nil {
+			return nil, err
 		}
 	}
-	p, err := ibpmax.NewProblem(s1, s2, o.params())
-	if err != nil {
-		return nil, err
+	if o.memLimit > 0 {
+		est := ibpmax.EstimateWindowedBytes(p.N1, p.N2, w1, w2)
+		if o.pool != nil {
+			est = o.pool.p.ChargeWindowedBytes(p.N1, p.N2, w1, w2)
+		}
+		if est > o.memLimit {
+			p.Release()
+			return nil, &MemoryLimitError{EstimateBytes: est, LimitBytes: o.memLimit}
+		}
 	}
 	start := time.Now()
 	wt, err := ibpmax.SolveWindowedContext(ctx, p, w1, w2, o.cfg)
 	if err != nil {
+		p.Release()
 		return nil, err
 	}
 	elapsed := time.Since(start)
 	best, i1, j1, i2, j2 := wt.Best()
-	return &WindowResult{
-		Best: best, I1: i1, J1: j1, I2: i2, J2: j2,
-		TableBytes: wt.Bytes(),
-		Elapsed:    elapsed,
-		wt:         wt,
-		prob:       p,
-	}, nil
+	win := o.getWindowResult()
+	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
+	win.TableBytes = wt.Bytes()
+	win.Elapsed = elapsed
+	win.wt = wt
+	win.prob = p
+	return win, nil
 }
 
 // At returns the windowed table value F[i1,j1,i2,j2]; the cell must satisfy

@@ -12,6 +12,7 @@
 //	bpmax -variant base -workers 1 GGGAAACCC GGGUUUCCC
 //	bpmax -window 64 longseq1.txt-content longseq2.txt-content
 //	bpmax -timeout 30s -mem-limit 2GB -degrade-window 100 SEQ1 SEQ2
+//	bpmax -fasta pairs.fa -batch -engine -1 -pool    # screen on shared workers + pooled tables
 //
 // A first SIGINT cancels the fold gracefully (the partial table is
 // discarded and the process exits with an error); a second one kills the
@@ -61,6 +62,8 @@ func run(ctx context.Context, args []string) error {
 	fasta := fs.String("fasta", "", "read the first two records of this FASTA file instead of arguments")
 	resolve := fs.Int64("resolve", 0, "accept IUPAC ambiguity codes in FASTA, resolving them randomly with this seed (0 = strict)")
 	batch := fs.Bool("batch", false, "treat the FASTA file as consecutive pairs; fold all and rank by interaction gain")
+	engine := fs.Int("engine", 0, "run on a persistent worker engine of this width (0 = off, -1 = all CPUs); batch mode always budgets one")
+	pool := fs.Bool("pool", false, "recycle DP tables and fold state across folds (useful with -batch)")
 	structure := fs.Bool("structure", true, "print an optimal joint structure")
 	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
 	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
@@ -85,6 +88,18 @@ func run(ctx context.Context, args []string) error {
 	options, err := buildOpts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed, limitBytes, *degradeWindow)
 	if err != nil {
 		return err
+	}
+	if *engine != 0 {
+		width := *engine
+		if width < 0 {
+			width = 0 // NewEngine resolves <= 0 to GOMAXPROCS
+		}
+		e := bpmax.NewEngine(width)
+		defer e.Close()
+		options = append(options, bpmax.WithEngine(e))
+	}
+	if *pool {
+		options = append(options, bpmax.WithPool(bpmax.NewPool()))
 	}
 
 	var s1, s2, name1, name2 string

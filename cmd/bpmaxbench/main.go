@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	chart := fs.Bool("chart", false, "render ASCII bar charts instead of tables")
 	outDir := fs.String("out", "", "also write <id>.txt and <id>.csv into this directory")
+	jsonFile := fs.String("json", "", "write the run's tables as a JSON array to this file (CI artifact)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,8 +80,10 @@ func run(args []string) error {
 			return err
 		}
 	}
+	var tables []*harness.Table
 	for _, e := range exps {
 		tab := e.Run(cfg)
+		tables = append(tables, tab)
 		switch {
 		case *csv:
 			fmt.Printf("# %s,%s\n%s\n", tab.ID, tab.PaperRef, tab.CSV())
@@ -96,6 +100,15 @@ func run(args []string) error {
 			if err := os.WriteFile(base+".csv", []byte(tab.CSV()), 0o644); err != nil {
 				return err
 			}
+		}
+	}
+	if *jsonFile != "" {
+		blob, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonFile, append(blob, '\n'), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil

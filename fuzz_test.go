@@ -70,6 +70,51 @@ func FuzzFoldContextParity(f *testing.F) {
 	})
 }
 
+// FuzzPooledParity checks that folding through a shared pool and engine is
+// bit-identical to a fresh fold for every schedule and arbitrary inputs —
+// same acceptance, same error text, same score, same structure — including
+// when a cancelled fold touched the pool immediately before.
+func FuzzPooledParity(f *testing.F) {
+	pool := NewPool()
+	engine := NewEngine(4)
+	f.Cleanup(engine.Close)
+	f.Add("GGG", "CCC")
+	f.Add("GGGAAACCC", "GGGUUUCCC")
+	f.Add("acgu", "ugca")
+	f.Add("AXB", "")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		if len(s1) > 12 || len(s2) > 12 {
+			t.Skip("keep the O(N3M3) fill small")
+		}
+		want, wantErr := Fold(s1, s2)
+		// Leave a cancelled fold's half-used state in the pool first; the
+		// real fold must be unaffected.
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, _ = FoldContext(cancelled, s1, s2, WithPool(pool), WithEngine(engine))
+		for _, v := range publicVariants {
+			got, err := Fold(s1, s2, WithVariant(v), WithPool(pool), WithEngine(engine), WithWorkers(4))
+			if (err != nil) != (wantErr != nil) {
+				t.Fatalf("%s: err = %v, Fold err = %v", v, err, wantErr)
+			}
+			if err != nil {
+				if err.Error() != wantErr.Error() {
+					t.Fatalf("%s: pooled error %q, fresh %q", v, err, wantErr)
+				}
+				continue
+			}
+			if got.Score != want.Score {
+				t.Fatalf("%s: pooled score %v, fresh %v", v, got.Score, want.Score)
+			}
+			gs, ws := got.Structure(), want.Structure()
+			if gs.Bracket1 != ws.Bracket1 || gs.Bracket2 != ws.Bracket2 {
+				t.Fatalf("%s: pooled structure %q/%q, fresh %q/%q", v, gs.Bracket1, gs.Bracket2, ws.Bracket1, ws.Bracket2)
+			}
+			got.Release()
+		}
+	})
+}
+
 // FuzzFastaRoundTrip checks the FASTA reader never panics and that
 // whatever it accepts survives a write/read round trip.
 func FuzzFastaRoundTrip(f *testing.F) {

@@ -10,7 +10,12 @@ import "context"
 // such unit costs O(N2·d1·d2) gathered elements, small enough that a cancel
 // returns promptly even on large problems.
 func solveBase(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
-	f := NewFTable(p.N1, p.N2, cfg.Map)
+	var f *FTable
+	if cfg.Pool != nil {
+		f = cfg.Pool.NewFTable(p.N1, p.N2, cfg.Map)
+	} else {
+		f = NewFTable(p.N1, p.N2, cfg.Map)
+	}
 	n1, n2 := p.N1, p.N2
 	done := ctx.Done()
 	for d1 := 0; d1 < n1; d1++ {
@@ -18,6 +23,7 @@ func solveBase(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 			for i1 := 0; i1+d1 < n1; i1++ {
 				select {
 				case <-done:
+					f.Release()
 					return nil, ctx.Err()
 				default:
 				}

@@ -1,0 +1,102 @@
+package bpmax
+
+// Benchmarks for the PR-2 execution runtime: the persistent worker engine
+// against the fork-join parallel-for, and the pooled steady-state solve
+// cycle. Read the allocs/op column: pooled+engine must stay O(1).
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// BenchmarkEngineRun isolates the per-loop dispatch overhead: a persistent
+// engine reuses parked workers, the fork-join baseline spawns and joins
+// goroutines every call.
+func BenchmarkEngineRun(b *testing.B) {
+	work := func(int) {}
+	ctx := context.Background()
+	b.Run("engine", func(b *testing.B) {
+		b.ReportAllocs()
+		e := NewEngine(4)
+		defer e.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Run(ctx, 256, 4, work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fork-join", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := parallelForCtx(ctx, 256, 4, work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSolveSteadyState is the full solver-layer fold cycle (problem
+// build, fill, release) fresh versus recycled.
+func BenchmarkSolveSteadyState(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	s1 := rna.Random(rng, 10).String()
+	s2 := rna.Random(rng, 40).String()
+	params := score.DefaultParams()
+	cycle := func(b *testing.B, pl *Pool, cfg Config) {
+		var p *Problem
+		var err error
+		if pl != nil {
+			p, err = pl.NewProblem(s1, s2, params)
+		} else {
+			var q1, q2 rna.Sequence
+			if q1, err = rna.New(s1); err == nil {
+				if q2, err = rna.New(s2); err == nil {
+					p, err = NewProblem(q1, q2, params)
+				}
+			}
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft, err := SolveContext(context.Background(), p, VariantHybridTiled, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft.Release()
+		p.Release()
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := Config{Workers: 2}
+		for i := 0; i < b.N; i++ {
+			cycle(b, nil, cfg)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pl := NewPool()
+		cfg := Config{Workers: 2, Pool: pl}
+		cycle(b, pl, cfg) // warm-up
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle(b, pl, cfg)
+		}
+	})
+	b.Run("pooled+engine", func(b *testing.B) {
+		b.ReportAllocs()
+		pl := NewPool()
+		e := NewEngine(4)
+		defer e.Close()
+		cfg := Config{Workers: 4, Pool: pl, Engine: e}
+		cycle(b, pl, cfg) // warm-up
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle(b, pl, cfg)
+		}
+	})
+}

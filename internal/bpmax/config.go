@@ -86,13 +86,29 @@ type Config struct {
 	// extra copy pass per wavefront.
 	ScratchAccum bool
 
+	// Engine, when non-nil, runs every parallel loop on a persistent worker
+	// pool instead of the per-wavefront fork-join runtime. Sharing one
+	// Engine across folds and batch items amortizes goroutine launch cost
+	// and caps total parallel width at the engine's size.
+	Engine *Engine
+	// Pool, when non-nil, recycles DP tables, scratch accumulators, and
+	// solver state across folds so steady-state solves are near
+	// zero-allocation. Pooled buffers are re-zeroed on reuse, so results
+	// stay bit-identical to fresh-allocation runs.
+	Pool *Pool
+
 	// triangleHook, when set, runs at the start of each triangle-level unit
 	// of work in every schedule. Test-only fault injection seam: it lets the
 	// robustness tests provoke a worker panic inside any variant without
 	// poisoning real data. Unexported so only this package (and its tests)
-	// can set it.
+	// can set it; external tests go through SetTriangleHook.
 	triangleHook func(i1, j1 int)
 }
+
+// SetTriangleHook installs the fault-injection hook. It exists so the root
+// package's robustness tests can provoke panics deep inside a schedule; do
+// not set it outside tests.
+func (c *Config) SetTriangleHook(h func(i1, j1 int)) { c.triangleHook = h }
 
 // withDefaults resolves zero fields to the paper's defaults.
 func (c Config) withDefaults() Config {
@@ -108,15 +124,25 @@ func (c Config) withDefaults() Config {
 
 // pfor returns the configured parallel-for strategy.
 func (c Config) pfor() func(n, workers int, f func(int)) {
-	if c.StaticSched {
-		return parallelForStatic
+	pf := c.pforCtx()
+	return func(n, workers int, f func(int)) {
+		if err := pf(context.Background(), n, workers, f); err != nil {
+			panic(err)
+		}
 	}
-	return parallelFor
 }
 
 // pforCtx returns the cancellable form of the configured parallel-for
-// strategy; the solvers' context plumbing runs through it.
+// strategy; the solvers' context plumbing runs through it. With an Engine
+// configured, loops run on its persistent workers; otherwise each loop
+// fork-joins its own goroutines.
 func (c Config) pforCtx() func(ctx context.Context, n, workers int, f func(int)) error {
+	if c.Engine != nil {
+		if c.StaticSched {
+			return c.Engine.RunStatic
+		}
+		return c.Engine.Run
+	}
 	if c.StaticSched {
 		return parallelForStaticCtx
 	}

@@ -1,0 +1,224 @@
+package bpmax
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine is a persistent worker pool shared across wavefronts, folds, and
+// batch items. The fork-join runtime in parallel.go spawns fresh goroutines
+// for every wavefront — O(diagonals × workers) goroutine launches per fold —
+// which is exactly the barrier cost the paper's OMP runtime amortizes with a
+// persistent thread team. Engine parks its workers on an unbuffered channel;
+// a parallel loop hands them work by non-blocking sends, so only a worker
+// that is genuinely idle (blocked in receive) ever picks a job up, and the
+// submitting goroutine always participates in the loop itself. That gives
+// two properties the batch layer relies on:
+//
+//   - Progress without helpers: under contention every loop still completes
+//     on its submitter, so concurrent folds sharing one Engine degrade to
+//     sequential instead of oversubscribing the machine.
+//   - A hard physical cap: an Engine created with width W never has more
+//     than W-1 helper goroutines in existence, no matter how many folds
+//     share it.
+//
+// Scheduling inside a loop is chunked-dynamic (workers claim contiguous
+// index ranges from an atomic counter), mirroring the paper's OMP-dynamic
+// result for BPMax's imbalanced triangles; the static ablation maps onto the
+// same mechanism with one chunk per worker.
+//
+// PR-1 contracts are preserved: cancellation is checked before every
+// iteration (latency bounded by the longest single task), and a panic in the
+// body is recovered inside the job — the worker survives, so one poisoned
+// fold cannot poison the shared pool.
+type Engine struct {
+	workers int
+	jobs    chan *job
+	jobPool sync.Pool
+	closed  atomic.Bool
+	wg      sync.WaitGroup // parked workers, for Close to join
+}
+
+// job is one parallel loop in flight. Jobs are recycled through the engine's
+// sync.Pool: by the time Run returns, every helper has called wg.Done, so no
+// goroutine can still touch the struct.
+type job struct {
+	// ctx is stored as the interface (not Done()/Err() method values, which
+	// would allocate per Run) so the steady state stays allocation-free.
+	ctx   context.Context
+	f     func(i int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	stop  atomic.Bool
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	err   error
+}
+
+// fail records the first error and stops remaining claims. A plain mutex
+// instead of sync.Once so the job struct can be reused.
+func (j *job) fail(e error) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = e
+	}
+	j.mu.Unlock()
+	j.stop.Store(true)
+}
+
+// run claims chunks until the index space, a cancellation, or an error is
+// exhausted. It is executed by the submitter and by every helper worker; the
+// deferred recover converts a body panic into the job's error without
+// killing the (persistent) goroutine running it.
+func (j *job) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			j.fail(capturePanic(r))
+		}
+	}()
+	done := j.ctx.Done()
+	for {
+		if j.stop.Load() {
+			return
+		}
+		lo := int(j.next.Add(int64(j.chunk))) - j.chunk
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		for i := lo; i < hi; i++ {
+			if j.stop.Load() {
+				return
+			}
+			select {
+			case <-done:
+				j.fail(j.ctx.Err())
+				return
+			default:
+			}
+			j.f(i)
+		}
+	}
+}
+
+// NewEngine creates an engine of the given total width (<= 0 means
+// GOMAXPROCS): the submitting goroutine plus width-1 persistent helpers,
+// spawned once here and parked until Close. The goroutine count is stable
+// for the engine's whole lifetime — Run never spawns.
+func NewEngine(workers int) *Engine {
+	workers = resolveWorkers(workers)
+	e := &Engine{
+		workers: workers,
+		jobs:    make(chan *job),
+	}
+	e.jobPool.New = func() any { return new(job) }
+	e.wg.Add(workers - 1)
+	for i := 0; i < workers-1; i++ {
+		go func() {
+			defer e.wg.Done()
+			for j := range e.jobs {
+				j.run()
+				j.wg.Done()
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the engine's total width (submitter + helpers).
+func (e *Engine) Workers() int { return e.workers }
+
+// Close releases the helper goroutines and joins them. Close must not be
+// called while any Run is in flight; after Close, Run falls back to the
+// fork-join runtime so a closed engine stays safe to use.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.jobs)
+	e.wg.Wait()
+}
+
+// Run executes f(i) for every i in [0, n) with dynamic chunk-of-1
+// scheduling at width min(workers, engine width, n); the calling goroutine
+// participates. Semantics match parallelForCtx: first of cancellation /
+// panic / completion wins, and all work on the loop has finished when Run
+// returns.
+func (e *Engine) Run(ctx context.Context, n, workers int, f func(i int)) error {
+	return e.run(ctx, n, workers, f, 1)
+}
+
+// RunStatic is Run with the static-blocked ablation schedule: one
+// contiguous chunk per worker, claimed from the same counter.
+func (e *Engine) RunStatic(ctx context.Context, n, workers int, f func(i int)) error {
+	workers = e.clampWidth(workers, n)
+	chunk := (n + workers - 1) / workers
+	return e.run(ctx, n, workers, f, chunk)
+}
+
+func (e *Engine) clampWidth(workers, n int) int {
+	workers = resolveWorkers(workers)
+	if workers > e.workers {
+		workers = e.workers
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+func (e *Engine) run(ctx context.Context, n, workers int, f func(i int), chunk int) error {
+	if e == nil || e.closed.Load() {
+		// Closed (or absent) engines keep working via the fork-join path.
+		if chunk > 1 {
+			return parallelForStaticCtx(ctx, n, workers, f)
+		}
+		return parallelForCtx(ctx, n, workers, f)
+	}
+	if n == 0 {
+		return ctx.Err()
+	}
+	width := e.clampWidth(workers, n)
+	if width == 1 || n == 1 {
+		return sequentialFor(ctx.Done(), ctx.Err, n, f)
+	}
+
+	j := e.jobPool.Get().(*job)
+	j.ctx = ctx
+	j.f = f
+	j.n = n
+	j.chunk = chunk
+	j.next.Store(0)
+	j.stop.Store(false)
+	j.err = nil
+
+	// Offer the job to up to width-1 idle workers. The channel is unbuffered
+	// and the sends non-blocking, so an offer only lands on a worker that is
+	// parked in receive right now; busy workers are simply not recruited and
+	// the submitter carries the loop alone in the worst case.
+	for h := 0; h < width-1; h++ {
+		j.wg.Add(1)
+		select {
+		case e.jobs <- j:
+		default:
+			j.wg.Done()
+		}
+	}
+
+	j.run()
+	j.wg.Wait()
+
+	err := j.err
+	j.f = nil
+	j.ctx = nil
+	e.jobPool.Put(j)
+	return err
+}

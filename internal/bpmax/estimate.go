@@ -1,6 +1,9 @@
 package bpmax
 
-import "github.com/bpmax-go/bpmax/internal/tri"
+import (
+	"github.com/bpmax-go/bpmax/internal/bufpool"
+	"github.com/bpmax-go/bpmax/internal/tri"
+)
 
 // EstimateBytes returns the F-table storage a full fold of an n1 × n2
 // problem allocates under the given memory map, in bytes, without
@@ -32,4 +35,26 @@ func EstimateWindowedBytes(n1, n2, w1, w2 int) int64 {
 	outer := tri.BandMap{N: n1, W: w1}
 	inner := tri.BandMap{N: n2, W: w2}
 	return int64(outer.Size()) * int64(inner.Size()) * 4
+}
+
+// EstimatePooledBytes is EstimateBytes rounded up to the buffer pool's size
+// class: a pooled fold draws (and later retains) a class-rounded buffer,
+// which can be up to 2× the exact table size, so budgeting pooled folds
+// with the exact estimate would under-count.
+func EstimatePooledBytes(n1, n2 int, kind MapKind) int64 {
+	if n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	return bufpool.ClassBytes(tri.Count(n1) * kind.mapFor(n2).Size())
+}
+
+// EstimateWindowedPooledBytes is EstimateWindowedBytes rounded up to the
+// buffer pool's size class.
+func EstimateWindowedPooledBytes(n1, n2, w1, w2 int) int64 {
+	if n1 <= 0 || n2 <= 0 || w1 <= 0 || w2 <= 0 {
+		return 0
+	}
+	var w WTable
+	initWTable(&w, n1, n2, w1, w2)
+	return bufpool.ClassBytes(w.outer.Size() * w.isize)
 }

@@ -50,6 +50,11 @@ type FTable struct {
 	Inner  tri.Map
 	isize  int
 	data   []float32
+	// kind remembers which MapKind built Inner so a pooled shell can reuse
+	// the boxed map when the shape repeats; pl is the owning pool (nil for
+	// fresh allocations).
+	kind MapKind
+	pl   *Pool
 }
 
 // NewFTable allocates a zeroed table.
@@ -61,8 +66,23 @@ func NewFTable(n1, n2 int, kind MapKind) *FTable {
 		N2:    n2,
 		Inner: inner,
 		isize: isize,
+		kind:  kind,
 		data:  make([]float32, tri.Count(n1)*isize),
 	}
+}
+
+// Release returns a pooled table's storage and shell to its pool. It is
+// idempotent and a no-op for unpooled tables; the table must not be used
+// after Release.
+func (f *FTable) Release() {
+	if f == nil || f.pl == nil {
+		return
+	}
+	pl := f.pl
+	f.pl = nil
+	pl.buf.Put(f.data)
+	f.data = nil
+	pl.ftables.Put(f)
 }
 
 // Block returns the storage of inner triangle (i1, j1). Index cell (i2, j2)

@@ -1,0 +1,174 @@
+package bpmax
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/bpmax-go/bpmax/internal/bufpool"
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+	"github.com/bpmax-go/bpmax/internal/tri"
+)
+
+// Pool recycles the per-fold state that otherwise dominates a screening
+// workload's allocation profile: the Θ(N²M²) F table and windowed band
+// (size-classed float32 arenas with exact retained-byte accounting, see
+// bufpool), and the small fixed-shape shells — Problem (with its sequence
+// buffers and O(N²) side tables), FTable, WTable and solver (with its
+// hoisted task closures) — on sync.Pool freelists.
+//
+// Correctness contract: a pooled fold is bit-identical to a fresh one.
+// Every float32 buffer leaves the arena zeroed, sequence and score storage
+// is fully overwritten on reuse, and the Nussinov tables are re-zeroed by
+// Reset, so no state can leak from one fold into the next — including after
+// a cancelled or a panicked fold, whose buffers either return through the
+// normal error path or are abandoned to the garbage collector (the pool
+// simply misses; it is never poisoned).
+//
+// The zero value is ready to use and safe for concurrent use.
+type Pool struct {
+	buf      bufpool.Pool
+	problems sync.Pool // *Problem
+	ftables  sync.Pool // *FTable
+	wtables  sync.Pool // *WTable
+	solvers  sync.Pool // *solver
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// SequenceError reports an invalid input sequence from the pooled problem
+// constructor; Index is 1 or 2. The public API maps it onto the same error
+// text the unpooled path produces.
+type SequenceError struct {
+	Index int
+	Err   error
+}
+
+func (e *SequenceError) Error() string {
+	return fmt.Sprintf("sequence %d: %v", e.Index, e.Err)
+}
+
+func (e *SequenceError) Unwrap() error { return e.Err }
+
+// NewProblem is NewProblem building from raw strings into pooled storage.
+// The returned problem must be handed back with Problem.Release once its
+// tables are no longer referenced.
+func (pl *Pool) NewProblem(seq1, seq2 string, params score.Params) (*Problem, error) {
+	p, _ := pl.problems.Get().(*Problem)
+	if p == nil {
+		p = &Problem{}
+	}
+	var err error
+	p.Seq1, p.seqBuf1, err = rna.NewInto(p.seqBuf1, seq1)
+	if err != nil {
+		pl.problems.Put(p)
+		return nil, &SequenceError{Index: 1, Err: err}
+	}
+	p.Seq2, p.seqBuf2, err = rna.NewInto(p.seqBuf2, seq2)
+	if err != nil {
+		pl.problems.Put(p)
+		return nil, &SequenceError{Index: 2, Err: err}
+	}
+	n1, n2 := p.Seq1.Len(), p.Seq2.Len()
+	if n1 == 0 || n2 == 0 {
+		pl.problems.Put(p)
+		return nil, fmt.Errorf("bpmax: both sequences must be non-empty (got %d and %d nt)", n1, n2)
+	}
+	p.N1, p.N2 = n1, n2
+	if p.Tab == nil {
+		p.Tab = &score.Tables{}
+	}
+	score.BuildInto(p.Tab, p.Seq1, p.Seq2, params)
+	if p.S1 == nil {
+		p.S1, p.S2 = &nussinov.Table{}, &nussinov.Table{}
+	}
+	p.S1.Reset(n1)
+	p.S1.Fill(func(i, j int) float32 { return p.Tab.Score1(i, j) })
+	p.S2.Reset(n2)
+	p.S2.Fill(func(i, j int) float32 { return p.Tab.Score2(i, j) })
+	p.pl = pl
+	return p, nil
+}
+
+// NewFTable is NewFTable drawing the table storage from the pool's arenas
+// (zeroed, so the result is indistinguishable from a fresh allocation).
+// Release returns it.
+func (pl *Pool) NewFTable(n1, n2 int, kind MapKind) *FTable {
+	f, _ := pl.ftables.Get().(*FTable)
+	if f == nil {
+		f = &FTable{}
+	}
+	// Reuse the shell's interface-boxed inner map when the shape repeats —
+	// the common case in a screening batch — to keep the steady state free
+	// of even the boxing allocation.
+	if f.Inner == nil || f.N2 != n2 || f.kind != kind {
+		f.Inner = kind.mapFor(n2)
+		f.isize = f.Inner.Size()
+		f.kind = kind
+	}
+	f.N1, f.N2 = n1, n2
+	f.data = pl.buf.Get(tri.Count(n1) * f.isize)
+	f.pl = pl
+	return f
+}
+
+// NewWTable is NewWTable drawing the band storage from the pool's arenas.
+func (pl *Pool) NewWTable(n1, n2, w1, w2 int) *WTable {
+	w, _ := pl.wtables.Get().(*WTable)
+	if w == nil {
+		w = &WTable{}
+	}
+	initWTable(w, n1, n2, w1, w2)
+	w.data = pl.buf.Get(w.outer.Size() * w.isize)
+	w.pl = pl
+	return w
+}
+
+// getSolver returns a recycled solver shell (its hoisted task closures, if
+// already built, come along, so repeat folds allocate no closures).
+func (pl *Pool) getSolver() *solver {
+	s, _ := pl.solvers.Get().(*solver)
+	if s == nil {
+		s = &solver{}
+	}
+	return s
+}
+
+func (pl *Pool) putSolver(s *solver) { pl.solvers.Put(s) }
+
+// RetainedBytes returns the bytes currently parked in the pool's float32
+// arenas — the storage WithMemoryLimit must count against its budget. The
+// struct shells and their O(N²) side tables live on GC-managed sync.Pool
+// freelists and are not counted; the F tables dominate by orders of
+// magnitude at any size where budgeting matters.
+func (pl *Pool) RetainedBytes() int64 { return pl.buf.RetainedBytes() }
+
+// Trim releases every idle pooled buffer to the garbage collector and
+// returns how many bytes were freed.
+func (pl *Pool) Trim() int64 { return pl.buf.Trim() }
+
+// ChargeBytes returns the arena bytes the pool would hold after serving a
+// full-table fold of an n1 × n2 problem under the given map: current idle
+// retention, plus the class-rounded table size when no idle buffer of that
+// class is available to reuse. The degradation ladder budgets pooled folds
+// with this instead of the exact EstimateBytes, because the pool retains
+// class-rounded buffers.
+func (pl *Pool) ChargeBytes(n1, n2 int, kind MapKind) int64 {
+	if n1 <= 0 || n2 <= 0 {
+		return pl.RetainedBytes()
+	}
+	return pl.buf.HeldBytesAfter(tri.Count(n1) * kind.mapFor(n2).Size())
+}
+
+// ChargeWindowedBytes is ChargeBytes for the banded table of a windowed
+// scan.
+func (pl *Pool) ChargeWindowedBytes(n1, n2, w1, w2 int) int64 {
+	if n1 <= 0 || n2 <= 0 || w1 <= 0 || w2 <= 0 {
+		return pl.RetainedBytes()
+	}
+	var w WTable
+	initWTable(&w, n1, n2, w1, w2)
+	return pl.buf.HeldBytesAfter(w.outer.Size() * w.isize)
+}

@@ -1,0 +1,233 @@
+package bpmax
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// pooledProblem builds a pooled problem over the same sequences as
+// newTestProblem would.
+func pooledProblem(t testing.TB, pl *Pool, seed int64, n1, n2 int) *Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p, err := pl.NewProblem(rna.Random(rng, n1).String(), rna.Random(rng, n2).String(), score.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPooledSolveParityAllVariants(t *testing.T) {
+	pl := NewPool()
+	fresh := newTestProblem(t, 31, 9, 11)
+	ref := Solve(fresh, VariantReference, Config{})
+	// Two rounds so the second round runs entirely on recycled state.
+	for round := 0; round < 2; round++ {
+		for _, sv := range solveVariants {
+			p := pooledProblem(t, pl, 31, 9, 11)
+			cfg := sv.cfg
+			cfg.Pool = pl
+			got, err := SolveContext(context.Background(), p, sv.v, cfg)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, sv.name, err)
+			}
+			tablesEqual(t, p, ref, got, sv.name+"/pooled")
+			got.Release()
+			p.Release()
+		}
+	}
+}
+
+// TestPooledSolveParityAfterDirtyReuse fills a pooled table with garbage
+// before releasing it, then checks the next pooled fold still matches the
+// oracle — the explicit re-initialization contract.
+func TestPooledSolveParityAfterDirtyReuse(t *testing.T) {
+	pl := NewPool()
+	p := pooledProblem(t, pl, 32, 8, 9)
+	ref := Solve(newTestProblem(t, 32, 8, 9), VariantReference, Config{})
+
+	cfg := Config{Workers: 2, Pool: pl}
+	ft, err := SolveContext(context.Background(), p, VariantHybridTiled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ft.data {
+		ft.data[i] = -12345
+	}
+	ft.Release()
+
+	got, err := SolveContext(context.Background(), p, VariantHybridTiled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, p, ref, got, "dirty-reuse")
+	got.Release()
+	p.Release()
+}
+
+// TestPooledReuseAfterCancelAndPanic verifies the pool is not poisoned by a
+// cancelled or a panicked fold: subsequent pooled folds stay bit-identical.
+func TestPooledReuseAfterCancelAndPanic(t *testing.T) {
+	pl := NewPool()
+	p := pooledProblem(t, pl, 33, 10, 10)
+	ref := Solve(newTestProblem(t, 33, 10, 10), VariantReference, Config{})
+
+	for _, sv := range solveVariants {
+		cfg := sv.cfg
+		cfg.Pool = pl
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if ft, err := SolveContext(ctx, p, sv.v, cfg); !errors.Is(err, context.Canceled) || ft != nil {
+			t.Errorf("%s: table=%v err=%v, want nil table and Canceled", sv.name, ft != nil, err)
+		}
+
+		pcfg := cfg
+		pcfg.triangleHook = func(i1, j1 int) {
+			if i1 == 0 && j1 == 5 {
+				panic("injected fault")
+			}
+		}
+		ft, err := SolveContext(context.Background(), p, sv.v, pcfg)
+		var pe *PanicError
+		if !errors.As(err, &pe) || ft != nil {
+			t.Errorf("%s: table=%v err=%v, want nil table and *PanicError", sv.name, ft != nil, err)
+		}
+
+		got, err := SolveContext(context.Background(), p, sv.v, cfg)
+		if err != nil {
+			t.Fatalf("%s after faults: %v", sv.name, err)
+		}
+		tablesEqual(t, p, ref, got, sv.name+"/pooled-after-faults")
+		got.Release()
+	}
+	p.Release()
+}
+
+func TestPooledWindowedParity(t *testing.T) {
+	pl := NewPool()
+	fresh := newTestProblem(t, 34, 9, 8)
+	want, err := SolveWindowedContext(context.Background(), fresh, 4, 5, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		p := pooledProblem(t, pl, 34, 9, 8)
+		got, err := SolveWindowedContext(context.Background(), p, 4, 5, Config{Workers: 2, Pool: pl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i1 := 0; i1 < p.N1; i1++ {
+			for j1 := i1; j1 < p.N1 && j1-i1 < got.W1; j1++ {
+				for i2 := 0; i2 < p.N2; i2++ {
+					for j2 := i2; j2 < got.rowHi(i2); j2++ {
+						if g, w := got.At(i1, j1, i2, j2), want.At(i1, j1, i2, j2); g != w {
+							t.Fatalf("round %d: W[%d,%d,%d,%d] = %v, want %v", round, i1, j1, i2, j2, g, w)
+						}
+					}
+				}
+			}
+		}
+		got.Release()
+		p.Release()
+	}
+}
+
+func TestPoolNewProblemErrors(t *testing.T) {
+	pl := NewPool()
+	_, err := pl.NewProblem("ACGX", "ACGU", score.DefaultParams())
+	var se *SequenceError
+	if !errors.As(err, &se) || se.Index != 1 {
+		t.Errorf("invalid seq1: err = %v", err)
+	}
+	_, err = pl.NewProblem("ACGU", "ACGX", score.DefaultParams())
+	if !errors.As(err, &se) || se.Index != 2 {
+		t.Errorf("invalid seq2: err = %v", err)
+	}
+	if _, err := pl.NewProblem("", "ACGU", score.DefaultParams()); err == nil {
+		t.Error("empty seq1 accepted")
+	}
+}
+
+func TestPoolRetainedBytesAccounting(t *testing.T) {
+	pl := NewPool()
+	if pl.RetainedBytes() != 0 {
+		t.Fatal("fresh pool retains bytes")
+	}
+	p := pooledProblem(t, pl, 35, 12, 12)
+	cfg := Config{Workers: 1, Pool: pl}
+	ft, err := SolveContext(context.Background(), p, VariantHybrid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Handed-out buffers are the caller's to account for, not the pool's.
+	if got := pl.RetainedBytes(); got != 0 {
+		t.Errorf("retained %d while table in use", got)
+	}
+	tableBytes := ft.Bytes()
+	ft.Release()
+	retained := pl.RetainedBytes()
+	if retained <= 0 {
+		t.Fatal("release retained nothing")
+	}
+	// The class-rounded buffer is at least the table size.
+	if retained < tableBytes {
+		t.Errorf("retained %d < table bytes %d", retained, tableBytes)
+	}
+	// ChargeBytes: serving the same shape again reuses the idle buffer.
+	if charge := pl.ChargeBytes(p.N1, p.N2, MapBox); charge != retained {
+		t.Errorf("ChargeBytes same shape = %d, want %d (reuse)", charge, retained)
+	}
+	// A much larger fold must be charged on top of the retention.
+	if charge := pl.ChargeBytes(64, 64, MapBox); charge <= retained {
+		t.Errorf("ChargeBytes larger shape = %d, want > %d", charge, retained)
+	}
+	if freed := pl.Trim(); freed != retained {
+		t.Errorf("Trim freed %d, want %d", freed, retained)
+	}
+	if pl.RetainedBytes() != 0 {
+		t.Error("retained after Trim")
+	}
+	p.Release()
+}
+
+func TestEstimatePooledBytesRoundsUp(t *testing.T) {
+	for _, kind := range []MapKind{MapBox, MapPacked} {
+		exact := EstimateBytes(40, 40, kind)
+		pooled := EstimatePooledBytes(40, 40, kind)
+		if pooled < exact {
+			t.Errorf("%v: pooled %d < exact %d", kind, pooled, exact)
+		}
+		if pooled >= 2*exact+8 {
+			t.Errorf("%v: pooled %d >= 2x exact %d", kind, pooled, exact)
+		}
+	}
+	if EstimateWindowedPooledBytes(50, 50, 8, 8) < EstimateWindowedBytes(50, 50, 8, 8) {
+		t.Error("windowed pooled estimate below exact")
+	}
+}
+
+// TestPooledEngineCombined is the steady-state configuration the batch layer
+// uses: one pool + one engine shared across repeated solves.
+func TestPooledEngineCombined(t *testing.T) {
+	pl := NewPool()
+	e := NewEngine(4)
+	defer e.Close()
+	ref := Solve(newTestProblem(t, 36, 9, 9), VariantReference, Config{})
+	for i := 0; i < 5; i++ {
+		p := pooledProblem(t, pl, 36, 9, 9)
+		cfg := Config{Workers: 4, Pool: pl, Engine: e}
+		ft, err := SolveContext(context.Background(), p, VariantHybridTiled, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tablesEqual(t, p, ref, ft, "pool+engine")
+		ft.Release()
+		p.Release()
+	}
+}

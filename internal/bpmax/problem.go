@@ -17,6 +17,24 @@ type Problem struct {
 	N1, N2     int
 	Tab        *score.Tables
 	S1, S2     *nussinov.Table
+
+	// seqBuf1/seqBuf2 retain the sequence storage across pooled reuse; pl is
+	// the owning pool (nil for unpooled problems).
+	seqBuf1, seqBuf2 []rna.Base
+	pl               *Pool
+}
+
+// Release returns a pooled problem's shell — with its retained sequence
+// buffers and O(N²) side tables — to its pool. It is idempotent and a no-op
+// for unpooled problems; the problem and its tables must not be used after
+// Release.
+func (p *Problem) Release() {
+	if p == nil || p.pl == nil {
+		return
+	}
+	pl := p.pl
+	p.pl = nil
+	pl.problems.Put(p)
 }
 
 // NewProblem builds the scoring and S tables for a sequence pair. Both

@@ -107,14 +107,15 @@ func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	s := newSolver(p, cfg, cfg.Map)
 	pf := cfg.pforCtx()
 	for d1 := 0; d1 < p.N1; d1++ {
-		err := pf(ctx, p.N1-d1, cfg.Workers, func(i1 int) {
-			s.computeTriangleSequential(i1, i1+d1)
-		})
-		if err != nil {
+		s.curD1 = d1
+		if err := pf(ctx, p.N1-d1, cfg.Workers, s.triTask); err != nil {
+			s.abort()
 			return nil, err
 		}
 	}
-	return s.f, nil
+	f := s.f
+	s.release()
+	return f, nil
 }
 
 // solveFine: triangles run one at a time (diagonal order); within the
@@ -128,16 +129,17 @@ func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	for d1 := 0; d1 < p.N1; d1++ {
 		for i1 := 0; i1+d1 < p.N1; i1++ {
 			j1 := i1 + d1
-			err := pf(ctx, p.N2, cfg.Workers, func(i2 int) {
-				s.accumulateRowTask(i1, j1, i2)
-			})
-			if err != nil {
+			s.curI1, s.curJ1 = i1, j1
+			if err := pf(ctx, p.N2, cfg.Workers, s.rowFineTask); err != nil {
+				s.abort()
 				return nil, err
 			}
 			s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
 		}
 	}
-	return s.f, nil
+	f := s.f
+	s.release()
+	return f, nil
 }
 
 // solveHybrid: per wavefront, phase A row-parallelizes the R0/R3/R4
@@ -153,22 +155,19 @@ func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	pf := cfg.pforCtx()
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
-		err := pf(ctx, tris*p.N2, cfg.Workers, func(t int) {
-			i1 := t / p.N2
-			i2 := t % p.N2
-			s.accumulateRowTask(i1, i1+d1, i2)
-		})
-		if err != nil {
+		s.curD1 = d1
+		if err := pf(ctx, tris*p.N2, cfg.Workers, s.rowAllTask); err != nil {
+			s.abort()
 			return nil, err
 		}
-		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
-			s.finalizeTriangle(s.f.Block(i1, i1+d1), i1, i1+d1)
-		})
-		if err != nil {
+		if err := pf(ctx, tris, cfg.Workers, s.finTask); err != nil {
+			s.abort()
 			return nil, err
 		}
 	}
-	return s.f, nil
+	f := s.f
+	s.release()
+	return f, nil
 }
 
 // solveHybridScratch is solveHybrid with the Phase II memory map: the
@@ -178,41 +177,34 @@ func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 // eliminated.
 func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) (*FTable, error) {
 	pf := cfg.pforCtx()
-	scratch := NewFTable(p.N1, p.N2, cfg.Map)
-	main := s.f
+	var scratch *FTable
+	if cfg.Pool != nil {
+		scratch = cfg.Pool.NewFTable(p.N1, p.N2, cfg.Map)
+	} else {
+		scratch = NewFTable(p.N1, p.N2, cfg.Map)
+	}
+	// The scratch table is never returned, so it goes back to the pool on
+	// every exit (Release is a no-op when unpooled).
+	defer scratch.Release()
+	s.scratch = scratch
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
-		// Accumulate into scratch (reads finalized triangles from main).
-		err := pf(ctx, tris*p.N2, cfg.Workers, func(t int) {
-			i1 := t / p.N2
-			i2 := t % p.N2
-			j1 := i1 + d1
-			if h := cfg.triangleHook; h != nil && i2 == 0 {
-				h(i1, j1)
-			}
-			// Row addressing depends only on the shared inner map, so the
-			// solver's row helpers work on scratch blocks directly.
-			blk := scratch.Block(i1, j1)
-			s.initRow(blk, i1, j1, i2)
-			for k1 := i1; k1 < j1; k1++ {
-				s.accumulateRow(blk, main.Block(i1, k1), main.Block(k1+1, j1), i1, j1, k1, i2)
-			}
-		})
-		if err != nil {
+		s.curD1 = d1
+		// Accumulate into scratch (reads finalized triangles from s.f).
+		if err := pf(ctx, tris*p.N2, cfg.Workers, s.scratchRowTask); err != nil {
+			s.abort()
 			return nil, err
 		}
 		// Copy scratch blocks into F (the Phase II redundancy), then run
 		// the update pass in place.
-		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
-			j1 := i1 + d1
-			copy(main.Block(i1, j1), scratch.Block(i1, j1))
-			s.finalizeTriangle(main.Block(i1, j1), i1, j1)
-		})
-		if err != nil {
+		if err := pf(ctx, tris, cfg.Workers, s.scratchFinTask); err != nil {
+			s.abort()
 			return nil, err
 		}
 	}
-	return main, nil
+	f := s.f
+	s.release()
+	return f, nil
 }
 
 // solveHybridTiled is solveHybrid with the (i2 × k2 × j2) tiling of the
@@ -222,28 +214,21 @@ func solveHybridTiled(ctx context.Context, p *Problem, cfg Config) (*FTable, err
 	cfg = cfg.withDefaults()
 	s := newSolver(p, cfg, cfg.Map)
 	pf := cfg.pforCtx()
-	ti := cfg.TileI2
-	tilesPerTri := (p.N2 + ti - 1) / ti
+	s.curTileW = cfg.TileI2
+	s.curTilesPT = (p.N2 + s.curTileW - 1) / s.curTileW
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
-		err := pf(ctx, tris*tilesPerTri, cfg.Workers, func(t int) {
-			i1 := t / tilesPerTri
-			r0 := (t % tilesPerTri) * ti
-			r1 := r0 + ti
-			if r1 > p.N2 {
-				r1 = p.N2
-			}
-			s.accumulateTileTask(i1, i1+d1, r0, r1)
-		})
-		if err != nil {
+		s.curD1 = d1
+		if err := pf(ctx, tris*s.curTilesPT, cfg.Workers, s.tileTask); err != nil {
+			s.abort()
 			return nil, err
 		}
-		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
-			s.finalizeTriangle(s.f.Block(i1, i1+d1), i1, i1+d1)
-		})
-		if err != nil {
+		if err := pf(ctx, tris, cfg.Workers, s.finTask); err != nil {
+			s.abort()
 			return nil, err
 		}
 	}
-	return s.f, nil
+	f := s.f
+	s.release()
+	return f, nil
 }

@@ -12,20 +12,110 @@ type solver struct {
 	f   *FTable
 	cfg Config
 	acc func(y, x []float32, a float32)
+
+	// Per-wavefront state read by the hoisted task closures below. The
+	// schedules used to allocate fresh closures on every wavefront —
+	// O(N1) allocations per fold; binding them once to the solver (which
+	// the pool recycles) makes repeat folds closure-allocation-free.
+	curD1        int
+	curI1, curJ1 int
+	curTileW     int
+	curTilesPT   int
+	scratch      *FTable
+
+	triTask        func(i1 int) // coarse: one whole triangle of wavefront curD1
+	finTask        func(i1 int) // hybrid/tiled phase B: finalize one triangle
+	rowAllTask     func(t int)  // hybrid phase A: one row across the wavefront
+	rowFineTask    func(i2 int) // fine: one row of triangle (curI1, curJ1)
+	tileTask       func(t int)  // hybrid-tiled phase A: one row tile
+	scratchRowTask func(t int)  // scratch ablation phase A
+	scratchFinTask func(i1 int) // scratch ablation phase B: copy + finalize
+}
+
+// initTasks builds the reusable task closures. Called once per solver shell
+// lifetime; the closures read the solver's cur* fields, so reassigning
+// those retargets every schedule without reallocating.
+func (s *solver) initTasks() {
+	s.triTask = func(i1 int) { s.computeTriangleSequential(i1, i1+s.curD1) }
+	s.finTask = func(i1 int) {
+		j1 := i1 + s.curD1
+		s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
+	}
+	s.rowAllTask = func(t int) {
+		i1 := t / s.p.N2
+		s.accumulateRowTask(i1, i1+s.curD1, t%s.p.N2)
+	}
+	s.rowFineTask = func(i2 int) { s.accumulateRowTask(s.curI1, s.curJ1, i2) }
+	s.tileTask = func(t int) {
+		i1 := t / s.curTilesPT
+		r0 := (t % s.curTilesPT) * s.curTileW
+		r1 := r0 + s.curTileW
+		if r1 > s.p.N2 {
+			r1 = s.p.N2
+		}
+		s.accumulateTileTask(i1, i1+s.curD1, r0, r1)
+	}
+	s.scratchRowTask = func(t int) {
+		i1 := t / s.p.N2
+		i2 := t % s.p.N2
+		j1 := i1 + s.curD1
+		if h := s.cfg.triangleHook; h != nil && i2 == 0 {
+			h(i1, j1)
+		}
+		// Row addressing depends only on the shared inner map, so the
+		// solver's row helpers work on scratch blocks directly.
+		blk := s.scratch.Block(i1, j1)
+		s.initRow(blk, i1, j1, i2)
+		for k1 := i1; k1 < j1; k1++ {
+			s.accumulateRow(blk, s.f.Block(i1, k1), s.f.Block(k1+1, j1), i1, j1, k1, i2)
+		}
+	}
+	s.scratchFinTask = func(i1 int) {
+		j1 := i1 + s.curD1
+		copy(s.f.Block(i1, j1), s.scratch.Block(i1, j1))
+		s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
+	}
 }
 
 func newSolver(p *Problem, cfg Config, kind MapKind) *solver {
 	cfg = cfg.withDefaults()
-	s := &solver{
-		p:   p,
-		f:   NewFTable(p.N1, p.N2, kind),
-		cfg: cfg,
-		acc: maxplus.Accumulate,
+	var s *solver
+	if cfg.Pool != nil {
+		s = cfg.Pool.getSolver()
+		s.f = cfg.Pool.NewFTable(p.N1, p.N2, kind)
+	} else {
+		s = &solver{}
+		s.f = NewFTable(p.N1, p.N2, kind)
 	}
+	s.p = p
+	s.cfg = cfg
+	s.acc = maxplus.Accumulate
 	if cfg.Unroll {
 		s.acc = maxplus.Accumulate8
 	}
+	if s.triTask == nil {
+		s.initTasks()
+	}
 	return s
+}
+
+// release recycles the solver shell after a successful solve; the filled
+// table stays with the caller.
+func (s *solver) release() {
+	pl := s.cfg.Pool
+	s.p = nil
+	s.f = nil
+	s.scratch = nil
+	if pl != nil {
+		pl.putSolver(s)
+	}
+}
+
+// abort recycles both the solver shell and its partially filled table after
+// a failed solve.
+func (s *solver) abort() {
+	s.f.Release()
+	s.release()
 }
 
 // initRow seeds row i2 of triangle (i1, j1) with the H term

@@ -19,11 +19,13 @@ type WTable struct {
 	outer, inner   tri.BandMap
 	isize          int
 	data           []float32
+	pl             *Pool
 }
 
-// NewWTable allocates a zeroed banded table; windows are clamped to the
-// sequence lengths.
-func NewWTable(n1, n2, w1, w2 int) *WTable {
+// initWTable sets every field of w except the data buffer, clamping the
+// windows to the sequence lengths; it backs both the fresh and the pooled
+// constructor.
+func initWTable(w *WTable, n1, n2, w1, w2 int) {
 	if w1 <= 0 || w2 <= 0 {
 		panic(fmt.Sprintf("bpmax: invalid windows (%d, %d)", w1, w2))
 	}
@@ -33,15 +35,33 @@ func NewWTable(n1, n2, w1, w2 int) *WTable {
 	if w2 > n2 {
 		w2 = n2
 	}
-	outer := tri.BandMap{N: n1, W: w1}
-	inner := tri.BandMap{N: n2, W: w2}
-	isize := inner.Size()
-	return &WTable{
-		N1: n1, N2: n2, W1: w1, W2: w2,
-		outer: outer, inner: inner,
-		isize: isize,
-		data:  make([]float32, outer.Size()*isize),
+	w.N1, w.N2, w.W1, w.W2 = n1, n2, w1, w2
+	w.outer = tri.BandMap{N: n1, W: w1}
+	w.inner = tri.BandMap{N: n2, W: w2}
+	w.isize = w.inner.Size()
+}
+
+// NewWTable allocates a zeroed banded table; windows are clamped to the
+// sequence lengths.
+func NewWTable(n1, n2, w1, w2 int) *WTable {
+	w := &WTable{}
+	initWTable(w, n1, n2, w1, w2)
+	w.data = make([]float32, w.outer.Size()*w.isize)
+	return w
+}
+
+// Release returns a pooled band's storage and shell to its pool. It is
+// idempotent and a no-op for unpooled tables; the table must not be used
+// after Release.
+func (w *WTable) Release() {
+	if w == nil || w.pl == nil {
+		return
 	}
+	pl := w.pl
+	w.pl = nil
+	pl.buf.Put(w.data)
+	w.data = nil
+	pl.wtables.Put(w)
 }
 
 // InWindow reports whether the cell is stored.
@@ -118,7 +138,12 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 	if e := ctx.Err(); e != nil {
 		return nil, e
 	}
-	w := NewWTable(p.N1, p.N2, w1, w2)
+	var w *WTable
+	if cfg.Pool != nil {
+		w = cfg.Pool.NewWTable(p.N1, p.N2, w1, w2)
+	} else {
+		w = NewWTable(p.N1, p.N2, w1, w2)
+	}
 	acc := maxplus.Accumulate
 	if cfg.Unroll {
 		acc = maxplus.Accumulate8
@@ -196,12 +221,14 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 			accumRow(i1, i1+d1, t%n2)
 		})
 		if err != nil {
+			w.Release()
 			return nil, err
 		}
 		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
 			finalize(i1, i1+d1)
 		})
 		if err != nil {
+			w.Release()
 			return nil, err
 		}
 	}

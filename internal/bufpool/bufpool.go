@@ -1,0 +1,183 @@
+// Package bufpool provides size-classed recycling of the float32 buffers
+// that dominate BPMax's memory traffic: the Θ(N²M²) F table, the Nussinov
+// S tables, scratch accumulators and the windowed band.
+//
+// The paper's speedups come from keeping the double max-plus kernel
+// compute-bound; at the serving layer the analogous battle is against the
+// allocator and the garbage collector. A screening workload folds millions
+// of sequence pairs whose table shapes repeat, so buffers are pooled in
+// power-of-two size classes and handed back out zeroed — a pooled fold is
+// bit-identical to a freshly allocated one.
+//
+// Unlike sync.Pool (which the struct freelists in internal/bpmax use), the
+// class arenas here retain buffers deterministically: RetainedBytes is
+// exact, which is what lets WithMemoryLimit count pooled-but-retained
+// storage against its budget, and Trim releases everything on demand.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minClassBits: buffers below 1<<minClassBits elements (1 KiB of
+	// float32) are not worth pooling; they are allocated directly.
+	minClassBits = 8
+	// maxClassBits caps the largest pooled class at 1<<maxClassBits
+	// elements (4 GiB of float32); anything larger is allocated directly.
+	maxClassBits = 30
+	numClasses   = maxClassBits - minClassBits + 1
+	// maxPerClass bounds how many idle buffers one class retains; beyond
+	// it, Put drops the buffer for the garbage collector. It bounds worst
+	// case retention without a Trim to maxPerClass × the working set.
+	maxPerClass = 64
+)
+
+// classFor returns the class index for a requested element count, or -1
+// when the request falls outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxClassBits {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minClassBits {
+		b = minClassBits
+	}
+	return b - minClassBits
+}
+
+// classLen returns the buffer capacity of class c in elements.
+func classLen(c int) int { return 1 << (c + minClassBits) }
+
+// ClassLen returns the capacity, in elements, of the buffer a pool would
+// actually hold for a request of n elements: the power-of-two size class
+// n rounds up to, or n itself when the request is outside the pooled
+// range. Memory budgeting uses it to account for class rounding — a pooled
+// fold retains ClassLen(n) elements, not n.
+func ClassLen(n int) int {
+	c := classFor(n)
+	if c < 0 {
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	return classLen(c)
+}
+
+// ClassBytes is ClassLen in bytes (4 bytes per float32 element).
+func ClassBytes(n int) int64 { return int64(ClassLen(n)) * 4 }
+
+// Pool is a set of size-classed float32 arenas. The zero value is ready to
+// use. All methods are safe for concurrent use.
+type Pool struct {
+	classes [numClasses]classArena
+}
+
+type classArena struct {
+	mu   sync.Mutex
+	free [][]float32
+}
+
+// Get returns a zeroed buffer of length exactly n, reusing a pooled buffer
+// of the enclosing size class when one is available. n <= 0 returns nil.
+func (p *Pool) Get(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c < 0 {
+		return make([]float32, n)
+	}
+	a := &p.classes[c]
+	a.mu.Lock()
+	var b []float32
+	if k := len(a.free); k > 0 {
+		b = a.free[k-1]
+		a.free[k-1] = nil
+		a.free = a.free[:k-1]
+	}
+	a.mu.Unlock()
+	if b == nil {
+		return make([]float32, n, classLen(c))
+	}
+	b = b[:n]
+	// Explicit re-initialization: a reused buffer must be indistinguishable
+	// from a fresh allocation so pooled solves stay bit-identical.
+	clear(b)
+	return b
+}
+
+// Put returns a buffer to its size class for reuse. Buffers whose capacity
+// is not an exact class size (including those Get allocated outside the
+// pooled range) are dropped silently, as are buffers arriving at a class
+// already holding maxPerClass entries. Callers must not use the buffer
+// after Put.
+func (p *Pool) Put(b []float32) {
+	c := classFor(cap(b))
+	if c < 0 || cap(b) != classLen(c) {
+		return
+	}
+	b = b[:cap(b)]
+	a := &p.classes[c]
+	a.mu.Lock()
+	if len(a.free) < maxPerClass {
+		a.free = append(a.free, b)
+	}
+	a.mu.Unlock()
+}
+
+// RetainedBytes returns the exact number of bytes currently parked in the
+// pool's arenas (idle buffers only; buffers handed out by Get are the
+// caller's to account for). WithMemoryLimit counts this retention against
+// its budget.
+func (p *Pool) RetainedBytes() int64 {
+	var total int64
+	for c := range p.classes {
+		a := &p.classes[c]
+		a.mu.Lock()
+		total += int64(len(a.free)) * int64(classLen(c)) * 4
+		a.mu.Unlock()
+	}
+	return total
+}
+
+// HeldBytesAfter returns the bytes the pool would hold once a Get(n) is
+// served: current retention, plus the class-rounded request when no idle
+// buffer of its class is available (reusing an idle buffer does not grow
+// retention; outside the pooled range the exact request size is added).
+// It is a point-in-time estimate — concurrent Get/Put can shift it — used
+// by memory budgeting to charge pooled folds.
+func (p *Pool) HeldBytesAfter(n int) int64 {
+	total := p.RetainedBytes()
+	if n <= 0 {
+		return total
+	}
+	c := classFor(n)
+	if c < 0 {
+		return total + int64(n)*4
+	}
+	a := &p.classes[c]
+	a.mu.Lock()
+	idle := len(a.free)
+	a.mu.Unlock()
+	if idle == 0 {
+		total += int64(classLen(c)) * 4
+	}
+	return total
+}
+
+// Trim releases every idle buffer to the garbage collector and returns how
+// many bytes were freed.
+func (p *Pool) Trim() int64 {
+	var freed int64
+	for c := range p.classes {
+		a := &p.classes[c]
+		a.mu.Lock()
+		freed += int64(len(a.free)) * int64(classLen(c)) * 4
+		a.free = nil
+		a.mu.Unlock()
+	}
+	return freed
+}

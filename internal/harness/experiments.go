@@ -106,6 +106,100 @@ func init() {
 		ID: "ext-correlate", Title: "BPMax vs Boltzmann-ensemble correlation", PaperRef: "Section I (model fidelity)",
 		Run: runExtCorrelate,
 	})
+	register(Experiment{
+		ID: "ext-engine", Title: "Persistent engine and pooled fold state", PaperRef: "Section V (runtime extension)",
+		Run: runExtEngine,
+	})
+}
+
+// runExtEngine measures the steady-state screening loop — repeated fold →
+// score → release cycles of one shape — under the four runtime
+// configurations: fresh fork-join allocation, the persistent worker engine,
+// the pooled fold state, and both combined. Allocation figures come from
+// the runtime's monotonic Mallocs/TotalAlloc counters around the timed
+// window, after a warm-up that fills the pools.
+func runExtEngine(cfg RunConfig) *Table {
+	t := &Table{
+		ID: "ext-engine", Title: "Persistent engine and pooled fold state", PaperRef: "Section V (runtime extension)",
+		Header: []string{"runtime", "N1xN2", "time/fold", "GFLOPS", "allocs/fold", "KB/fold"},
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sz := cfg.sizes()[len(cfg.sizes())-1]
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s1 := rna.Random(rng, sz[0]).String()
+	s2 := rna.Random(rng, sz[1]).String()
+	params := score.DefaultParams()
+	flops := bpmax.BPMaxFlops(sz[0], sz[1])
+	folds := 6 * cfg.repeats()
+	for _, mode := range []struct {
+		name           string
+		engine, pooled bool
+	}{
+		{"fresh fork-join", false, false},
+		{"engine", true, false},
+		{"pooled", false, true},
+		{"engine+pooled", true, true},
+	} {
+		func() {
+			c := bpmax.Config{Workers: workers}
+			var pl *bpmax.Pool
+			if mode.pooled {
+				pl = bpmax.NewPool()
+				c.Pool = pl
+			}
+			if mode.engine {
+				e := bpmax.NewEngine(workers)
+				defer e.Close()
+				c.Engine = e
+			}
+			foldOnce := func() {
+				var p *bpmax.Problem
+				var err error
+				if pl != nil {
+					p, err = pl.NewProblem(s1, s2, params)
+				} else {
+					var q1, q2 rna.Sequence
+					if q1, err = rna.New(s1); err == nil {
+						if q2, err = rna.New(s2); err == nil {
+							p, err = bpmax.NewProblem(q1, q2, params)
+						}
+					}
+				}
+				if err != nil {
+					panic(err)
+				}
+				f := bpmax.Solve(p, bpmax.VariantHybridTiled, c)
+				_ = p.Score(f)
+				f.Release()
+				p.Release()
+			}
+			foldOnce()
+			foldOnce() // warm the pool and the engine before counting
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for i := 0; i < folds; i++ {
+				foldOnce()
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			t.Rows = append(t.Rows, []string{
+				mode.name,
+				fmt.Sprintf("%dx%d", sz[0], sz[1]),
+				d2(elapsed / time.Duration(folds)),
+				f2(float64(flops) * float64(folds) / elapsed.Seconds() / 1e9),
+				f1(float64(m1.Mallocs-m0.Mallocs) / float64(folds)),
+				f1(float64(m1.TotalAlloc-m0.TotalAlloc) / float64(folds) / 1024),
+			})
+		}()
+	}
+	t.Notes = append(t.Notes,
+		"steady state = fold, score, release in a loop; engine+pooled should be near zero allocs/fold",
+		"results verified bit-identical to fresh folds by the parity tests and FuzzPooledParity")
+	return t
 }
 
 // runExtCorrelate reproduces the shape of the BPMax-vs-piRNA correlation

@@ -212,6 +212,7 @@ func TestAccumulateDualUneven(t *testing.T) {
 }
 
 func BenchmarkAccumulateDual(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randomSlice(rng, 4096)
 	y1 := randomSlice(rng, 4096)
@@ -285,6 +286,7 @@ func TestMulAddAccumulate(t *testing.T) {
 // BenchmarkMulAddAccumulate measures the multiply-add twin of the
 // streaming kernel (the Varadarajan-comparison data point).
 func BenchmarkMulAddAccumulate(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randomSlice(rng, 4096)
 	y := randomSlice(rng, 4096)
@@ -296,6 +298,7 @@ func BenchmarkMulAddAccumulate(b *testing.B) {
 }
 
 func BenchmarkAccumulate(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randomSlice(rng, 4096)
 	y := randomSlice(rng, 4096)
@@ -307,6 +310,7 @@ func BenchmarkAccumulate(b *testing.B) {
 }
 
 func BenchmarkAccumulate8(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randomSlice(rng, 4096)
 	y := randomSlice(rng, 4096)
@@ -318,6 +322,7 @@ func BenchmarkAccumulate8(b *testing.B) {
 }
 
 func BenchmarkDotMaxPlusStride(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randomSlice(rng, 4096*64)
 	a := randomSlice(rng, 4096)

@@ -78,16 +78,41 @@ func (t *Table) cell(i, j int, score ScoreFunc) float32 {
 	return best
 }
 
-// Build fills the table sequentially in diagonal order. O(n³) time,
-// O(n²) space.
-func Build(n int, score ScoreFunc) *Table {
-	t := NewTable(n)
+// Reset prepares t for reuse at size n: storage is kept when its capacity
+// allows (grown otherwise) and every cell is zeroed, so a reused table is
+// indistinguishable from a fresh NewTable(n) — the recurrence only writes
+// the strict upper triangle and relies on zero diagonal/lower cells.
+func (t *Table) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("nussinov: negative size %d", n))
+	}
+	need := n * n
+	if cap(t.data) < need {
+		t.data = make([]float32, need)
+	} else {
+		t.data = t.data[:need]
+		clear(t.data)
+	}
+	t.N = n
+}
+
+// Fill runs the recurrence sequentially in diagonal order over a fresh or
+// Reset table. O(n³) time.
+func (t *Table) Fill(score ScoreFunc) {
+	n := t.N
 	for d := 1; d < n; d++ {
 		for i := 0; i+d < n; i++ {
 			j := i + d
 			t.set(i, j, t.cell(i, j, score))
 		}
 	}
+}
+
+// Build fills the table sequentially in diagonal order. O(n³) time,
+// O(n²) space.
+func Build(n int, score ScoreFunc) *Table {
+	t := NewTable(n)
+	t.Fill(score)
 	return t
 }
 

@@ -284,6 +284,7 @@ func TestUnitModelCountsPairs(t *testing.T) {
 }
 
 func BenchmarkBuild256(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	seq := rna.Random(rng, 256)
 	sc := scoreFor(seq, score.BasePair())
@@ -294,6 +295,7 @@ func BenchmarkBuild256(b *testing.B) {
 }
 
 func BenchmarkBuildParallel256(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	seq := rna.Random(rng, 256)
 	sc := scoreFor(seq, score.BasePair())

@@ -99,6 +99,23 @@ func New(s string) (Sequence, error) {
 	return Sequence{bases: bases}, nil
 }
 
+// NewInto is New parsing into buf's storage (grown as needed), for callers
+// that recycle sequence buffers across folds. It returns the sequence and
+// the backing buffer to retain for the next call; the sequence aliases that
+// buffer, so the caller must not reuse it before the sequence is dead. On
+// error the original buf is returned unchanged.
+func NewInto(buf []Base, s string) (Sequence, []Base, error) {
+	bases := buf[:0]
+	for i := 0; i < len(s); i++ {
+		b, ok := normalize(s[i])
+		if !ok {
+			return Sequence{}, buf, fmt.Errorf("rna: invalid nucleotide %q at position %d", s[i], i)
+		}
+		bases = append(bases, b)
+	}
+	return Sequence{bases: bases}, bases, nil
+}
+
 // MustNew is like New but panics on invalid input. It is intended for
 // tests and literals.
 func MustNew(s string) Sequence {

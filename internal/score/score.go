@@ -159,18 +159,35 @@ func DefaultParams() Params {
 
 // Build precomputes scoring tables for a pair of sequences under p.
 func Build(seq1, seq2 rna.Sequence, p Params) *Tables {
+	t := &Tables{}
+	BuildInto(t, seq1, seq2, p)
+	return t
+}
+
+// grow returns a slice of length n backed by dst's storage when its
+// capacity allows; every cell is overwritten by the caller, so no zeroing
+// is needed on reuse.
+func grow(dst []Value, n int) []Value {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]Value, n)
+}
+
+// BuildInto is Build writing into t, reusing its table storage when the
+// capacity allows — the fold pool's path to allocation-free steady state.
+// Every cell of every table is overwritten.
+func BuildInto(t *Tables, seq1, seq2 rna.Sequence, p Params) {
 	n1, n2 := seq1.Len(), seq2.Len()
 	inter := p.Model
 	if p.InterModel != nil {
 		inter = *p.InterModel
 	}
-	t := &Tables{
-		N1:     n1,
-		N2:     n2,
-		Intra1: make([]Value, n1*n1),
-		Intra2: make([]Value, n2*n2),
-		Inter:  make([]Value, n1*n2),
-	}
+	t.N1 = n1
+	t.N2 = n2
+	t.Intra1 = grow(t.Intra1, n1*n1)
+	t.Intra2 = grow(t.Intra2, n2*n2)
+	t.Inter = grow(t.Inter, n1*n2)
 	fill := func(dst []Value, seq rna.Sequence, n int) {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -189,7 +206,6 @@ func Build(seq1, seq2 rna.Sequence, p Params) *Tables {
 			t.Inter[i1*n2+i2] = inter.Pair(seq1.At(i1), seq2.At(i2))
 		}
 	}
-	return t
 }
 
 func abs(x int) int {

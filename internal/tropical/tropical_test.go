@@ -147,6 +147,7 @@ func TestFromRowsRaggedPanics(t *testing.T) {
 }
 
 func BenchmarkMulNaive128(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randMatrix(rng, 128, 128)
 	y := randMatrix(rng, 128, 128)
@@ -157,6 +158,7 @@ func BenchmarkMulNaive128(b *testing.B) {
 }
 
 func BenchmarkMulStreaming128(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randMatrix(rng, 128, 128)
 	y := randMatrix(rng, 128, 128)
@@ -167,6 +169,7 @@ func BenchmarkMulStreaming128(b *testing.B) {
 }
 
 func BenchmarkMulBlocked512(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := randMatrix(rng, 512, 512)
 	y := randMatrix(rng, 512, 512)

@@ -19,6 +19,7 @@ package bpmax
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -133,25 +134,41 @@ func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Resul
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	s1, err := rna.New(seq1)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
-	}
-	s2, err := rna.New(seq2)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
-	}
 	o := buildOptions(opts)
 	v, err := o.internalVariant()
 	if err != nil {
 		return nil, err
 	}
-	cfg, deg, err := o.budget(s1.Len(), s2.Len())
-	if err != nil {
-		return nil, err
+	var p *ibpmax.Problem
+	if o.pool != nil {
+		// Pooled path: the problem substrate (sequence buffers, score and
+		// S tables) is recycled through the pool. Validation errors carry the
+		// sequence index; rewrap them into the same message shape as below.
+		p, err = o.pool.p.NewProblem(seq1, seq2, o.params())
+		if err != nil {
+			var se *ibpmax.SequenceError
+			if errors.As(err, &se) {
+				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
+			}
+			return nil, err
+		}
+	} else {
+		s1, err := rna.New(seq1)
+		if err != nil {
+			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
+		}
+		s2, err := rna.New(seq2)
+		if err != nil {
+			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
+		}
+		p, err = ibpmax.NewProblem(s1, s2, o.params())
+		if err != nil {
+			return nil, err
+		}
 	}
-	p, err := ibpmax.NewProblem(s1, s2, o.params())
+	cfg, deg, err := o.budget(p.N1, p.N2)
 	if err != nil {
+		p.Release()
 		return nil, err
 	}
 	if deg == DegradeWindowed {
@@ -160,36 +177,55 @@ func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Resul
 	start := time.Now()
 	ft, err := ibpmax.SolveContext(ctx, p, v, cfg)
 	if err != nil {
+		p.Release()
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	return &Result{
-		Score:       p.Score(ft),
-		N1:          p.N1,
-		N2:          p.N2,
-		FLOPs:       ibpmax.BPMaxFlops(p.N1, p.N2),
-		Elapsed:     elapsed,
-		TableBytes:  ft.Bytes(),
-		Degradation: deg,
-		prob:        p,
-		ft:          ft,
-	}, nil
+	res := o.getResult()
+	res.Score = p.Score(ft)
+	res.N1 = p.N1
+	res.N2 = p.N2
+	res.FLOPs = ibpmax.BPMaxFlops(p.N1, p.N2)
+	res.Elapsed = elapsed
+	res.TableBytes = ft.Bytes()
+	res.Degradation = deg
+	res.prob = p
+	res.ft = ft
+	return res, nil
 }
 
 // budget resolves the memory-limit policy for an n1 × n2 fold: it returns
 // the (possibly downgraded) solver config and which degradation fired, or a
 // *MemoryLimitError when nothing permitted fits. It allocates nothing.
+//
+// For a pooled fold the charge is the pool's footprint after serving the
+// request: idle retained buffers plus the class-rounded allocation the fold
+// would add if no idle buffer of its size class exists. A fold whose table
+// fits an already-retained buffer is therefore charged the retention, not
+// retention + table — pooling does not double-bill the budget.
 func (o options) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
 	cfg := o.cfg
 	if o.memLimit <= 0 {
 		return cfg, DegradeNone, nil
 	}
-	smallest := ibpmax.EstimateBytes(n1, n2, cfg.Map)
+	estimate := func(kind ibpmax.MapKind) int64 {
+		if o.pool != nil {
+			return o.pool.p.ChargeBytes(n1, n2, kind)
+		}
+		return ibpmax.EstimateBytes(n1, n2, kind)
+	}
+	estimateWindowed := func() int64 {
+		if o.pool != nil {
+			return o.pool.p.ChargeWindowedBytes(n1, n2, o.degradeW1, o.degradeW2)
+		}
+		return ibpmax.EstimateWindowedBytes(n1, n2, o.degradeW1, o.degradeW2)
+	}
+	smallest := estimate(cfg.Map)
 	if smallest <= o.memLimit {
 		return cfg, DegradeNone, nil
 	}
 	// Rung 1: the packed quarter-space map (no-op when already selected).
-	if packed := ibpmax.EstimateBytes(n1, n2, ibpmax.MapPacked); packed <= o.memLimit {
+	if packed := estimate(ibpmax.MapPacked); packed <= o.memLimit {
 		cfg.Map = ibpmax.MapPacked
 		return cfg, DegradePacked, nil
 	} else if packed < smallest {
@@ -197,7 +233,7 @@ func (o options) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
 	}
 	// Rung 2: the windowed scan, if the caller opted in.
 	if o.degradeW1 > 0 && o.degradeW2 > 0 {
-		if w := ibpmax.EstimateWindowedBytes(n1, n2, o.degradeW1, o.degradeW2); w <= o.memLimit {
+		if w := estimateWindowed(); w <= o.memLimit {
 			return cfg, DegradeWindowed, nil
 		} else if w < smallest {
 			smallest = w
@@ -212,25 +248,25 @@ func foldViaWindow(ctx context.Context, p *ibpmax.Problem, o options) (*Result, 
 	start := time.Now()
 	wt, err := ibpmax.SolveWindowedContext(ctx, p, o.degradeW1, o.degradeW2, o.cfg)
 	if err != nil {
+		p.Release()
 		return nil, err
 	}
 	elapsed := time.Since(start)
 	best, i1, j1, i2, j2 := wt.Best()
-	win := &WindowResult{
-		Best: best, I1: i1, J1: j1, I2: i2, J2: j2,
-		TableBytes: wt.Bytes(),
-		Elapsed:    elapsed,
-		wt:         wt,
-		prob:       p,
-	}
-	return &Result{
-		Score:       best,
-		N1:          p.N1,
-		N2:          p.N2,
-		Elapsed:     elapsed,
-		TableBytes:  wt.Bytes(),
-		Degradation: DegradeWindowed,
-		Window:      win,
-		prob:        p,
-	}, nil
+	win := o.getWindowResult()
+	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
+	win.TableBytes = wt.Bytes()
+	win.Elapsed = elapsed
+	win.wt = wt
+	win.prob = p
+	res := o.getResult()
+	res.Score = best
+	res.N1 = p.N1
+	res.N2 = p.N2
+	res.Elapsed = elapsed
+	res.TableBytes = wt.Bytes()
+	res.Degradation = DegradeWindowed
+	res.Window = win
+	res.prob = p
+	return res, nil
 }
