@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race ci fuzz bench bench-engine
+.PHONY: all build test vet fmt lint race ci fuzz bench bench-engine bench-baseline bench-gate
 
 all: ci
 
@@ -15,13 +15,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out="$$(gofmt -l . cmd internal)"; if [ -n "$$out" ]; then echo "$$out"; exit 1; fi
+
+# staticcheck when installed (the CI workflow pins and installs it);
+# no-op otherwise so minimal containers still pass `make ci`.
+lint: fmt
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
+
 # The parallel solver and the cancellation/panic-isolation machinery under
 # the race detector. The full -race ./... run is slow on small hosts; this
 # target covers every package that spawns goroutines.
 race:
 	$(GO) test -race ./internal/bpmax/ ./internal/nussinov/ . ./cmd/bpmax/
 
-ci: build test vet race
+ci: build test vet lint race
 
 # Short fuzz pass over each fuzz target (regression corpus always runs as
 # part of `make test`).
@@ -34,7 +42,19 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate the engine/pool steady-state table (docs/PERFORMANCE.md) as a
-# JSON artifact.
+# Regenerate the engine/pool + observability steady-state tables
+# (docs/PERFORMANCE.md, docs/OBSERVABILITY.md) as a JSON artifact.
 bench-engine:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine -json BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics -json BENCH_engine.json
+
+# Refresh the committed benchmark baseline that ci.sh gates against.
+# Run this after an intentional performance change (or on new reference
+# hardware) and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics -repeats 5 -json results/BENCH_baseline.json
+
+# The full regression gate as CI runs it: selftest, regenerate, compare.
+bench-gate:
+	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics -repeats 3 -json BENCH_engine.json
+	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json

@@ -350,6 +350,20 @@ func BenchmarkFoldBatchSteadyState(b *testing.B) {
 			cycle(b, opts...)
 		}
 	})
+	b.Run("pooled+metrics", func(b *testing.B) {
+		// The observability acceptance gate: enabling metrics must add zero
+		// allocations and <5% time to the pooled steady state.
+		b.ReportAllocs()
+		e := NewEngine(4)
+		defer e.Close()
+		m := NewMetrics()
+		opts := []Option{WithEngine(e), WithPool(NewPool()), WithWorkers(4), WithMetrics(m)}
+		cycle(b, opts...) // warm the pool before counting
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle(b, opts...)
+		}
+	})
 	b.Run("batch", func(b *testing.B) {
 		b.ReportAllocs()
 		e := NewEngine(4)

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
@@ -84,6 +85,10 @@ type options struct {
 	// substrates, result shells) across calls; cfg.Pool mirrors it at the
 	// solver layer.
 	pool *Pool
+	// metrics, when set via WithMetrics, aggregates every fold run with
+	// these options; per-fold records land in Result.Metrics (cfg.Metrics
+	// is pointed at it for the solve). cfg.Tracer carries WithTracer.
+	metrics *Metrics
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.
@@ -196,6 +201,10 @@ type Result struct {
 	// in-window interaction score (not the full-pair optimum), FLOPs is 0,
 	// and SubScore is defined only for in-window cells.
 	Window *WindowResult
+	// Metrics is the fold's instrumentation record (phase timings,
+	// wavefronts, derived rates). It is populated only when the fold ran
+	// with WithMetrics or WithTracer; otherwise it is zero.
+	Metrics FoldMetrics
 
 	prob *ibpmax.Problem
 	ft   *ibpmax.FTable
@@ -434,6 +443,9 @@ type WindowResult struct {
 	TableBytes int64
 	// Elapsed is the wall time of the banded fill.
 	Elapsed time.Duration
+	// Metrics is the scan's instrumentation record, populated only when
+	// the scan ran with WithMetrics or WithTracer.
+	Metrics FoldMetrics
 
 	wt   *ibpmax.WTable
 	prob *ibpmax.Problem
@@ -477,11 +489,19 @@ func ScanWindowedContext(ctx context.Context, seq1, seq2 string, w1, w2 int, opt
 		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
 	}
 	o := buildOptions(opts)
+	// Like FoldContext, the shell comes first so metrics record in place.
+	win := o.getWindowResult()
+	if o.observed() {
+		o.cfg.Metrics = &win.Metrics
+	}
+	sub := imetrics.Begin(o.cfg.Metrics, o.cfg.Tracer, imetrics.PhaseSubstrate)
 	var p *ibpmax.Problem
 	if o.pool != nil {
 		var err error
 		p, err = o.pool.p.NewProblem(seq1, seq2, o.params())
 		if err != nil {
+			o.putWindowResult(win)
+			o.metrics.RecordError()
 			var se *ibpmax.SequenceError
 			if errors.As(err, &se) {
 				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
@@ -491,17 +511,24 @@ func ScanWindowedContext(ctx context.Context, seq1, seq2 string, w1, w2 int, opt
 	} else {
 		s1, err := rna.New(seq1)
 		if err != nil {
+			o.putWindowResult(win)
+			o.metrics.RecordError()
 			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
 		}
 		s2, err := rna.New(seq2)
 		if err != nil {
+			o.putWindowResult(win)
+			o.metrics.RecordError()
 			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
 		}
 		p, err = ibpmax.NewProblem(s1, s2, o.params())
 		if err != nil {
+			o.putWindowResult(win)
+			o.metrics.RecordError()
 			return nil, err
 		}
 	}
+	sub.End(1)
 	if o.memLimit > 0 {
 		est := ibpmax.EstimateWindowedBytes(p.N1, p.N2, w1, w2)
 		if o.pool != nil {
@@ -509,23 +536,34 @@ func ScanWindowedContext(ctx context.Context, seq1, seq2 string, w1, w2 int, opt
 		}
 		if est > o.memLimit {
 			p.Release()
+			o.putWindowResult(win)
+			o.metrics.RecordError()
 			return nil, &MemoryLimitError{EstimateBytes: est, LimitBytes: o.memLimit}
+		}
+		if o.observed() {
+			win.Metrics.BudgetEstimateBytes = est
 		}
 	}
 	start := time.Now()
 	wt, err := ibpmax.SolveWindowedContext(ctx, p, w1, w2, o.cfg)
 	if err != nil {
 		p.Release()
+		o.putWindowResult(win)
+		o.metrics.RecordError()
 		return nil, err
 	}
 	elapsed := time.Since(start)
 	best, i1, j1, i2, j2 := wt.Best()
-	win := o.getWindowResult()
 	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
 	win.TableBytes = wt.Bytes()
 	win.Elapsed = elapsed
 	win.wt = wt
 	win.prob = p
+	if o.observed() {
+		win.Metrics.FillNanos = int64(elapsed)
+		win.Metrics.TableBytes = win.TableBytes
+		o.metrics.RecordFold(&win.Metrics)
+	}
 	return win, nil
 }
 

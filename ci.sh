@@ -1,13 +1,39 @@
 #!/bin/sh
-# CI entry point: tier-1 build+test, vet, the race-detector pass over every
-# package that spawns goroutines (see Makefile `race`), a one-iteration
-# benchmark smoke pass (catches benchmarks that no longer compile or crash),
-# and the engine/pool steady-state table as a machine-readable artifact.
+# CI entry point: tier-1 build+test, vet, formatting and (when installed)
+# staticcheck lint, the race-detector pass over every package that spawns
+# goroutines (see Makefile `race`), a one-iteration benchmark smoke pass
+# (catches benchmarks that no longer compile or crash), a short fuzz smoke
+# over the solver parity fuzzers, and the benchmark-regression gate: the
+# engine/pool and observability steady-state tables are regenerated as a
+# machine-readable artifact and compared against the committed baseline by
+# cmd/benchgate (>15% time/fold or allocs/fold regression fails the build).
 set -eux
 
+# Tier 1: build + tests.
 go build ./...
 go test ./...
+
+# Static analysis. staticcheck runs only where the pinned tool is
+# installed (the GitHub workflow installs it; minimal containers skip).
 go vet ./...
+test -z "$(gofmt -l . cmd internal)" || { gofmt -l . cmd internal; exit 1; }
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+fi
+
+# Tier 2: race detector and benchmark smoke.
 go test -race ./internal/bpmax/ ./internal/nussinov/ . ./cmd/bpmax/
 go test -run '^$' -bench . -benchtime 1x ./...
-go run ./cmd/bpmaxbench -exp ext-engine -json BENCH_engine.json
+
+# Tier 2: fuzz smoke over the pooled/context parity fuzzers — the paths
+# the observability layer rides on.
+go test -run '^$' -fuzz FuzzPooledParity -fuzztime 10s .
+go test -run '^$' -fuzz FuzzFoldContextParity -fuzztime 10s .
+
+# Benchmark-regression gate. First prove the gate itself trips on a
+# synthetic 20% regression, then regenerate the steady-state artifact and
+# compare it against the committed baseline (refresh with `make
+# bench-baseline` after intentional performance changes).
+go run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
+go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics -repeats 3 -json BENCH_engine.json
+go run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json

@@ -1,0 +1,300 @@
+// Command benchgate compares a freshly generated bpmaxbench JSON artifact
+// against a committed baseline and fails (exit 1) when a gated column
+// regresses beyond the threshold. It is the CI benchmark-regression gate:
+// ci.sh regenerates BENCH_engine.json and runs
+//
+//	benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json
+//
+// Gated columns are the per-row time ("time/fold", parsed from the
+// harness's duration strings) and allocation counts ("allocs/fold").
+// Throughput jitter below the threshold (default 15%) passes; allocation
+// gates get an extra absolute slack of one alloc so zero-alloc baselines
+// do not flap on a single stray allocation.
+//
+// Rows are matched by experiment ID plus the row's label cells (the cells
+// that are not plain numbers or durations — e.g. "engine+pooled", "8x64"),
+// so column reordering or added rows do not misalign the comparison. A
+// baseline row missing from the current run is a failure: regenerate the
+// baseline with `make bench-baseline` when the experiment shape changes
+// deliberately.
+//
+// Both the schema'd object artifact (bpmax-bench/v1) and the legacy bare
+// table array are accepted on either side. When the current artifact
+// carries a metrics block, benchgate also requires errors == 0 there.
+//
+// -selftest verifies the gate itself: it inflates the baseline's gated
+// cells by 20% and checks the comparison fails, then checks the baseline
+// passes against itself. CI runs it before trusting the real comparison.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// table mirrors harness.Table's JSON shape without importing the harness
+// (benchgate must also read artifacts produced by older binaries).
+type table struct {
+	ID     string     `json:"ID"`
+	Header []string   `json:"Header"`
+	Rows   [][]string `json:"Rows"`
+}
+
+// artifact is the object form written by bpmaxbench -json; Tables is all
+// benchgate needs, Metrics only for the error gate.
+type artifact struct {
+	Schema  string  `json:"schema"`
+	Tables  []table `json:"tables"`
+	Metrics *struct {
+		Folds  int64 `json:"folds"`
+		Errors int64 `json:"errors"`
+	} `json:"metrics"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "", "committed baseline artifact (bpmaxbench -json)")
+	currentPath := fs.String("current", "", "freshly generated artifact to gate")
+	threshold := fs.Float64("threshold", 15, "allowed regression in percent")
+	selftest := fs.Bool("selftest", false, "verify the gate trips on a synthetic 20% regression, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" {
+		return fmt.Errorf("-baseline is required")
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", *baselinePath, err)
+	}
+
+	if *selftest {
+		return runSelftest(base, *threshold, stdout)
+	}
+
+	if *currentPath == "" {
+		return fmt.Errorf("-current is required (or use -selftest)")
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		return fmt.Errorf("current %s: %w", *currentPath, err)
+	}
+	failures, checked := compare(base, cur, *threshold)
+	if cur.Metrics != nil && cur.Metrics.Errors > 0 {
+		failures = append(failures, fmt.Sprintf("metrics block reports %d fold errors", cur.Metrics.Errors))
+	}
+	for _, f := range failures {
+		fmt.Fprintln(stdout, "FAIL:", f)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no gated cells compared — baseline and current share no tables/rows")
+	}
+	fmt.Fprintf(stdout, "benchgate: %d gated cells compared, %d regressions (threshold %.0f%%)\n",
+		checked, len(failures), *threshold)
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark regressions beyond %.0f%%", len(failures), *threshold)
+	}
+	return nil
+}
+
+// load reads either artifact form: the bpmax-bench/v1 object or the
+// legacy bare []Table array.
+func load(path string) (*artifact, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(blob)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("empty artifact")
+	}
+	var art artifact
+	if trimmed[0] == '[' {
+		if err := json.Unmarshal(trimmed, &art.Tables); err != nil {
+			return nil, err
+		}
+		return &art, nil
+	}
+	if err := json.Unmarshal(trimmed, &art); err != nil {
+		return nil, err
+	}
+	if art.Schema != "" && !strings.HasPrefix(art.Schema, "bpmax-bench/") {
+		return nil, fmt.Errorf("unknown artifact schema %q", art.Schema)
+	}
+	return &art, nil
+}
+
+// gated reports whether a column participates in the regression gate and
+// whether it allows absolute slack (allocation counts).
+func gated(header string) (gate, slack bool) {
+	h := strings.ToLower(header)
+	switch {
+	case strings.Contains(h, "time"):
+		return true, false
+	case strings.Contains(h, "alloc"):
+		return true, true
+	}
+	return false, false
+}
+
+// parseQty parses a harness table cell: a plain float, a float with a
+// trailing marker ("7x", "12*"), or a perf.FormatDuration string
+// ("2.50s", "3.50ms", "250µs") normalized to seconds. ok is false for
+// label cells.
+func parseQty(s string) (v float64, ok bool) {
+	s = strings.TrimSpace(s)
+	unit := 1.0
+	switch {
+	case strings.HasSuffix(s, "µs"), strings.HasSuffix(s, "us"):
+		unit, s = 1e-6, strings.TrimSuffix(strings.TrimSuffix(s, "µs"), "us")
+	case strings.HasSuffix(s, "ms"):
+		unit, s = 1e-3, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "s"):
+		s = strings.TrimSuffix(s, "s")
+	case strings.HasSuffix(s, "x"), strings.HasSuffix(s, "*"):
+		s = s[:len(s)-1]
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f * unit, true
+}
+
+// rowKey identifies a row by its label cells — the ones that do not parse
+// as quantities — prefixed with the table ID.
+func rowKey(id string, row []string) string {
+	parts := []string{id}
+	for _, cell := range row {
+		if _, ok := parseQty(cell); !ok {
+			parts = append(parts, strings.TrimSpace(cell))
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// compare gates every matched (row, gated column) cell of base against
+// cur. It returns human-readable failure lines and the number of cells
+// checked.
+func compare(base, cur *artifact, threshold float64) (failures []string, checked int) {
+	curTables := map[string]table{}
+	for _, t := range cur.Tables {
+		curTables[t.ID] = t
+	}
+	for _, bt := range base.Tables {
+		ct, ok := curTables[bt.ID]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("table %s missing from current run (regenerate with make bench-baseline if intended)", bt.ID))
+			continue
+		}
+		curRows := map[string][]string{}
+		for _, row := range ct.Rows {
+			curRows[rowKey(ct.ID, row)] = row
+		}
+		curCol := map[string]int{}
+		for i, h := range ct.Header {
+			curCol[h] = i
+		}
+		for _, brow := range bt.Rows {
+			key := rowKey(bt.ID, brow)
+			crow, ok := curRows[key]
+			if !ok {
+				failures = append(failures, fmt.Sprintf("row %q missing from current run", key))
+				continue
+			}
+			for i, h := range bt.Header {
+				gate, slack := gated(h)
+				if !gate || i >= len(brow) {
+					continue
+				}
+				ci, ok := curCol[h]
+				if !ok || ci >= len(crow) {
+					failures = append(failures, fmt.Sprintf("%s: column %q missing from current run", key, h))
+					continue
+				}
+				bv, bok := parseQty(brow[i])
+				cv, cok := parseQty(crow[ci])
+				if !bok || !cok {
+					continue
+				}
+				checked++
+				limit := bv * (1 + threshold/100)
+				if slack {
+					limit++ // zero-alloc baselines tolerate one stray alloc
+				}
+				if cv > limit {
+					failures = append(failures, fmt.Sprintf("%s %s: %s -> %s (limit %.4g)",
+						key, h, brow[i], crow[ci], limit))
+				}
+			}
+		}
+	}
+	return failures, checked
+}
+
+// runSelftest proves the gate works: the baseline must pass against
+// itself, and an artificially regressed copy (gated cells inflated 20%,
+// allocations also bumped past the absolute slack) must fail.
+func runSelftest(base *artifact, threshold float64, stdout io.Writer) error {
+	if clean, n := compare(base, base, threshold); n == 0 {
+		return fmt.Errorf("selftest: baseline has no gated cells")
+	} else if len(clean) > 0 {
+		return fmt.Errorf("selftest: baseline fails against itself: %v", clean)
+	}
+	bad := inflate(base, 1.20, 2)
+	failures, _ := compare(base, bad, threshold)
+	if len(failures) == 0 {
+		return fmt.Errorf("selftest: synthetic 20%% regression passed the gate")
+	}
+	fmt.Fprintf(stdout, "benchgate selftest ok: clean baseline passes, synthetic regression trips %d gates\n", len(failures))
+	return nil
+}
+
+// inflate returns a copy of art with every gated cell multiplied by
+// factor; slack columns additionally get +bump so zero baselines regress
+// past the absolute allowance too.
+func inflate(art *artifact, factor, bump float64) *artifact {
+	out := &artifact{Schema: art.Schema}
+	for _, t := range art.Tables {
+		nt := table{ID: t.ID, Header: append([]string(nil), t.Header...)}
+		for _, row := range t.Rows {
+			nrow := append([]string(nil), row...)
+			for i, h := range t.Header {
+				gate, slack := gated(h)
+				if !gate || i >= len(nrow) {
+					continue
+				}
+				v, ok := parseQty(nrow[i])
+				if !ok {
+					continue
+				}
+				v *= factor
+				if slack {
+					v += bump
+				}
+				// Re-emit durations in seconds; parseQty reads both forms.
+				if strings.Contains(strings.ToLower(h), "time") {
+					nrow[i] = fmt.Sprintf("%.6fs", v)
+				} else {
+					nrow[i] = fmt.Sprintf("%.3f", v)
+				}
+			}
+			nt.Rows = append(nt.Rows, nrow)
+		}
+		out.Tables = append(out.Tables, nt)
+	}
+	return out
+}

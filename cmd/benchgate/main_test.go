@@ -1,0 +1,170 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineObj = `{
+  "schema": "bpmax-bench/v1",
+  "go": "go1.24.0",
+  "tables": [
+    {
+      "ID": "ext-engine",
+      "Header": ["runtime", "N1xN2", "time/fold", "GFLOPS", "allocs/fold", "KB/fold"],
+      "Rows": [
+        ["fresh fork-join", "8x64", "18.85ms", "0.79", "21.7", "611.4"],
+        ["engine+pooled", "8x64", "13.10ms", "1.14", "0.0", "0.1"]
+      ]
+    }
+  ]
+}`
+
+const baselineArr = `[
+  {
+    "ID": "ext-engine",
+    "Header": ["runtime", "N1xN2", "time/fold", "GFLOPS", "allocs/fold", "KB/fold"],
+    "Rows": [
+      ["fresh fork-join", "8x64", "18.85ms", "0.79", "21.7", "611.4"],
+      ["engine+pooled", "8x64", "13.10ms", "1.14", "0.0", "0.1"]
+    ]
+  }
+]`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseQty(t *testing.T) {
+	cases := map[string]struct {
+		v  float64
+		ok bool
+	}{
+		"2.50s":  {2.5, true},
+		"3.50ms": {0.0035, true},
+		"250µs":  {0.00025, true},
+		"21.7":   {21.7, true},
+		"7x":     {7, true},
+		"12*":    {12, true},
+		"8x64":   {0, false},
+		"engine": {0, false},
+		"":       {0, false},
+	}
+	for in, want := range cases {
+		v, ok := parseQty(in)
+		if ok != want.ok {
+			t.Errorf("parseQty(%q) ok = %v, want %v", in, ok, want.ok)
+			continue
+		}
+		if ok && (v < want.v*0.9999 || v > want.v*1.0001) {
+			t.Errorf("parseQty(%q) = %v, want %v", in, v, want.v)
+		}
+	}
+}
+
+func TestIdenticalArtifactsPass(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	cur := write(t, "cur.json", baselineObj)
+	if err := run([]string{"-baseline", base, "-current", cur}, io.Discard); err != nil {
+		t.Fatalf("identical artifacts failed the gate: %v", err)
+	}
+}
+
+func TestLegacyArrayBaseline(t *testing.T) {
+	base := write(t, "base.json", baselineArr)
+	cur := write(t, "cur.json", baselineObj)
+	if err := run([]string{"-baseline", base, "-current", cur}, io.Discard); err != nil {
+		t.Fatalf("legacy array baseline vs object current failed: %v", err)
+	}
+}
+
+func TestTimeRegressionFails(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	// 18.85ms -> 23ms is a 22% regression; 13.10ms row left clean.
+	cur := write(t, "cur.json", strings.Replace(baselineObj, "18.85ms", "23.00ms", 1))
+	err := run([]string{"-baseline", base, "-current", cur}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "regressions") {
+		t.Fatalf("22%% time regression passed the gate: %v", err)
+	}
+}
+
+func TestTimeJitterWithinThresholdPasses(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	// 18.85ms -> 20.00ms is ~6%: under the 15% threshold.
+	cur := write(t, "cur.json", strings.Replace(baselineObj, "18.85ms", "20.00ms", 1))
+	if err := run([]string{"-baseline", base, "-current", cur}, io.Discard); err != nil {
+		t.Fatalf("6%% jitter tripped the gate: %v", err)
+	}
+}
+
+func TestAllocSlackOnZeroBaseline(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	// The zero-alloc row growing to 0.9 allocs is inside the absolute
+	// slack of one; growing to 2.0 is a failure.
+	ok := write(t, "ok.json", strings.Replace(baselineObj, `"0.0", "0.1"`, `"0.9", "0.1"`, 1))
+	if err := run([]string{"-baseline", base, "-current", ok}, io.Discard); err != nil {
+		t.Fatalf("sub-slack alloc growth tripped the gate: %v", err)
+	}
+	bad := write(t, "bad.json", strings.Replace(baselineObj, `"0.0", "0.1"`, `"2.0", "0.1"`, 1))
+	if err := run([]string{"-baseline", base, "-current", bad}, io.Discard); err == nil {
+		t.Fatal("2-alloc growth on a zero baseline passed the gate")
+	}
+}
+
+func TestMissingRowFails(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	cur := write(t, "cur.json", strings.Replace(baselineObj, "engine+pooled", "renamed-mode", 1))
+	if err := run([]string{"-baseline", base, "-current", cur}, io.Discard); err == nil {
+		t.Fatal("missing baseline row passed the gate")
+	}
+}
+
+func TestMetricsErrorsFail(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	cur := write(t, "cur.json", strings.Replace(baselineObj,
+		`"tables":`, `"metrics": {"folds": 8, "errors": 3}, "tables":`, 1))
+	err := run([]string{"-baseline", base, "-current", cur}, io.Discard)
+	if err == nil {
+		t.Fatal("current artifact with fold errors passed the gate")
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	if err := run([]string{"-baseline", base, "-selftest"}, io.Discard); err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	base := write(t, "base.json", baselineObj)
+	if err := run(nil, io.Discard); err == nil {
+		t.Error("missing -baseline accepted")
+	}
+	if err := run([]string{"-baseline", base}, io.Discard); err == nil {
+		t.Error("missing -current accepted")
+	}
+	if err := run([]string{"-baseline", "/nonexistent.json", "-current", base}, io.Discard); err == nil {
+		t.Error("unreadable baseline accepted")
+	}
+	empty := write(t, "empty.json", "")
+	if err := run([]string{"-baseline", empty, "-current", base}, io.Discard); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	badSchema := write(t, "bad.json", `{"schema": "other/v9", "tables": []}`)
+	if err := run([]string{"-baseline", badSchema, "-current", base}, io.Discard); err == nil {
+		t.Error("unknown schema accepted")
+	}
+	disjoint := write(t, "disjoint.json", `{"schema": "bpmax-bench/v1", "tables": [{"ID": "other", "Header": ["a"], "Rows": [["b"]]}]}`)
+	if err := run([]string{"-baseline", disjoint, "-current", base}, io.Discard); err == nil {
+		t.Error("disjoint artifacts (zero gated cells) accepted")
+	}
+}

@@ -13,6 +13,8 @@
 //	bpmax -window 64 longseq1.txt-content longseq2.txt-content
 //	bpmax -timeout 30s -mem-limit 2GB -degrade-window 100 SEQ1 SEQ2
 //	bpmax -fasta pairs.fa -batch -engine -1 -pool    # screen on shared workers + pooled tables
+//	bpmax -metrics-json - GGGAAACCC GGGUUUCCC        # emit fold metrics as JSON on stdout
+//	bpmax -pprof localhost:6060 -fasta pairs.fa -batch   # profile a screen live
 //
 // A first SIGINT cancels the fold gracefully (the partial table is
 // discarded and the process exits with an error); a second one kills the
@@ -21,13 +23,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/bpmax-go/bpmax"
@@ -68,6 +75,8 @@ func run(ctx context.Context, args []string) error {
 	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
 	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
 	stats := fs.Bool("stats", false, "print timing, GFLOPS and table size")
+	metricsJSON := fs.String("metrics-json", "", "write fold metrics as JSON to this file ('-' = stdout)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) while folding")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -89,17 +98,69 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	var eng *bpmax.Engine
 	if *engine != 0 {
 		width := *engine
 		if width < 0 {
 			width = 0 // NewEngine resolves <= 0 to GOMAXPROCS
 		}
-		e := bpmax.NewEngine(width)
-		defer e.Close()
-		options = append(options, bpmax.WithEngine(e))
+		eng = bpmax.NewEngine(width)
+		defer eng.Close()
+		options = append(options, bpmax.WithEngine(eng))
 	}
+	var pl *bpmax.Pool
 	if *pool {
-		options = append(options, bpmax.WithPool(bpmax.NewPool()))
+		pl = bpmax.NewPool()
+		options = append(options, bpmax.WithPool(pl))
+	}
+
+	var mtr *bpmax.Metrics
+	if *metricsJSON != "" || *pprofAddr != "" {
+		mtr = bpmax.NewMetrics()
+		options = append(options, bpmax.WithMetrics(mtr))
+	}
+	// snapshot assembles the full observability document: cumulative fold
+	// totals plus engine/pool utilization when those components are on.
+	snapshot := func() bpmax.MetricsSnapshot {
+		s := mtr.Snapshot()
+		if eng != nil {
+			es := eng.Stats()
+			s.Engine = &es
+		}
+		if pl != nil {
+			ps := pl.Stats()
+			s.Pool = &ps
+		}
+		return s
+	}
+	if *pprofAddr != "" {
+		publishExpvar(snapshot)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bpmax: pprof server:", err)
+			}
+		}()
+	}
+	// writeMetrics emits the -metrics-json document; fold is the single
+	// fold's record (nil in batch mode, where only totals apply).
+	writeMetrics := func(fold *bpmax.FoldSnapshot) error {
+		if *metricsJSON == "" {
+			return nil
+		}
+		doc := struct {
+			Fold   *bpmax.FoldSnapshot   `json:"fold,omitempty"`
+			Totals bpmax.MetricsSnapshot `json:"totals"`
+		}{fold, snapshot()}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		raw = append(raw, '\n')
+		if *metricsJSON == "-" {
+			_, err = os.Stdout.Write(raw)
+			return err
+		}
+		return os.WriteFile(*metricsJSON, raw, 0o644)
 	}
 
 	var s1, s2, name1, name2 string
@@ -109,7 +170,10 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		if *batch {
-			return runBatch(ctx, recs, *workers, options)
+			if err := runBatch(ctx, recs, *workers, options); err != nil {
+				return err
+			}
+			return writeMetrics(nil)
 		}
 		if len(recs) < 2 {
 			return fmt.Errorf("FASTA file %s has %d records, need 2", *fasta, len(recs))
@@ -134,6 +198,10 @@ func run(ctx context.Context, args []string) error {
 		if *stats {
 			fmt.Printf("scan time: %v  rate: %.1f Mcells/s  banded table: %.1f MB\n",
 				res.Elapsed, cellRate(res.TableBytes/4, res.Elapsed), float64(res.TableBytes)/(1<<20))
+		}
+		if mtr != nil {
+			fold := res.Metrics.Snapshot()
+			return writeMetrics(&fold)
 		}
 		return nil
 	}
@@ -181,7 +249,23 @@ func run(ctx context.Context, args []string) error {
 				res.Elapsed, res.GFLOPS(), float64(res.TableBytes)/(1<<20))
 		}
 	}
+	if mtr != nil {
+		fold := res.Metrics.Snapshot()
+		return writeMetrics(&fold)
+	}
 	return nil
+}
+
+// expvarOnce guards the process-wide expvar registration: run may be
+// invoked more than once (tests), Publish panics on duplicates.
+var expvarOnce sync.Once
+
+// publishExpvar exposes the observability snapshot at /debug/vars under
+// the "bpmax" key, next to the standard memstats.
+func publishExpvar(snapshot func() bpmax.MetricsSnapshot) {
+	expvarOnce.Do(func() {
+		expvar.Publish("bpmax", expvar.Func(func() any { return snapshot() }))
+	})
 }
 
 // describeFoldErr rewrites the robustness-layer errors into actionable CLI

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -197,6 +198,59 @@ func TestRunWindowStats(t *testing.T) {
 	}
 	if !strings.Contains(out, "scan time") || !strings.Contains(out, "Mcells/s") {
 		t.Errorf("-window -stats output missing timing:\n%s", out)
+	}
+}
+
+func TestRunMetricsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run(t.Context(), []string{"-metrics-json", path, "GGGAAACCC", "GGGUUUCCC"}); err != nil {
+		t.Fatalf("run -metrics-json: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read metrics: %v", err)
+	}
+	var doc struct {
+		Fold   *bpmax.FoldSnapshot   `json:"fold"`
+		Totals bpmax.MetricsSnapshot `json:"totals"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Fold == nil || doc.Fold.Cells == 0 || doc.Fold.Schedule == "" {
+		t.Errorf("fold snapshot incomplete: %+v", doc.Fold)
+	}
+	if doc.Totals.Folds != 1 || doc.Totals.Errors != 0 {
+		t.Errorf("totals = %+v, want one clean fold", doc.Totals)
+	}
+	if _, ok := doc.Fold.Phases["substrate"]; !ok {
+		t.Errorf("fold phases missing substrate: %v", doc.Fold.Phases)
+	}
+}
+
+func TestRunMetricsJSONStdout(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(context.Background(), []string{"-metrics-json", "-", "GGG", "CCC"})
+	})
+	if err != nil {
+		t.Fatalf("run -metrics-json -: %v", err)
+	}
+	if !strings.Contains(out, `"totals"`) || !strings.Contains(out, `"schedule"`) {
+		t.Errorf("stdout metrics missing fields:\n%s", out)
+	}
+}
+
+func TestRunMetricsJSONWindowed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "win.json")
+	if err := run(t.Context(), []string{"-window", "4", "-metrics-json", path, "GGGAAACCC", "GGGUUUCCC"}); err != nil {
+		t.Fatalf("windowed -metrics-json: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), "window-accumulate") {
+		t.Errorf("windowed metrics missing window phases:\n%s", blob)
 	}
 }
 

@@ -6,9 +6,11 @@
 //
 //	bpmaxbench                      # run everything at the default scale
 //	bpmaxbench -exp fig13           # one experiment
+//	bpmaxbench -exp ext-engine,ext-metrics  # several, comma-separated
 //	bpmaxbench -scale medium -csv   # bigger inputs, CSV output
 //	bpmaxbench -chart               # ASCII bar charts
 //	bpmaxbench -out results/medium  # also write <id>.txt / <id>.csv files
+//	bpmaxbench -json BENCH.json     # machine-readable artifact for benchgate
 //	bpmaxbench -list                # list experiment IDs
 package main
 
@@ -18,9 +20,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 
+	"github.com/bpmax-go/bpmax"
 	"github.com/bpmax-go/bpmax/internal/harness"
+	"github.com/bpmax-go/bpmax/internal/metrics"
 )
+
+// benchSchema versions the -json artifact; bump it when the shape changes
+// so cmd/benchgate can keep reading old baselines.
+const benchSchema = "bpmax-bench/v1"
+
+// benchArtifact is the -json document: run provenance, the regenerated
+// tables, and (when an experiment ran observed folds) the cumulative
+// metrics snapshot. cmd/benchgate consumes this to gate regressions.
+type benchArtifact struct {
+	Schema  string                 `json:"schema"`
+	Go      string                 `json:"go"`
+	GOOS    string                 `json:"goos"`
+	GOARCH  string                 `json:"goarch"`
+	CPUs    int                    `json:"cpus"`
+	Scale   string                 `json:"scale"`
+	Repeats int                    `json:"repeats"`
+	Tables  []*harness.Table       `json:"tables"`
+	Metrics *bpmax.MetricsSnapshot `json:"metrics,omitempty"`
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -31,7 +56,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bpmaxbench", flag.ContinueOnError)
-	exp := fs.String("exp", "", "experiment ID (empty = all); see -list")
+	exp := fs.String("exp", "", "experiment IDs, comma-separated (empty = all); see -list")
 	scale := fs.String("scale", "small", "workload scale: small, medium, full")
 	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
 	seed := fs.Int64("seed", 42, "workload random seed")
@@ -39,7 +64,7 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	chart := fs.Bool("chart", false, "render ASCII bar charts instead of tables")
 	outDir := fs.String("out", "", "also write <id>.txt and <id>.csv into this directory")
-	jsonFile := fs.String("json", "", "write the run's tables as a JSON array to this file (CI artifact)")
+	jsonFile := fs.String("json", "", "write the run's artifact (schema "+benchSchema+") to this file")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,7 +72,7 @@ func run(args []string) error {
 
 	if *list {
 		for _, e := range harness.All() {
-			fmt.Printf("%-10s %-55s %s\n", e.ID, e.Title, e.PaperRef)
+			fmt.Printf("%-12s %-55s %s\n", e.ID, e.Title, e.PaperRef)
 		}
 		return nil
 	}
@@ -63,16 +88,30 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scale)
 	}
+	var collect *metrics.Metrics
+	if *jsonFile != "" {
+		collect = &metrics.Metrics{}
+		cfg.Collect = collect
+	}
 
 	var exps []harness.Experiment
 	if *exp == "" {
 		exps = harness.All()
 	} else {
-		e, ok := harness.ByID(*exp)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, ok := harness.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			exps = append(exps, e)
 		}
-		exps = []harness.Experiment{e}
+		if len(exps) == 0 {
+			return fmt.Errorf("no experiment IDs in -exp %q", *exp)
+		}
 	}
 
 	if *outDir != "" {
@@ -103,7 +142,21 @@ func run(args []string) error {
 		}
 	}
 	if *jsonFile != "" {
-		blob, err := json.MarshalIndent(tables, "", "  ")
+		art := benchArtifact{
+			Schema:  benchSchema,
+			Go:      runtime.Version(),
+			GOOS:    runtime.GOOS,
+			GOARCH:  runtime.GOARCH,
+			CPUs:    runtime.NumCPU(),
+			Scale:   string(cfg.Scale),
+			Repeats: cfg.Repeats,
+			Tables:  tables,
+		}
+		if collect != nil && collect.Folds() > 0 {
+			snap := collect.Snapshot()
+			art.Metrics = &snap
+		}
+		blob, err := json.MarshalIndent(art, "", "  ")
 		if err != nil {
 			return err
 		}

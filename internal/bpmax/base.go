@@ -1,6 +1,10 @@
 package bpmax
 
-import "context"
+import (
+	"context"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
+)
 
 // solveBase is the original BPMax program's implementation: the
 // (j1-i1, j2-i2, i1, i2, k1, k2) schedule, one cell at a time, with every
@@ -18,7 +22,11 @@ func solveBase(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	}
 	n1, n2 := p.N1, p.N2
 	done := ctx.Done()
+	obs := cfg.observe(p, "base")
 	for d1 := 0; d1 < n1; d1++ {
+		// The base schedule has no phase structure; one span per outer
+		// anti-diagonal keeps its timing comparable to the other schedules.
+		t0 := obs.start(metrics.PhaseTriangle)
 		for d2 := 0; d2 < n2; d2++ {
 			for i1 := 0; i1+d1 < n1; i1++ {
 				select {
@@ -38,6 +46,8 @@ func solveBase(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 				}
 			}
 		}
+		obs.done(metrics.PhaseTriangle, t0, int64(n1-d1))
+		obs.wavefront()
 	}
 	return f, nil
 }

@@ -3,6 +3,8 @@ package bpmax
 import (
 	"context"
 	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
 // Variant selects one of the paper's BPMax execution schedules.
@@ -96,6 +98,16 @@ type Config struct {
 	// zero-allocation. Pooled buffers are re-zeroed on reuse, so results
 	// stay bit-identical to fresh-allocation runs.
 	Pool *Pool
+
+	// Metrics, when non-nil, receives per-phase timings, wavefront counts
+	// and schedule identity for this solve. It must be owned by this fold
+	// alone: the coordinating goroutine writes it without synchronization.
+	// Recording allocates nothing and costs two time.Now calls per phase
+	// per wavefront.
+	Metrics *metrics.FoldMetrics
+	// Tracer, when non-nil, receives BeginPhase/EndPhase callbacks around
+	// each schedule phase (see metrics.Tracer). Independent of Metrics.
+	Tracer metrics.Tracer
 
 	// triangleHook, when set, runs at the start of each triangle-level unit
 	// of work in every schedule. Test-only fault injection seam: it lets the

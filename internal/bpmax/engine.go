@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
 // Engine is a persistent worker pool shared across wavefronts, folds, and
@@ -38,6 +40,17 @@ type Engine struct {
 	jobPool sync.Pool
 	closed  atomic.Bool
 	wg      sync.WaitGroup // parked workers, for Close to join
+	stats   engineStats
+}
+
+// engineStats holds the engine's always-on utilization counters. They are
+// deliberately cheap — a handful of atomic adds per Run (per wavefront,
+// not per iteration; chunk claims are batched per worker per job) — so no
+// flag gates them.
+type engineStats struct {
+	runs, seqRuns, fallbacks       atomic.Int64
+	helperOffers, helpersRecruited atomic.Int64
+	chunksClaimed, panics          atomic.Int64
 }
 
 // job is one parallel loop in flight. Jobs are recycled through the engine's
@@ -55,6 +68,9 @@ type job struct {
 	wg    sync.WaitGroup
 	mu    sync.Mutex
 	err   error
+	// stats points at the owning engine's counters; workers batch their
+	// chunk-claim counts into it once per job rather than per claim.
+	stats *engineStats
 }
 
 // fail records the first error and stops remaining claims. A plain mutex
@@ -73,8 +89,15 @@ func (j *job) fail(e error) {
 // deferred recover converts a body panic into the job's error without
 // killing the (persistent) goroutine running it.
 func (j *job) run() {
+	var claimed int64
 	defer func() {
+		if j.stats != nil {
+			j.stats.chunksClaimed.Add(claimed)
+		}
 		if r := recover(); r != nil {
+			if j.stats != nil {
+				j.stats.panics.Add(1)
+			}
 			j.fail(capturePanic(r))
 		}
 	}()
@@ -87,6 +110,7 @@ func (j *job) run() {
 		if lo >= j.n {
 			return
 		}
+		claimed++
 		hi := lo + j.chunk
 		if hi > j.n {
 			hi = j.n
@@ -178,6 +202,9 @@ func (e *Engine) clampWidth(workers, n int) int {
 func (e *Engine) run(ctx context.Context, n, workers int, f func(i int), chunk int) error {
 	if e == nil || e.closed.Load() {
 		// Closed (or absent) engines keep working via the fork-join path.
+		if e != nil {
+			e.stats.fallbacks.Add(1)
+		}
 		if chunk > 1 {
 			return parallelForStaticCtx(ctx, n, workers, f)
 		}
@@ -186,8 +213,10 @@ func (e *Engine) run(ctx context.Context, n, workers int, f func(i int), chunk i
 	if n == 0 {
 		return ctx.Err()
 	}
+	e.stats.runs.Add(1)
 	width := e.clampWidth(workers, n)
 	if width == 1 || n == 1 {
+		e.stats.seqRuns.Add(1)
 		return sequentialFor(ctx.Done(), ctx.Err, n, f)
 	}
 
@@ -199,19 +228,24 @@ func (e *Engine) run(ctx context.Context, n, workers int, f func(i int), chunk i
 	j.next.Store(0)
 	j.stop.Store(false)
 	j.err = nil
+	j.stats = &e.stats
 
 	// Offer the job to up to width-1 idle workers. The channel is unbuffered
 	// and the sends non-blocking, so an offer only lands on a worker that is
 	// parked in receive right now; busy workers are simply not recruited and
 	// the submitter carries the loop alone in the worst case.
+	var recruited int64
 	for h := 0; h < width-1; h++ {
 		j.wg.Add(1)
 		select {
 		case e.jobs <- j:
+			recruited++
 		default:
 			j.wg.Done()
 		}
 	}
+	e.stats.helperOffers.Add(int64(width - 1))
+	e.stats.helpersRecruited.Add(recruited)
 
 	j.run()
 	j.wg.Wait()
@@ -219,6 +253,22 @@ func (e *Engine) run(ctx context.Context, n, workers int, f func(i int), chunk i
 	err := j.err
 	j.f = nil
 	j.ctx = nil
+	j.stats = nil
 	e.jobPool.Put(j)
 	return err
+}
+
+// Stats snapshots the engine's utilization counters. Counters are
+// cumulative since NewEngine; callers wanting a window diff two snapshots.
+func (e *Engine) Stats() metrics.EngineStats {
+	return metrics.EngineStats{
+		Width:            e.workers,
+		Runs:             e.stats.runs.Load(),
+		SequentialRuns:   e.stats.seqRuns.Load(),
+		FallbackRuns:     e.stats.fallbacks.Load(),
+		HelperOffers:     e.stats.helperOffers.Load(),
+		HelpersRecruited: e.stats.helpersRecruited.Load(),
+		ChunksClaimed:    e.stats.chunksClaimed.Load(),
+		Panics:           e.stats.panics.Load(),
+	}
 }

@@ -1,0 +1,312 @@
+package bpmax
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// countingTracer records Begin/End balance per phase and the maximum open
+// span depth; the solvers promise balanced, non-overlapping spans issued
+// from the coordinating goroutine.
+type countingTracer struct {
+	begins, ends  [metrics.PhaseCount]int
+	open, maxOpen int
+}
+
+func (tr *countingTracer) BeginPhase(p metrics.Phase) {
+	tr.begins[p]++
+	tr.open++
+	if tr.open > tr.maxOpen {
+		tr.maxOpen = tr.open
+	}
+}
+
+func (tr *countingTracer) EndPhase(p metrics.Phase, d time.Duration) {
+	tr.ends[p]++
+	tr.open--
+}
+
+// obsVariants is the per-schedule expectation table: which phases a
+// schedule reports and the total units each phase should credit for an
+// n1 × n2 problem (T = number of inner triangles = n1(n1+1)/2).
+var obsVariants = []struct {
+	name     string
+	variant  Variant
+	schedule string
+	units    func(n1, n2, tilesPT int) map[metrics.Phase]int64
+}{
+	{"base", VariantBase, "base", func(n1, n2, _ int) map[metrics.Phase]int64 {
+		return map[metrics.Phase]int64{metrics.PhaseTriangle: tris(n1)}
+	}},
+	{"coarse", VariantCoarse, "coarse", func(n1, n2, _ int) map[metrics.Phase]int64 {
+		return map[metrics.Phase]int64{metrics.PhaseTriangle: tris(n1)}
+	}},
+	{"fine", VariantFine, "fine", func(n1, n2, _ int) map[metrics.Phase]int64 {
+		return map[metrics.Phase]int64{
+			metrics.PhaseAccum:    tris(n1) * int64(n2),
+			metrics.PhaseFinalize: tris(n1),
+		}
+	}},
+	{"hybrid", VariantHybrid, "hybrid", func(n1, n2, _ int) map[metrics.Phase]int64 {
+		return map[metrics.Phase]int64{
+			metrics.PhaseAccum:    tris(n1) * int64(n2),
+			metrics.PhaseFinalize: tris(n1),
+		}
+	}},
+	{"hybrid-tiled", VariantHybridTiled, "hybrid-tiled", func(n1, n2, tilesPT int) map[metrics.Phase]int64 {
+		return map[metrics.Phase]int64{
+			metrics.PhaseAccum:    tris(n1) * int64(tilesPT),
+			metrics.PhaseFinalize: tris(n1),
+		}
+	}},
+}
+
+func tris(n1 int) int64 { return int64(n1) * int64(n1+1) / 2 }
+
+func TestMetricsRecordedPerVariant(t *testing.T) {
+	const n1, n2 = 9, 7
+	p := newTestProblem(t, 41, n1, n2)
+	want := Solve(p, VariantReference, Config{})
+
+	for _, tc := range obsVariants {
+		t.Run(tc.name, func(t *testing.T) {
+			var fm metrics.FoldMetrics
+			var tr countingTracer
+			cfg := Config{Workers: 2, Metrics: &fm, Tracer: &tr}.withDefaults()
+			f, err := SolveContext(context.Background(), p, tc.variant, cfg)
+			if err != nil {
+				t.Fatalf("solve: %v", err)
+			}
+			// Instrumentation must not perturb results.
+			tablesEqual(t, p, want, f, tc.name+"+metrics")
+
+			if fm.Schedule != tc.schedule {
+				t.Errorf("Schedule = %q, want %q", fm.Schedule, tc.schedule)
+			}
+			if fm.N1 != n1 || fm.N2 != n2 {
+				t.Errorf("shape = %d×%d, want %d×%d", fm.N1, fm.N2, n1, n2)
+			}
+			if fm.Workers != 2 {
+				t.Errorf("Workers = %d, want 2", fm.Workers)
+			}
+			if fm.Wavefronts != int64(n1) {
+				t.Errorf("Wavefronts = %d, want %d", fm.Wavefronts, n1)
+			}
+
+			tilesPT := (n2 + cfg.TileI2 - 1) / cfg.TileI2
+			wantUnits := tc.units(n1, n2, tilesPT)
+			for ph := metrics.Phase(0); ph < metrics.PhaseCount; ph++ {
+				st := fm.Phases[ph]
+				if wu, ok := wantUnits[ph]; ok {
+					if st.Units != wu {
+						t.Errorf("phase %s: Units = %d, want %d", ph, st.Units, wu)
+					}
+					if st.Nanos <= 0 {
+						t.Errorf("phase %s: Nanos = %d, want > 0", ph, st.Nanos)
+					}
+				} else if st.Units != 0 || st.Nanos != 0 {
+					t.Errorf("phase %s: unexpected activity (%d units, %d ns)", ph, st.Units, st.Nanos)
+				}
+				if tr.begins[ph] != tr.ends[ph] {
+					t.Errorf("phase %s: %d begins vs %d ends", ph, tr.begins[ph], tr.ends[ph])
+				}
+				if (tr.begins[ph] > 0) != (wantUnits[ph] > 0) {
+					t.Errorf("phase %s: %d tracer spans, want active=%v", ph, tr.begins[ph], wantUnits[ph] > 0)
+				}
+			}
+			if tr.open != 0 || tr.maxOpen != 1 {
+				t.Errorf("tracer nesting: open=%d maxOpen=%d, want 0 and 1", tr.open, tr.maxOpen)
+			}
+		})
+	}
+}
+
+func TestMetricsRecordedWindowed(t *testing.T) {
+	const n1, n2, w1, w2 = 10, 8, 4, 5
+	p := newTestProblem(t, 42, n1, n2)
+	var fm metrics.FoldMetrics
+	var tr countingTracer
+	w, err := SolveWindowedContext(context.Background(), p, w1, w2, Config{Metrics: &fm, Tracer: &tr})
+	if err != nil {
+		t.Fatalf("SolveWindowedContext: %v", err)
+	}
+	defer w.Release()
+
+	if fm.Schedule != "windowed" {
+		t.Errorf("Schedule = %q, want %q", fm.Schedule, "windowed")
+	}
+	if fm.Wavefronts != int64(w1) {
+		t.Errorf("Wavefronts = %d, want %d", fm.Wavefronts, w1)
+	}
+	// Per wavefront d1: (n1-d1)·n2 accumulation rows, (n1-d1) finalizes.
+	var wantAcc, wantFin int64
+	for d1 := 0; d1 < w1; d1++ {
+		wantAcc += int64(n1-d1) * int64(n2)
+		wantFin += int64(n1 - d1)
+	}
+	if got := fm.Phases[metrics.PhaseWindowAccum].Units; got != wantAcc {
+		t.Errorf("window-accum units = %d, want %d", got, wantAcc)
+	}
+	if got := fm.Phases[metrics.PhaseWindowFinalize].Units; got != wantFin {
+		t.Errorf("window-finalize units = %d, want %d", got, wantFin)
+	}
+	if tr.begins[metrics.PhaseWindowAccum] != w1 || tr.ends[metrics.PhaseWindowAccum] != w1 {
+		t.Errorf("window-accum spans = %d/%d, want %d balanced", tr.begins[metrics.PhaseWindowAccum], tr.ends[metrics.PhaseWindowAccum], w1)
+	}
+	if tr.open != 0 {
+		t.Errorf("tracer left %d spans open", tr.open)
+	}
+}
+
+// TestMetricsReset checks a recycled FoldMetrics carries nothing over.
+func TestMetricsReset(t *testing.T) {
+	p := newTestProblem(t, 43, 6, 5)
+	var fm metrics.FoldMetrics
+	Solve(p, VariantHybrid, Config{Metrics: &fm})
+	if fm.Wavefronts == 0 {
+		t.Fatal("first solve recorded nothing")
+	}
+	fm.Reset()
+	if fm != (metrics.FoldMetrics{}) {
+		t.Fatalf("Reset left state behind: %+v", fm)
+	}
+	Solve(p, VariantCoarse, Config{Metrics: &fm})
+	if fm.Schedule != "coarse" || fm.Wavefronts != 6 {
+		t.Fatalf("reused sink: schedule=%q wavefronts=%d", fm.Schedule, fm.Wavefronts)
+	}
+}
+
+func TestEngineStatsCounting(t *testing.T) {
+	e := NewEngine(4)
+	defer e.Close()
+
+	if err := e.Run(context.Background(), 64, 4, func(int) {}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := e.Stats()
+	if s.Width != 4 {
+		t.Errorf("Width = %d, want 4", s.Width)
+	}
+	if s.Runs != 1 || s.SequentialRuns != 0 {
+		t.Errorf("Runs = %d, SequentialRuns = %d, want 1 and 0", s.Runs, s.SequentialRuns)
+	}
+	if s.HelperOffers != 3 {
+		t.Errorf("HelperOffers = %d, want 3", s.HelperOffers)
+	}
+	if s.HelpersRecruited < 0 || s.HelpersRecruited > 3 {
+		t.Errorf("HelpersRecruited = %d, want within [0, 3]", s.HelpersRecruited)
+	}
+	// Chunk-of-1 dynamic scheduling: every index is one claim.
+	if s.ChunksClaimed != 64 {
+		t.Errorf("ChunksClaimed = %d, want 64", s.ChunksClaimed)
+	}
+
+	// Width-1 loops take the sequential path.
+	if err := e.Run(context.Background(), 8, 1, func(int) {}); err != nil {
+		t.Fatalf("Run(width 1): %v", err)
+	}
+	s = e.Stats()
+	if s.Runs != 2 || s.SequentialRuns != 1 {
+		t.Errorf("after sequential run: Runs = %d, SequentialRuns = %d, want 2 and 1", s.Runs, s.SequentialRuns)
+	}
+
+	// Static scheduling claims one contiguous chunk per worker.
+	if err := e.RunStatic(context.Background(), 64, 4, func(int) {}); err != nil {
+		t.Fatalf("RunStatic: %v", err)
+	}
+	s = e.Stats()
+	claimedByStatic := s.ChunksClaimed - 64
+	if claimedByStatic < 1 || claimedByStatic > 4 {
+		t.Errorf("static chunks claimed = %d, want within [1, 4]", claimedByStatic)
+	}
+
+	// A panicking body counts once and surfaces as an error.
+	if err := e.Run(context.Background(), 8, 4, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	}); err == nil {
+		t.Error("panic did not surface as error")
+	}
+	if got := e.Stats().Panics; got != 1 {
+		t.Errorf("Panics = %d, want 1", got)
+	}
+}
+
+func TestEngineStatsFallbackAfterClose(t *testing.T) {
+	e := NewEngine(2)
+	e.Close()
+	if err := e.Run(context.Background(), 8, 2, func(int) {}); err != nil {
+		t.Fatalf("Run after Close: %v", err)
+	}
+	s := e.Stats()
+	if s.FallbackRuns != 1 {
+		t.Errorf("FallbackRuns = %d, want 1", s.FallbackRuns)
+	}
+	if s.Runs != 0 {
+		t.Errorf("Runs = %d, want 0 (fallbacks are not engine runs)", s.Runs)
+	}
+}
+
+func TestPoolStatsCounting(t *testing.T) {
+	pl := NewPool()
+	cfg := Config{Pool: pl}
+
+	fold := func() {
+		p, err := pl.NewProblem("GGGACC", "GGUCC", score.DefaultParams())
+		if err != nil {
+			t.Fatalf("NewProblem: %v", err)
+		}
+		f := Solve(p, VariantHybrid, cfg)
+		f.Release()
+		p.Release()
+	}
+
+	fold()
+	s := pl.Stats()
+	if s.ProblemMisses != 1 || s.ProblemHits != 0 {
+		t.Errorf("after cold fold: problem hits/misses = %d/%d, want 0/1", s.ProblemHits, s.ProblemMisses)
+	}
+	if s.FTableMisses != 1 {
+		t.Errorf("after cold fold: ftable misses = %d, want 1", s.FTableMisses)
+	}
+	if s.Buffers.Gets != s.Buffers.Misses || s.Buffers.Hits != 0 {
+		t.Errorf("cold fold should only miss buffers: %+v", s.Buffers)
+	}
+
+	fold()
+	s = pl.Stats()
+	// Shell reuse goes through sync.Pool, which drops a random fraction of
+	// Puts in race mode, so exact warm-hit counts only hold without -race.
+	if !raceEnabled && (s.ProblemHits != 1 || s.FTableHits != 1 || s.SolverHits != 1) {
+		t.Errorf("warm fold should hit shells: %+v", s)
+	}
+	if s.Buffers.Hits == 0 {
+		t.Errorf("warm fold should reuse a buffer: %+v", s.Buffers)
+	}
+	if s.Buffers.Live != 0 {
+		t.Errorf("Live = %d after all releases, want 0", s.Buffers.Live)
+	}
+	if s.Buffers.RetainedBytes != pl.RetainedBytes() {
+		t.Errorf("Stats retained %d != RetainedBytes %d", s.Buffers.RetainedBytes, pl.RetainedBytes())
+	}
+	if s.Buffers.RetainedHighWater < s.Buffers.RetainedBytes {
+		t.Errorf("high water %d below current retention %d", s.Buffers.RetainedHighWater, s.Buffers.RetainedBytes)
+	}
+	if s.HitRate() <= 0 {
+		t.Errorf("HitRate = %v, want > 0 after a warm fold", s.HitRate())
+	}
+
+	pl.Trim()
+	s = pl.Stats()
+	if s.Buffers.RetainedBytes != 0 {
+		t.Errorf("retained after Trim = %d, want 0", s.Buffers.RetainedBytes)
+	}
+	if s.Buffers.RetainedHighWater == 0 {
+		t.Error("Trim must not reset the high-water mark")
+	}
+}

@@ -3,8 +3,10 @@ package bpmax
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/bpmax-go/bpmax/internal/bufpool"
+	"github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
@@ -33,6 +35,23 @@ type Pool struct {
 	ftables  sync.Pool // *FTable
 	wtables  sync.Pool // *WTable
 	solvers  sync.Pool // *solver
+
+	// Reuse counters per shell kind (hit = recycled shell, miss = fresh
+	// allocation). One atomic add per fold per kind; always on.
+	problemHits, problemMisses atomic.Int64
+	ftableHits, ftableMisses   atomic.Int64
+	wtableHits, wtableMisses   atomic.Int64
+	solverHits, solverMisses   atomic.Int64
+}
+
+// count increments hit or miss depending on whether the sync.Pool served a
+// recycled shell.
+func count(hit, miss *atomic.Int64, reused bool) {
+	if reused {
+		hit.Add(1)
+	} else {
+		miss.Add(1)
+	}
 }
 
 // NewPool returns an empty pool.
@@ -57,6 +76,7 @@ func (e *SequenceError) Unwrap() error { return e.Err }
 // tables are no longer referenced.
 func (pl *Pool) NewProblem(seq1, seq2 string, params score.Params) (*Problem, error) {
 	p, _ := pl.problems.Get().(*Problem)
+	count(&pl.problemHits, &pl.problemMisses, p != nil)
 	if p == nil {
 		p = &Problem{}
 	}
@@ -97,6 +117,7 @@ func (pl *Pool) NewProblem(seq1, seq2 string, params score.Params) (*Problem, er
 // Release returns it.
 func (pl *Pool) NewFTable(n1, n2 int, kind MapKind) *FTable {
 	f, _ := pl.ftables.Get().(*FTable)
+	count(&pl.ftableHits, &pl.ftableMisses, f != nil)
 	if f == nil {
 		f = &FTable{}
 	}
@@ -117,6 +138,7 @@ func (pl *Pool) NewFTable(n1, n2 int, kind MapKind) *FTable {
 // NewWTable is NewWTable drawing the band storage from the pool's arenas.
 func (pl *Pool) NewWTable(n1, n2, w1, w2 int) *WTable {
 	w, _ := pl.wtables.Get().(*WTable)
+	count(&pl.wtableHits, &pl.wtableMisses, w != nil)
 	if w == nil {
 		w = &WTable{}
 	}
@@ -130,6 +152,7 @@ func (pl *Pool) NewWTable(n1, n2, w1, w2 int) *WTable {
 // already built, come along, so repeat folds allocate no closures).
 func (pl *Pool) getSolver() *solver {
 	s, _ := pl.solvers.Get().(*solver)
+	count(&pl.solverHits, &pl.solverMisses, s != nil)
 	if s == nil {
 		s = &solver{}
 	}
@@ -160,6 +183,22 @@ func (pl *Pool) ChargeBytes(n1, n2 int, kind MapKind) int64 {
 		return pl.RetainedBytes()
 	}
 	return pl.buf.HeldBytesAfter(tri.Count(n1) * kind.mapFor(n2).Size())
+}
+
+// Stats snapshots the pool's reuse counters and the arena's buffer
+// statistics. Counters are cumulative since the pool was created.
+func (pl *Pool) Stats() metrics.PoolStats {
+	return metrics.PoolStats{
+		ProblemHits:   pl.problemHits.Load(),
+		ProblemMisses: pl.problemMisses.Load(),
+		FTableHits:    pl.ftableHits.Load(),
+		FTableMisses:  pl.ftableMisses.Load(),
+		WTableHits:    pl.wtableHits.Load(),
+		WTableMisses:  pl.wtableMisses.Load(),
+		SolverHits:    pl.solverHits.Load(),
+		SolverMisses:  pl.solverMisses.Load(),
+		Buffers:       pl.buf.Stats(),
+	}
 }
 
 // ChargeWindowedBytes is ChargeBytes for the banded table of a windowed

@@ -3,6 +3,8 @@ package bpmax
 import (
 	"context"
 	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
 // Solve fills the full F table for p with the selected variant and returns
@@ -106,12 +108,16 @@ func TriangleOps(d1, n2 int) int64 {
 func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	s := newSolver(p, cfg, cfg.Map)
 	pf := cfg.pforCtx()
+	obs := cfg.observe(p, "coarse")
 	for d1 := 0; d1 < p.N1; d1++ {
 		s.curD1 = d1
+		t0 := obs.start(metrics.PhaseTriangle)
 		if err := pf(ctx, p.N1-d1, cfg.Workers, s.triTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseTriangle, t0, int64(p.N1-d1))
+		obs.wavefront()
 	}
 	f := s.f
 	s.release()
@@ -126,16 +132,22 @@ func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	s := newSolver(p, cfg, cfg.Map)
 	pf := cfg.pforCtx()
+	obs := cfg.observe(p, "fine")
 	for d1 := 0; d1 < p.N1; d1++ {
 		for i1 := 0; i1+d1 < p.N1; i1++ {
 			j1 := i1 + d1
 			s.curI1, s.curJ1 = i1, j1
+			t0 := obs.start(metrics.PhaseAccum)
 			if err := pf(ctx, p.N2, cfg.Workers, s.rowFineTask); err != nil {
 				s.abort()
 				return nil, err
 			}
+			obs.done(metrics.PhaseAccum, t0, int64(p.N2))
+			t0 = obs.start(metrics.PhaseFinalize)
 			s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
+			obs.done(metrics.PhaseFinalize, t0, 1)
 		}
+		obs.wavefront()
 	}
 	f := s.f
 	s.release()
@@ -153,17 +165,23 @@ func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 		return solveHybridScratch(ctx, p, s, cfg)
 	}
 	pf := cfg.pforCtx()
+	obs := cfg.observe(p, "hybrid")
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
 		s.curD1 = d1
+		t0 := obs.start(metrics.PhaseAccum)
 		if err := pf(ctx, tris*p.N2, cfg.Workers, s.rowAllTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseAccum, t0, int64(tris*p.N2))
+		t0 = obs.start(metrics.PhaseFinalize)
 		if err := pf(ctx, tris, cfg.Workers, s.finTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseFinalize, t0, int64(tris))
+		obs.wavefront()
 	}
 	f := s.f
 	s.release()
@@ -187,20 +205,26 @@ func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) 
 	// every exit (Release is a no-op when unpooled).
 	defer scratch.Release()
 	s.scratch = scratch
+	obs := cfg.observe(p, "hybrid")
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
 		s.curD1 = d1
 		// Accumulate into scratch (reads finalized triangles from s.f).
+		t0 := obs.start(metrics.PhaseAccum)
 		if err := pf(ctx, tris*p.N2, cfg.Workers, s.scratchRowTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseAccum, t0, int64(tris*p.N2))
 		// Copy scratch blocks into F (the Phase II redundancy), then run
 		// the update pass in place.
+		t0 = obs.start(metrics.PhaseFinalize)
 		if err := pf(ctx, tris, cfg.Workers, s.scratchFinTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseFinalize, t0, int64(tris))
+		obs.wavefront()
 	}
 	f := s.f
 	s.release()
@@ -216,17 +240,23 @@ func solveHybridTiled(ctx context.Context, p *Problem, cfg Config) (*FTable, err
 	pf := cfg.pforCtx()
 	s.curTileW = cfg.TileI2
 	s.curTilesPT = (p.N2 + s.curTileW - 1) / s.curTileW
+	obs := cfg.observe(p, "hybrid-tiled")
 	for d1 := 0; d1 < p.N1; d1++ {
 		tris := p.N1 - d1
 		s.curD1 = d1
+		t0 := obs.start(metrics.PhaseAccum)
 		if err := pf(ctx, tris*s.curTilesPT, cfg.Workers, s.tileTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseAccum, t0, int64(tris*s.curTilesPT))
+		t0 = obs.start(metrics.PhaseFinalize)
 		if err := pf(ctx, tris, cfg.Workers, s.finTask); err != nil {
 			s.abort()
 			return nil, err
 		}
+		obs.done(metrics.PhaseFinalize, t0, int64(tris))
+		obs.wavefront()
 	}
 	f := s.f
 	s.release()

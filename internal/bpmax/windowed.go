@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/bpmax-go/bpmax/internal/maxplus"
+	"github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/tri"
 )
 
@@ -214,8 +215,10 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 		}
 	}
 
+	obs := cfg.observe(p, "windowed")
 	for d1 := 0; d1 < w.W1; d1++ {
 		tris := p.N1 - d1
+		t0 := obs.start(metrics.PhaseWindowAccum)
 		err := pf(ctx, tris*n2, cfg.Workers, func(t int) {
 			i1 := t / n2
 			accumRow(i1, i1+d1, t%n2)
@@ -224,6 +227,8 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 			w.Release()
 			return nil, err
 		}
+		obs.done(metrics.PhaseWindowAccum, t0, int64(tris*n2))
+		t0 = obs.start(metrics.PhaseWindowFinalize)
 		err = pf(ctx, tris, cfg.Workers, func(i1 int) {
 			finalize(i1, i1+d1)
 		})
@@ -231,6 +236,8 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 			w.Release()
 			return nil, err
 		}
+		obs.done(metrics.PhaseWindowFinalize, t0, int64(tris))
+		obs.wavefront()
 	}
 	return w, nil
 }

@@ -18,6 +18,9 @@ package bufpool
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
 const (
@@ -73,6 +76,15 @@ func ClassBytes(n int) int64 { return int64(ClassLen(n)) * 4 }
 // use. All methods are safe for concurrent use.
 type Pool struct {
 	classes [numClasses]classArena
+
+	// Always-on traffic counters (one or two atomic adds per Get/Put, far
+	// off the cell-fill hot path). retained mirrors the exact idle byte
+	// count so reads need no lock sweep; every mutation happens while the
+	// owning class lock is held, so it never drifts from the arena contents.
+	gets, hits, misses atomic.Int64
+	puts, drops        atomic.Int64
+	retained           atomic.Int64
+	retainedHW         metrics.HighWater
 }
 
 type classArena struct {
@@ -86,8 +98,10 @@ func (p *Pool) Get(n int) []float32 {
 	if n <= 0 {
 		return nil
 	}
+	p.gets.Add(1)
 	c := classFor(n)
 	if c < 0 {
+		p.misses.Add(1)
 		return make([]float32, n)
 	}
 	a := &p.classes[c]
@@ -97,11 +111,14 @@ func (p *Pool) Get(n int) []float32 {
 		b = a.free[k-1]
 		a.free[k-1] = nil
 		a.free = a.free[:k-1]
+		p.retained.Add(-int64(classLen(c)) * 4)
 	}
 	a.mu.Unlock()
 	if b == nil {
+		p.misses.Add(1)
 		return make([]float32, n, classLen(c))
 	}
+	p.hits.Add(1)
 	b = b[:n]
 	// Explicit re-initialization: a reused buffer must be indistinguishable
 	// from a fresh allocation so pooled solves stay bit-identical.
@@ -115,33 +132,36 @@ func (p *Pool) Get(n int) []float32 {
 // already holding maxPerClass entries. Callers must not use the buffer
 // after Put.
 func (p *Pool) Put(b []float32) {
+	if cap(b) == 0 {
+		// Mirrors Get(n <= 0) returning nil without counting, so Live stays
+		// an exact checked-out-buffer count.
+		return
+	}
+	p.puts.Add(1)
 	c := classFor(cap(b))
 	if c < 0 || cap(b) != classLen(c) {
+		p.drops.Add(1)
 		return
 	}
 	b = b[:cap(b)]
 	a := &p.classes[c]
 	a.mu.Lock()
-	if len(a.free) < maxPerClass {
+	stored := len(a.free) < maxPerClass
+	if stored {
 		a.free = append(a.free, b)
+		p.retainedHW.Update(p.retained.Add(int64(classLen(c)) * 4))
 	}
 	a.mu.Unlock()
+	if !stored {
+		p.drops.Add(1)
+	}
 }
 
 // RetainedBytes returns the exact number of bytes currently parked in the
 // pool's arenas (idle buffers only; buffers handed out by Get are the
 // caller's to account for). WithMemoryLimit counts this retention against
 // its budget.
-func (p *Pool) RetainedBytes() int64 {
-	var total int64
-	for c := range p.classes {
-		a := &p.classes[c]
-		a.mu.Lock()
-		total += int64(len(a.free)) * int64(classLen(c)) * 4
-		a.mu.Unlock()
-	}
-	return total
-}
+func (p *Pool) RetainedBytes() int64 { return p.retained.Load() }
 
 // HeldBytesAfter returns the bytes the pool would hold once a Get(n) is
 // served: current retention, plus the class-rounded request when no idle
@@ -175,9 +195,29 @@ func (p *Pool) Trim() int64 {
 	for c := range p.classes {
 		a := &p.classes[c]
 		a.mu.Lock()
-		freed += int64(len(a.free)) * int64(classLen(c)) * 4
-		a.free = nil
+		if k := int64(len(a.free)) * int64(classLen(c)) * 4; k > 0 {
+			freed += k
+			p.retained.Add(-k)
+			a.free = nil
+		}
 		a.mu.Unlock()
 	}
 	return freed
+}
+
+// Stats snapshots the arena's traffic counters and retention. Counters are
+// cumulative since the pool was created; Live is the number of buffers
+// currently checked out by callers.
+func (p *Pool) Stats() metrics.BufferStats {
+	gets, puts := p.gets.Load(), p.puts.Load()
+	return metrics.BufferStats{
+		Gets:              gets,
+		Hits:              p.hits.Load(),
+		Misses:            p.misses.Load(),
+		Puts:              puts,
+		Drops:             p.drops.Load(),
+		Live:              gets - puts,
+		RetainedBytes:     p.retained.Load(),
+		RetainedHighWater: p.retainedHW.Load(),
+	}
 }

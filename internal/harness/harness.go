@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
 // Scale selects the workload sizes.
@@ -33,6 +35,11 @@ type RunConfig struct {
 	Workers int // <=0: GOMAXPROCS
 	Seed    int64
 	Repeats int // timing repeats; <=0: 1
+
+	// Collect, when non-nil, accumulates fold metrics from experiments
+	// that run observed folds (ext-metrics). Callers snapshot it into
+	// benchmark artifacts so CI can gate on observability health too.
+	Collect *metrics.Metrics
 }
 
 func (c RunConfig) repeats() int {

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	pub "github.com/bpmax-go/bpmax"
+	"github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/rna"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-metrics", Title: "Observability overhead on the steady-state fold", PaperRef: "Section V (runtime extension)",
+		Run: runExtMetrics,
+	})
+}
+
+// runExtMetrics measures what the observability layer costs on the
+// steady-state screening loop: the same engine+pooled fold cycle as
+// ext-engine, through the public API, with metrics collection off and on.
+// The acceptance bar is zero extra allocations per fold and low
+// single-digit-percent time overhead. When cfg.Collect is set, the
+// metrics-on pass records into it so callers (bpmaxbench -json) can embed
+// the cumulative snapshot in the benchmark artifact.
+func runExtMetrics(cfg RunConfig) *Table {
+	t := &Table{
+		ID: "ext-metrics", Title: "Observability overhead on the steady-state fold", PaperRef: "Section V (runtime extension)",
+		Header: []string{"metrics", "N1xN2", "time/fold", "GFLOPS", "allocs/fold", "KB/fold"},
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sz := cfg.sizes()[len(cfg.sizes())-1]
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s1 := rna.Random(rng, sz[0]).String()
+	s2 := rna.Random(rng, sz[1]).String()
+	flops := bpmax.BPMaxFlops(sz[0], sz[1])
+	folds := 6 * cfg.repeats()
+	for _, mode := range []struct {
+		name     string
+		observed bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		func() {
+			eng := pub.NewEngine(workers)
+			defer eng.Close()
+			pl := pub.NewPool()
+			opts := []pub.Option{
+				pub.WithVariant(pub.HybridTiled),
+				pub.WithWorkers(workers),
+				pub.WithEngine(eng),
+				pub.WithPool(pl),
+			}
+			var m *pub.Metrics
+			if mode.observed {
+				m = cfg.Collect
+				if m == nil {
+					m = pub.NewMetrics()
+				}
+				opts = append(opts, pub.WithMetrics(m))
+			}
+			foldOnce := func() {
+				res, err := pub.Fold(s1, s2, opts...)
+				if err != nil {
+					panic(err)
+				}
+				_ = res.Score
+				res.Release()
+			}
+			foldOnce()
+			foldOnce() // warm the pool and the engine before counting
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			for i := 0; i < folds; i++ {
+				foldOnce()
+			}
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			t.Rows = append(t.Rows, []string{
+				mode.name,
+				fmt.Sprintf("%dx%d", sz[0], sz[1]),
+				d2(elapsed / time.Duration(folds)),
+				f2(float64(flops) * float64(folds) / elapsed.Seconds() / 1e9),
+				f1(float64(m1.Mallocs-m0.Mallocs) / float64(folds)),
+				f1(float64(m1.TotalAlloc-m0.TotalAlloc) / float64(folds) / 1024),
+			})
+		}()
+	}
+	t.Notes = append(t.Notes,
+		"metrics=on wires WithMetrics through the pooled public-API fold; the layer must add zero allocs/fold",
+		"per-fold timings land in Result.Metrics; cumulative totals in the Metrics snapshot (see docs/OBSERVABILITY.md)")
+	return t
+}

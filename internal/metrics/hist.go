@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is enough power-of-two buckets to cover any int64 duration
+// (bucket i holds observations with bit length i, i.e. values in
+// [2^(i-1), 2^i)).
+const histBuckets = 64
+
+// Histogram is a lock-free power-of-two histogram for latencies in
+// nanoseconds. Observe is a single atomic add; the zero value is ready.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Snapshot copies the histogram into its serializable form, omitting
+// empty buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			le := int64(0)
+			if i > 0 {
+				le = 1<<i - 1
+			}
+			s.Buckets = append(s.Buckets, HistogramBucket{Le: le, Count: c})
+		}
+	}
+	return s
+}
+
+// HistogramBucket counts observations with value <= Le that fell in this
+// power-of-two bucket.
+type HistogramBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON form of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

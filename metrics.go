@@ -1,0 +1,121 @@
+// Observability layer: metrics, tracing and profiling hooks for the
+// solver stack.
+//
+// Two granularities are exposed. Result.Metrics is the per-fold record —
+// schedule identity, per-phase wall time and task counts, wavefronts, and
+// derived rates (GFLOPS, cells/second) — filled at wavefront granularity by
+// the fold's own coordinating goroutine, so enabling it adds no
+// allocations and no atomics to the fill. A *Metrics passed with
+// WithMetrics is the cumulative aggregate: any number of concurrent folds
+// record into it with a bounded number of atomic adds at fold end.
+// WithTracer adds span callbacks around the same phases, suitable for
+// pprof labels or OpenTelemetry adapters. Engine.Stats and Pool.Stats
+// report component utilization. See docs/OBSERVABILITY.md for the metric
+// glossary and the JSON schema the CI regression gate consumes.
+
+package bpmax
+
+import (
+	"github.com/bpmax-go/bpmax/internal/metrics"
+)
+
+// Metrics is a cumulative, concurrency-safe aggregate of completed folds.
+// Create one with NewMetrics, attach it to folds with WithMetrics, and
+// read it at any time with Snapshot; any number of goroutines may fold
+// into one Metrics concurrently. Recording a fold performs a bounded
+// number of atomic adds and allocates nothing.
+type Metrics = metrics.Metrics
+
+// FoldMetrics is one fold's instrumentation record; see Result.Metrics.
+// It is written only by the fold that owns it and is safe to read once the
+// fold has returned.
+type FoldMetrics = metrics.FoldMetrics
+
+// MetricsSnapshot is the JSON-ready form of a Metrics aggregate, including
+// derived rates and optional engine/pool sections; see Metrics.Snapshot.
+type MetricsSnapshot = metrics.Snapshot
+
+// FoldSnapshot is the JSON-ready form of one fold's metrics; see
+// FoldMetrics.Snapshot.
+type FoldSnapshot = metrics.FoldSnapshot
+
+// Phase names one instrumented section of a schedule; PhaseStat holds one
+// phase's accumulated wall time and task count.
+type (
+	Phase     = metrics.Phase
+	PhaseStat = metrics.PhaseStat
+)
+
+// The instrumented phases. Which phases a fold reports depends on its
+// schedule: coarse and base report whole-triangle spans, fine/hybrid
+// variants split accumulation from finalization, windowed scans report the
+// banded pair, and every fold reports substrate construction.
+const (
+	PhaseSubstrate      = metrics.PhaseSubstrate
+	PhaseAccum          = metrics.PhaseAccum
+	PhaseFinalize       = metrics.PhaseFinalize
+	PhaseTriangle       = metrics.PhaseTriangle
+	PhaseWindowAccum    = metrics.PhaseWindowAccum
+	PhaseWindowFinalize = metrics.PhaseWindowFinalize
+)
+
+// Tracer receives balanced BeginPhase/EndPhase callbacks around schedule
+// phases, from the fold's coordinating goroutine. Implementations must be
+// cheap and non-blocking; typical adapters set pprof labels or feed an
+// OpenTelemetry span. Attach one with WithTracer.
+type Tracer = metrics.Tracer
+
+// EngineStats is a snapshot of a persistent engine's utilization counters;
+// see Engine.Stats.
+type EngineStats = metrics.EngineStats
+
+// PoolStats is a snapshot of a fold-state pool's reuse counters, including
+// the buffer arena's traffic and retention; see Pool.Stats.
+type PoolStats = metrics.PoolStats
+
+// BufferStats is the buffer-arena section of PoolStats.
+type BufferStats = metrics.BufferStats
+
+// NewMetrics returns an empty cumulative metrics aggregate.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// WithMetrics records every fold run with this option into m: per-fold
+// phase records are aggregated at fold end, failed folds count as errors,
+// degraded folds as degradations. It also turns on per-fold recording, so
+// Result.Metrics comes back populated. A nil m leaves metrics off.
+//
+// The instrumentation contract is strict: enabling metrics adds zero
+// allocations to a pooled steady-state fold and only wavefront-granularity
+// timestamps to the fill (two time.Now calls per phase per wavefront).
+func WithMetrics(m *Metrics) Option {
+	return func(o *options) { o.metrics = m }
+}
+
+// WithTracer invokes tr around every schedule phase of the fold. Tracing
+// works with or without WithMetrics; it likewise turns on per-fold
+// recording of Result.Metrics. A nil tr leaves tracing off.
+func WithTracer(tr Tracer) Option {
+	return func(o *options) { o.cfg.Tracer = tr }
+}
+
+// observed reports whether per-fold instrumentation is on.
+func (o options) observed() bool {
+	return o.metrics != nil || o.cfg.Tracer != nil
+}
+
+// Stats snapshots the engine's cumulative utilization counters: parallel
+// loops run, helper recruitment rates, dynamic chunk claims, recovered
+// panics. Safe to call concurrently with running folds.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Stats snapshots the pool's cumulative reuse counters: hits and misses
+// per recycled shell kind (problem substrates, F tables, windowed bands,
+// solver scratch, result shells) and the buffer arena's traffic, live
+// count and retention high-water mark. Safe to call concurrently with
+// running folds.
+func (p *Pool) Stats() PoolStats {
+	s := p.p.Stats()
+	s.ResultHits = p.resultHits.Load()
+	s.ResultMisses = p.resultMisses.Load()
+	return s
+}

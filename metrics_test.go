@@ -1,0 +1,325 @@
+package bpmax
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+const (
+	mSeq1 = "GGGAAACCCUUUGGGAAACCC"
+	mSeq2 = "GGGUUUCCCAAAGGGUUUCCC"
+)
+
+func TestFoldMetricsPopulated(t *testing.T) {
+	m := NewMetrics()
+	res, err := Fold(mSeq1, mSeq2, WithMetrics(m))
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	fm := &res.Metrics
+	if fm.Schedule != "hybrid-tiled" {
+		t.Errorf("Schedule = %q, want %q", fm.Schedule, "hybrid-tiled")
+	}
+	if fm.N1 != len(mSeq1) || fm.N2 != len(mSeq2) {
+		t.Errorf("shape = %d×%d, want %d×%d", fm.N1, fm.N2, len(mSeq1), len(mSeq2))
+	}
+	if fm.Wavefronts != int64(len(mSeq1)) {
+		t.Errorf("Wavefronts = %d, want %d", fm.Wavefronts, len(mSeq1))
+	}
+	if fm.FillNanos <= 0 || fm.FillNanos != int64(res.Elapsed) {
+		t.Errorf("FillNanos = %d, want Elapsed %d", fm.FillNanos, int64(res.Elapsed))
+	}
+	if fm.FLOPs != res.FLOPs || fm.TableBytes != res.TableBytes {
+		t.Errorf("FLOPs/TableBytes = %d/%d, want %d/%d", fm.FLOPs, fm.TableBytes, res.FLOPs, res.TableBytes)
+	}
+	if fm.Cells <= 0 || fm.CellsPerSecond() <= 0 || fm.GFLOPS() <= 0 {
+		t.Errorf("derived rates: cells=%d cells/s=%v gflops=%v, want all > 0", fm.Cells, fm.CellsPerSecond(), fm.GFLOPS())
+	}
+	if fm.Degraded != "none" {
+		t.Errorf("Degraded = %q, want %q", fm.Degraded, "none")
+	}
+	if fm.Phases[PhaseSubstrate].Units != 1 {
+		t.Errorf("substrate units = %d, want 1", fm.Phases[PhaseSubstrate].Units)
+	}
+	if fm.Phases[PhaseAccum].Nanos <= 0 || fm.Phases[PhaseFinalize].Nanos <= 0 {
+		t.Error("hybrid-tiled fold must time accumulate and finalize phases")
+	}
+	if m.Folds() != 1 || m.Errors() != 0 {
+		t.Errorf("aggregate: folds=%d errors=%d, want 1 and 0", m.Folds(), m.Errors())
+	}
+}
+
+func TestFoldMetricsOffByDefault(t *testing.T) {
+	res, err := Fold(mSeq1, mSeq2)
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	if res.Metrics != (FoldMetrics{}) {
+		t.Errorf("metrics recorded without WithMetrics/WithTracer: %+v", res.Metrics)
+	}
+}
+
+func TestFoldMetricsParity(t *testing.T) {
+	plain, err := Fold(mSeq1, mSeq2)
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	obs, err := Fold(mSeq1, mSeq2, WithMetrics(NewMetrics()))
+	if err != nil {
+		t.Fatalf("Fold with metrics: %v", err)
+	}
+	if plain.Score != obs.Score {
+		t.Errorf("score changed under metrics: %v vs %v", plain.Score, obs.Score)
+	}
+	for i1 := 0; i1 < plain.N1; i1 += 3 {
+		for i2 := 0; i2 < plain.N2; i2 += 3 {
+			if a, b := plain.SubScore(i1, plain.N1-1, i2, plain.N2-1), obs.SubScore(i1, plain.N1-1, i2, plain.N2-1); a != b {
+				t.Fatalf("SubScore(%d,..,%d,..) changed under metrics: %v vs %v", i1, i2, a, b)
+			}
+		}
+	}
+}
+
+// spanTracer checks public-layer tracer plumbing: balanced spans including
+// the substrate phase.
+type spanTracer struct {
+	mu     sync.Mutex
+	begins map[Phase]int
+	ends   map[Phase]int
+}
+
+func (tr *spanTracer) BeginPhase(p Phase) {
+	tr.mu.Lock()
+	if tr.begins == nil {
+		tr.begins = map[Phase]int{}
+	}
+	tr.begins[p]++
+	tr.mu.Unlock()
+}
+
+func (tr *spanTracer) EndPhase(p Phase, d time.Duration) {
+	tr.mu.Lock()
+	if tr.ends == nil {
+		tr.ends = map[Phase]int{}
+	}
+	tr.ends[p]++
+	tr.mu.Unlock()
+}
+
+func TestWithTracerSpans(t *testing.T) {
+	var tr spanTracer
+	res, err := Fold(mSeq1, mSeq2, WithTracer(&tr))
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	if tr.begins[PhaseSubstrate] != 1 || tr.ends[PhaseSubstrate] != 1 {
+		t.Errorf("substrate spans = %d/%d, want 1/1", tr.begins[PhaseSubstrate], tr.ends[PhaseSubstrate])
+	}
+	for p, n := range tr.begins {
+		if tr.ends[p] != n {
+			t.Errorf("phase %s: %d begins vs %d ends", p, n, tr.ends[p])
+		}
+	}
+	if tr.begins[PhaseAccum] != len(mSeq1) {
+		t.Errorf("accum spans = %d, want one per wavefront (%d)", tr.begins[PhaseAccum], len(mSeq1))
+	}
+	// Tracing alone also populates Result.Metrics.
+	if res.Metrics.Schedule == "" {
+		t.Error("WithTracer did not enable per-fold metrics")
+	}
+}
+
+func TestMetricsConcurrentFolds(t *testing.T) {
+	m := NewMetrics()
+	e := NewEngine(4)
+	defer e.Close()
+	pool := NewPool()
+	items := []BatchItem{
+		{Name: "a", Seq1: mSeq1, Seq2: mSeq2},
+		{Name: "b", Seq1: mSeq2, Seq2: mSeq1},
+		{Name: "c", Seq1: mSeq1[:12], Seq2: mSeq2},
+		{Name: "d", Seq1: mSeq1, Seq2: mSeq2[:12]},
+		{Name: "e", Seq1: "GGGAAACCC", Seq2: "GGGUUUCCC"},
+		{Name: "f", Seq1: "ACGUACGU", Seq2: "UGCAUGCA"},
+	}
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		for _, r := range FoldBatch(items, 4, WithEngine(e), WithPool(pool), WithMetrics(m)) {
+			if r.Err != nil {
+				t.Fatalf("item %s: %v", r.Name, r.Err)
+			}
+			if r.Result.Metrics.Wavefronts == 0 {
+				t.Fatalf("item %s: empty per-fold metrics", r.Name)
+			}
+			r.Result.Release()
+		}
+	}
+	if got, want := m.Folds(), int64(rounds*len(items)); got != want {
+		t.Errorf("Folds = %d, want %d", got, want)
+	}
+	snap := m.Snapshot()
+	if snap.Errors != 0 || snap.Cells <= 0 || snap.FoldNanos.Count != m.Folds() {
+		t.Errorf("snapshot inconsistent: %+v", snap)
+	}
+
+	ps := pool.Stats()
+	if ps.ResultHits == 0 || ps.HitRate() <= 0 {
+		t.Errorf("pool saw no shell reuse: %+v", ps)
+	}
+	// The batch budget gives each of the 4 concurrent items width 1, so
+	// engine loops run on their submitters alone — Runs still counts them.
+	es := e.Stats()
+	if es.Runs == 0 || es.SequentialRuns+es.HelperOffers == 0 {
+		t.Errorf("engine recorded no work: %+v", es)
+	}
+}
+
+func TestMetricsErrorRecording(t *testing.T) {
+	m := NewMetrics()
+	if _, err := Fold("ACGX", "ACGU", WithMetrics(m)); err == nil {
+		t.Fatal("invalid sequence folded")
+	}
+	if m.Errors() != 1 || m.Folds() != 0 {
+		t.Errorf("errors=%d folds=%d, want 1 and 0", m.Errors(), m.Folds())
+	}
+}
+
+func TestMetricsDegradedFold(t *testing.T) {
+	m := NewMetrics()
+	limit := EstimateWindowedBytes(len(mSeq1), len(mSeq2), 6, 6) + 256
+	res, err := Fold(mSeq1, mSeq2,
+		WithMetrics(m), WithMemoryLimit(limit), WithDegradeToWindowed(6, 6))
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	if res.Degradation != DegradeWindowed {
+		t.Fatalf("Degradation = %v, want windowed (limit %d)", res.Degradation, limit)
+	}
+	if res.Metrics.Schedule != "windowed" || res.Metrics.Degraded != "windowed" {
+		t.Errorf("metrics schedule/degraded = %q/%q, want windowed/windowed", res.Metrics.Schedule, res.Metrics.Degraded)
+	}
+	if res.Metrics.BudgetEstimateBytes <= 0 || res.Metrics.BudgetEstimateBytes > limit {
+		t.Errorf("BudgetEstimateBytes = %d, want in (0, %d]", res.Metrics.BudgetEstimateBytes, limit)
+	}
+	if res.Window == nil || res.Window.Metrics.Schedule != "windowed" {
+		t.Error("window result missing its metrics copy")
+	}
+	if snap := m.Snapshot(); snap.Degraded != 1 {
+		t.Errorf("aggregate degraded = %d, want 1", snap.Degraded)
+	}
+}
+
+func TestScanWindowedMetrics(t *testing.T) {
+	m := NewMetrics()
+	win, err := ScanWindowed(mSeq1, mSeq2, 5, 5, WithMetrics(m))
+	if err != nil {
+		t.Fatalf("ScanWindowed: %v", err)
+	}
+	if win.Metrics.Schedule != "windowed" {
+		t.Errorf("Schedule = %q, want windowed", win.Metrics.Schedule)
+	}
+	if win.Metrics.Wavefronts != 5 {
+		t.Errorf("Wavefronts = %d, want 5", win.Metrics.Wavefronts)
+	}
+	if win.Metrics.FillNanos != int64(win.Elapsed) {
+		t.Errorf("FillNanos = %d, want %d", win.Metrics.FillNanos, int64(win.Elapsed))
+	}
+	if m.Folds() != 1 {
+		t.Errorf("Folds = %d, want 1", m.Folds())
+	}
+}
+
+func TestMetricsSnapshotJSON(t *testing.T) {
+	m := NewMetrics()
+	e := NewEngine(2)
+	defer e.Close()
+	pool := NewPool()
+	res, err := Fold(mSeq1, mSeq2, WithMetrics(m), WithEngine(e), WithPool(pool))
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	foldSnap := res.Metrics.Snapshot()
+	res.Release()
+
+	snap := m.Snapshot()
+	es, ps := e.Stats(), pool.Stats()
+	snap.Engine, snap.Pool = &es, &ps
+
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back MetricsSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Folds != 1 || back.Engine == nil || back.Pool == nil {
+		t.Fatalf("round trip lost data: %s", raw)
+	}
+	if back.Engine.Width != 2 {
+		t.Errorf("engine width = %d, want 2", back.Engine.Width)
+	}
+	if back.Pool.Buffers.Gets == 0 {
+		t.Errorf("pool buffer traffic lost: %+v", back.Pool)
+	}
+
+	fraw, err := json.Marshal(foldSnap)
+	if err != nil {
+		t.Fatalf("marshal fold snapshot: %v", err)
+	}
+	var fback FoldSnapshot
+	if err := json.Unmarshal(fraw, &fback); err != nil {
+		t.Fatalf("unmarshal fold snapshot: %v", err)
+	}
+	if fback.Schedule != "hybrid-tiled" || fback.Phases["accumulate"].Units == 0 {
+		t.Fatalf("fold snapshot round trip lost data: %s", fraw)
+	}
+}
+
+// TestMetricsZeroAllocSteadyState is the acceptance gate: enabling metrics
+// adds zero allocations to a pooled steady-state fold.
+func TestMetricsZeroAllocSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting in -short")
+	}
+	run := func(extra ...Option) float64 {
+		e := NewEngine(2)
+		defer e.Close()
+		opts := append([]Option{WithEngine(e), WithPool(NewPool()), WithWorkers(2)}, extra...)
+		cycle := func() {
+			res, err := Fold(mSeq1, mSeq2, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Release()
+		}
+		cycle() // warm the pool
+		return testing.AllocsPerRun(50, cycle)
+	}
+	off := run()
+	on := run(WithMetrics(NewMetrics()))
+	if on > off {
+		t.Errorf("metrics-on allocs/op = %v, metrics-off = %v; enabling metrics must not allocate", on, off)
+	}
+}
+
+func TestReleaseClearsMetrics(t *testing.T) {
+	pool := NewPool()
+	m := NewMetrics()
+	res, err := Fold(mSeq1, mSeq2, WithPool(pool), WithMetrics(m))
+	if err != nil {
+		t.Fatalf("Fold: %v", err)
+	}
+	res.Release()
+	// The recycled shell must come back clean for an unobserved fold.
+	res2, err := Fold(mSeq1, mSeq2, WithPool(pool))
+	if err != nil {
+		t.Fatalf("second Fold: %v", err)
+	}
+	defer res2.Release()
+	if res2.Metrics != (FoldMetrics{}) {
+		t.Errorf("recycled shell leaked metrics: %+v", res2.Metrics)
+	}
+}

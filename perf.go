@@ -15,6 +15,7 @@ package bpmax
 
 import (
 	"sync"
+	"sync/atomic"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
 )
@@ -75,6 +76,9 @@ type Pool struct {
 	p       *ibpmax.Pool
 	results sync.Pool // *Result
 	windows sync.Pool // *WindowResult
+
+	// Result and WindowResult shells share one hit/miss pair in Stats.
+	resultHits, resultMisses atomic.Int64
 }
 
 // NewPool returns an empty fold-state pool.
@@ -110,10 +114,23 @@ func (o options) getResult() *Result {
 	}
 	r, _ := o.pool.results.Get().(*Result)
 	if r == nil {
+		o.pool.resultMisses.Add(1)
 		r = &Result{}
+	} else {
+		o.pool.resultHits.Add(1)
 	}
 	r.pool = o.pool
 	return r
+}
+
+// putResult hands an unused Result shell back (fold error paths: the shell
+// was acquired before the solve so metrics could record into it in place).
+func (o options) putResult(r *Result) {
+	if o.pool == nil {
+		return
+	}
+	*r = Result{}
+	o.pool.results.Put(r)
 }
 
 // getWindowResult returns a WindowResult shell, recycled when a pool is
@@ -124,10 +141,22 @@ func (o options) getWindowResult() *WindowResult {
 	}
 	w, _ := o.pool.windows.Get().(*WindowResult)
 	if w == nil {
+		o.pool.resultMisses.Add(1)
 		w = &WindowResult{}
+	} else {
+		o.pool.resultHits.Add(1)
 	}
 	w.pool = o.pool
 	return w
+}
+
+// putWindowResult is putResult for WindowResult shells.
+func (o options) putWindowResult(w *WindowResult) {
+	if o.pool == nil {
+		return
+	}
+	*w = WindowResult{}
+	o.pool.windows.Put(w)
 }
 
 // Release returns the result's pooled resources — the F table (or windowed

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/rna"
 )
 
@@ -137,8 +138,17 @@ func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Resul
 	o := buildOptions(opts)
 	v, err := o.internalVariant()
 	if err != nil {
+		o.metrics.RecordError()
 		return nil, err
 	}
+	// The result shell is acquired before the solve so per-fold metrics
+	// record straight into Result.Metrics — no separate sink, no extra
+	// allocation on the steady-state path. Error exits hand it back.
+	res := o.getResult()
+	if o.observed() {
+		o.cfg.Metrics = &res.Metrics
+	}
+	sub := imetrics.Begin(o.cfg.Metrics, o.cfg.Tracer, imetrics.PhaseSubstrate)
 	var p *ibpmax.Problem
 	if o.pool != nil {
 		// Pooled path: the problem substrate (sequence buffers, score and
@@ -146,6 +156,8 @@ func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Resul
 		// sequence index; rewrap them into the same message shape as below.
 		p, err = o.pool.p.NewProblem(seq1, seq2, o.params())
 		if err != nil {
+			o.putResult(res)
+			o.metrics.RecordError()
 			var se *ibpmax.SequenceError
 			if errors.As(err, &se) {
 				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
@@ -155,33 +167,46 @@ func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Resul
 	} else {
 		s1, err := rna.New(seq1)
 		if err != nil {
+			o.putResult(res)
+			o.metrics.RecordError()
 			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
 		}
 		s2, err := rna.New(seq2)
 		if err != nil {
+			o.putResult(res)
+			o.metrics.RecordError()
 			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
 		}
 		p, err = ibpmax.NewProblem(s1, s2, o.params())
 		if err != nil {
+			o.putResult(res)
+			o.metrics.RecordError()
 			return nil, err
 		}
 	}
+	sub.End(1)
 	cfg, deg, err := o.budget(p.N1, p.N2)
 	if err != nil {
 		p.Release()
+		o.putResult(res)
+		o.metrics.RecordError()
 		return nil, err
 	}
 	if deg == DegradeWindowed {
-		return foldViaWindow(ctx, p, o)
+		return o.foldViaWindow(ctx, p, res)
+	}
+	if o.observed() && o.memLimit > 0 {
+		res.Metrics.BudgetEstimateBytes = o.chargeBytes(p.N1, p.N2, cfg.Map)
 	}
 	start := time.Now()
 	ft, err := ibpmax.SolveContext(ctx, p, v, cfg)
 	if err != nil {
 		p.Release()
+		o.putResult(res)
+		o.metrics.RecordError()
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	res := o.getResult()
 	res.Score = p.Score(ft)
 	res.N1 = p.N1
 	res.N2 = p.N2
@@ -191,7 +216,24 @@ func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Resul
 	res.Degradation = deg
 	res.prob = p
 	res.ft = ft
+	if o.observed() {
+		res.Metrics.FillNanos = int64(elapsed)
+		res.Metrics.Cells = ibpmax.CellElements(p.N1, p.N2)
+		res.Metrics.FLOPs = res.FLOPs
+		res.Metrics.TableBytes = res.TableBytes
+		res.Metrics.Degraded = deg.String()
+		o.metrics.RecordFold(&res.Metrics)
+	}
 	return res, nil
+}
+
+// chargeBytes is the full-table estimate the budget charged this fold:
+// pool-aware when pooled, analytic otherwise.
+func (o options) chargeBytes(n1, n2 int, kind ibpmax.MapKind) int64 {
+	if o.pool != nil {
+		return o.pool.p.ChargeBytes(n1, n2, kind)
+	}
+	return ibpmax.EstimateBytes(n1, n2, kind)
 }
 
 // budget resolves the memory-limit policy for an n1 × n2 fold: it returns
@@ -243,12 +285,23 @@ func (o options) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
 }
 
 // foldViaWindow runs the windowed-scan rung of the degradation ladder and
-// wraps it as a Result (Degradation == DegradeWindowed, Window set).
-func foldViaWindow(ctx context.Context, p *ibpmax.Problem, o options) (*Result, error) {
+// wraps it as a Result (Degradation == DegradeWindowed, Window set). The
+// caller's result shell comes in so the scan's metrics accumulate into the
+// same Result.Metrics the substrate span already wrote.
+func (o options) foldViaWindow(ctx context.Context, p *ibpmax.Problem, res *Result) (*Result, error) {
+	if o.observed() && o.memLimit > 0 {
+		if o.pool != nil {
+			res.Metrics.BudgetEstimateBytes = o.pool.p.ChargeWindowedBytes(p.N1, p.N2, o.degradeW1, o.degradeW2)
+		} else {
+			res.Metrics.BudgetEstimateBytes = ibpmax.EstimateWindowedBytes(p.N1, p.N2, o.degradeW1, o.degradeW2)
+		}
+	}
 	start := time.Now()
 	wt, err := ibpmax.SolveWindowedContext(ctx, p, o.degradeW1, o.degradeW2, o.cfg)
 	if err != nil {
 		p.Release()
+		o.putResult(res)
+		o.metrics.RecordError()
 		return nil, err
 	}
 	elapsed := time.Since(start)
@@ -259,7 +312,6 @@ func foldViaWindow(ctx context.Context, p *ibpmax.Problem, o options) (*Result, 
 	win.Elapsed = elapsed
 	win.wt = wt
 	win.prob = p
-	res := o.getResult()
 	res.Score = best
 	res.N1 = p.N1
 	res.N2 = p.N2
@@ -268,5 +320,12 @@ func foldViaWindow(ctx context.Context, p *ibpmax.Problem, o options) (*Result, 
 	res.Degradation = DegradeWindowed
 	res.Window = win
 	res.prob = p
+	if o.observed() {
+		res.Metrics.FillNanos = int64(elapsed)
+		res.Metrics.TableBytes = res.TableBytes
+		res.Metrics.Degraded = DegradeWindowed.String()
+		win.Metrics = res.Metrics
+		o.metrics.RecordFold(&res.Metrics)
+	}
 	return res, nil
 }
