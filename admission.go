@@ -1,0 +1,64 @@
+// Admission layer: the bounded-concurrency gate of the fold pipeline.
+//
+// A service that accepts folds faster than it can solve them needs
+// backpressure before the solver, not after: N³M³ folds admitted without
+// bound convoy on memory bandwidth and the scheduler until every request is
+// slow. WithAdmission caps how many requests solve at once; the rest wait
+// in arrival order (FIFO) and are woken as slots free up. The gate is
+// deadline-aware — a queued request whose context expires fails immediately
+// with a typed *AdmissionError instead of surfacing minutes later with work
+// nobody wants — and a bounded queue sheds load beyond it with the same
+// error type (errors.Is(err, ErrQueueFull)).
+
+package bpmax
+
+import (
+	"github.com/bpmax-go/bpmax/internal/pipeline"
+)
+
+// AdmissionError is the error a fold returns when the admission gate never
+// granted it a slot: the wait queue was full (Cause is ErrQueueFull) or the
+// request's context ended while queued (Cause is ctx.Err(), so errors.Is
+// with context.DeadlineExceeded / context.Canceled works). Match it with
+// errors.As.
+type AdmissionError = pipeline.AdmissionError
+
+// ErrQueueFull is the AdmissionError cause for requests rejected because
+// the bounded wait queue was already full.
+var ErrQueueFull = pipeline.ErrQueueFull
+
+// Admission is a bounded-concurrency admission gate shared by any number of
+// entry points. Create one with NewAdmission, attach it with WithAdmission
+// (or via a Session), and read utilization with Stats. All methods are safe
+// for concurrent use; acquiring an uncontended slot allocates nothing.
+type Admission struct {
+	a *pipeline.Admission
+}
+
+// AdmissionConfig configures NewAdmission.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of requests allowed to solve at once
+	// (values < 1 are clamped to 1).
+	MaxConcurrent int
+	// MaxQueue bounds the FIFO wait queue; requests arriving beyond it are
+	// rejected immediately with ErrQueueFull. 0 means unbounded.
+	MaxQueue int
+}
+
+// NewAdmission returns a gate with the given slot and queue bounds.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	return &Admission{a: pipeline.NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue)}
+}
+
+// WithAdmission gates every request run with this option through a: at most
+// MaxConcurrent solve concurrently, excess requests queue FIFO (respecting
+// their contexts) or are rejected beyond MaxQueue. A nil gate leaves
+// admission off.
+func WithAdmission(a *Admission) Option {
+	return func(o *options) { o.admission = a }
+}
+
+// Stats snapshots the gate's occupancy (running, queued), high-water marks
+// (queue depth, single-request wait) and cumulative admitted / rejected /
+// expired counters. Safe to call concurrently with running folds.
+func (a *Admission) Stats() AdmissionStats { return a.a.Stats() }

@@ -87,14 +87,18 @@ func FoldBatchContext(ctx context.Context, items []BatchItem, workers int, opts 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	conc, perFold := batchBudget(workers, len(items))
-	foldOpts := append(append([]Option(nil), opts...), WithWorkers(perFold))
-	if perFold > 1 && buildOptions(foldOpts).cfg.Engine == nil {
+	// The option set is parsed exactly once for the whole batch; workers
+	// then fold each item through the same pre-parsed request, so per-item
+	// cost excludes option closures, variant resolution and param building.
+	rq := buildOptions(append(append([]Option(nil), opts...), WithWorkers(perFold)))
+	if perFold > 1 && rq.cfg.Engine == nil {
 		// Parallel per-item folds with no caller-supplied engine: give the
 		// batch its own worker team sized to the budget. The engine caps
 		// physical parallelism even when conc folds contend for helpers.
 		e := NewEngine(workers)
 		defer e.Close()
-		foldOpts = append(foldOpts, WithEngine(e))
+		rq.engine = e
+		rq.cfg.Engine = e.e
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -103,7 +107,7 @@ func FoldBatchContext(ctx context.Context, items []BatchItem, workers int, opts 
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i] = foldBatchItem(ctx, items[i], foldOpts)
+				out[i] = foldBatchItem(ctx, items[i], rq)
 			}
 		}()
 	}
@@ -130,7 +134,7 @@ func FoldBatchContext(ctx context.Context, items []BatchItem, workers int, opts 
 // foldBatchItem folds one batch item and computes its gain statistic. Any
 // panic escaping the fold machinery is recovered here so that one poisoned
 // item cannot take down the worker (and with it the process).
-func foldBatchItem(ctx context.Context, it BatchItem, foldOpts []Option) (br BatchResult) {
+func foldBatchItem(ctx context.Context, it BatchItem, rq request) (br BatchResult) {
 	br.Name = it.Name
 	defer func() {
 		if r := recover(); r != nil {
@@ -140,7 +144,7 @@ func foldBatchItem(ctx context.Context, it BatchItem, foldOpts []Option) (br Bat
 			}
 		}
 	}()
-	res, err := FoldContext(ctx, it.Seq1, it.Seq2, foldOpts...)
+	res, err := rq.runFold(ctx, it.Seq1, it.Seq2)
 	if err != nil {
 		br.Err = fmt.Errorf("%s: %w", it.Name, err)
 		return br
@@ -154,7 +158,8 @@ func foldBatchItem(ctx context.Context, it BatchItem, foldOpts []Option) (br Bat
 }
 
 // RankByGain returns the successful results sorted by descending Gain
-// (ties broken by Name for determinism). Failed items are omitted.
+// (ties broken by Name, then by input order, for full determinism). Failed
+// items are omitted.
 func RankByGain(results []BatchResult) []BatchResult {
 	var ok []BatchResult
 	for _, r := range results {
@@ -162,7 +167,7 @@ func RankByGain(results []BatchResult) []BatchResult {
 			ok = append(ok, r)
 		}
 	}
-	sort.Slice(ok, func(a, b int) bool {
+	sort.SliceStable(ok, func(a, b int) bool {
 		if ok[a].Gain != ok[b].Gain {
 			return ok[a].Gain > ok[b].Gain
 		}

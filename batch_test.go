@@ -102,6 +102,43 @@ func TestRankByGain(t *testing.T) {
 	}
 }
 
+// TestRankByGainStableTies: the sort is fully deterministic — equal Gain
+// breaks by Name, and items equal in both keep their input order (stable
+// sort), so repeated screens of the same batch always rank identically.
+func TestRankByGainStableTies(t *testing.T) {
+	mark := func(d Degradation) *Result { return &Result{Degradation: d} }
+	results := []BatchResult{
+		{Name: "same", Gain: 1, Result: mark(DegradeNone)},
+		{Name: "beta", Gain: 1, Result: mark(DegradeNone)},
+		{Name: "same", Gain: 1, Result: mark(DegradePacked)},
+		{Name: "alpha", Gain: 1, Result: mark(DegradeNone)},
+		{Name: "same", Gain: 1, Result: mark(DegradeWindowed)},
+		{Name: "top", Gain: 2, Result: mark(DegradeNone)},
+	}
+	ranked := RankByGain(results)
+	wantNames := []string{"top", "alpha", "beta", "same", "same", "same"}
+	for i, w := range wantNames {
+		if ranked[i].Name != w {
+			t.Fatalf("rank %d = %q, want %q (order: %v)", i, ranked[i].Name, w, names(ranked))
+		}
+	}
+	// The three fully tied "same" entries must keep input order.
+	wantDeg := []Degradation{DegradeNone, DegradePacked, DegradeWindowed}
+	for i, w := range wantDeg {
+		if got := ranked[3+i].Result.Degradation; got != w {
+			t.Fatalf("tied entry %d = %v, want %v (input order not preserved)", i, got, w)
+		}
+	}
+}
+
+func names(rs []BatchResult) []string {
+	var out []string
+	for _, r := range rs {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
 func TestFoldBatchContextPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -388,3 +388,83 @@ func BenchmarkFoldBatchSteadyState(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkFoldBatchSharedQuery is the caching acceptance gate: a screening
+// loop that folds one query strand against a rotating set of targets, cold
+// (no cache) versus served by the substrate layer versus served whole from
+// the result layer. The warm-results sub-benchmark must run at least 1.3x
+// faster than cold (in practice it skips the entire solve, so the margin is
+// far larger); warm-substrate shows the S-table share alone.
+func BenchmarkFoldBatchSharedQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	query := rna.Random(rng, 48).String()
+	targets := make([]string, 16)
+	for i := range targets {
+		targets[i] = rna.Random(rng, 12).String()
+	}
+	cycle := func(b *testing.B, i int, opts []Option) {
+		res, err := Fold(targets[i%len(targets)], query, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	run := func(b *testing.B, cache *Cache) {
+		b.ReportAllocs()
+		e := NewEngine(4)
+		defer e.Close()
+		opts := []Option{WithEngine(e), WithPool(NewPool()), WithWorkers(4)}
+		if cache != nil {
+			opts = append(opts, WithCache(cache))
+		}
+		// Warm the pool — and, when present, the cache — over the full
+		// target rotation before counting.
+		for i := range targets {
+			cycle(b, i, opts)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cycle(b, i, opts)
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, nil) })
+	b.Run("warm-substrate", func(b *testing.B) {
+		run(b, NewCache(CacheConfig{DisableResults: true}))
+	})
+	b.Run("warm-results", func(b *testing.B) {
+		run(b, NewCache(CacheConfig{}))
+	})
+}
+
+// BenchmarkAdmissionContention measures the admission gate's overhead on a
+// contended steady state: GOMAXPROCS goroutines folding through a
+// half-width gate, versus the same workload ungated. The gate's cost per
+// fold (one mutex + one queue park/wake) must stay far below fill time.
+func BenchmarkAdmissionContention(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	s1 := rna.Random(rng, 12).String()
+	s2 := rna.Random(rng, 48).String()
+	run := func(b *testing.B, gate *Admission) {
+		b.ReportAllocs()
+		pool := NewPool()
+		opts := []Option{WithPool(pool), WithWorkers(1)}
+		if gate != nil {
+			opts = append(opts, WithAdmission(gate))
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				res, err := Fold(s1, s2, opts...)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				res.Release()
+			}
+		})
+	}
+	b.Run("ungated", func(b *testing.B) { run(b, nil) })
+	b.Run("gated", func(b *testing.B) {
+		width := runtime.GOMAXPROCS(0)/2 + 1
+		run(b, NewAdmission(AdmissionConfig{MaxConcurrent: width}))
+	})
+}

@@ -27,17 +27,12 @@ package bpmax
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"math"
 	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
-	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
-	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
-	"github.com/bpmax-go/bpmax/internal/semiring"
 )
 
 // Variant names one of the paper's execution schedules.
@@ -85,10 +80,19 @@ type options struct {
 	// substrates, result shells) across calls; cfg.Pool mirrors it at the
 	// solver layer.
 	pool *Pool
+	// engine, when set via WithEngine, is the persistent worker team;
+	// cfg.Engine mirrors it at the solver layer.
+	engine *Engine
 	// metrics, when set via WithMetrics, aggregates every fold run with
 	// these options; per-fold records land in Result.Metrics (cfg.Metrics
 	// is pointed at it for the solve). cfg.Tracer carries WithTracer.
 	metrics *Metrics
+	// cache, when set via WithCache, serves substrate tables and whole
+	// results from the content-addressed cache.
+	cache *Cache
+	// admission, when set via WithAdmission, gates requests through a
+	// bounded-concurrency FIFO before they solve.
+	admission *Admission
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.
@@ -123,12 +127,19 @@ func WithWeights(w Weights) Option { return func(o *options) { o.weights = w } }
 // modelling a minimum hairpin loop (default 0, BPMax's counting model).
 func WithMinHairpin(n int) Option { return func(o *options) { o.minHairpin = n } }
 
-func buildOptions(opts []Option) options {
+// buildOptions parses an option list into the pipeline's request form: the
+// accumulated options plus the resolved scoring parameters and schedule
+// variant. Every public entry point calls it exactly once per request (and
+// FoldBatch once per batch); the request's stage methods in pipeline.go do
+// the rest.
+func buildOptions(opts []Option) request {
 	o := options{variant: HybridTiled}
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return o
+	rq := request{options: o, sp: o.params()}
+	rq.v, rq.verr = o.internalVariant()
+	return rq
 }
 
 func (o options) params() score.Params {
@@ -335,35 +346,11 @@ func FoldSingle(seq string, opts ...Option) (*SingleResult, error) {
 }
 
 // FoldSingleContext is FoldSingle with cooperative cancellation, checked
-// once per anti-diagonal wavefront of the S-table build.
+// once per anti-diagonal wavefront of the S-table build. It routes through
+// the request pipeline: with WithCache the strand's S table is shared with
+// interaction folds, and WithAdmission gates it like any other request.
 func FoldSingleContext(ctx context.Context, seq string, opts ...Option) (*SingleResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	s, err := rna.New(seq)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: %w", err)
-	}
-	o := buildOptions(opts)
-	tab := score.Build(s, s, o.params())
-	sc := func(i, j int) float32 { return tab.Score1(i, j) }
-	t, err := nussinov.BuildParallelContext(ctx, s.Len(), sc, o.cfg.Workers)
-	if err != nil {
-		return nil, err
-	}
-	res := &SingleResult{N: s.Len()}
-	if s.Len() > 0 {
-		res.Score = t.At(0, s.Len()-1)
-		for _, p := range t.Traceback(sc) {
-			res.Pairs = append(res.Pairs, Pair{p.I, p.J})
-		}
-		var np []nussinov.Pair
-		for _, p := range res.Pairs {
-			np = append(np, nussinov.Pair{I: p.I, J: p.J})
-		}
-		res.Bracket = nussinov.DotBracket(s.Len(), np)
-	}
-	return res, nil
+	return buildOptions(opts).runSingle(ctx, seq)
 }
 
 // EnsembleResult summarizes the Boltzmann ensemble of one strand's
@@ -387,48 +374,11 @@ type EnsembleResult struct {
 
 // SingleEnsemble computes the single-strand Boltzmann ensemble signal for
 // seq at temperature factor kT (in units of pair weight; small kT
-// approaches the max-plus optimum: kT·LogZ → Score).
+// approaches the max-plus optimum: kT·LogZ → Score). It routes through the
+// request pipeline (validation, admission); the semiring fills themselves
+// are not cached.
 func SingleEnsemble(seq string, kT float64, opts ...Option) (*EnsembleResult, error) {
-	if kT <= 0 {
-		return nil, fmt.Errorf("bpmax: kT must be positive, got %v", kT)
-	}
-	s, err := rna.New(seq)
-	if err != nil {
-		return nil, fmt.Errorf("bpmax: %w", err)
-	}
-	o := buildOptions(opts)
-	tab := score.Build(s, s, o.params())
-	n := s.Len()
-	logPair := func(i, j int) float64 {
-		w := float64(tab.Score1(i, j))
-		if w < -1e20 {
-			return math.Inf(-1)
-		}
-		return w / kT
-	}
-	countPair := func(i, j int) float64 {
-		if float64(tab.Score1(i, j)) < -1e20 {
-			return 0
-		}
-		return 1
-	}
-	optPair := func(i, j int) semiring.Optimum {
-		w := tab.Score1(i, j)
-		if float64(w) < -1e20 {
-			return semiring.MaxPlusCount{}.Zero()
-		}
-		return semiring.Optimum{Score: w, Count: 1}
-	}
-	res := &EnsembleResult{KT: kT}
-	if n > 0 {
-		res.LogZ = semiring.Fold[float64](semiring.LogSumExp{}, n, logPair).At(0, n-1)
-		res.Structures = semiring.Fold[float64](semiring.Counting{}, n, countPair).At(0, n-1)
-		res.Cooptimal = semiring.Fold[semiring.Optimum](semiring.MaxPlusCount{}, n, optPair).At(0, n-1).Count
-	} else {
-		res.Structures = 1
-		res.Cooptimal = 1
-	}
-	return res, nil
+	return buildOptions(opts).runEnsemble(seq, kT)
 }
 
 // WindowResult holds a windowed (banded) scan: every interval pair with
@@ -480,91 +430,11 @@ func ScanWindowed(seq1, seq2 string, w1, w2 int, opts ...Option) (*WindowResult,
 // ScanWindowedContext is ScanWindowed with cooperative cancellation and
 // panic isolation (see FoldContext for the guarantees) and memory
 // budgeting: with WithMemoryLimit set, an over-budget band is rejected with
-// a *MemoryLimitError before any allocation.
+// a *MemoryLimitError before any allocation. It routes through the request
+// pipeline: WithAdmission gates it, and WithCache shares the strands' S
+// substrate tables (the banded result itself is not cached).
 func ScanWindowedContext(ctx context.Context, seq1, seq2 string, w1, w2 int, opts ...Option) (*WindowResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if w1 <= 0 || w2 <= 0 {
-		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
-	}
-	o := buildOptions(opts)
-	// Like FoldContext, the shell comes first so metrics record in place.
-	win := o.getWindowResult()
-	if o.observed() {
-		o.cfg.Metrics = &win.Metrics
-	}
-	sub := imetrics.Begin(o.cfg.Metrics, o.cfg.Tracer, imetrics.PhaseSubstrate)
-	var p *ibpmax.Problem
-	if o.pool != nil {
-		var err error
-		p, err = o.pool.p.NewProblem(seq1, seq2, o.params())
-		if err != nil {
-			o.putWindowResult(win)
-			o.metrics.RecordError()
-			var se *ibpmax.SequenceError
-			if errors.As(err, &se) {
-				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
-			}
-			return nil, err
-		}
-	} else {
-		s1, err := rna.New(seq1)
-		if err != nil {
-			o.putWindowResult(win)
-			o.metrics.RecordError()
-			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
-		}
-		s2, err := rna.New(seq2)
-		if err != nil {
-			o.putWindowResult(win)
-			o.metrics.RecordError()
-			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
-		}
-		p, err = ibpmax.NewProblem(s1, s2, o.params())
-		if err != nil {
-			o.putWindowResult(win)
-			o.metrics.RecordError()
-			return nil, err
-		}
-	}
-	sub.End(1)
-	if o.memLimit > 0 {
-		est := ibpmax.EstimateWindowedBytes(p.N1, p.N2, w1, w2)
-		if o.pool != nil {
-			est = o.pool.p.ChargeWindowedBytes(p.N1, p.N2, w1, w2)
-		}
-		if est > o.memLimit {
-			p.Release()
-			o.putWindowResult(win)
-			o.metrics.RecordError()
-			return nil, &MemoryLimitError{EstimateBytes: est, LimitBytes: o.memLimit}
-		}
-		if o.observed() {
-			win.Metrics.BudgetEstimateBytes = est
-		}
-	}
-	start := time.Now()
-	wt, err := ibpmax.SolveWindowedContext(ctx, p, w1, w2, o.cfg)
-	if err != nil {
-		p.Release()
-		o.putWindowResult(win)
-		o.metrics.RecordError()
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	best, i1, j1, i2, j2 := wt.Best()
-	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
-	win.TableBytes = wt.Bytes()
-	win.Elapsed = elapsed
-	win.wt = wt
-	win.prob = p
-	if o.observed() {
-		win.Metrics.FillNanos = int64(elapsed)
-		win.Metrics.TableBytes = win.TableBytes
-		o.metrics.RecordFold(&win.Metrics)
-	}
-	return win, nil
+	return buildOptions(opts).runWindowed(ctx, seq1, seq2, w1, w2)
 }
 
 // At returns the windowed table value F[i1,j1,i2,j2]; the cell must satisfy

@@ -1,0 +1,187 @@
+// Caching layer: the content-addressed request cache of the fold pipeline.
+//
+// A screening workload is full of repeated work: one query strand is folded
+// against thousands of targets (the same S¹ substrate rebuilt every time),
+// identical requests arrive concurrently from independent callers, and hot
+// pairs recur. WithCache memoizes at two granularities, both keyed by a
+// SHA-256 content address of everything that determines the value:
+//
+//   - Substrate entries: one strand's Nussinov S table under one scoring
+//     model. Any fold (interaction or single-strand) of a strand already
+//     seen shares the cached table read-only and skips its O(n³) refill.
+//   - Result entries: one whole completed fold under one full option set.
+//     A hit returns a copy sharing the retained master's tables — bit
+//     identical to re-folding. Concurrent identical requests single-flight
+//     behind one solve. Folds running with WithMetrics/WithTracer bypass
+//     this layer (instrumentation measures a real fill).
+//
+// Entries are evicted least-recently-used once MaxBytes is exceeded, and the
+// cache's retained bytes are charged against WithMemoryLimit budgets exactly
+// like the pool's retention. See docs/ARCHITECTURE.md for semantics and
+// docs/PERFORMANCE.md for measured effect.
+
+package bpmax
+
+import (
+	"sync/atomic"
+
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/pipeline"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// Cache is a content-addressed cache shared by any number of concurrent
+// folds. Create one with NewCache, attach it with WithCache (or via a
+// Session), and read utilization with Stats. All methods and all cached
+// serving paths are safe for concurrent use.
+type Cache struct {
+	c        *pipeline.Cache
+	subsOff  bool
+	resOff   bool
+	maxBytes int64
+
+	substrateHits, substrateMisses atomic.Int64
+	resultHits, resultMisses       atomic.Int64
+}
+
+// CacheConfig configures NewCache. The zero value enables both layers with
+// unlimited retention.
+type CacheConfig struct {
+	// MaxBytes caps the retained cost of cached entries; least-recently-used
+	// entries are evicted beyond it. 0 means unlimited.
+	MaxBytes int64
+	// DisableSubstrates turns off the per-strand S-table layer.
+	DisableSubstrates bool
+	// DisableResults turns off the whole-result layer (and with it
+	// single-flight deduplication).
+	DisableResults bool
+}
+
+// NewCache returns an empty cache.
+func NewCache(cfg CacheConfig) *Cache {
+	return &Cache{
+		c:        pipeline.NewCache(cfg.MaxBytes),
+		subsOff:  cfg.DisableSubstrates,
+		resOff:   cfg.DisableResults,
+		maxBytes: cfg.MaxBytes,
+	}
+}
+
+// WithCache serves folds through c: substrate tables and whole results
+// already computed under equal parameters are reused instead of recomputed.
+// Cached serving is bit-identical to cold folding. A nil cache leaves
+// caching off.
+func WithCache(c *Cache) Option {
+	return func(o *options) { o.cache = c }
+}
+
+// RetainedBytes returns the storage currently pinned by cache entries. It
+// is counted against WithMemoryLimit budgets of folds using this cache.
+func (c *Cache) RetainedBytes() int64 { return c.c.RetainedBytes() }
+
+// Stats snapshots the cache's per-layer hit/miss counters, single-flight
+// shares, evictions and retention. Safe to call concurrently with serving.
+func (c *Cache) Stats() CacheStats {
+	entries, bytes, bytesHW, evictions, shared := c.c.Counters()
+	return CacheStats{
+		SubstrateHits:      c.substrateHits.Load(),
+		SubstrateMisses:    c.substrateMisses.Load(),
+		ResultHits:         c.resultHits.Load(),
+		ResultMisses:       c.resultMisses.Load(),
+		SingleFlightShared: shared,
+		Evictions:          evictions,
+		Entries:            entries,
+		RetainedBytes:      bytes,
+		RetainedHighWater:  bytesHW,
+	}
+}
+
+// substratesOn reports whether the S-table layer serves requests.
+func (c *Cache) substratesOn() bool { return !c.subsOff }
+
+// resultsOn reports whether the whole-result layer serves requests.
+func (c *Cache) resultsOn() bool { return !c.resOff }
+
+// insertSubstrate retains an S table. A table built in pooled storage is
+// cloned first — the pool will reset that storage on reuse, and cached
+// tables must stay immutable. Unpooled tables are retained directly (they
+// are never reused, so sharing them is safe and saves the copy).
+func (c *Cache) insertSubstrate(k pipeline.Key, t *nussinov.Table, pooled bool) {
+	if pooled {
+		t = t.Clone()
+	}
+	c.c.Add(k, t, t.Bytes())
+}
+
+// substrateKey addresses one strand's S table: the strand's normalized
+// bases, the intramolecular model weights, and the hairpin constraint —
+// exactly the inputs of the S recurrence.
+func substrateKey(seq rna.Sequence, sp score.Params) pipeline.Key {
+	h := pipeline.NewHasher()
+	h.Byte('S')
+	hashModel(h, sp.Model)
+	h.I64(int64(sp.MinHairpin))
+	h.I64(int64(seq.Len()))
+	for i := 0; i < seq.Len(); i++ {
+		h.Byte(byte(seq.At(i)))
+	}
+	k := h.Sum()
+	h.Release()
+	return k
+}
+
+// resultKey addresses one whole fold: both raw input strings plus every
+// option that can observably shape the Result — scoring weights (intra and
+// effective inter), the hairpin constraint, the schedule variant, the
+// memory map, and the full budget policy (limit and degradation windows),
+// so a cached result is bit-identical to what a cold fold with these exact
+// options would produce. Raw strings are hashed as given; "acgu" and "ACGU"
+// fold identically but key separately, which costs a duplicate entry, never
+// a wrong hit.
+func (rq request) resultKey(seq1, seq2 string) pipeline.Key {
+	h := pipeline.NewHasher()
+	h.Byte('R')
+	h.Str(seq1)
+	h.Str(seq2)
+	hashModel(h, rq.sp.Model)
+	inter := rq.sp.Model
+	if rq.sp.InterModel != nil {
+		inter = *rq.sp.InterModel
+	}
+	hashModel(h, inter)
+	h.I64(int64(rq.sp.MinHairpin))
+	h.I64(int64(rq.v))
+	h.I64(int64(rq.cfg.Map))
+	h.I64(rq.memLimit)
+	h.I64(int64(rq.degradeW1))
+	h.I64(int64(rq.degradeW2))
+	k := h.Sum()
+	h.Release()
+	return k
+}
+
+// hashModel folds a scoring model's full 4×4 weight table into the hasher.
+func hashModel(h *pipeline.Hasher, m score.Model) {
+	for _, a := range rna.Bases {
+		for _, b := range rna.Bases {
+			h.F32(m.Pair(a, b))
+		}
+	}
+}
+
+// cachedResultBytes estimates the storage a retained master result pins:
+// the DP table (full or banded) plus the problem substrate — score tables,
+// S tables and sequence storage. S tables shared with substrate entries are
+// counted on both, a deliberate over-count that errs toward earlier
+// eviction rather than an under-charged WithMemoryLimit.
+func cachedResultBytes(r *Result) int64 {
+	b := r.TableBytes
+	if p := r.prob; p != nil {
+		n1, n2 := int64(p.N1), int64(p.N2)
+		b += 4 * (n1*n1 + n2*n2 + n1*n2)
+		b += p.S1.Bytes() + p.S2.Bytes()
+		b += n1 + n2
+	}
+	return b
+}

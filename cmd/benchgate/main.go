@@ -152,12 +152,14 @@ func gated(header string) (gate, slack bool) {
 
 // parseQty parses a harness table cell: a plain float, a float with a
 // trailing marker ("7x", "12*"), or a perf.FormatDuration string
-// ("2.50s", "3.50ms", "250µs") normalized to seconds. ok is false for
-// label cells.
+// ("2.50s", "3.50ms", "250µs", "811ns") normalized to seconds. ok is
+// false for label cells.
 func parseQty(s string) (v float64, ok bool) {
 	s = strings.TrimSpace(s)
 	unit := 1.0
 	switch {
+	case strings.HasSuffix(s, "ns"):
+		unit, s = 1e-9, strings.TrimSuffix(s, "ns")
 	case strings.HasSuffix(s, "µs"), strings.HasSuffix(s, "us"):
 		unit, s = 1e-6, strings.TrimSuffix(strings.TrimSuffix(s, "µs"), "us")
 	case strings.HasSuffix(s, "ms"):

@@ -51,6 +51,7 @@ func TestParseQty(t *testing.T) {
 		"2.50s":  {2.5, true},
 		"3.50ms": {0.0035, true},
 		"250µs":  {0.00025, true},
+		"811ns":  {0.000000811, true},
 		"21.7":   {21.7, true},
 		"7x":     {7, true},
 		"12*":    {12, true},

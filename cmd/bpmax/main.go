@@ -13,6 +13,7 @@
 //	bpmax -window 64 longseq1.txt-content longseq2.txt-content
 //	bpmax -timeout 30s -mem-limit 2GB -degrade-window 100 SEQ1 SEQ2
 //	bpmax -fasta pairs.fa -batch -engine -1 -pool    # screen on shared workers + pooled tables
+//	bpmax -fasta pairs.fa -batch -cache 256MB -admit 4   # cache repeated strands, gate concurrency
 //	bpmax -metrics-json - GGGAAACCC GGGUUUCCC        # emit fold metrics as JSON on stdout
 //	bpmax -pprof localhost:6060 -fasta pairs.fa -batch   # profile a screen live
 //
@@ -71,6 +72,9 @@ func run(ctx context.Context, args []string) error {
 	batch := fs.Bool("batch", false, "treat the FASTA file as consecutive pairs; fold all and rank by interaction gain")
 	engine := fs.Int("engine", 0, "run on a persistent worker engine of this width (0 = off, -1 = all CPUs); batch mode always budgets one")
 	pool := fs.Bool("pool", false, "recycle DP tables and fold state across folds (useful with -batch)")
+	cacheFlag := fs.String("cache", "", "serve repeated strands/pairs from a content-addressed cache; value is the retention budget, e.g. 256MB ('0' = unlimited, empty = off)")
+	admit := fs.Int("admit", 0, "admit at most this many concurrent folds; excess requests queue FIFO (0 = off)")
+	admitQueue := fs.Int("admit-queue", 0, "with -admit: bound the wait queue, rejecting requests beyond it (0 = unbounded)")
 	structure := fs.Bool("structure", true, "print an optimal joint structure")
 	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
 	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
@@ -113,6 +117,22 @@ func run(ctx context.Context, args []string) error {
 		pl = bpmax.NewPool()
 		options = append(options, bpmax.WithPool(pl))
 	}
+	var cache *bpmax.Cache
+	if *cacheFlag != "" {
+		budget, err := parseBytes(*cacheFlag)
+		if err != nil {
+			return fmt.Errorf("-cache: %w", err)
+		}
+		cache = bpmax.NewCache(bpmax.CacheConfig{MaxBytes: budget})
+		options = append(options, bpmax.WithCache(cache))
+	}
+	var gate *bpmax.Admission
+	if *admit > 0 {
+		gate = bpmax.NewAdmission(bpmax.AdmissionConfig{MaxConcurrent: *admit, MaxQueue: *admitQueue})
+		options = append(options, bpmax.WithAdmission(gate))
+	} else if *admitQueue > 0 {
+		return fmt.Errorf("-admit-queue requires -admit")
+	}
 
 	var mtr *bpmax.Metrics
 	if *metricsJSON != "" || *pprofAddr != "" {
@@ -130,6 +150,14 @@ func run(ctx context.Context, args []string) error {
 		if pl != nil {
 			ps := pl.Stats()
 			s.Pool = &ps
+		}
+		if cache != nil {
+			cs := cache.Stats()
+			s.Cache = &cs
+		}
+		if gate != nil {
+			as := gate.Stats()
+			s.Admission = &as
 		}
 		return s
 	}
@@ -272,7 +300,13 @@ func publishExpvar(snapshot func() bpmax.MetricsSnapshot) {
 // messages; anything else passes through.
 func describeFoldErr(err error) error {
 	var mle *bpmax.MemoryLimitError
+	var ae *bpmax.AdmissionError
 	switch {
+	case errors.As(err, &ae):
+		if errors.Is(err, bpmax.ErrQueueFull) {
+			return fmt.Errorf("%w; raise -admit or -admit-queue", err)
+		}
+		return fmt.Errorf("%w; raise -timeout or -admit", err)
 	case errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("fold exceeded -timeout and was cancelled (%w)", err)
 	case errors.Is(err, context.Canceled):

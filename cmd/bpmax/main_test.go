@@ -278,3 +278,42 @@ func TestRunBatch(t *testing.T) {
 		t.Error("odd batch accepted")
 	}
 }
+
+func TestRunCachedAndGated(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run(t.Context(), []string{"-cache", "0", "-admit", "2", "-metrics-json", "-", "GGGAAACCC", "GGGUUUCCC"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc struct {
+		Totals bpmax.MetricsSnapshot `json:"totals"`
+	}
+	jsonStart := strings.Index(out, "{")
+	if jsonStart < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	if err := json.Unmarshal([]byte(out[jsonStart:]), &doc); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, out)
+	}
+	if doc.Totals.Cache == nil {
+		t.Error("metrics document missing the cache section")
+	}
+	if doc.Totals.Admission == nil {
+		t.Error("metrics document missing the admission section")
+	} else if doc.Totals.Admission.Admitted == 0 {
+		t.Error("admission section recorded no admissions")
+	}
+}
+
+func TestRunCacheAdmitFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-cache", "lots", "GGG", "CCC"},    // unparsable size
+		{"-admit-queue", "4", "GGG", "CCC"}, // queue without gate
+	}
+	for _, args := range cases {
+		if err := run(t.Context(), args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

@@ -115,6 +115,53 @@ func FuzzPooledParity(f *testing.F) {
 	})
 }
 
+// FuzzCachedFoldParity checks that a fold served through the cache — the
+// substrate layer, the result layer, and a warm hit of each — is
+// bit-identical to a fresh fold for arbitrary inputs: same acceptance, same
+// error text, same score, same structure.
+func FuzzCachedFoldParity(f *testing.F) {
+	f.Add("GGG", "CCC")
+	f.Add("GGGAAACCC", "GGGUUUCCC")
+	f.Add("acgu", "ugca")
+	f.Add("AXB", "")
+	f.Fuzz(func(t *testing.T, s1, s2 string) {
+		if len(s1) > 12 || len(s2) > 12 {
+			t.Skip("keep the O(N3M3) fill small")
+		}
+		want, wantErr := Fold(s1, s2)
+		cache := NewCache(CacheConfig{})
+		pool := NewPool()
+		// Two passes: the first fills the cache (miss path), the second is
+		// served from it (substrate shares + whole-result hit). Both must
+		// match the cold fold exactly, pooled or not.
+		for pass := 0; pass < 2; pass++ {
+			for _, opts := range [][]Option{
+				{WithCache(cache)},
+				{WithCache(cache), WithPool(pool)},
+			} {
+				got, err := Fold(s1, s2, opts...)
+				if (err != nil) != (wantErr != nil) {
+					t.Fatalf("pass %d: err = %v, Fold err = %v", pass, err, wantErr)
+				}
+				if err != nil {
+					if err.Error() != wantErr.Error() {
+						t.Fatalf("pass %d: cached error %q, fresh %q", pass, err, wantErr)
+					}
+					continue
+				}
+				if got.Score != want.Score {
+					t.Fatalf("pass %d: cached score %v, fresh %v", pass, got.Score, want.Score)
+				}
+				gs, ws := got.Structure(), want.Structure()
+				if gs.Bracket1 != ws.Bracket1 || gs.Bracket2 != ws.Bracket2 {
+					t.Fatalf("pass %d: cached structure %q/%q, fresh %q/%q", pass, gs.Bracket1, gs.Bracket2, ws.Bracket1, ws.Bracket2)
+				}
+				got.Release()
+			}
+		}
+	})
+}
+
 // FuzzFastaRoundTrip checks the FASTA reader never panics and that
 // whatever it accepts survives a write/read round trip.
 func FuzzFastaRoundTrip(f *testing.F) {

@@ -7,7 +7,6 @@ import (
 
 	"github.com/bpmax-go/bpmax/internal/bufpool"
 	"github.com/bpmax-go/bpmax/internal/metrics"
-	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
 	"github.com/bpmax-go/bpmax/internal/tri"
@@ -75,11 +74,27 @@ func (e *SequenceError) Unwrap() error { return e.Err }
 // The returned problem must be handed back with Problem.Release once its
 // tables are no longer referenced.
 func (pl *Pool) NewProblem(seq1, seq2 string, params score.Params) (*Problem, error) {
+	p, err := pl.NewProblemShell(seq1, seq2, params)
+	if err != nil {
+		return nil, err
+	}
+	p.BuildS1()
+	p.BuildS2()
+	return p, nil
+}
+
+// NewProblemShell is NewProblem without the two O(n³) Nussinov fills; the
+// caller follows up with BuildS1/BuildS2 or installs cached tables via
+// ShareS1/ShareS2. A recycled shell that previously ran with shared cached
+// tables gets its own (parked) tables restored first, so a shared table is
+// never mutated by reuse.
+func (pl *Pool) NewProblemShell(seq1, seq2 string, params score.Params) (*Problem, error) {
 	p, _ := pl.problems.Get().(*Problem)
 	count(&pl.problemHits, &pl.problemMisses, p != nil)
 	if p == nil {
 		p = &Problem{}
 	}
+	p.restoreOwnTables()
 	var err error
 	p.Seq1, p.seqBuf1, err = rna.NewInto(p.seqBuf1, seq1)
 	if err != nil {
@@ -101,13 +116,6 @@ func (pl *Pool) NewProblem(seq1, seq2 string, params score.Params) (*Problem, er
 		p.Tab = &score.Tables{}
 	}
 	score.BuildInto(p.Tab, p.Seq1, p.Seq2, params)
-	if p.S1 == nil {
-		p.S1, p.S2 = &nussinov.Table{}, &nussinov.Table{}
-	}
-	p.S1.Reset(n1)
-	p.S1.Fill(func(i, j int) float32 { return p.Tab.Score1(i, j) })
-	p.S2.Reset(n2)
-	p.S2.Fill(func(i, j int) float32 { return p.Tab.Score2(i, j) })
 	p.pl = pl
 	return p, nil
 }

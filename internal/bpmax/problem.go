@@ -22,6 +22,12 @@ type Problem struct {
 	// the owning pool (nil for unpooled problems).
 	seqBuf1, seqBuf2 []rna.Base
 	pl               *Pool
+	// When the substrate cache installs a shared S table via ShareS1/ShareS2,
+	// the problem's own table parks in ownS1/ownS2 (sharedS1/sharedS2 set) so
+	// pooled reuse can restore it — the shared table is read-only and must
+	// never be Reset.
+	ownS1, ownS2       *nussinov.Table
+	sharedS1, sharedS2 bool
 }
 
 // Release returns a pooled problem's shell — with its retained sequence
@@ -41,19 +47,77 @@ func (p *Problem) Release() {
 // sequences must be non-empty; the public API layer handles empty inputs by
 // degenerating to single-strand folding.
 func NewProblem(seq1, seq2 rna.Sequence, p score.Params) (*Problem, error) {
+	prob, err := NewProblemShell(seq1, seq2, p)
+	if err != nil {
+		return nil, err
+	}
+	prob.BuildS1()
+	prob.BuildS2()
+	return prob, nil
+}
+
+// NewProblemShell is NewProblem without the two O(n³) Nussinov fills: the
+// sequences and score tables are built, S1/S2 are left for BuildS1/BuildS2
+// or for the substrate cache to install via ShareS1/ShareS2.
+func NewProblemShell(seq1, seq2 rna.Sequence, p score.Params) (*Problem, error) {
 	n1, n2 := seq1.Len(), seq2.Len()
 	if n1 == 0 || n2 == 0 {
 		return nil, fmt.Errorf("bpmax: both sequences must be non-empty (got %d and %d nt)", n1, n2)
 	}
-	tab := score.Build(seq1, seq2, p)
-	s1 := nussinov.Build(n1, func(i, j int) float32 { return tab.Score1(i, j) })
-	s2 := nussinov.Build(n2, func(i, j int) float32 { return tab.Score2(i, j) })
 	return &Problem{
 		Seq1: seq1, Seq2: seq2,
 		N1: n1, N2: n2,
-		Tab: tab,
-		S1:  s1, S2: s2,
+		Tab: score.Build(seq1, seq2, p),
 	}, nil
+}
+
+// BuildS1 fills the S¹ single-strand table in the problem's own storage
+// (created or Reset as needed — bit-identical to a fresh nussinov.Build).
+func (p *Problem) BuildS1() {
+	if p.S1 == nil {
+		p.S1 = &nussinov.Table{}
+	}
+	p.S1.Reset(p.N1)
+	p.S1.Fill(func(i, j int) float32 { return p.Tab.Score1(i, j) })
+}
+
+// BuildS2 fills the S² table; see BuildS1.
+func (p *Problem) BuildS2() {
+	if p.S2 == nil {
+		p.S2 = &nussinov.Table{}
+	}
+	p.S2.Reset(p.N2)
+	p.S2.Fill(func(i, j int) float32 { return p.Tab.Score2(i, j) })
+}
+
+// ShareS1 installs a cached S¹ table. The table is shared and read-only;
+// the problem's own table (if any) parks until restoreOwnTables.
+func (p *Problem) ShareS1(t *nussinov.Table) {
+	if !p.sharedS1 {
+		p.ownS1 = p.S1
+	}
+	p.S1 = t
+	p.sharedS1 = true
+}
+
+// ShareS2 installs a cached S² table; see ShareS1.
+func (p *Problem) ShareS2(t *nussinov.Table) {
+	if !p.sharedS2 {
+		p.ownS2 = p.S2
+	}
+	p.S2 = t
+	p.sharedS2 = true
+}
+
+// restoreOwnTables swaps parked own S tables back in place of shared ones,
+// so pooled reuse never Resets (mutates) a table the cache handed out.
+func (p *Problem) restoreOwnTables() {
+	if p.sharedS1 {
+		p.S1, p.ownS1, p.sharedS1 = p.ownS1, nil, false
+	}
+	if p.sharedS2 {
+		p.S2, p.ownS2, p.sharedS2 = p.ownS2, nil, false
+	}
 }
 
 // score1 is the intramolecular pair weight for seq1 positions (i, j).

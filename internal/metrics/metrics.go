@@ -355,8 +355,10 @@ type Snapshot struct {
 
 	FoldNanos HistogramSnapshot `json:"fold_nanos"`
 
-	Engine *EngineStats `json:"engine,omitempty"`
-	Pool   *PoolStats   `json:"pool,omitempty"`
+	Engine    *EngineStats    `json:"engine,omitempty"`
+	Pool      *PoolStats      `json:"pool,omitempty"`
+	Cache     *CacheStats     `json:"cache,omitempty"`
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // EngineStats is a snapshot of a persistent worker engine's utilization
@@ -421,6 +423,52 @@ func (s PoolStats) HitRate() float64 {
 		return 0
 	}
 	return float64(hits) / float64(total)
+}
+
+// CacheStats is a snapshot of the content-addressed request cache. The two
+// entry classes are counted separately: substrate entries memoize one
+// strand's Nussinov S table, result entries retain a whole completed fold.
+type CacheStats struct {
+	SubstrateHits   int64 `json:"substrate_hits"`
+	SubstrateMisses int64 `json:"substrate_misses"`
+	ResultHits      int64 `json:"result_hits"`
+	ResultMisses    int64 `json:"result_misses"`
+	// SingleFlightShared counts requests served by another request's
+	// in-flight computation instead of solving themselves.
+	SingleFlightShared int64 `json:"single_flight_shared"`
+	// Evictions counts entries dropped by the LRU policy; Entries is the
+	// current entry count across both classes.
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	// RetainedBytes is the storage currently pinned by cache entries (it is
+	// charged against WithMemoryLimit budgets); RetainedHighWater the
+	// maximum ever pinned.
+	RetainedBytes     int64 `json:"retained_bytes"`
+	RetainedHighWater int64 `json:"retained_high_water"`
+}
+
+// AdmissionStats is a snapshot of an admission gate: the bounded concurrency
+// slots, the FIFO wait queue, and the fate of every request that reached the
+// gate (admitted, rejected because the queue was full, or expired while
+// queued because its context ended first).
+type AdmissionStats struct {
+	// MaxConcurrent and MaxQueue echo the gate's configuration (MaxQueue 0
+	// means unbounded).
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// Running is the number of requests currently holding a slot;
+	// QueueDepth the number currently waiting.
+	Running    int64 `json:"running"`
+	QueueDepth int64 `json:"queue_depth"`
+	// QueueDepthHighWater is the deepest the wait queue has ever been.
+	QueueDepthHighWater int64 `json:"queue_depth_high_water"`
+	Admitted            int64 `json:"admitted"`
+	Rejected            int64 `json:"rejected"`
+	Expired             int64 `json:"expired"`
+	// WaitNanosTotal sums the queue time of every admitted request;
+	// WaitNanosHighWater is the longest any single request waited.
+	WaitNanosTotal     int64 `json:"wait_nanos_total"`
+	WaitNanosHighWater int64 `json:"wait_nanos_high_water"`
 }
 
 // BufferStats is a snapshot of the size-classed buffer arena.

@@ -78,6 +78,17 @@ func (t *Table) cell(i, j int, score ScoreFunc) float32 {
 	return best
 }
 
+// Clone returns an independent deep copy of t. Cached substrate tables are
+// cloned out of pooled problems, whose own storage is reset on reuse.
+func (t *Table) Clone() *Table {
+	cp := &Table{N: t.N, data: make([]float32, len(t.data))}
+	copy(cp.data, t.data)
+	return cp
+}
+
+// Bytes returns the table's cell-storage footprint.
+func (t *Table) Bytes() int64 { return int64(len(t.data)) * 4 }
+
 // Reset prepares t for reuse at size n: storage is kept when its capacity
 // allows (grown otherwise) and every cell is zeroed, so a reused table is
 // indistinguishable from a fresh NewTable(n) — the recurrence only writes

@@ -151,7 +151,9 @@ func FormatDuration(d time.Duration) string {
 		return fmt.Sprintf("%.2fs", d.Seconds())
 	case d >= time.Millisecond:
 		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
-	default:
+	case d >= time.Microsecond:
 		return fmt.Sprintf("%dµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
 	}
 }

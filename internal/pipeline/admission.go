@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
+)
+
+// ErrQueueFull is the cause inside an *AdmissionError when a request was
+// rejected because the bounded wait queue was already full.
+var ErrQueueFull = errors.New("admission queue full")
+
+// AdmissionError reports a request that reached the admission gate but was
+// never granted a slot: either the FIFO queue was full (Cause is
+// ErrQueueFull) or the request's context ended while it waited (Cause is
+// ctx.Err()). Unwrap exposes the cause, so errors.Is(err,
+// context.DeadlineExceeded) works on queued timeouts.
+type AdmissionError struct {
+	Cause error
+	// Waited is how long the request sat in the queue before failing
+	// (zero for queue-full rejections, which fail immediately).
+	Waited time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	if errors.Is(e.Cause, ErrQueueFull) {
+		return "bpmax: admission rejected: queue full"
+	}
+	return fmt.Sprintf("bpmax: admission expired after queuing %v: %v", e.Waited, e.Cause)
+}
+
+func (e *AdmissionError) Unwrap() error { return e.Cause }
+
+// Admission is a bounded-concurrency gate with a FIFO wait queue. At most
+// maxConcurrent holders run at once; excess requests park in arrival order
+// and are woken front-first as slots free up. A parked request honors its
+// context — expiry fails it fast with a typed *AdmissionError instead of
+// leaving it queued behind work it can no longer use.
+//
+// The uncontended Acquire path takes one mutex and allocates nothing.
+type Admission struct {
+	mu      sync.Mutex
+	max     int
+	maxQ    int
+	running int
+	queue   []*waiter
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	expired  atomic.Int64
+	depthHW  metrics.HighWater
+	waitHW   metrics.HighWater
+	waitSum  atomic.Int64
+}
+
+// waiter is one parked request; ready is closed (with granted set, under the
+// gate's mutex) when a slot is handed to it.
+type waiter struct {
+	ready   chan struct{}
+	granted bool
+}
+
+// NewAdmission returns a gate with maxConcurrent slots (values < 1 are
+// clamped to 1) and a wait queue bounded at maxQueue requests (<= 0 means
+// unbounded).
+func NewAdmission(maxConcurrent, maxQueue int) *Admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	return &Admission{max: maxConcurrent, maxQ: maxQueue}
+}
+
+// Acquire blocks until the request holds a slot, the queue rejects it, or
+// ctx ends. A nil return means the slot is held and must be returned with
+// Release exactly once.
+func (a *Admission) Acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.running < a.max && len(a.queue) == 0 {
+		a.running++
+		a.mu.Unlock()
+		a.admitted.Add(1)
+		return nil
+	}
+	if a.maxQ > 0 && len(a.queue) >= a.maxQ {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return &AdmissionError{Cause: ErrQueueFull}
+	}
+	w := &waiter{ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.depthHW.Update(int64(len(a.queue)))
+	a.mu.Unlock()
+
+	start := time.Now()
+	select {
+	case <-w.ready:
+		a.admittedAfter(time.Since(start))
+		return nil
+	case <-ctx.Done():
+	}
+	// The context ended; a slot grant may have raced it. granted is only
+	// written under the mutex, so this check is exact: either we own a slot
+	// after all, or we are still queued and can withdraw.
+	a.mu.Lock()
+	if w.granted {
+		a.mu.Unlock()
+		a.admittedAfter(time.Since(start))
+		return nil
+	}
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
+	a.expired.Add(1)
+	return &AdmissionError{Cause: ctx.Err(), Waited: time.Since(start)}
+}
+
+func (a *Admission) admittedAfter(wait time.Duration) {
+	a.admitted.Add(1)
+	a.waitHW.Update(int64(wait))
+	a.waitSum.Add(int64(wait))
+}
+
+// Release returns a slot. If requests are queued the slot transfers to the
+// front waiter (FIFO) without ever dropping the running count.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue[0] = nil
+		a.queue = a.queue[1:]
+		w.granted = true
+		close(w.ready)
+	} else {
+		a.running--
+	}
+	a.mu.Unlock()
+}
+
+// Stats snapshots the gate's configuration, occupancy and cumulative
+// counters.
+func (a *Admission) Stats() metrics.AdmissionStats {
+	a.mu.Lock()
+	running, depth := a.running, len(a.queue)
+	a.mu.Unlock()
+	return metrics.AdmissionStats{
+		MaxConcurrent:       a.max,
+		MaxQueue:            a.maxQ,
+		Running:             int64(running),
+		QueueDepth:          int64(depth),
+		QueueDepthHighWater: a.depthHW.Load(),
+		Admitted:            a.admitted.Load(),
+		Rejected:            a.rejected.Load(),
+		Expired:             a.expired.Load(),
+		WaitNanosTotal:      a.waitSum.Load(),
+		WaitNanosHighWater:  a.waitHW.Load(),
+	}
+}

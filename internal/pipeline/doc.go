@@ -1,0 +1,11 @@
+// Package pipeline provides the serving primitives of the request
+// pipeline every public entry point routes through: a bounded-concurrency
+// admission gate with a deadline-aware FIFO wait queue, and a
+// content-addressed LRU cache with single-flight deduplication of
+// concurrent identical computations.
+//
+// The package is deliberately generic — keys are content hashes, values are
+// opaque — so the policy layer (what to key, what to retain, how to copy a
+// cached value out safely) lives with the public API, and this layer can be
+// tested exhaustively in isolation under the race detector.
+package pipeline

@@ -1,0 +1,58 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// Key is a content-address: the SHA-256 of a canonical encoding of
+// everything that determines a cached value. Two requests with equal keys
+// are interchangeable by construction, so collisions aside (2⁻¹²⁸ birthday
+// bound, ignorable), a cache hit can never serve a wrong value.
+type Key [sha256.Size]byte
+
+// Hasher accumulates a canonical byte encoding and hashes it. The scratch
+// buffer is recycled through a package pool, so steady-state key
+// construction allocates nothing once the buffer has grown to the workload's
+// key size. Use NewHasher / Sum-then-Release in pairs.
+type Hasher struct {
+	buf []byte
+}
+
+var hashers = sync.Pool{New: func() any { return &Hasher{buf: make([]byte, 0, 256)} }}
+
+// NewHasher returns an empty hasher from the pool.
+func NewHasher() *Hasher {
+	h := hashers.Get().(*Hasher)
+	h.buf = h.buf[:0]
+	return h
+}
+
+// Release returns the hasher (and its grown scratch) to the pool.
+func (h *Hasher) Release() { hashers.Put(h) }
+
+// Byte appends one raw byte.
+func (h *Hasher) Byte(b byte) { h.buf = append(h.buf, b) }
+
+// Str appends a length-prefixed string, so concatenations cannot collide
+// ("ab"+"c" vs "a"+"bc").
+func (h *Hasher) Str(s string) {
+	h.I64(int64(len(s)))
+	h.buf = append(h.buf, s...)
+}
+
+// I64 appends a fixed-width integer.
+func (h *Hasher) I64(x int64) {
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, uint64(x))
+}
+
+// F32 appends a float32 by bit pattern.
+func (h *Hasher) F32(x float32) {
+	h.buf = binary.LittleEndian.AppendUint32(h.buf, math.Float32bits(x))
+}
+
+// Sum hashes the accumulated encoding. The hasher remains usable (more
+// appends extend the same encoding).
+func (h *Hasher) Sum() Key { return sha256.Sum256(h.buf) }

@@ -76,6 +76,16 @@ type PoolStats = metrics.PoolStats
 // BufferStats is the buffer-arena section of PoolStats.
 type BufferStats = metrics.BufferStats
 
+// CacheStats is a snapshot of a request cache's per-layer hit/miss
+// counters, single-flight shares, evictions and retained storage; see
+// Cache.Stats.
+type CacheStats = metrics.CacheStats
+
+// AdmissionStats is a snapshot of an admission gate's slot occupancy, wait
+// queue and cumulative admitted/rejected/expired counters; see
+// Admission.Stats.
+type AdmissionStats = metrics.AdmissionStats
+
 // NewMetrics returns an empty cumulative metrics aggregate.
 func NewMetrics() *Metrics { return &Metrics{} }
 

@@ -54,6 +54,7 @@ func (e *Engine) Close() { e.e.Close() }
 func WithEngine(e *Engine) Option {
 	return func(o *options) {
 		if e != nil {
+			o.engine = e
 			o.cfg.Engine = e.e
 		}
 	}

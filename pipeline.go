@@ -1,0 +1,549 @@
+// The fold pipeline: one request spine shared by every public entry point.
+//
+// Fold/FoldContext, FoldBatch, ScanWindowed(Context), FoldSingle(Context)
+// and SingleEnsemble are thin adapters: each parses its options exactly once
+// into a request (buildOptions) and hands it to a run* method here. The
+// request then flows through the same explicit stages regardless of entry
+// point:
+//
+//	normalize/validate → admission → cache → budget/degrade → solve → finalize
+//
+// Admission (WithAdmission) bounds how many requests solve at once, queuing
+// the rest FIFO and failing queued requests fast — with a typed
+// *AdmissionError — when their context expires. The content-addressed cache
+// (WithCache) memoizes Nussinov substrate tables per strand and whole fold
+// results per request, with single-flight deduplication of concurrent
+// identical folds; its retained bytes are charged against WithMemoryLimit
+// alongside the pool's. The budget/degrade ladder and the solver calls live
+// only here — no other root-package file touches the internal solvers.
+//
+// Stage methods have value receivers: a request copy is a flat struct, so
+// batch workers and option-local mutations (cfg.Metrics wiring, pool
+// stripping for cache masters) never race on shared state.
+//
+// See docs/ARCHITECTURE.md for the full stage diagram and semantics.
+
+package bpmax
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+	"github.com/bpmax-go/bpmax/internal/semiring"
+)
+
+// request is the parsed, validated form of one pipeline request: the
+// accumulated options plus everything resolvable before any sequence is
+// seen — the scoring parameters and the internal schedule variant (or the
+// error naming an unknown one, surfaced only by entry points that solve the
+// interaction DP; single-strand entry points ignore the variant, as they
+// always have). buildOptions produces it exactly once per call, and once
+// per batch.
+type request struct {
+	options
+	sp   score.Params
+	v    ibpmax.Variant
+	verr error
+}
+
+// admit is the admission-control stage. A nil error means either no gate is
+// configured or a slot is held; the caller must pair it with one unadmit.
+func (rq request) admit(ctx context.Context) error {
+	if rq.admission == nil {
+		return nil
+	}
+	return rq.admission.a.Acquire(ctx)
+}
+
+// unadmit returns the admission slot, waking the front of the wait queue.
+func (rq request) unadmit() {
+	if rq.admission != nil {
+		rq.admission.a.Release()
+	}
+}
+
+// cacheRetained is the cache's current retained storage, charged against
+// WithMemoryLimit budgets alongside the pool's retention.
+func (rq request) cacheRetained() int64 {
+	if rq.cache == nil {
+		return 0
+	}
+	return rq.cache.c.RetainedBytes()
+}
+
+// runFold executes one interaction fold through the full pipeline.
+func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rq.verr != nil {
+		rq.metrics.RecordError()
+		return nil, rq.verr
+	}
+	if err := rq.admit(ctx); err != nil {
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	defer rq.unadmit()
+	// Instrumented folds always solve: per-fold metrics describe a real
+	// fill, so WithMetrics/WithTracer bypasses the result cache (the
+	// substrate cache still applies — it only shortens the substrate phase).
+	if c := rq.cache; c != nil && c.resultsOn() && !rq.observed() {
+		return rq.foldShared(ctx, seq1, seq2)
+	}
+	return rq.foldCold(ctx, seq1, seq2)
+}
+
+// foldShared serves the fold from the result cache. A hit returns a copy of
+// the retained master result; concurrent identical requests single-flight
+// behind one solve; a miss computes an unpooled master whose tables the
+// cache retains. The master is unpooled on purpose: cache hits share its
+// tables indefinitely, so no pool may ever recycle (and re-fill) them.
+func (rq request) foldShared(ctx context.Context, seq1, seq2 string) (*Result, error) {
+	c := rq.cache
+	key := rq.resultKey(seq1, seq2)
+	v, hit, shared, err := c.c.Do(ctx, key, func() (any, int64, error) {
+		m := rq
+		m.pool = nil
+		m.cfg.Pool = nil
+		master, err := m.foldCold(ctx, seq1, seq2)
+		if err != nil {
+			return nil, 0, err
+		}
+		return master, cachedResultBytes(master), nil
+	})
+	if err != nil {
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	switch {
+	case hit:
+		c.resultHits.Add(1)
+	case !shared:
+		c.resultMisses.Add(1)
+	}
+	return rq.adoptCached(v.(*Result)), nil
+}
+
+// adoptCached wraps a retained master result in a fresh (possibly pooled)
+// shell. Copies share the master's immutable tables, so Release on a copy
+// recycles only the shell; the master — which the cache and other copies
+// still reference — is never handed out directly.
+func (rq request) adoptCached(m *Result) *Result {
+	res := rq.getResult()
+	pool := res.pool
+	*res = *m
+	res.pool = pool
+	if m.Window != nil {
+		win := rq.getWindowResult()
+		wpool := win.pool
+		*win = *m.Window
+		win.pool = wpool
+		res.Window = win
+	}
+	return res
+}
+
+// foldCold is the solve spine: substrate → budget/degrade → fill → finalize.
+func (rq request) foldCold(ctx context.Context, seq1, seq2 string) (*Result, error) {
+	// The result shell is acquired before the solve so per-fold metrics
+	// record straight into Result.Metrics — no separate sink, no extra
+	// allocation on the steady-state path. Error exits hand it back.
+	res := rq.getResult()
+	if rq.observed() {
+		rq.cfg.Metrics = &res.Metrics
+	}
+	sub := imetrics.Begin(rq.cfg.Metrics, rq.cfg.Tracer, imetrics.PhaseSubstrate)
+	p, err := rq.newProblem(seq1, seq2)
+	if err != nil {
+		rq.putResult(res)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	sub.End(1)
+	cfg, deg, err := rq.budget(p.N1, p.N2)
+	if err != nil {
+		p.Release()
+		rq.putResult(res)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	if deg == DegradeWindowed {
+		return rq.foldViaWindow(ctx, p, res)
+	}
+	if rq.observed() && rq.memLimit > 0 {
+		res.Metrics.BudgetEstimateBytes = rq.chargeBytes(p.N1, p.N2, cfg.Map)
+	}
+	start := time.Now()
+	ft, err := ibpmax.SolveContext(ctx, p, rq.v, cfg)
+	if err != nil {
+		p.Release()
+		rq.putResult(res)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	res.Score = p.Score(ft)
+	res.N1 = p.N1
+	res.N2 = p.N2
+	res.FLOPs = ibpmax.BPMaxFlops(p.N1, p.N2)
+	res.Elapsed = elapsed
+	res.TableBytes = ft.Bytes()
+	res.Degradation = deg
+	res.prob = p
+	res.ft = ft
+	if rq.observed() {
+		res.Metrics.FillNanos = int64(elapsed)
+		res.Metrics.Cells = ibpmax.CellElements(p.N1, p.N2)
+		res.Metrics.FLOPs = res.FLOPs
+		res.Metrics.TableBytes = res.TableBytes
+		res.Metrics.Degraded = deg.String()
+		rq.metrics.RecordFold(&res.Metrics)
+	}
+	return res, nil
+}
+
+// newProblem is the normalize/substrate stage: parse (pooled or fresh),
+// build the score tables, then fill or share the S¹/S² substrates.
+func (rq request) newProblem(seq1, seq2 string) (*ibpmax.Problem, error) {
+	var p *ibpmax.Problem
+	if rq.pool != nil {
+		// Pooled path: the problem shell (sequence buffers, score tables)
+		// is recycled through the pool. Validation errors carry the sequence
+		// index; rewrap them into the same message shape as below.
+		var err error
+		p, err = rq.pool.p.NewProblemShell(seq1, seq2, rq.sp)
+		if err != nil {
+			var se *ibpmax.SequenceError
+			if errors.As(err, &se) {
+				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
+			}
+			return nil, err
+		}
+	} else {
+		s1, err := rna.New(seq1)
+		if err != nil {
+			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
+		}
+		s2, err := rna.New(seq2)
+		if err != nil {
+			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
+		}
+		p, err = ibpmax.NewProblemShell(s1, s2, rq.sp)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rq.installSubstrates(p)
+	return p, nil
+}
+
+// installSubstrates fills the S¹/S² tables, or — with a substrate cache —
+// shares the cached table for any strand already folded under the same
+// scoring parameters, skipping its O(n³) refill. Cached tables installed on
+// a pooled problem are read-only; the problem parks its own storage and
+// restores it on reuse.
+func (rq request) installSubstrates(p *ibpmax.Problem) {
+	c := rq.cache
+	if c == nil || !c.substratesOn() {
+		p.BuildS1()
+		p.BuildS2()
+		return
+	}
+	k1 := substrateKey(p.Seq1, rq.sp)
+	if v, ok := c.c.Get(k1); ok {
+		c.substrateHits.Add(1)
+		p.ShareS1(v.(*nussinov.Table))
+	} else {
+		c.substrateMisses.Add(1)
+		p.BuildS1()
+		c.insertSubstrate(k1, p.S1, rq.pool != nil)
+	}
+	k2 := substrateKey(p.Seq2, rq.sp)
+	if v, ok := c.c.Get(k2); ok {
+		c.substrateHits.Add(1)
+		p.ShareS2(v.(*nussinov.Table))
+	} else {
+		c.substrateMisses.Add(1)
+		p.BuildS2()
+		c.insertSubstrate(k2, p.S2, rq.pool != nil)
+	}
+}
+
+// chargeBytes is the full-table estimate the budget charges a fold:
+// pool-aware when pooled, analytic otherwise, plus the cache's retention.
+func (rq request) chargeBytes(n1, n2 int, kind ibpmax.MapKind) int64 {
+	base := ibpmax.EstimateBytes(n1, n2, kind)
+	if rq.pool != nil {
+		base = rq.pool.p.ChargeBytes(n1, n2, kind)
+	}
+	return base + rq.cacheRetained()
+}
+
+// chargeWindowedBytes is chargeBytes for a banded scan.
+func (rq request) chargeWindowedBytes(n1, n2, w1, w2 int) int64 {
+	base := ibpmax.EstimateWindowedBytes(n1, n2, w1, w2)
+	if rq.pool != nil {
+		base = rq.pool.p.ChargeWindowedBytes(n1, n2, w1, w2)
+	}
+	return base + rq.cacheRetained()
+}
+
+// budget resolves the memory-limit policy for an n1 × n2 fold: it returns
+// the (possibly downgraded) solver config and which degradation fired, or a
+// *MemoryLimitError when nothing permitted fits. It allocates nothing.
+//
+// For a pooled fold the charge is the pool's footprint after serving the
+// request: idle retained buffers plus the class-rounded allocation the fold
+// would add if no idle buffer of its size class exists. A fold whose table
+// fits an already-retained buffer is therefore charged the retention, not
+// retention + table — pooling does not double-bill the budget. A configured
+// cache's retained bytes are charged on top (they are process memory the
+// budget must see), so a filling cache shrinks the headroom for new tables.
+func (rq request) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
+	cfg := rq.cfg
+	if rq.memLimit <= 0 {
+		return cfg, DegradeNone, nil
+	}
+	smallest := rq.chargeBytes(n1, n2, cfg.Map)
+	if smallest <= rq.memLimit {
+		return cfg, DegradeNone, nil
+	}
+	// Rung 1: the packed quarter-space map (no-op when already selected).
+	if packed := rq.chargeBytes(n1, n2, ibpmax.MapPacked); packed <= rq.memLimit {
+		cfg.Map = ibpmax.MapPacked
+		return cfg, DegradePacked, nil
+	} else if packed < smallest {
+		smallest = packed
+	}
+	// Rung 2: the windowed scan, if the caller opted in.
+	if rq.degradeW1 > 0 && rq.degradeW2 > 0 {
+		if w := rq.chargeWindowedBytes(n1, n2, rq.degradeW1, rq.degradeW2); w <= rq.memLimit {
+			return cfg, DegradeWindowed, nil
+		} else if w < smallest {
+			smallest = w
+		}
+	}
+	return cfg, DegradeNone, &MemoryLimitError{EstimateBytes: smallest, LimitBytes: rq.memLimit}
+}
+
+// foldViaWindow runs the windowed-scan rung of the degradation ladder and
+// wraps it as a Result (Degradation == DegradeWindowed, Window set). The
+// caller's result shell comes in so the scan's metrics accumulate into the
+// same Result.Metrics the substrate span already wrote.
+func (rq request) foldViaWindow(ctx context.Context, p *ibpmax.Problem, res *Result) (*Result, error) {
+	if rq.observed() && rq.memLimit > 0 {
+		res.Metrics.BudgetEstimateBytes = rq.chargeWindowedBytes(p.N1, p.N2, rq.degradeW1, rq.degradeW2)
+	}
+	start := time.Now()
+	wt, err := ibpmax.SolveWindowedContext(ctx, p, rq.degradeW1, rq.degradeW2, rq.cfg)
+	if err != nil {
+		p.Release()
+		rq.putResult(res)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	best, i1, j1, i2, j2 := wt.Best()
+	win := rq.getWindowResult()
+	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
+	win.TableBytes = wt.Bytes()
+	win.Elapsed = elapsed
+	win.wt = wt
+	win.prob = p
+	res.Score = best
+	res.N1 = p.N1
+	res.N2 = p.N2
+	res.Elapsed = elapsed
+	res.TableBytes = wt.Bytes()
+	res.Degradation = DegradeWindowed
+	res.Window = win
+	res.prob = p
+	if rq.observed() {
+		res.Metrics.FillNanos = int64(elapsed)
+		res.Metrics.TableBytes = res.TableBytes
+		res.Metrics.Degraded = DegradeWindowed.String()
+		win.Metrics = res.Metrics
+		rq.metrics.RecordFold(&res.Metrics)
+	}
+	return res, nil
+}
+
+// runWindowed executes a windowed scan through the pipeline. Windowed scans
+// use the substrate cache but not the result cache (the banded table is the
+// deliverable and typically as large as the substrate; retaining it per
+// request would evict far more useful entries).
+func (rq request) runWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int) (*WindowResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if w1 <= 0 || w2 <= 0 {
+		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
+	}
+	if err := rq.admit(ctx); err != nil {
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	defer rq.unadmit()
+	// Like foldCold, the shell comes first so metrics record in place.
+	win := rq.getWindowResult()
+	if rq.observed() {
+		rq.cfg.Metrics = &win.Metrics
+	}
+	sub := imetrics.Begin(rq.cfg.Metrics, rq.cfg.Tracer, imetrics.PhaseSubstrate)
+	p, err := rq.newProblem(seq1, seq2)
+	if err != nil {
+		rq.putWindowResult(win)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	sub.End(1)
+	if rq.memLimit > 0 {
+		est := rq.chargeWindowedBytes(p.N1, p.N2, w1, w2)
+		if est > rq.memLimit {
+			p.Release()
+			rq.putWindowResult(win)
+			rq.metrics.RecordError()
+			return nil, &MemoryLimitError{EstimateBytes: est, LimitBytes: rq.memLimit}
+		}
+		if rq.observed() {
+			win.Metrics.BudgetEstimateBytes = est
+		}
+	}
+	start := time.Now()
+	wt, err := ibpmax.SolveWindowedContext(ctx, p, w1, w2, rq.cfg)
+	if err != nil {
+		p.Release()
+		rq.putWindowResult(win)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	best, i1, j1, i2, j2 := wt.Best()
+	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
+	win.TableBytes = wt.Bytes()
+	win.Elapsed = elapsed
+	win.wt = wt
+	win.prob = p
+	if rq.observed() {
+		win.Metrics.FillNanos = int64(elapsed)
+		win.Metrics.TableBytes = win.TableBytes
+		rq.metrics.RecordFold(&win.Metrics)
+	}
+	return win, nil
+}
+
+// runSingle executes a single-strand fold through the pipeline. The S table
+// comes from the substrate cache when possible — it is the same table an
+// interaction fold builds for that strand, so single folds and screens
+// share entries.
+func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s, err := rna.New(seq)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: %w", err)
+	}
+	if err := rq.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer rq.unadmit()
+	tab := score.Build(s, s, rq.sp)
+	sc := func(i, j int) float32 { return tab.Score1(i, j) }
+	t, err := rq.singleTable(ctx, s, sc)
+	if err != nil {
+		return nil, err
+	}
+	res := &SingleResult{N: s.Len()}
+	if s.Len() > 0 {
+		res.Score = t.At(0, s.Len()-1)
+		for _, p := range t.Traceback(sc) {
+			res.Pairs = append(res.Pairs, Pair{p.I, p.J})
+		}
+		var np []nussinov.Pair
+		for _, p := range res.Pairs {
+			np = append(np, nussinov.Pair{I: p.I, J: p.J})
+		}
+		res.Bracket = nussinov.DotBracket(s.Len(), np)
+	}
+	return res, nil
+}
+
+// singleTable builds (or retrieves from the substrate cache) the S table
+// for one strand. Cached tables are read-only and shared; traceback only
+// reads them.
+func (rq request) singleTable(ctx context.Context, s rna.Sequence, sc nussinov.ScoreFunc) (*nussinov.Table, error) {
+	c := rq.cache
+	if c == nil || !c.substratesOn() {
+		return nussinov.BuildParallelContext(ctx, s.Len(), sc, rq.cfg.Workers)
+	}
+	k := substrateKey(s, rq.sp)
+	if v, ok := c.c.Get(k); ok {
+		c.substrateHits.Add(1)
+		return v.(*nussinov.Table), nil
+	}
+	c.substrateMisses.Add(1)
+	t, err := nussinov.BuildParallelContext(ctx, s.Len(), sc, rq.cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	c.c.Add(k, t, t.Bytes())
+	return t, nil
+}
+
+// runEnsemble executes the single-strand ensemble signal through the
+// pipeline (validation and admission; the semiring fills are not cached).
+func (rq request) runEnsemble(seq string, kT float64) (*EnsembleResult, error) {
+	if kT <= 0 {
+		return nil, fmt.Errorf("bpmax: kT must be positive, got %v", kT)
+	}
+	s, err := rna.New(seq)
+	if err != nil {
+		return nil, fmt.Errorf("bpmax: %w", err)
+	}
+	if err := rq.admit(context.Background()); err != nil {
+		return nil, err
+	}
+	defer rq.unadmit()
+	tab := score.Build(s, s, rq.sp)
+	n := s.Len()
+	logPair := func(i, j int) float64 {
+		w := float64(tab.Score1(i, j))
+		if w < -1e20 {
+			return math.Inf(-1)
+		}
+		return w / kT
+	}
+	countPair := func(i, j int) float64 {
+		if float64(tab.Score1(i, j)) < -1e20 {
+			return 0
+		}
+		return 1
+	}
+	optPair := func(i, j int) semiring.Optimum {
+		w := tab.Score1(i, j)
+		if float64(w) < -1e20 {
+			return semiring.MaxPlusCount{}.Zero()
+		}
+		return semiring.Optimum{Score: w, Count: 1}
+	}
+	res := &EnsembleResult{KT: kT}
+	if n > 0 {
+		res.LogZ = semiring.Fold[float64](semiring.LogSumExp{}, n, logPair).At(0, n-1)
+		res.Structures = semiring.Fold[float64](semiring.Counting{}, n, countPair).At(0, n-1)
+		res.Cooptimal = semiring.Fold[semiring.Optimum](semiring.MaxPlusCount{}, n, optPair).At(0, n-1).Count
+	} else {
+		res.Structures = 1
+		res.Cooptimal = 1
+	}
+	return res, nil
+}

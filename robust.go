@@ -19,13 +19,9 @@ package bpmax
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
-	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
-	"github.com/bpmax-go/bpmax/internal/rna"
 )
 
 // PanicError is the error a fold returns when a solver goroutine panicked;
@@ -82,6 +78,9 @@ func (e *MemoryLimitError) Error() string {
 // (0, the default, means unlimited). The footprint is computed analytically
 // before allocation: a fold that cannot fit returns a *MemoryLimitError —
 // or degrades, see WithDegradeToWindowed — without touching the allocator.
+// The charge covers everything the fold would keep resident: the table
+// itself, storage retained by a configured pool, and bytes pinned by a
+// configured cache (WithCache).
 func WithMemoryLimit(bytes int64) Option {
 	return func(o *options) { o.memLimit = bytes }
 }
@@ -132,200 +131,5 @@ func EstimateWindowedBytes(n1, n2, w1, w2 int) int64 {
 // The background-context fast path is bit-identical to Fold: same table,
 // same score, same traceback.
 func FoldContext(ctx context.Context, seq1, seq2 string, opts ...Option) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	o := buildOptions(opts)
-	v, err := o.internalVariant()
-	if err != nil {
-		o.metrics.RecordError()
-		return nil, err
-	}
-	// The result shell is acquired before the solve so per-fold metrics
-	// record straight into Result.Metrics — no separate sink, no extra
-	// allocation on the steady-state path. Error exits hand it back.
-	res := o.getResult()
-	if o.observed() {
-		o.cfg.Metrics = &res.Metrics
-	}
-	sub := imetrics.Begin(o.cfg.Metrics, o.cfg.Tracer, imetrics.PhaseSubstrate)
-	var p *ibpmax.Problem
-	if o.pool != nil {
-		// Pooled path: the problem substrate (sequence buffers, score and
-		// S tables) is recycled through the pool. Validation errors carry the
-		// sequence index; rewrap them into the same message shape as below.
-		p, err = o.pool.p.NewProblem(seq1, seq2, o.params())
-		if err != nil {
-			o.putResult(res)
-			o.metrics.RecordError()
-			var se *ibpmax.SequenceError
-			if errors.As(err, &se) {
-				return nil, fmt.Errorf("bpmax: sequence %d: %w", se.Index, se.Err)
-			}
-			return nil, err
-		}
-	} else {
-		s1, err := rna.New(seq1)
-		if err != nil {
-			o.putResult(res)
-			o.metrics.RecordError()
-			return nil, fmt.Errorf("bpmax: sequence 1: %w", err)
-		}
-		s2, err := rna.New(seq2)
-		if err != nil {
-			o.putResult(res)
-			o.metrics.RecordError()
-			return nil, fmt.Errorf("bpmax: sequence 2: %w", err)
-		}
-		p, err = ibpmax.NewProblem(s1, s2, o.params())
-		if err != nil {
-			o.putResult(res)
-			o.metrics.RecordError()
-			return nil, err
-		}
-	}
-	sub.End(1)
-	cfg, deg, err := o.budget(p.N1, p.N2)
-	if err != nil {
-		p.Release()
-		o.putResult(res)
-		o.metrics.RecordError()
-		return nil, err
-	}
-	if deg == DegradeWindowed {
-		return o.foldViaWindow(ctx, p, res)
-	}
-	if o.observed() && o.memLimit > 0 {
-		res.Metrics.BudgetEstimateBytes = o.chargeBytes(p.N1, p.N2, cfg.Map)
-	}
-	start := time.Now()
-	ft, err := ibpmax.SolveContext(ctx, p, v, cfg)
-	if err != nil {
-		p.Release()
-		o.putResult(res)
-		o.metrics.RecordError()
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	res.Score = p.Score(ft)
-	res.N1 = p.N1
-	res.N2 = p.N2
-	res.FLOPs = ibpmax.BPMaxFlops(p.N1, p.N2)
-	res.Elapsed = elapsed
-	res.TableBytes = ft.Bytes()
-	res.Degradation = deg
-	res.prob = p
-	res.ft = ft
-	if o.observed() {
-		res.Metrics.FillNanos = int64(elapsed)
-		res.Metrics.Cells = ibpmax.CellElements(p.N1, p.N2)
-		res.Metrics.FLOPs = res.FLOPs
-		res.Metrics.TableBytes = res.TableBytes
-		res.Metrics.Degraded = deg.String()
-		o.metrics.RecordFold(&res.Metrics)
-	}
-	return res, nil
-}
-
-// chargeBytes is the full-table estimate the budget charged this fold:
-// pool-aware when pooled, analytic otherwise.
-func (o options) chargeBytes(n1, n2 int, kind ibpmax.MapKind) int64 {
-	if o.pool != nil {
-		return o.pool.p.ChargeBytes(n1, n2, kind)
-	}
-	return ibpmax.EstimateBytes(n1, n2, kind)
-}
-
-// budget resolves the memory-limit policy for an n1 × n2 fold: it returns
-// the (possibly downgraded) solver config and which degradation fired, or a
-// *MemoryLimitError when nothing permitted fits. It allocates nothing.
-//
-// For a pooled fold the charge is the pool's footprint after serving the
-// request: idle retained buffers plus the class-rounded allocation the fold
-// would add if no idle buffer of its size class exists. A fold whose table
-// fits an already-retained buffer is therefore charged the retention, not
-// retention + table — pooling does not double-bill the budget.
-func (o options) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
-	cfg := o.cfg
-	if o.memLimit <= 0 {
-		return cfg, DegradeNone, nil
-	}
-	estimate := func(kind ibpmax.MapKind) int64 {
-		if o.pool != nil {
-			return o.pool.p.ChargeBytes(n1, n2, kind)
-		}
-		return ibpmax.EstimateBytes(n1, n2, kind)
-	}
-	estimateWindowed := func() int64 {
-		if o.pool != nil {
-			return o.pool.p.ChargeWindowedBytes(n1, n2, o.degradeW1, o.degradeW2)
-		}
-		return ibpmax.EstimateWindowedBytes(n1, n2, o.degradeW1, o.degradeW2)
-	}
-	smallest := estimate(cfg.Map)
-	if smallest <= o.memLimit {
-		return cfg, DegradeNone, nil
-	}
-	// Rung 1: the packed quarter-space map (no-op when already selected).
-	if packed := estimate(ibpmax.MapPacked); packed <= o.memLimit {
-		cfg.Map = ibpmax.MapPacked
-		return cfg, DegradePacked, nil
-	} else if packed < smallest {
-		smallest = packed
-	}
-	// Rung 2: the windowed scan, if the caller opted in.
-	if o.degradeW1 > 0 && o.degradeW2 > 0 {
-		if w := estimateWindowed(); w <= o.memLimit {
-			return cfg, DegradeWindowed, nil
-		} else if w < smallest {
-			smallest = w
-		}
-	}
-	return cfg, DegradeNone, &MemoryLimitError{EstimateBytes: smallest, LimitBytes: o.memLimit}
-}
-
-// foldViaWindow runs the windowed-scan rung of the degradation ladder and
-// wraps it as a Result (Degradation == DegradeWindowed, Window set). The
-// caller's result shell comes in so the scan's metrics accumulate into the
-// same Result.Metrics the substrate span already wrote.
-func (o options) foldViaWindow(ctx context.Context, p *ibpmax.Problem, res *Result) (*Result, error) {
-	if o.observed() && o.memLimit > 0 {
-		if o.pool != nil {
-			res.Metrics.BudgetEstimateBytes = o.pool.p.ChargeWindowedBytes(p.N1, p.N2, o.degradeW1, o.degradeW2)
-		} else {
-			res.Metrics.BudgetEstimateBytes = ibpmax.EstimateWindowedBytes(p.N1, p.N2, o.degradeW1, o.degradeW2)
-		}
-	}
-	start := time.Now()
-	wt, err := ibpmax.SolveWindowedContext(ctx, p, o.degradeW1, o.degradeW2, o.cfg)
-	if err != nil {
-		p.Release()
-		o.putResult(res)
-		o.metrics.RecordError()
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	best, i1, j1, i2, j2 := wt.Best()
-	win := o.getWindowResult()
-	win.Best, win.I1, win.J1, win.I2, win.J2 = best, i1, j1, i2, j2
-	win.TableBytes = wt.Bytes()
-	win.Elapsed = elapsed
-	win.wt = wt
-	win.prob = p
-	res.Score = best
-	res.N1 = p.N1
-	res.N2 = p.N2
-	res.Elapsed = elapsed
-	res.TableBytes = wt.Bytes()
-	res.Degradation = DegradeWindowed
-	res.Window = win
-	res.prob = p
-	if o.observed() {
-		res.Metrics.FillNanos = int64(elapsed)
-		res.Metrics.TableBytes = res.TableBytes
-		res.Metrics.Degraded = DegradeWindowed.String()
-		win.Metrics = res.Metrics
-		o.metrics.RecordFold(&res.Metrics)
-	}
-	return res, nil
+	return buildOptions(opts).runFold(ctx, seq1, seq2)
 }

@@ -1,0 +1,152 @@
+// Session: the serving facade over the fold pipeline.
+//
+// A Session parses its options once and binds the long-lived serving
+// components — engine, pool, cache, admission gate, metrics — into one
+// handle whose methods mirror the package-level entry points. It is the
+// intended shape for a process that serves folds continuously: construct
+// one Session at startup, share it between goroutines, watch Stats, Close
+// on shutdown.
+
+package bpmax
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Session runs folds through one pre-parsed option set and one set of
+// serving components. Unless the options supply them, a Session creates and
+// owns its engine (persistent workers) and pool (recycled fold state) —
+// the two components every serving process wants; caching (WithCache) and
+// admission control (WithAdmission) are policy decisions and are attached
+// only when configured. All methods are safe for concurrent use.
+type Session struct {
+	rq   request
+	opts []Option
+
+	engine    *Engine
+	pool      *Pool
+	cache     *Cache
+	admission *Admission
+	metrics   *Metrics
+
+	ownedEngine bool
+	closed      atomic.Bool
+}
+
+// SessionStats aggregates every component's snapshot in one JSON-ready
+// struct; sections for components the session does not have are nil.
+type SessionStats struct {
+	Engine    *EngineStats     `json:"engine,omitempty"`
+	Pool      *PoolStats       `json:"pool,omitempty"`
+	Cache     *CacheStats      `json:"cache,omitempty"`
+	Admission *AdmissionStats  `json:"admission,omitempty"`
+	Metrics   *MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// NewSession parses opts once and returns a ready session. An unknown
+// variant fails here, not on first use. When opts carry no WithEngine, the
+// session starts an engine sized by WithWorkers (GOMAXPROCS by default) and
+// closes it in Close; when they carry no WithPool, it creates a pool. A
+// caller-supplied engine is used but never closed by the session.
+func NewSession(opts ...Option) (*Session, error) {
+	rq := buildOptions(opts)
+	if rq.verr != nil {
+		return nil, rq.verr
+	}
+	s := &Session{opts: append([]Option(nil), opts...)}
+	if rq.engine == nil {
+		s.engine = NewEngine(rq.cfg.Workers)
+		s.ownedEngine = true
+		rq.engine = s.engine
+		rq.cfg.Engine = s.engine.e
+		s.opts = append(s.opts, WithEngine(s.engine))
+	} else {
+		s.engine = rq.engine
+	}
+	if rq.pool == nil {
+		p := NewPool()
+		s.pool = p
+		rq.pool = p
+		rq.cfg.Pool = p.p
+		s.opts = append(s.opts, WithPool(p))
+	} else {
+		s.pool = rq.pool
+	}
+	s.cache = rq.cache
+	s.admission = rq.admission
+	s.metrics = rq.metrics
+	s.rq = rq
+	return s, nil
+}
+
+// Fold computes the BPMax interaction of two strands through the session's
+// pipeline; see FoldContext for the cancellation, budgeting and degradation
+// contract.
+func (s *Session) Fold(ctx context.Context, seq1, seq2 string) (*Result, error) {
+	return s.rq.runFold(ctx, seq1, seq2)
+}
+
+// FoldBatch folds every pair through the session's components; see
+// FoldBatchContext for the worker-budget and failure contract.
+func (s *Session) FoldBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	return FoldBatchContext(ctx, items, workers, s.opts...)
+}
+
+// ScanWindowed runs a windowed (banded) scan through the session's
+// pipeline; see ScanWindowedContext.
+func (s *Session) ScanWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int) (*WindowResult, error) {
+	return s.rq.runWindowed(ctx, seq1, seq2, w1, w2)
+}
+
+// FoldSingle folds one strand alone through the session's pipeline; see
+// FoldSingleContext.
+func (s *Session) FoldSingle(ctx context.Context, seq string) (*SingleResult, error) {
+	return s.rq.runSingle(ctx, seq)
+}
+
+// SingleEnsemble computes the single-strand ensemble signal through the
+// session's pipeline; see the package-level SingleEnsemble.
+func (s *Session) SingleEnsemble(seq string, kT float64) (*EnsembleResult, error) {
+	return s.rq.runEnsemble(seq, kT)
+}
+
+// Stats snapshots every component the session holds. Safe to call
+// concurrently with running folds.
+func (s *Session) Stats() SessionStats {
+	var st SessionStats
+	if s.engine != nil {
+		es := s.engine.Stats()
+		st.Engine = &es
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		st.Pool = &ps
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
+	if s.admission != nil {
+		as := s.admission.Stats()
+		st.Admission = &as
+	}
+	if s.metrics != nil {
+		ms := s.metrics.Snapshot()
+		st.Metrics = &ms
+	}
+	return st
+}
+
+// Close releases the session's owned components (the engine it started, if
+// any) and trims the pool it created. Folds in flight must finish first;
+// folding through a closed session stays correct but falls back to
+// per-fold goroutines, like Engine.Close documents. Close is idempotent.
+func (s *Session) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if s.ownedEngine {
+		s.engine.Close()
+	}
+}
