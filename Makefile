@@ -42,19 +42,21 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate the engine/pool + observability + caching steady-state tables
-# (docs/PERFORMANCE.md, docs/OBSERVABILITY.md) as a JSON artifact.
+# Regenerate the engine/pool + observability + caching + chaos steady-state
+# tables (docs/PERFORMANCE.md, docs/OBSERVABILITY.md, docs/ROBUSTNESS.md) as
+# a JSON artifact. The ext-chaos failpoints-off row gates the disabled-
+# failpoint fast path: compiled-in but disarmed sites must cost nothing.
 bench-engine:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache -json BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -json BENCH_engine.json
 
 # Refresh the committed benchmark baseline that ci.sh gates against.
 # Run this after an intentional performance change (or on new reference
 # hardware) and commit the result.
 bench-baseline:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache -repeats 5 -json results/BENCH_baseline.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -repeats 5 -json results/BENCH_baseline.json
 
 # The full regression gate as CI runs it: selftest, regenerate, compare.
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache -repeats 3 -json BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -repeats 3 -json BENCH_engine.json
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json

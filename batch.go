@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+
+	"github.com/bpmax-go/bpmax/internal/fault"
 )
 
 // BatchItem is one sequence pair of a screening batch.
@@ -144,6 +146,13 @@ func foldBatchItem(ctx context.Context, it BatchItem, rq request) (br BatchResul
 			}
 		}
 	}()
+	// Failpoint: the item dies before its fold — the "one bad item in a 10k
+	// screen" failure. Error mode fails this item only; panic mode exercises
+	// the recover above.
+	if ferr := fault.Hit(fault.SiteBatchItem); ferr != nil {
+		br.Err = fmt.Errorf("%s: %w", it.Name, ferr)
+		return br
+	}
 	res, err := rq.runFold(ctx, it.Seq1, it.Seq2)
 	if err != nil {
 		br.Err = fmt.Errorf("%s: %w", it.Name, err)

@@ -93,6 +93,9 @@ type options struct {
 	// admission, when set via WithAdmission, gates requests through a
 	// bounded-concurrency FIFO before they solve.
 	admission *Admission
+	// retry, when set via WithRetry, re-runs transiently failed folds with
+	// exponential backoff; see IsTransient for what qualifies.
+	retry *RetryConfig
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.

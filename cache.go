@@ -24,6 +24,7 @@ package bpmax
 
 import (
 	"sync/atomic"
+	"time"
 
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/pipeline"
@@ -40,6 +41,11 @@ type Cache struct {
 	subsOff  bool
 	resOff   bool
 	maxBytes int64
+	// breaker is the result layer's per-key circuit breaker (nil when
+	// disabled): repeated transient leader failures for a key open it, and
+	// open keys bypass the result layer instead of stampeding retries
+	// behind a poisoned single-flight leader.
+	breaker *pipeline.Breaker
 
 	substrateHits, substrateMisses atomic.Int64
 	resultHits, resultMisses       atomic.Int64
@@ -56,16 +62,33 @@ type CacheConfig struct {
 	// DisableResults turns off the whole-result layer (and with it
 	// single-flight deduplication).
 	DisableResults bool
+	// BreakerThreshold is the number of consecutive transient leader
+	// failures (panics, injected faults) for one result key after which the
+	// key's circuit breaker opens and its folds bypass the result layer,
+	// served cold, until the cooldown admits a successful probe. 0 selects
+	// the default of 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open key bypasses the result layer
+	// before one probe request is let back through (0 selects 1s).
+	BreakerCooldown time.Duration
 }
 
 // NewCache returns an empty cache.
 func NewCache(cfg CacheConfig) *Cache {
-	return &Cache{
+	c := &Cache{
 		c:        pipeline.NewCache(cfg.MaxBytes),
 		subsOff:  cfg.DisableSubstrates,
 		resOff:   cfg.DisableResults,
 		maxBytes: cfg.MaxBytes,
 	}
+	if cfg.BreakerThreshold >= 0 {
+		threshold := cfg.BreakerThreshold
+		if threshold == 0 {
+			threshold = 3
+		}
+		c.breaker = pipeline.NewBreaker(threshold, cfg.BreakerCooldown)
+	}
+	return c
 }
 
 // WithCache serves folds through c: substrate tables and whole results
@@ -84,6 +107,7 @@ func (c *Cache) RetainedBytes() int64 { return c.c.RetainedBytes() }
 // shares, evictions and retention. Safe to call concurrently with serving.
 func (c *Cache) Stats() CacheStats {
 	entries, bytes, bytesHW, evictions, shared := c.c.Counters()
+	opens, bypasses, openKeys := c.breaker.Counters()
 	return CacheStats{
 		SubstrateHits:      c.substrateHits.Load(),
 		SubstrateMisses:    c.substrateMisses.Load(),
@@ -94,6 +118,29 @@ func (c *Cache) Stats() CacheStats {
 		Entries:            entries,
 		RetainedBytes:      bytes,
 		RetainedHighWater:  bytesHW,
+		BreakerOpens:       opens,
+		BreakerBypasses:    bypasses,
+		BreakerOpenKeys:    openKeys,
+	}
+}
+
+// admitShared reports whether a fold of key may use the cached
+// single-flight path; false means its breaker is open and the fold must be
+// served cold.
+func (c *Cache) admitShared(k pipeline.Key) bool {
+	return c.breaker.Allow(k)
+}
+
+// noteShared feeds a cached fold's outcome to the breaker: transient
+// failures (retriable leader deaths) count toward opening the key, success
+// closes it, and non-transient failures (cancellation, budget) are neutral
+// — they say nothing about the key's health.
+func (c *Cache) noteShared(k pipeline.Key, err error) {
+	switch {
+	case err == nil:
+		c.breaker.Success(k)
+	case isTransientFold(err):
+		c.breaker.Failure(k)
 	}
 }
 

@@ -25,6 +25,12 @@ fi
 go test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/pipeline/ . ./cmd/bpmax/
 go test -run '^$' -bench . -benchtime 1x ./...
 
+# Tier 2: chaos smoke — the seeded fault schedules, retry/breaker policies
+# and session-drain contract under the race detector (see chaos_test.go and
+# docs/ROBUSTNESS.md). The package -race run above already covers these;
+# this step re-runs them by name so a chaos failure is identified as such.
+go test -race -run 'TestChaos|TestRetry|TestBreaker|TestSessionShutdownDrains|TestSessionClosed' -count=1 .
+
 # Tier 2: fuzz smoke over the pooled/context/cached parity fuzzers — the
 # paths the pipeline's reuse layers ride on.
 go test -run '^$' -fuzz FuzzPooledParity -fuzztime 10s .
@@ -36,5 +42,5 @@ go test -run '^$' -fuzz FuzzCachedFoldParity -fuzztime 10s .
 # compare it against the committed baseline (refresh with `make
 # bench-baseline` after intentional performance changes).
 go run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache -repeats 3 -json BENCH_engine.json
+go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -repeats 3 -json BENCH_engine.json
 go run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json

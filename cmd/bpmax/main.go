@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"github.com/bpmax-go/bpmax"
+	"github.com/bpmax-go/bpmax/internal/fault"
 )
 
 func main() {
@@ -78,6 +79,11 @@ func run(ctx context.Context, args []string) error {
 	structure := fs.Bool("structure", true, "print an optimal joint structure")
 	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
 	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
+	retry := fs.Int("retry", 0, "retry transiently failed folds (solver panics, injected faults) up to this many total attempts with exponential backoff (0 = off)")
+	failpoints := fs.String("failpoints", "",
+		"arm fault-injection sites for resilience testing: comma-separated site=[count*]mode entries, "+
+			"e.g. 'cache-leader=3*error,engine-iter=p0.01/7*panic,pool-acquire=once*delay(2ms)'; sites: "+
+			strings.Join(fault.SiteNames(), ", "))
 	stats := fs.Bool("stats", false, "print timing, GFLOPS and table size")
 	metricsJSON := fs.String("metrics-json", "", "write fold metrics as JSON to this file ('-' = stdout)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) while folding")
@@ -101,6 +107,16 @@ func run(ctx context.Context, args []string) error {
 	options, err := buildOpts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed, limitBytes, *degradeWindow)
 	if err != nil {
 		return err
+	}
+	if *retry > 0 {
+		options = append(options, bpmax.WithRetry(bpmax.RetryConfig{MaxAttempts: *retry}))
+	}
+	if *failpoints != "" {
+		if err := fault.ArmSpec(*failpoints); err != nil {
+			fault.Reset()
+			return fmt.Errorf("-failpoints: %w", err)
+		}
+		defer fault.Reset()
 	}
 	var eng *bpmax.Engine
 	if *engine != 0 {
@@ -158,6 +174,10 @@ func run(ctx context.Context, args []string) error {
 		if gate != nil {
 			as := gate.Stats()
 			s.Admission = &as
+		}
+		if *failpoints != "" {
+			fst := fault.Snapshot()
+			s.Faults = &fst
 		}
 		return s
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bpmax-go/bpmax/internal/fault"
 	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
@@ -104,6 +105,12 @@ func (j *job) run() {
 	done := j.ctx.Done()
 	for {
 		if j.stop.Load() {
+			return
+		}
+		// Failpoint: a worker crash mid-loop. Error mode fails the job like a
+		// recovered panic would; panic mode exercises the recover above.
+		if ferr := fault.Hit(fault.SiteEngineIter); ferr != nil {
+			j.fail(ferr)
 			return
 		}
 		lo := int(j.next.Add(int64(j.chunk))) - j.chunk

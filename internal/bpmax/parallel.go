@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"github.com/bpmax-go/bpmax/internal/fault"
 )
 
 // PanicError reports a panic recovered from a solver goroutine, carrying the
@@ -56,6 +58,11 @@ func sequentialFor(done <-chan struct{}, ctxErr func() error, n int, f func(i in
 		case <-done:
 			return ctxErr()
 		default:
+		}
+		// Same failpoint as the engine's claim loop, so width-1 folds see
+		// injected worker faults too.
+		if ferr := fault.Hit(fault.SiteEngineIter); ferr != nil {
+			return ferr
 		}
 		f(i)
 	}

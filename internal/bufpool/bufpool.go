@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bpmax-go/bpmax/internal/fault"
 	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
@@ -98,6 +99,15 @@ func (p *Pool) Get(n int) []float32 {
 	if n <= 0 {
 		return nil
 	}
+	// Failpoint: a degraded arena. Error mode does not fail the caller — the
+	// pool falls back to a fresh allocation (counted as a miss), which is the
+	// graceful-bypass behavior chaos schedules verify; delay mode models a
+	// contended arena; panic mode is a hard allocator fault.
+	if ferr := fault.Hit(fault.SitePoolAcquire); ferr != nil {
+		p.gets.Add(1)
+		p.misses.Add(1)
+		return make([]float32, n)
+	}
 	p.gets.Add(1)
 	c := classFor(n)
 	if c < 0 {
@@ -135,6 +145,14 @@ func (p *Pool) Put(b []float32) {
 	if cap(b) == 0 {
 		// Mirrors Get(n <= 0) returning nil without counting, so Live stays
 		// an exact checked-out-buffer count.
+		return
+	}
+	// Failpoint: error mode drops the buffer to the garbage collector
+	// instead of parking it — a lossy but safe degradation (never a dirty
+	// reuse), counted like any other drop.
+	if ferr := fault.Hit(fault.SitePoolRelease); ferr != nil {
+		p.puts.Add(1)
+		p.drops.Add(1)
 		return
 	}
 	p.puts.Add(1)

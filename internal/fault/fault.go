@@ -1,0 +1,350 @@
+// Package fault is the failpoint registry of the serving spine: a fixed set
+// of named injection sites threaded through the pipeline (cache leader,
+// substrate construction, engine iterations, pool traffic, admission grants,
+// batch items) that tests, the chaos harness and the `bpmax -failpoints`
+// CLI flag can arm with deterministic triggers — every-Nth, seeded
+// probabilistic, one-shot — firing as a typed error, a panic, or a delay.
+//
+// The registry is built for zero production cost: when no site is armed,
+// Hit is a single atomic load and an immediate return. Arming is global
+// (process-wide) by design — faults are a test-and-operations facility, not
+// a per-request option — and Reset restores the quiet state.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
+)
+
+// Site names one injection point in the serving spine. The set is fixed at
+// compile time; Arm rejects unknown names.
+type Site string
+
+const (
+	// SiteCacheLeader fires inside the result cache's single-flight leader,
+	// before the leader solves — the "poisoned leader" failure waiters and
+	// the circuit breaker must survive.
+	SiteCacheLeader Site = "cache-leader"
+	// SiteSubstrate fires during problem construction, after the shell is
+	// built and before the S tables fill.
+	SiteSubstrate Site = "substrate"
+	// SiteEngineIter fires in the parallel runtime's claim loops (engine
+	// workers and the sequential path), where a solver-worker crash would.
+	SiteEngineIter Site = "engine-iter"
+	// SitePoolAcquire fires in bufpool.Get. Error mode does not fail the
+	// fold: the pool degrades gracefully to a fresh allocation (counted as a
+	// miss), which is the behavior the site exists to exercise.
+	SitePoolAcquire Site = "pool-acquire"
+	// SitePoolRelease fires in bufpool.Put. Error mode drops the buffer to
+	// the garbage collector instead of parking it.
+	SitePoolRelease Site = "pool-release"
+	// SiteAdmissionGrant fires just after an admission slot is granted; the
+	// gate returns the slot before surfacing the fault, so every grant is
+	// still resolved exactly once.
+	SiteAdmissionGrant Site = "admission-grant"
+	// SiteBatchItem fires at the top of each batch item, before its fold.
+	SiteBatchItem Site = "batch-item"
+)
+
+// sites is the fixed registry order (stable for SiteNames and snapshots).
+var sites = [...]Site{
+	SiteCacheLeader,
+	SiteSubstrate,
+	SiteEngineIter,
+	SitePoolAcquire,
+	SitePoolRelease,
+	SiteAdmissionGrant,
+	SiteBatchItem,
+}
+
+// SiteNames returns every registered site name in stable order.
+func SiteNames() []string {
+	out := make([]string, len(sites))
+	for i, s := range sites {
+		out[i] = string(s)
+	}
+	return out
+}
+
+// Error is the typed error an armed failpoint injects (and the panic value
+// of panic-mode triggers). It is transient by definition: the failure was
+// manufactured, so retrying the operation is always meaningful.
+type Error struct{ Site Site }
+
+func (e *Error) Error() string { return fmt.Sprintf("fault: injected at %s", e.Site) }
+
+// Mode selects what an armed trigger does when it fires.
+type Mode uint8
+
+const (
+	// ModeError makes the site return a *Error.
+	ModeError Mode = iota
+	// ModePanic makes the site panic with a *Error.
+	ModePanic
+	// ModeDelay makes the site sleep Trigger.Delay, then proceed normally.
+	ModeDelay
+)
+
+// Trigger configures when and how an armed site fires. Exactly one firing
+// policy applies, checked in order: Once (first check only), P > 0 (seeded
+// pseudo-random with rate P per check), else Every (every Nth check; 0 or 1
+// fire every check).
+type Trigger struct {
+	Mode Mode
+	// Delay is the sleep for ModeDelay (ignored otherwise).
+	Delay time.Duration
+	// Every fires on every Nth check (1 or 0 = every check).
+	Every int64
+	// P, when positive, fires each check independently with probability P,
+	// derived deterministically from Seed and the site's check sequence
+	// number — the same seed replays the same firing pattern for the same
+	// sequence of checks.
+	P float64
+	// Seed selects the pseudo-random firing pattern for P.
+	Seed int64
+	// Once fires on the first check only, then never again until re-armed.
+	Once bool
+}
+
+// point is one site's armed state. The registry map itself is immutable
+// after package init; all mutable state is atomic.
+type point struct {
+	trig  atomic.Pointer[Trigger]
+	seq   atomic.Int64 // checks since armed (firing-policy input)
+	fired atomic.Int64 // injections at this site (survives Disarm)
+	once  atomic.Bool
+}
+
+var (
+	points = func() map[Site]*point {
+		m := make(map[Site]*point, len(sites))
+		for _, s := range sites {
+			m[s] = new(point)
+		}
+		return m
+	}()
+	// armed counts armed sites; Hit's disarmed fast path is one load of it.
+	armed    atomic.Int32
+	checks   atomic.Int64 // checks against armed sites (survives Disarm)
+	injected atomic.Int64 // total injections (survives Disarm)
+)
+
+// Arm installs a trigger on a site, replacing any previous one and
+// restarting the site's check sequence. It fails on unknown sites and
+// malformed triggers so a typo in a -failpoints spec cannot silently arm
+// nothing.
+func Arm(s Site, t Trigger) error {
+	p, ok := points[s]
+	if !ok {
+		return fmt.Errorf("fault: unknown site %q (known: %s)", s, strings.Join(SiteNames(), ", "))
+	}
+	if t.Every < 0 {
+		return fmt.Errorf("fault: site %s: Every must be >= 0, got %d", s, t.Every)
+	}
+	if t.P < 0 || t.P > 1 {
+		return fmt.Errorf("fault: site %s: P must be in [0, 1], got %v", s, t.P)
+	}
+	if t.Mode == ModeDelay && t.Delay <= 0 {
+		return fmt.Errorf("fault: site %s: delay mode needs a positive Delay", s)
+	}
+	p.seq.Store(0)
+	p.once.Store(false)
+	if p.trig.Swap(&t) == nil {
+		armed.Add(1)
+	}
+	return nil
+}
+
+// Disarm removes a site's trigger; unknown or already-quiet sites are
+// no-ops. Cumulative counters survive so post-run snapshots stay complete.
+func Disarm(s Site) {
+	if p, ok := points[s]; ok && p.trig.Swap(nil) != nil {
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site and zeroes all counters, restoring the package's
+// quiet initial state. Tests that arm faults must defer it.
+func Reset() {
+	for _, s := range sites {
+		Disarm(s)
+		p := points[s]
+		p.seq.Store(0)
+		p.fired.Store(0)
+		p.once.Store(false)
+	}
+	checks.Store(0)
+	injected.Store(0)
+}
+
+// Hit is the injection check compiled into every site. With nothing armed
+// it is one atomic load; with this site armed it evaluates the trigger and
+// returns a *Error (ModeError), panics with one (ModePanic), or sleeps and
+// returns nil (ModeDelay).
+func Hit(s Site) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return hitSlow(s)
+}
+
+func hitSlow(s Site) error {
+	p := points[s]
+	if p == nil {
+		return nil
+	}
+	t := p.trig.Load()
+	if t == nil {
+		return nil
+	}
+	checks.Add(1)
+	if !fire(p, t) {
+		return nil
+	}
+	p.fired.Add(1)
+	injected.Add(1)
+	switch t.Mode {
+	case ModeDelay:
+		time.Sleep(t.Delay)
+		return nil
+	case ModePanic:
+		panic(&Error{Site: s})
+	}
+	return &Error{Site: s}
+}
+
+// fire evaluates the trigger's firing policy for one check.
+func fire(p *point, t *Trigger) bool {
+	if t.Once {
+		return p.once.CompareAndSwap(false, true)
+	}
+	n := p.seq.Add(1)
+	if t.P > 0 {
+		h := splitmix64(uint64(t.Seed) ^ uint64(n)*0x9e3779b97f4a7c15)
+		return float64(h>>11)/(1<<53) < t.P
+	}
+	if t.Every <= 1 {
+		return true
+	}
+	return n%t.Every == 0
+}
+
+// splitmix64 is the one-shot mixing function behind the deterministic
+// probabilistic trigger (and the retry jitter at the public layer).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ArmSpec arms sites from a compact textual schedule, the format of the
+// `bpmax -failpoints` flag:
+//
+//	spec    := entry ("," entry)*
+//	entry   := site "=" [count "*"] mode
+//	count   := INT | "once" | "p" FLOAT ["/" SEED]
+//	mode    := "error" | "panic" | "delay(" DURATION ")"
+//
+// Examples: "cache-leader=error" (every check), "substrate=3*error" (every
+// 3rd), "engine-iter=p0.01/7*panic" (1% of checks, seed 7),
+// "pool-acquire=once*delay(2ms)". Any parse or validation error leaves
+// already-armed entries armed; callers treating the spec as all-or-nothing
+// should Reset on error.
+func ArmSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("fault: entry %q: want site=[count*]mode", part)
+		}
+		t, err := parseTrigger(strings.TrimSpace(rest))
+		if err != nil {
+			return fmt.Errorf("fault: entry %q: %w", part, err)
+		}
+		if err := Arm(Site(strings.TrimSpace(name)), t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseTrigger(s string) (Trigger, error) {
+	var t Trigger
+	mode := s
+	if count, rest, ok := strings.Cut(s, "*"); ok {
+		mode = rest
+		switch {
+		case count == "once":
+			t.Once = true
+		case strings.HasPrefix(count, "p"):
+			pspec := count[1:]
+			if frac, seed, ok := strings.Cut(pspec, "/"); ok {
+				n, err := strconv.ParseInt(seed, 10, 64)
+				if err != nil {
+					return t, fmt.Errorf("bad seed %q", seed)
+				}
+				t.Seed = n
+				pspec = frac
+			}
+			p, err := strconv.ParseFloat(pspec, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return t, fmt.Errorf("bad probability %q (want a float in (0, 1])", pspec)
+			}
+			t.P = p
+		default:
+			n, err := strconv.ParseInt(count, 10, 64)
+			if err != nil || n < 1 {
+				return t, fmt.Errorf("bad count %q (want a positive integer, \"once\", or \"p<rate>[/<seed>]\")", count)
+			}
+			t.Every = n
+		}
+	}
+	switch {
+	case mode == "error":
+		t.Mode = ModeError
+	case mode == "panic":
+		t.Mode = ModePanic
+	case strings.HasPrefix(mode, "delay(") && strings.HasSuffix(mode, ")"):
+		d, err := time.ParseDuration(mode[len("delay(") : len(mode)-1])
+		if err != nil || d <= 0 {
+			return t, fmt.Errorf("bad delay %q", mode)
+		}
+		t.Mode = ModeDelay
+		t.Delay = d
+	default:
+		return t, fmt.Errorf("bad mode %q (want error, panic, or delay(<duration>))", mode)
+	}
+	return t, nil
+}
+
+// Armed returns how many sites currently have a trigger installed.
+func Armed() int { return int(armed.Load()) }
+
+// Snapshot reports the registry's cumulative activity: checks against armed
+// sites, injections fired, and the per-site injection breakdown (sites that
+// never fired are omitted).
+func Snapshot() metrics.FaultStats {
+	s := metrics.FaultStats{
+		Armed:    Armed(),
+		Checks:   checks.Load(),
+		Injected: injected.Load(),
+	}
+	for _, name := range sites {
+		if n := points[name].fired.Load(); n > 0 {
+			if s.Sites == nil {
+				s.Sites = map[string]int64{}
+			}
+			s.Sites[string(name)] = n
+		}
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	for _, s := range sites {
+		if err := Hit(s); err != nil {
+			t.Fatalf("disarmed Hit(%s) = %v, want nil", s, err)
+		}
+	}
+	if s := Snapshot(); s.Armed != 0 || s.Checks != 0 || s.Injected != 0 {
+		t.Fatalf("quiet snapshot not zero: %+v", s)
+	}
+}
+
+func TestArmUnknownSiteFails(t *testing.T) {
+	defer Reset()
+	if err := Arm(Site("no-such-site"), Trigger{}); err == nil {
+		t.Fatal("Arm accepted an unknown site")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Reset()
+	if err := Arm(SiteSubstrate, Trigger{Mode: ModeError, Every: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var hits []int
+	for i := 1; i <= 9; i++ {
+		if Hit(SiteSubstrate) != nil {
+			hits = append(hits, i)
+		}
+	}
+	want := []int{3, 6, 9}
+	if len(hits) != len(want) {
+		t.Fatalf("every-3rd fired at %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("every-3rd fired at %v, want %v", hits, want)
+		}
+	}
+	// Other sites stay quiet.
+	if err := Hit(SiteCacheLeader); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestOnce(t *testing.T) {
+	defer Reset()
+	if err := Arm(SiteBatchItem, Trigger{Mode: ModeError, Once: true}); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(SiteBatchItem) == nil {
+		t.Fatal("one-shot did not fire on first check")
+	}
+	for i := 0; i < 10; i++ {
+		if Hit(SiteBatchItem) != nil {
+			t.Fatal("one-shot fired twice")
+		}
+	}
+	// Re-arming resets the shot.
+	if err := Arm(SiteBatchItem, Trigger{Mode: ModeError, Once: true}); err != nil {
+		t.Fatal(err)
+	}
+	if Hit(SiteBatchItem) == nil {
+		t.Fatal("re-armed one-shot did not fire")
+	}
+}
+
+func TestProbabilisticDeterministicPerSeed(t *testing.T) {
+	defer Reset()
+	pattern := func(seed int64) []bool {
+		if err := Arm(SiteEngineIter, Trigger{Mode: ModeError, P: 0.25, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 400)
+		fired := 0
+		for i := range out {
+			out[i] = Hit(SiteEngineIter) != nil
+			if out[i] {
+				fired++
+			}
+		}
+		if fired == 0 || fired == len(out) {
+			t.Fatalf("p=0.25 fired %d/%d times", fired, len(out))
+		}
+		return out
+	}
+	a, b, c := pattern(7), pattern(7), pattern(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different firing patterns")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+func TestTypedErrorAndPanicValue(t *testing.T) {
+	defer Reset()
+	if err := Arm(SiteCacheLeader, Trigger{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit(SiteCacheLeader)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != SiteCacheLeader {
+		t.Fatalf("error mode returned %v, want *Error for cache-leader", err)
+	}
+
+	if err := Arm(SitePoolAcquire, Trigger{Mode: ModePanic}); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			r := recover()
+			if fe, ok := r.(*Error); !ok || fe.Site != SitePoolAcquire {
+				t.Fatalf("panic mode panicked with %v, want *Error for pool-acquire", r)
+			}
+		}()
+		Hit(SitePoolAcquire)
+		t.Fatal("panic mode did not panic")
+	}()
+}
+
+func TestDelayMode(t *testing.T) {
+	defer Reset()
+	const d = 20 * time.Millisecond
+	if err := Arm(SiteAdmissionGrant, Trigger{Mode: ModeDelay, Delay: d}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(SiteAdmissionGrant); err != nil {
+		t.Fatalf("delay mode returned error: %v", err)
+	}
+	if got := time.Since(start); got < d {
+		t.Fatalf("delay mode slept %v, want >= %v", got, d)
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	defer Reset()
+	spec := "cache-leader=error, substrate=3*error, engine-iter=p0.5/9*panic, pool-acquire=once*delay(1ms)"
+	if err := ArmSpec(spec); err != nil {
+		t.Fatal(err)
+	}
+	if Armed() != 4 {
+		t.Fatalf("Armed() = %d, want 4", Armed())
+	}
+	if Hit(SiteCacheLeader) == nil {
+		t.Fatal("cache-leader=error did not fire on first check")
+	}
+	Hit(SiteSubstrate)
+	Hit(SiteSubstrate)
+	if Hit(SiteSubstrate) == nil {
+		t.Fatal("substrate=3*error did not fire on third check")
+	}
+
+	for _, bad := range []string{
+		"cache-leader",              // no '='
+		"nope=error",                // unknown site
+		"substrate=0*error",         // bad count
+		"substrate=p2*error",        // probability out of range
+		"substrate=p0.5/x*error",    // bad seed
+		"substrate=explode",         // bad mode
+		"substrate=delay(banana)",   // bad duration
+		"substrate=once*delay(0ms)", // non-positive delay
+	} {
+		if err := ArmSpec(bad); err == nil {
+			t.Errorf("ArmSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestSnapshotAndReset(t *testing.T) {
+	defer Reset()
+	Reset()
+	if err := Arm(SiteSubstrate, Trigger{Mode: ModeError, Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		Hit(SiteSubstrate)
+	}
+	s := Snapshot()
+	if s.Armed != 1 || s.Checks != 6 || s.Injected != 3 {
+		t.Fatalf("snapshot = %+v, want armed 1, checks 6, injected 3", s)
+	}
+	if s.Sites[string(SiteSubstrate)] != 3 {
+		t.Fatalf("per-site count = %v, want substrate:3", s.Sites)
+	}
+	// Disarm keeps cumulative counters; Reset clears them.
+	Disarm(SiteSubstrate)
+	if s := Snapshot(); s.Armed != 0 || s.Injected != 3 {
+		t.Fatalf("post-disarm snapshot = %+v, want armed 0, injected 3", s)
+	}
+	Reset()
+	if s := Snapshot(); s.Checks != 0 || s.Injected != 0 || s.Sites != nil {
+		t.Fatalf("post-reset snapshot not zero: %+v", s)
+	}
+}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pub "github.com/bpmax-go/bpmax"
+	"github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/fault"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-chaos", Title: "Fault injection and resilience on the serving spine", PaperRef: "Section V (runtime extension)",
+		Run: runExtChaos,
+	})
+}
+
+// runExtChaos measures the two things the fault subsystem promises. The
+// failpoints-off row re-runs ext-engine's engine+pooled steady state with
+// every injection site compiled in but disarmed — its time/fold and
+// allocs/fold cells are gated by cmd/benchgate, so a regression in the
+// disabled-failpoint fast path (which must be one atomic load) fails CI.
+// The chaos row then arms a seeded probabilistic schedule across the spine
+// and serves folds through a full session (cache + breaker, admission,
+// retry), reporting how many injections fired and how many folds the
+// resilience policies still landed; its timing cells are deliberately
+// non-numeric, so the gate ignores the (noisy, fault-laden) chaos timings.
+func runExtChaos(cfg RunConfig) *Table {
+	t := &Table{
+		ID: "ext-chaos", Title: "Fault injection and resilience on the serving spine", PaperRef: "Section V (runtime extension)",
+		Header: []string{"mode", "N1xN2", "folds", "time/fold", "allocs/fold", "injected", "ok", "failed"},
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Row 1: failpoints-off — the ext-engine engine+pooled methodology,
+	// verbatim, so the numbers are directly comparable to that table (and to
+	// the committed baseline from before failpoints existed).
+	func() {
+		sz := cfg.sizes()[len(cfg.sizes())-1]
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		s1 := rna.Random(rng, sz[0]).String()
+		s2 := rna.Random(rng, sz[1]).String()
+		params := score.DefaultParams()
+		folds := 6 * cfg.repeats()
+		pl := bpmax.NewPool()
+		e := bpmax.NewEngine(workers)
+		defer e.Close()
+		c := bpmax.Config{Workers: workers, Pool: pl, Engine: e}
+		foldOnce := func() {
+			p, err := pl.NewProblem(s1, s2, params)
+			if err != nil {
+				panic(err)
+			}
+			f := bpmax.Solve(p, bpmax.VariantHybridTiled, c)
+			_ = p.Score(f)
+			f.Release()
+			p.Release()
+		}
+		foldOnce()
+		foldOnce() // warm the pool and the engine before counting
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < folds; i++ {
+			foldOnce()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		t.Rows = append(t.Rows, []string{
+			"failpoints-off",
+			fmt.Sprintf("%dx%d", sz[0], sz[1]),
+			fmt.Sprintf("%d", folds),
+			d2(elapsed / time.Duration(folds)),
+			f1(float64(m1.Mallocs-m0.Mallocs) / float64(folds)),
+			"0", "0", "0",
+		})
+	}()
+
+	// Row 2: a seeded chaos schedule through the full public serving spine.
+	func() {
+		defer fault.Reset()
+		sz := cfg.sizes()[0]
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		const pairCount = 4
+		pairs := make([][2]string, pairCount)
+		for i := range pairs {
+			pairs[i] = [2]string{rna.Random(rng, sz[0]).String(), rna.Random(rng, sz[1]).String()}
+		}
+		sess, err := pub.NewSession(
+			pub.WithWorkers(workers),
+			pub.WithCache(pub.NewCache(pub.CacheConfig{BreakerThreshold: 2, BreakerCooldown: 10 * time.Millisecond})),
+			pub.WithAdmission(pub.NewAdmission(pub.AdmissionConfig{MaxConcurrent: 2})),
+			pub.WithRetry(pub.RetryConfig{MaxAttempts: 4, Base: 100 * time.Microsecond, Max: time.Millisecond, Seed: cfg.Seed}),
+		)
+		if err != nil {
+			panic(err)
+		}
+		defer sess.Close()
+		spec := fmt.Sprintf(
+			"cache-leader=p0.3/%d*error,substrate=p0.1/%d*error,engine-iter=p0.02/%d*panic,pool-acquire=p0.2/%d*error,admission-grant=p0.1/%d*error",
+			cfg.Seed, cfg.Seed+1, cfg.Seed+2, cfg.Seed+3, cfg.Seed+4)
+		if err := fault.ArmSpec(spec); err != nil {
+			panic(err)
+		}
+		folds := 16 * cfg.repeats()
+		var ok, failed atomic.Int64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < folds; i += 4 {
+					pr := pairs[i%pairCount]
+					res, err := sess.Fold(context.Background(), pr[0], pr[1])
+					if err != nil {
+						failed.Add(1)
+						continue
+					}
+					ok.Add(1)
+					res.Release()
+				}
+			}(g)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		_ = elapsed
+		t.Rows = append(t.Rows, []string{
+			"chaos(seeded)",
+			fmt.Sprintf("%dx%d", sz[0], sz[1]),
+			fmt.Sprintf("%d", folds),
+			"-", "-",
+			fmt.Sprintf("%d", fault.Snapshot().Injected),
+			fmt.Sprintf("%d", ok.Load()),
+			fmt.Sprintf("%d", failed.Load()),
+		})
+	}()
+
+	t.Notes = append(t.Notes,
+		"failpoints-off mirrors ext-engine engine+pooled with all sites compiled in but disarmed; its time/alloc cells are benchgate-gated",
+		"chaos row: seeded probabilistic faults at 5 sites served through cache+breaker, admission and WithRetry; chaos_test.go asserts the invariants under -race")
+	return t
+}

@@ -12,7 +12,7 @@ func smallCfg() RunConfig {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"ext-ablations", "ext-cache", "ext-correlate", "ext-engine",
+		"ext-ablations", "ext-cache", "ext-chaos", "ext-correlate", "ext-engine",
 		"ext-metrics", "ext-mpi", "fig1", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "table1", "table6", "tables2-5",
 	}

@@ -264,6 +264,10 @@ type Metrics struct {
 	budgetHW     HighWater
 
 	foldNanos Histogram
+
+	retries          atomic.Int64
+	retrySuccesses   atomic.Int64
+	retriesExhausted atomic.Int64
 }
 
 // RecordFold folds one completed fold's metrics into the aggregate.
@@ -297,6 +301,29 @@ func (m *Metrics) RecordError() {
 	}
 }
 
+// RecordRetry counts one retry attempt of a transiently failed fold.
+func (m *Metrics) RecordRetry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+// RecordRetrySuccess counts a fold that failed transiently but succeeded on
+// a retry attempt.
+func (m *Metrics) RecordRetrySuccess() {
+	if m != nil {
+		m.retrySuccesses.Add(1)
+	}
+}
+
+// RecordRetryExhausted counts a fold that was retried and still failed when
+// its attempt budget ran out.
+func (m *Metrics) RecordRetryExhausted() {
+	if m != nil {
+		m.retriesExhausted.Add(1)
+	}
+}
+
 // Folds returns the number of successful folds recorded.
 func (m *Metrics) Folds() int64 { return m.folds.Load() }
 
@@ -317,6 +344,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		TableBytesHighWater: m.tableBytesHW.Load(),
 		BudgetHighWater:     m.budgetHW.Load(),
 		FoldNanos:           m.foldNanos.Snapshot(),
+		Retries:             m.retries.Load(),
+		RetrySuccesses:      m.retrySuccesses.Load(),
+		RetriesExhausted:    m.retriesExhausted.Load(),
 	}
 	if s.FillNanos > 0 {
 		s.GFLOPS = float64(s.FLOPs) / float64(s.FillNanos)
@@ -355,10 +385,20 @@ type Snapshot struct {
 
 	FoldNanos HistogramSnapshot `json:"fold_nanos"`
 
+	// Retries counts retry attempts under WithRetry; RetrySuccesses the
+	// folds rescued by one, RetriesExhausted the folds that were retried and
+	// still failed.
+	Retries          int64 `json:"retries"`
+	RetrySuccesses   int64 `json:"retry_successes"`
+	RetriesExhausted int64 `json:"retries_exhausted"`
+
 	Engine    *EngineStats    `json:"engine,omitempty"`
 	Pool      *PoolStats      `json:"pool,omitempty"`
 	Cache     *CacheStats     `json:"cache,omitempty"`
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Faults is the fault-injection registry's activity, attached by callers
+	// that armed failpoints (nil in normal operation).
+	Faults *FaultStats `json:"faults,omitempty"`
 }
 
 // EngineStats is a snapshot of a persistent worker engine's utilization
@@ -445,6 +485,13 @@ type CacheStats struct {
 	// maximum ever pinned.
 	RetainedBytes     int64 `json:"retained_bytes"`
 	RetainedHighWater int64 `json:"retained_high_water"`
+	// BreakerOpens counts result-layer circuit-breaker trips (a key whose
+	// single-flight leaders kept failing); BreakerBypasses the requests
+	// served cold because their key's breaker was open; BreakerOpenKeys the
+	// keys currently open or half-open.
+	BreakerOpens    int64 `json:"breaker_opens"`
+	BreakerBypasses int64 `json:"breaker_bypasses"`
+	BreakerOpenKeys int64 `json:"breaker_open_keys"`
 }
 
 // AdmissionStats is a snapshot of an admission gate: the bounded concurrency
@@ -469,6 +516,18 @@ type AdmissionStats struct {
 	// WaitNanosHighWater is the longest any single request waited.
 	WaitNanosTotal     int64 `json:"wait_nanos_total"`
 	WaitNanosHighWater int64 `json:"wait_nanos_high_water"`
+}
+
+// FaultStats is a snapshot of the fault-injection registry
+// (internal/fault): how many sites are armed, how many checks armed sites
+// have seen, and how many injections fired, broken down by site.
+type FaultStats struct {
+	Armed    int   `json:"armed"`
+	Checks   int64 `json:"checks"`
+	Injected int64 `json:"injected"`
+	// Sites maps site name to its injection count (sites that never fired
+	// are omitted).
+	Sites map[string]int64 `json:"sites,omitempty"`
 }
 
 // BufferStats is a snapshot of the size-classed buffer arena.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bpmax-go/bpmax/internal/fault"
 	"github.com/bpmax-go/bpmax/internal/metrics"
 )
 
@@ -84,7 +85,7 @@ func (a *Admission) Acquire(ctx context.Context) error {
 		a.running++
 		a.mu.Unlock()
 		a.admitted.Add(1)
-		return nil
+		return a.grantCheck()
 	}
 	if a.maxQ > 0 && len(a.queue) >= a.maxQ {
 		a.mu.Unlock()
@@ -100,7 +101,7 @@ func (a *Admission) Acquire(ctx context.Context) error {
 	select {
 	case <-w.ready:
 		a.admittedAfter(time.Since(start))
-		return nil
+		return a.grantCheck()
 	case <-ctx.Done():
 	}
 	// The context ended; a slot grant may have raced it. granted is only
@@ -110,7 +111,7 @@ func (a *Admission) Acquire(ctx context.Context) error {
 	if w.granted {
 		a.mu.Unlock()
 		a.admittedAfter(time.Since(start))
-		return nil
+		return a.grantCheck()
 	}
 	for i, q := range a.queue {
 		if q == w {
@@ -121,6 +122,25 @@ func (a *Admission) Acquire(ctx context.Context) error {
 	a.mu.Unlock()
 	a.expired.Add(1)
 	return &AdmissionError{Cause: ctx.Err(), Waited: time.Since(start)}
+}
+
+// grantCheck is the admission-grant failpoint, evaluated on every path that
+// just granted a slot. An injected fault (error or panic) fails the Acquire
+// after returning the slot first, so the every-slot-resolved invariant holds
+// even while the gate itself is being failed; delay-mode injections stretch
+// the grant, holding the slot.
+func (a *Admission) grantCheck() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.Release()
+			panic(r)
+		}
+	}()
+	if err := fault.Hit(fault.SiteAdmissionGrant); err != nil {
+		a.Release()
+		return err
+	}
+	return nil
 }
 
 func (a *Admission) admittedAfter(wait time.Duration) {

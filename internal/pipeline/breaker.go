@@ -1,0 +1,154 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is a per-key circuit breaker for the result cache's single-flight
+// layer. When threshold consecutive leader failures accumulate for one key,
+// the key's breaker opens: requests for it bypass the cache (and its
+// single-flight queue) entirely for the cooldown, so retrying callers solve
+// cold instead of stampeding behind a leader that keeps dying. After the
+// cooldown one probe request is let back through; its outcome closes the
+// breaker or re-opens it for another cooldown.
+//
+// The zero-failure fast path is one atomic load: until a failure has ever
+// been recorded the mutex and map are untouched.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	// tracked counts keys present in the map, so Allow can skip the lock
+	// while nothing is failing (the overwhelmingly common state).
+	tracked atomic.Int64
+
+	mu   sync.Mutex
+	keys map[Key]*breakerEntry
+
+	opens    atomic.Int64
+	bypasses atomic.Int64
+}
+
+// breakerEntry is one key's failure state, guarded by the breaker's mutex.
+type breakerEntry struct {
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// trackedKeysMax bounds the failure map: beyond it, entries that have not
+// yet opened are pruned (an adversarial key stream cannot grow it without
+// first causing real failures).
+const trackedKeysMax = 1024
+
+// NewBreaker returns a breaker that opens a key after threshold consecutive
+// failures and bypasses it for cooldown. Threshold values < 1 are clamped
+// to 1, non-positive cooldowns to 1s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, keys: map[Key]*breakerEntry{}}
+}
+
+// Allow reports whether a request for key may use the cached (single-flight)
+// path. False means the key's breaker is open and the request must bypass
+// caching; at most one request per cooldown is let through as the half-open
+// probe.
+func (b *Breaker) Allow(k Key) bool {
+	if b == nil || b.tracked.Load() == 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.keys[k]
+	if e == nil || e.fails < b.threshold {
+		return true
+	}
+	if e.probing {
+		b.bypasses.Add(1)
+		return false
+	}
+	if time.Now().Before(e.openUntil) {
+		b.bypasses.Add(1)
+		return false
+	}
+	// Cooldown over: this request becomes the half-open probe; concurrent
+	// requests keep bypassing until its outcome is known.
+	e.probing = true
+	return true
+}
+
+// Failure records a failed leader for key. The count opening the breaker is
+// consecutive: any Success resets it.
+func (b *Breaker) Failure(k Key) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.keys[k]
+	if e == nil {
+		if len(b.keys) >= trackedKeysMax {
+			b.prune()
+		}
+		e = &breakerEntry{}
+		b.keys[k] = e
+		b.tracked.Store(int64(len(b.keys)))
+	}
+	wasOpen := e.fails >= b.threshold
+	e.fails++
+	e.probing = false
+	if e.fails >= b.threshold {
+		e.openUntil = time.Now().Add(b.cooldown)
+		if !wasOpen || e.fails > b.threshold {
+			// First trip, or a failed half-open probe re-opening the breaker.
+			b.opens.Add(1)
+		}
+	}
+}
+
+// Success clears key's failure state (closing its breaker if open).
+func (b *Breaker) Success(k Key) {
+	if b == nil || b.tracked.Load() == 0 {
+		return
+	}
+	b.mu.Lock()
+	if _, ok := b.keys[k]; ok {
+		delete(b.keys, k)
+		b.tracked.Store(int64(len(b.keys)))
+	}
+	b.mu.Unlock()
+}
+
+// prune drops not-yet-open entries to bound the map. Called with the mutex
+// held.
+func (b *Breaker) prune() {
+	for k, e := range b.keys {
+		if e.fails < b.threshold {
+			delete(b.keys, k)
+		}
+	}
+	b.tracked.Store(int64(len(b.keys)))
+}
+
+// Counters reports cumulative trips and bypasses, and how many keys are
+// currently open or half-open.
+func (b *Breaker) Counters() (opens, bypasses, openKeys int64) {
+	if b == nil {
+		return 0, 0, 0
+	}
+	b.mu.Lock()
+	for _, e := range b.keys {
+		if e.fails >= b.threshold {
+			openKeys++
+		}
+	}
+	b.mu.Unlock()
+	return b.opens.Load(), b.bypasses.Load(), openKeys
+}

@@ -1,0 +1,129 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	k := key('b')
+	for i := 0; i < 3; i++ {
+		if !b.Allow(k) {
+			t.Fatalf("breaker open after %d failures, threshold is 3", i)
+		}
+		b.Failure(k)
+	}
+	if b.Allow(k) {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	opens, bypasses, openKeys := b.Counters()
+	if opens != 1 || bypasses != 1 || openKeys != 1 {
+		t.Fatalf("counters = %d opens, %d bypasses, %d open keys; want 1, 1, 1", opens, bypasses, openKeys)
+	}
+	// Other keys are unaffected.
+	if !b.Allow(key('c')) {
+		t.Fatal("unrelated key tripped")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(3, time.Hour)
+	k := key('b')
+	b.Failure(k)
+	b.Failure(k)
+	b.Success(k)
+	b.Failure(k)
+	b.Failure(k)
+	if !b.Allow(k) {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := NewBreaker(1, 20*time.Millisecond)
+	k := key('p')
+	b.Failure(k)
+	if b.Allow(k) {
+		t.Fatal("breaker not open after threshold-1 failure")
+	}
+	time.Sleep(25 * time.Millisecond)
+	// First request after the cooldown is the probe...
+	if !b.Allow(k) {
+		t.Fatal("expired breaker did not admit a probe")
+	}
+	// ...and concurrent requests keep bypassing while it is in flight.
+	if b.Allow(k) {
+		t.Fatal("second request admitted while probe in flight")
+	}
+	// A failed probe re-opens for another cooldown.
+	b.Failure(k)
+	if b.Allow(k) {
+		t.Fatal("breaker closed after failed probe")
+	}
+	opens, _, _ := b.Counters()
+	if opens != 2 {
+		t.Fatalf("opens = %d, want 2 (initial trip + failed probe)", opens)
+	}
+	// A successful probe closes it.
+	time.Sleep(25 * time.Millisecond)
+	if !b.Allow(k) {
+		t.Fatal("expired breaker did not admit a second probe")
+	}
+	b.Success(k)
+	if !b.Allow(k) {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if _, _, openKeys := b.Counters(); openKeys != 0 {
+		t.Fatalf("openKeys = %d after success, want 0", openKeys)
+	}
+}
+
+func TestBreakerPrunesUnopenedKeys(t *testing.T) {
+	b := NewBreaker(5, time.Hour)
+	// One key actually opens; a flood of single-failure keys must not grow
+	// the map unboundedly or evict the open entry.
+	hot := key(0xff)
+	for i := 0; i < 5; i++ {
+		b.Failure(hot)
+	}
+	for i := 0; i < 3*trackedKeysMax; i++ {
+		h := NewHasher()
+		h.I64(int64(i))
+		k := h.Sum()
+		h.Release()
+		b.Failure(k)
+	}
+	b.mu.Lock()
+	n := len(b.keys)
+	b.mu.Unlock()
+	if n > trackedKeysMax+1 {
+		t.Fatalf("breaker map grew to %d entries, want <= %d", n, trackedKeysMax+1)
+	}
+	if b.Allow(hot) {
+		t.Fatal("open key was pruned by the single-failure flood")
+	}
+}
+
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(2, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			k := key(byte(g % 3))
+			for i := 0; i < 500; i++ {
+				if b.Allow(k) {
+					if i%3 == 0 {
+						b.Failure(k)
+					} else {
+						b.Success(k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

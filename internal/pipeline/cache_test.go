@@ -303,3 +303,47 @@ func TestCacheConcurrentMixed(t *testing.T) {
 		t.Fatalf("RetainedBytes = %d, want <= 64", got)
 	}
 }
+
+// TestCacheDoPersistentlyFailingLeader: when every leader fails, each
+// waiter must retry as leader exactly once (no livelock, no leader-error
+// fan-out) and the error must never be cached.
+func TestCacheDoPersistentlyFailingLeader(t *testing.T) {
+	c := NewCache(0)
+	wantErr := errors.New("leader down")
+	var leaders atomic.Int64
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, _, err := c.Do(context.Background(), key(9), func() (any, int64, error) {
+				leaders.Add(1)
+				return nil, 0, wantErr
+			})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Errorf("caller %d: err = %v, want leader error", i, err)
+		}
+	}
+	// Each caller led exactly once: no retries beyond retry-as-leader, no
+	// caller starved behind another's failure.
+	if got := leaders.Load(); got != n {
+		t.Errorf("leader ran %d times for %d callers, want %d", got, n, n)
+	}
+	// The failure was never cached: a succeeding leader serves immediately.
+	v, hit, shared, err := c.Do(context.Background(), key(9), func() (any, int64, error) {
+		return "ok", 2, nil
+	})
+	if err != nil || hit || shared || v.(string) != "ok" {
+		t.Errorf("post-failure Do = %v, hit %v, shared %v, err %v", v, hit, shared, err)
+	}
+	if _, ok := c.Get(key(9)); !ok {
+		t.Error("successful leader result not cached")
+	}
+}

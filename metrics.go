@@ -86,6 +86,11 @@ type CacheStats = metrics.CacheStats
 // Admission.Stats.
 type AdmissionStats = metrics.AdmissionStats
 
+// FaultStats is a snapshot of the fault-injection registry (armed sites,
+// checks, injections fired per site); the CLI attaches it to
+// MetricsSnapshot.Faults when -failpoints is set.
+type FaultStats = metrics.FaultStats
+
 // NewMetrics returns an empty cumulative metrics aggregate.
 func NewMetrics() *Metrics { return &Metrics{} }
 

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/fault"
 	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
@@ -79,7 +80,8 @@ func (rq request) cacheRetained() int64 {
 	return rq.cache.c.RetainedBytes()
 }
 
-// runFold executes one interaction fold through the full pipeline.
+// runFold executes one interaction fold through the full pipeline,
+// re-running transiently failed attempts when WithRetry is configured.
 func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -88,6 +90,74 @@ func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, erro
 		rq.metrics.RecordError()
 		return nil, rq.verr
 	}
+	if rq.retry == nil {
+		// No policy: skip the wrapper — its attempt closure captures the
+		// request, a per-fold cost the cached-hit path would pay for nothing.
+		return rq.foldAttempt(ctx, seq1, seq2)
+	}
+	return withRetry(ctx, rq, func() (*Result, error) {
+		return rq.foldAttempt(ctx, seq1, seq2)
+	})
+}
+
+// withRetry runs attempt under the request's retry policy: a transient
+// failure (IsTransient — recovered panics and injected faults, never
+// cancellation, budget or admission errors) backs off exponentially with
+// deterministic jitter and runs again, until success, a non-transient
+// error, the attempt budget, or the context ends. Each attempt re-admits
+// through the gate, so a backing-off request holds no concurrency slot.
+func withRetry[T any](ctx context.Context, rq request, attempt func() (T, error)) (T, error) {
+	v, err := attempt()
+	if err == nil || rq.retry == nil {
+		return v, err
+	}
+	retried := false
+	for n := 1; n < rq.retry.MaxAttempts && isTransientFold(err) && ctx.Err() == nil; n++ {
+		rq.metrics.RecordRetry()
+		retried = true
+		if !sleepBackoff(ctx, rq.retry.backoff(n)) {
+			break
+		}
+		if v, err = attempt(); err == nil {
+			rq.metrics.RecordRetrySuccess()
+			return v, nil
+		}
+	}
+	if retried {
+		rq.metrics.RecordRetryExhausted()
+	}
+	return v, err
+}
+
+// sleepBackoff sleeps d unless ctx ends first; it reports whether the next
+// attempt should run.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// foldAttempt is one pass through admission → cache → solve. The deferred
+// recover is the pipeline-level panic isolation: a panic escaping the
+// solver's own recovery (injected faults outside the parallel runtime,
+// grant-path panics) surfaces as a typed *PanicError instead of unwinding
+// into the caller — and because the unadmit defer is registered after it,
+// the admission slot is resolved before the recover converts the panic.
+func (rq request) foldAttempt(ctx context.Context, seq1, seq2 string) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recoveredError(r)
+			rq.metrics.RecordError()
+		}
+	}()
 	if err := rq.admit(ctx); err != nil {
 		rq.metrics.RecordError()
 		return nil, err
@@ -110,7 +180,25 @@ func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, erro
 func (rq request) foldShared(ctx context.Context, seq1, seq2 string) (*Result, error) {
 	c := rq.cache
 	key := rq.resultKey(seq1, seq2)
-	v, hit, shared, err := c.c.Do(ctx, key, func() (any, int64, error) {
+	if !c.admitShared(key) {
+		// This key's circuit breaker is open: its single-flight leaders have
+		// kept failing, so serving more requests through the cache would
+		// stack retries behind a poisoned leader. Serve cold (pooled, never
+		// retained) until the cooldown admits a probe that succeeds.
+		return rq.foldCold(ctx, seq1, seq2)
+	}
+	v, hit, shared, err := c.c.Do(ctx, key, func() (v any, bytes int64, err error) {
+		// A panicking leader must fail typed: waiters then observe a
+		// transient *PanicError they can retry (or retry-as-leader on),
+		// rather than the cache's generic in-flight-panic error.
+		defer func() {
+			if r := recover(); r != nil {
+				v, bytes, err = nil, 0, recoveredError(r)
+			}
+		}()
+		if err := fault.Hit(fault.SiteCacheLeader); err != nil {
+			return nil, 0, err
+		}
 		m := rq
 		m.pool = nil
 		m.cfg.Pool = nil
@@ -120,6 +208,7 @@ func (rq request) foldShared(ctx context.Context, seq1, seq2 string) (*Result, e
 		}
 		return master, cachedResultBytes(master), nil
 	})
+	c.noteShared(key, err)
 	if err != nil {
 		rq.metrics.RecordError()
 		return nil, err
@@ -241,6 +330,15 @@ func (rq request) newProblem(seq1, seq2 string) (*ibpmax.Problem, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Failpoint: substrate-stage failure after the shell exists. Error mode
+	// releases the shell back to its pool before failing the fold; panic
+	// mode leaks the shell deliberately (a panicking stage cannot prove the
+	// shell is clean, and an unreleased shell is garbage-collected, never
+	// dirtily reused).
+	if ferr := fault.Hit(fault.SiteSubstrate); ferr != nil {
+		p.Release()
+		return nil, ferr
 	}
 	rq.installSubstrates(p)
 	return p, nil
@@ -388,6 +486,23 @@ func (rq request) runWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int
 	if w1 <= 0 || w2 <= 0 {
 		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
 	}
+	if rq.retry == nil {
+		return rq.windowedAttempt(ctx, seq1, seq2, w1, w2)
+	}
+	return withRetry(ctx, rq, func() (*WindowResult, error) {
+		return rq.windowedAttempt(ctx, seq1, seq2, w1, w2)
+	})
+}
+
+// windowedAttempt is one pass of runWindowed, with the same panic isolation
+// and slot-resolution ordering as foldAttempt.
+func (rq request) windowedAttempt(ctx context.Context, seq1, seq2 string, w1, w2 int) (res *WindowResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, recoveredError(r)
+			rq.metrics.RecordError()
+		}
+	}()
 	if err := rq.admit(ctx); err != nil {
 		rq.metrics.RecordError()
 		return nil, err

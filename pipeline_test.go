@@ -3,6 +3,8 @@ package bpmax
 import (
 	"context"
 	"errors"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"testing"
 	"time"
@@ -353,6 +355,11 @@ func TestSubstrateCacheZeroAllocSteadyState(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc counting in -short")
 	}
+	// Same stabilization as TestMetricsZeroAllocSteadyState: settle the
+	// heap and hold GC off so no mid-window sync.Pool refill is charged to
+	// either variant.
+	runtime.GC()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	run := func(extra ...Option) float64 {
 		e := NewEngine(2)
 		defer e.Close()

@@ -19,15 +19,129 @@ package bpmax
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/fault"
 )
 
 // PanicError is the error a fold returns when a solver goroutine panicked;
 // it carries the panic value and the panicking goroutine's stack. Match it
 // with errors.As.
 type PanicError = ibpmax.PanicError
+
+// FaultError is the typed error an armed failpoint injects (see
+// internal/fault and the `bpmax -failpoints` flag). Injected faults are
+// transient by definition — WithRetry retries them.
+type FaultError = fault.Error
+
+// RetryConfig bounds the retry policy installed by WithRetry. The zero
+// value selects the defaults noted on each field.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (default 3; 1 disables retries without removing the policy).
+	MaxAttempts int
+	// Base is the backoff before the first retry (default 1ms); it doubles
+	// per further retry, capped at Max (default 100ms). The actual sleep is
+	// jittered uniformly over [d/2, d] so synchronized failures do not
+	// retry in lockstep.
+	Base time.Duration
+	Max  time.Duration
+	// Seed makes the jitter sequence deterministic (0 selects a fixed
+	// default seed; the sequence is deterministic either way — set distinct
+	// seeds to decorrelate callers).
+	Seed int64
+}
+
+// WithRetry retries transiently failed folds: after an attempt fails with a
+// transient error (see IsTransient — recovered solver panics, injected
+// faults, failed single-flight leaders; never cancellation, memory-limit or
+// admission errors), the fold backs off exponentially with jitter and runs
+// again, up to MaxAttempts total attempts. The admission slot, if any, is
+// released during the backoff and re-acquired by the next attempt, so a
+// retrying request never pins concurrency it is not using. Retries apply to
+// Fold/FoldContext, FoldBatch items and ScanWindowed; the single-strand
+// entry points are cheap enough that callers simply re-invoke them.
+func WithRetry(rc RetryConfig) Option {
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 3
+	}
+	if rc.Base <= 0 {
+		rc.Base = time.Millisecond
+	}
+	if rc.Max <= 0 {
+		rc.Max = 100 * time.Millisecond
+	}
+	return func(o *options) { o.retry = &rc }
+}
+
+// IsTransient reports whether err is a failure WithRetry would retry: a
+// recovered solver panic (*PanicError) or an injected fault (*FaultError),
+// including either surfacing as a failed single-flight leader. Context
+// cancellation, deadline expiry, *MemoryLimitError and *AdmissionError are
+// never transient — retrying cannot help them.
+func IsTransient(err error) bool {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return true
+	}
+	var fe *FaultError
+	return errors.As(err, &fe)
+}
+
+// isTransientFold is the pipeline's retry predicate; a separate name so the
+// policy reads as a decision, not a type assertion.
+func isTransientFold(err error) bool { return err != nil && IsTransient(err) }
+
+// recoveredError converts a recovered panic value into the typed error the
+// robustness layer returns. Values that already are (or carry) a
+// *PanicError pass through, keeping the original panic stack.
+func recoveredError(r any) error {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	if err, ok := r.(error); ok {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			return pe
+		}
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// backoff returns the jittered sleep before retry attempt n (1-based):
+// Base doubled per attempt, capped at Max, then jittered uniformly over
+// [d/2, d] with a splitmix64 stream keyed by Seed and n.
+func (rc *RetryConfig) backoff(attempt int) time.Duration {
+	d := rc.Base
+	for i := 1; i < attempt && d < rc.Max; i++ {
+		d *= 2
+	}
+	if d > rc.Max {
+		d = rc.Max
+	}
+	if d <= 0 {
+		return 0
+	}
+	seed := uint64(rc.Seed)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	h := splitmix64(seed ^ uint64(attempt)*0xff51afd7ed558ccd)
+	half := d / 2
+	return half + time.Duration(h%uint64(half+1))
+}
+
+// splitmix64 mirrors internal/fault's mixer for the retry jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
 
 // Degradation records which memory fallback, if any, a budgeted fold took.
 type Degradation int

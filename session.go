@@ -4,15 +4,21 @@
 // components — engine, pool, cache, admission gate, metrics — into one
 // handle whose methods mirror the package-level entry points. It is the
 // intended shape for a process that serves folds continuously: construct
-// one Session at startup, share it between goroutines, watch Stats, Close
-// on shutdown.
+// one Session at startup, share it between goroutines, watch Stats,
+// Shutdown (or Close) on the way out.
 
 package bpmax
 
 import (
 	"context"
+	"errors"
+	"sync"
 	"sync/atomic"
 )
+
+// ErrSessionClosed is returned by every Session method invoked after Close
+// or Shutdown marked the session closed. Match it with errors.Is.
+var ErrSessionClosed = errors.New("bpmax: session closed")
 
 // Session runs folds through one pre-parsed option set and one set of
 // serving components. Unless the options supply them, a Session creates and
@@ -31,7 +37,15 @@ type Session struct {
 	metrics   *Metrics
 
 	ownedEngine bool
-	closed      atomic.Bool
+	ownedPool   bool
+
+	// mu guards closed and orders it against inflight.Add: once markClosed
+	// sets closed under mu, no new fold can register, so inflight.Wait
+	// observes a monotonically draining count.
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+	released atomic.Bool
 }
 
 // SessionStats aggregates every component's snapshot in one JSON-ready
@@ -47,8 +61,9 @@ type SessionStats struct {
 // NewSession parses opts once and returns a ready session. An unknown
 // variant fails here, not on first use. When opts carry no WithEngine, the
 // session starts an engine sized by WithWorkers (GOMAXPROCS by default) and
-// closes it in Close; when they carry no WithPool, it creates a pool. A
-// caller-supplied engine is used but never closed by the session.
+// closes it on shutdown; when they carry no WithPool, it creates a pool and
+// trims it on shutdown. Caller-supplied components are used but never
+// closed or trimmed by the session.
 func NewSession(opts ...Option) (*Session, error) {
 	rq := buildOptions(opts)
 	if rq.verr != nil {
@@ -67,6 +82,7 @@ func NewSession(opts ...Option) (*Session, error) {
 	if rq.pool == nil {
 		p := NewPool()
 		s.pool = p
+		s.ownedPool = true
 		rq.pool = p
 		rq.cfg.Pool = p.p
 		s.opts = append(s.opts, WithPool(p))
@@ -80,39 +96,80 @@ func NewSession(opts ...Option) (*Session, error) {
 	return s, nil
 }
 
+// begin registers one in-flight call, or reports ErrSessionClosed once the
+// session stopped admitting. A nil error must be paired with one end.
+func (s *Session) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+func (s *Session) end() { s.inflight.Done() }
+
 // Fold computes the BPMax interaction of two strands through the session's
 // pipeline; see FoldContext for the cancellation, budgeting and degradation
-// contract.
+// contract. A closed session returns ErrSessionClosed.
 func (s *Session) Fold(ctx context.Context, seq1, seq2 string) (*Result, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	return s.rq.runFold(ctx, seq1, seq2)
 }
 
 // FoldBatch folds every pair through the session's components; see
-// FoldBatchContext for the worker-budget and failure contract.
+// FoldBatchContext for the worker-budget and failure contract. On a closed
+// session every item fails with ErrSessionClosed.
 func (s *Session) FoldBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	if err := s.begin(); err != nil {
+		out := make([]BatchResult, len(items))
+		for i, it := range items {
+			out[i] = BatchResult{Name: it.Name, Err: err}
+		}
+		return out
+	}
+	defer s.end()
 	return FoldBatchContext(ctx, items, workers, s.opts...)
 }
 
 // ScanWindowed runs a windowed (banded) scan through the session's
-// pipeline; see ScanWindowedContext.
+// pipeline; see ScanWindowedContext. A closed session returns
+// ErrSessionClosed.
 func (s *Session) ScanWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int) (*WindowResult, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	return s.rq.runWindowed(ctx, seq1, seq2, w1, w2)
 }
 
 // FoldSingle folds one strand alone through the session's pipeline; see
-// FoldSingleContext.
+// FoldSingleContext. A closed session returns ErrSessionClosed.
 func (s *Session) FoldSingle(ctx context.Context, seq string) (*SingleResult, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	return s.rq.runSingle(ctx, seq)
 }
 
 // SingleEnsemble computes the single-strand ensemble signal through the
-// session's pipeline; see the package-level SingleEnsemble.
+// session's pipeline; see the package-level SingleEnsemble. A closed
+// session returns ErrSessionClosed.
 func (s *Session) SingleEnsemble(seq string, kT float64) (*EnsembleResult, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
 	return s.rq.runEnsemble(seq, kT)
 }
 
 // Stats snapshots every component the session holds. Safe to call
-// concurrently with running folds.
+// concurrently with running folds, and still available after Close.
 func (s *Session) Stats() SessionStats {
 	var st SessionStats
 	if s.engine != nil {
@@ -138,15 +195,62 @@ func (s *Session) Stats() SessionStats {
 	return st
 }
 
-// Close releases the session's owned components (the engine it started, if
-// any) and trims the pool it created. Folds in flight must finish first;
-// folding through a closed session stays correct but falls back to
-// per-fold goroutines, like Engine.Close documents. Close is idempotent.
-func (s *Session) Close() {
-	if !s.closed.CompareAndSwap(false, true) {
+// markClosed stops admitting: every method entered after it returns
+// ErrSessionClosed. Idempotent.
+func (s *Session) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// release frees the owned components exactly once: the engine the session
+// started is closed, the pool it created is trimmed back to zero retention.
+func (s *Session) release() {
+	if !s.released.CompareAndSwap(false, true) {
 		return
 	}
 	if s.ownedEngine {
 		s.engine.Close()
 	}
+	if s.ownedPool {
+		s.pool.Trim()
+	}
+}
+
+// Shutdown drains the session gracefully: it stops admitting new calls
+// (they return ErrSessionClosed immediately), waits for every in-flight
+// call to finish, then releases the owned components — the engine the
+// session started is closed and the pool it created is trimmed. If ctx ends
+// before the drain completes, Shutdown returns ctx.Err() with the session
+// closed to new work but the components not yet released — in-flight folds
+// keep their engine and pool; call Shutdown (or Close) again to finish the
+// release once they drain. Shutdown is idempotent.
+func (s *Session) Shutdown(ctx context.Context) error {
+	s.markClosed()
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.release()
+	return nil
+}
+
+// Close is the non-blocking shutdown: it stops admitting (methods return
+// ErrSessionClosed), closes the engine the session started, and trims the
+// pool it created back to zero retained bytes. Unlike Shutdown it does not
+// wait for in-flight calls — they stay correct, falling back to per-fold
+// goroutines exactly as Engine.Close documents, with the pool re-warming
+// behind them. Close is idempotent.
+func (s *Session) Close() {
+	s.markClosed()
+	s.release()
 }
