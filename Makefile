@@ -27,7 +27,7 @@ lint: fmt
 # the race detector. The full -race ./... run is slow on small hosts; this
 # target covers every package that spawns goroutines.
 race:
-	$(GO) test -race ./internal/bpmax/ ./internal/nussinov/ . ./cmd/bpmax/
+	$(GO) test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ . ./cmd/bpmax/
 
 ci: build test vet lint race
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzPooledParity -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzFold -fuzztime 20s .
 	$(GO) test -run '^$$' -fuzz FuzzFastaRoundTrip -fuzztime 10s .
+	$(GO) test -run '^$$' -fuzz FuzzFourRussiansParity -fuzztime 20s ./internal/fourrussians/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -47,16 +48,16 @@ bench:
 # a JSON artifact. The ext-chaos failpoints-off row gates the disabled-
 # failpoint fast path: compiled-in but disarmed sites must cost nothing.
 bench-engine:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -json BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -json BENCH_engine.json
 
 # Refresh the committed benchmark baseline that ci.sh gates against.
 # Run this after an intentional performance change (or on new reference
 # hardware) and commit the result.
 bench-baseline:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -repeats 5 -json results/BENCH_baseline.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 5 -json results/BENCH_baseline.json
 
 # The full regression gate as CI runs it: selftest, regenerate, compare.
 bench-gate:
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -repeats 3 -json BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 3 -json BENCH_engine.json
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
 )
@@ -52,6 +53,25 @@ const (
 	// HybridTiled adds double max-plus tiling to Hybrid; the default and
 	// the paper's best performer.
 	HybridTiled Variant = "hybrid-tiled"
+)
+
+// SubstrateAlgorithm names the algorithm that fills the per-strand Nussinov
+// substrate tables (S¹/S²) before the interaction DP runs.
+type SubstrateAlgorithm string
+
+const (
+	// SubstrateAuto (the default) picks Four-Russians when the score model
+	// has integer-bounded weights and the strand is long enough to profit,
+	// the classic O(n³) scan otherwise.
+	SubstrateAuto SubstrateAlgorithm = "auto"
+	// SubstrateClassic forces the classic scan everywhere.
+	SubstrateClassic SubstrateAlgorithm = "classic"
+	// SubstrateFourRussians forces the O(n³/log n) Four-Russians solver on
+	// every strand whose score model supports it (integer weights; all
+	// stock models qualify). Models with fractional or negative custom
+	// weights fall back to the classic scan, which is the only correct
+	// choice there.
+	SubstrateFourRussians SubstrateAlgorithm = "four-russians"
 )
 
 // Weights configures the base-pair scoring model.
@@ -96,6 +116,8 @@ type options struct {
 	// retry, when set via WithRetry, re-runs transiently failed folds with
 	// exponential backoff; see IsTransient for what qualifies.
 	retry *RetryConfig
+	// substrate selects the S¹/S² fill algorithm; empty means SubstrateAuto.
+	substrate SubstrateAlgorithm
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.
@@ -130,6 +152,17 @@ func WithWeights(w Weights) Option { return func(o *options) { o.weights = w } }
 // modelling a minimum hairpin loop (default 0, BPMax's counting model).
 func WithMinHairpin(n int) Option { return func(o *options) { o.minHairpin = n } }
 
+// WithSubstrateAlgorithm selects how the per-strand substrate tables are
+// built (default SubstrateAuto). Every choice produces bit-identical
+// tables whenever it applies — the Four-Russians path enumerates exactly
+// the classic candidate set in exact small-integer float32 arithmetic
+// (enforced by FuzzFourRussiansParity) — so substrate-cache entries and
+// results are interchangeable across algorithms; only the build time
+// differs.
+func WithSubstrateAlgorithm(a SubstrateAlgorithm) Option {
+	return func(o *options) { o.substrate = a }
+}
+
 // buildOptions parses an option list into the pipeline's request form: the
 // accumulated options plus the resolved scoring parameters and schedule
 // variant. Every public entry point calls it exactly once per request (and
@@ -142,7 +175,21 @@ func buildOptions(opts []Option) request {
 	}
 	rq := request{options: o, sp: o.params()}
 	rq.v, rq.verr = o.internalVariant()
+	rq.salgo, rq.aerr = o.substrateAlgo()
+	rq.subMax, rq.subInt = rq.sp.Model.IntegerBounded()
 	return rq
+}
+
+func (o options) substrateAlgo() (nussinov.Algo, error) {
+	switch o.substrate {
+	case SubstrateAuto, "":
+		return nussinov.AlgoAuto, nil
+	case SubstrateClassic:
+		return nussinov.AlgoClassic, nil
+	case SubstrateFourRussians:
+		return nussinov.AlgoFourRussians, nil
+	}
+	return 0, fmt.Errorf("bpmax: unknown substrate algorithm %q", o.substrate)
 }
 
 func (o options) params() score.Params {

@@ -22,7 +22,7 @@ if command -v staticcheck >/dev/null 2>&1; then
 fi
 
 # Tier 2: race detector and benchmark smoke.
-go test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/pipeline/ . ./cmd/bpmax/
+go test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ ./internal/pipeline/ . ./cmd/bpmax/
 go test -run '^$' -bench . -benchtime 1x ./...
 
 # Tier 2: chaos smoke — the seeded fault schedules, retry/breaker policies
@@ -32,15 +32,18 @@ go test -run '^$' -bench . -benchtime 1x ./...
 go test -race -run 'TestChaos|TestRetry|TestBreaker|TestSessionShutdownDrains|TestSessionClosed' -count=1 .
 
 # Tier 2: fuzz smoke over the pooled/context/cached parity fuzzers — the
-# paths the pipeline's reuse layers ride on.
+# paths the pipeline's reuse layers ride on — and the Four-Russians
+# substrate bit-identity fuzzer that lets the fast path share cache entries
+# with the classic fill.
 go test -run '^$' -fuzz FuzzPooledParity -fuzztime 10s .
 go test -run '^$' -fuzz FuzzFoldContextParity -fuzztime 10s .
 go test -run '^$' -fuzz FuzzCachedFoldParity -fuzztime 10s .
+go test -run '^$' -fuzz FuzzFourRussiansParity -fuzztime 10s ./internal/fourrussians/
 
 # Benchmark-regression gate. First prove the gate itself trips on a
 # synthetic 20% regression, then regenerate the steady-state artifact and
 # compare it against the committed baseline (refresh with `make
 # bench-baseline` after intentional performance changes).
 go run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos -repeats 3 -json BENCH_engine.json
+go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 3 -json BENCH_engine.json
 go run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json

@@ -64,6 +64,8 @@ func run(ctx context.Context, args []string) error {
 	tileJ := fs.Int("tile-j2", 0, "j2 tile size (0 = untiled/streaming)")
 	window := fs.Int("window", 0, "windowed scan with this span for both sequences (0 = full fold)")
 	unit := fs.Bool("unit", false, "unweighted pair counting instead of GC=3/AU=2/GU=1")
+	substrate := fs.String("substrate", "auto",
+		"substrate (Nussinov S-table) fill algorithm: auto, classic, four-russians (alias 4r)")
 	packed := fs.Bool("packed", false, "use the packed (quarter-space) memory map")
 	timeout := fs.Duration("timeout", 0, "abort the fold after this long, e.g. 30s (0 = no deadline)")
 	memLimit := fs.String("mem-limit", "", "refuse folds whose table exceeds this size, e.g. 500MB or 2GB (empty = unlimited)")
@@ -104,7 +106,7 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return fmt.Errorf("-mem-limit: %w", err)
 	}
-	options, err := buildOpts(*variant, *workers, *tileI, *tileK, *tileJ, *unit, *packed, limitBytes, *degradeWindow)
+	options, err := buildOpts(*variant, *substrate, *workers, *tileI, *tileK, *tileJ, *unit, *packed, limitBytes, *degradeWindow)
 	if err != nil {
 		return err
 	}
@@ -378,11 +380,16 @@ func parseBytes(s string) (int64, error) {
 
 // buildOpts assembles the fold options shared by the single and batch
 // paths.
-func buildOpts(variant string, workers, tileI, tileK, tileJ int, unit, packed bool, memLimit int64, degradeWindow int) ([]bpmax.Option, error) {
+func buildOpts(variant, substrate string, workers, tileI, tileK, tileJ int, unit, packed bool, memLimit int64, degradeWindow int) ([]bpmax.Option, error) {
+	if substrate == "4r" {
+		substrate = string(bpmax.SubstrateFourRussians)
+	}
 	out := []bpmax.Option{
 		bpmax.WithVariant(bpmax.Variant(variant)),
 		bpmax.WithWorkers(workers),
 		bpmax.WithTiles(tileI, tileK, tileJ),
+		// Unknown -substrate values surface as a fold-time error.
+		bpmax.WithSubstrateAlgorithm(bpmax.SubstrateAlgorithm(substrate)),
 	}
 	if unit {
 		out = append(out, bpmax.WithWeights(bpmax.Weights{Unit: true}))

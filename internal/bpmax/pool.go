@@ -116,6 +116,7 @@ func (pl *Pool) NewProblemShell(seq1, seq2 string, params score.Params) (*Proble
 		p.Tab = &score.Tables{}
 	}
 	score.BuildInto(p.Tab, p.Seq1, p.Seq2, params)
+	p.subMax, p.subInt = params.Model.IntegerBounded()
 	p.pl = pl
 	return p, nil
 }

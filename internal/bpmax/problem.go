@@ -3,6 +3,7 @@ package bpmax
 import (
 	"fmt"
 
+	"github.com/bpmax-go/bpmax/internal/fourrussians"
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
@@ -28,6 +29,11 @@ type Problem struct {
 	// never be Reset.
 	ownS1, ownS2       *nussinov.Table
 	sharedS1, sharedS2 bool
+	// subMax/subInt cache Params.Model.IntegerBounded() from construction:
+	// the capability that decides whether the Four-Russians substrate path
+	// may fill S¹/S².
+	subMax int
+	subInt bool
 }
 
 // Release returns a pooled problem's shell — with its retained sequence
@@ -64,30 +70,53 @@ func NewProblemShell(seq1, seq2 rna.Sequence, p score.Params) (*Problem, error) 
 	if n1 == 0 || n2 == 0 {
 		return nil, fmt.Errorf("bpmax: both sequences must be non-empty (got %d and %d nt)", n1, n2)
 	}
-	return &Problem{
+	prob := &Problem{
 		Seq1: seq1, Seq2: seq2,
 		N1: n1, N2: n2,
 		Tab: score.Build(seq1, seq2, p),
-	}, nil
+	}
+	prob.subMax, prob.subInt = p.Model.IntegerBounded()
+	return prob, nil
 }
 
 // BuildS1 fills the S¹ single-strand table in the problem's own storage
 // (created or Reset as needed — bit-identical to a fresh nussinov.Build).
-func (p *Problem) BuildS1() {
+// It auto-selects between the classic and Four-Russians fills; the results
+// are bit-identical, so callers never observe the choice.
+func (p *Problem) BuildS1() { p.BuildS1Algo(nussinov.AlgoAuto) }
+
+// BuildS2 fills the S² table; see BuildS1.
+func (p *Problem) BuildS2() { p.BuildS2Algo(nussinov.AlgoAuto) }
+
+// BuildS1Algo is BuildS1 with an explicit algorithm choice. Requests for
+// Four-Russians on a model without integer-bounded weights fall back to the
+// classic fill (the only correct option there, and bit-identical whenever
+// both apply).
+func (p *Problem) BuildS1Algo(a nussinov.Algo) {
 	if p.S1 == nil {
 		p.S1 = &nussinov.Table{}
 	}
 	p.S1.Reset(p.N1)
-	p.S1.Fill(func(i, j int) float32 { return p.Tab.Score1(i, j) })
+	sc := func(i, j int) float32 { return p.Tab.Score1(i, j) }
+	if fourrussians.Pick(a, p.N1, p.subMax, p.subInt) {
+		fourrussians.Fill(p.S1, sc, p.subMax)
+	} else {
+		p.S1.Fill(sc)
+	}
 }
 
-// BuildS2 fills the S² table; see BuildS1.
-func (p *Problem) BuildS2() {
+// BuildS2Algo is BuildS2 with an explicit algorithm choice; see BuildS1Algo.
+func (p *Problem) BuildS2Algo(a nussinov.Algo) {
 	if p.S2 == nil {
 		p.S2 = &nussinov.Table{}
 	}
 	p.S2.Reset(p.N2)
-	p.S2.Fill(func(i, j int) float32 { return p.Tab.Score2(i, j) })
+	sc := func(i, j int) float32 { return p.Tab.Score2(i, j) }
+	if fourrussians.Pick(a, p.N2, p.subMax, p.subInt) {
+		fourrussians.Fill(p.S2, sc, p.subMax)
+	} else {
+		p.S2.Fill(sc)
+	}
 }
 
 // ShareS1 installs a cached S¹ table. The table is shared and read-only;

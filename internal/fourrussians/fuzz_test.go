@@ -1,0 +1,55 @@
+package fourrussians
+
+import (
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/score"
+)
+
+// FuzzFourRussiansParity is the bit-identity gate for the Four-Russians
+// path: for arbitrary sequences and all three stock score models, the 4R
+// table must equal nussinov.Build's bit for bit, and traceback over the 4R
+// table must reach the same total weight. This is what lets the pipeline
+// switch algorithms per request without invalidating cached substrates.
+func FuzzFourRussiansParity(f *testing.F) {
+	f.Add("GGGAAACCC")
+	f.Add("GCGC")
+	f.Add("A")
+	f.Add("")
+	f.Add("ACGUACGUACGUACGUACGUACGUACGUACGUACGUACGU")
+	f.Add("GGGGGGGGGGGGGGGGCCCCCCCCCCCCCCCC")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 300 {
+			t.Skip("cap the O(n³) fills")
+		}
+		seq, err := rna.New(s)
+		if err != nil {
+			t.Skip("non-nucleotide input")
+		}
+		n := seq.Len()
+		for _, m := range []score.Model{score.BasePair(), score.Unit(), score.Forbidden("forbidden")} {
+			maxStep, ok := m.IntegerBounded()
+			if !ok {
+				t.Fatalf("%s: not integer-bounded", m.Name())
+			}
+			sc := scoreFor(seq, m)
+			want := nussinov.Build(n, sc)
+			got := Build(n, sc, maxStep)
+			wd, gd := want.Data(), got.Data()
+			for idx := range wd {
+				if gd[idx] != wd[idx] {
+					t.Fatalf("%s: S[%d,%d] = %v, classic %v (seq %q)",
+						m.Name(), idx/n, idx%n, gd[idx], wd[idx], s)
+				}
+			}
+			if n > 0 {
+				pairs := got.Traceback(sc)
+				if gw, ww := nussinov.PairsWeight(pairs, sc), want.At(0, n-1); gw != ww {
+					t.Fatalf("%s: traceback weight %v != classic S %v (seq %q)", m.Name(), gw, ww, s)
+				}
+			}
+		}
+	})
+}

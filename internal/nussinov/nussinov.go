@@ -26,6 +26,44 @@ import (
 // large negative value (score.NegInf) when the pairing is forbidden.
 type ScoreFunc func(i, j int) float32
 
+// SequentialCutoff is the table size below which parallel substrate builds
+// run their wavefronts sequentially: under ~64 positions a diagonal holds so
+// few cells that fork-join overhead dominates the O(cells·n) work. Both the
+// classic solver and the Four-Russians solver (internal/fourrussians) honor
+// it so the algorithms differ only in their inner loop, never in their
+// scheduling.
+const SequentialCutoff = 64
+
+// Algo selects the algorithm used to fill a substrate table. The
+// Four-Russians implementation lives in internal/fourrussians, which
+// imports this package; the enum is defined here so the problem layer and
+// the pipeline can share it without an import cycle.
+type Algo uint8
+
+const (
+	// AlgoAuto picks Four-Russians when the score model is integer-bounded
+	// and the strand is long enough to profit, classic otherwise.
+	AlgoAuto Algo = iota
+	// AlgoClassic forces the classic O(n³) scan.
+	AlgoClassic
+	// AlgoFourRussians forces the Four-Russians block path whenever the
+	// model supports it (integer-bounded weights); unsupported models fall
+	// back to classic, which is bit-identical anyway.
+	AlgoFourRussians
+)
+
+// String returns the CLI-facing name of the algorithm.
+func (a Algo) String() string {
+	switch a {
+	case AlgoClassic:
+		return "classic"
+	case AlgoFourRussians:
+		return "four-russians"
+	default:
+		return "auto"
+	}
+}
+
 // Table holds S over a bounding-box memory map (option 1 of the paper's
 // Fig 10): row-contiguous so BPMax's kernels can stream rows of S².
 type Table struct {
@@ -57,23 +95,38 @@ func (t *Table) At(i, j int) float32 {
 // box; only j >= i are meaningful). Callers must not modify it.
 func (t *Table) Row(i int) []float32 { return t.data[i*t.N : (i+1)*t.N] }
 
+// Data exposes the table's backing storage (row-contiguous, N×N). It exists
+// for sibling substrate kernels — internal/fourrussians fills a Table
+// through it — so the pool, cache, and BPMax hand-off adopt those tables
+// unchanged. All other callers must treat it as read-only.
+func (t *Table) Data() []float32 { return t.data }
+
 // set stores S[i,j].
 func (t *Table) set(i, j int, v float32) { t.data[i*t.N+j] = v }
 
 // cell computes the recurrence body for (i, j), assuming all shorter
-// intervals are final.
+// intervals are final. It indexes the backing storage directly instead of
+// going through At: diagonal and lower-triangle cells are physically zero
+// (Reset guarantees it), so At's j<i special case is already encoded in the
+// data and the hot k-loop runs over a hoisted row slice plus one strided
+// column index.
 func (t *Table) cell(i, j int, score ScoreFunc) float32 {
-	best := t.At(i+1, j)
-	if v := t.At(i, j-1); v > best {
-		best = v
+	n := t.N
+	data := t.data
+	row := data[i*n : i*n+n : i*n+n]
+	best := data[(i+1)*n+j] // S[i+1, j]; row i+1 exists because i < j < n
+	if v := row[j-1]; v > best {
+		best = v // S[i, j-1]
 	}
-	if v := t.At(i+1, j-1) + score(i, j); v > best {
-		best = v
+	if v := data[(i+1)*n+j-1] + score(i, j); v > best {
+		best = v // S[i+1, j-1] + w(i, j)
 	}
+	idx := (i+1)*n + j // walks S[k+1, j] down column j
 	for k := i; k < j; k++ {
-		if v := t.At(i, k) + t.At(k+1, j); v > best {
+		if v := row[k] + data[idx]; v > best {
 			best = v
 		}
+		idx += n
 	}
 	return best
 }
@@ -135,11 +188,13 @@ func BuildParallelContext(ctx context.Context, n int, score ScoreFunc, workers i
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	done := ctx.Done()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Allocate only after the initial ctx check: an already-cancelled
+	// request must not pay for (or retain) an O(n²) table.
 	t := NewTable(n)
+	done := ctx.Done()
 	if n < 2 {
 		return t, nil
 	}
@@ -153,7 +208,7 @@ func BuildParallelContext(ctx context.Context, n int, score ScoreFunc, workers i
 			return nil, ctx.Err()
 		default:
 		}
-		if w == 1 || n < 64 {
+		if w == 1 || n < SequentialCutoff {
 			// Fork-join overhead dominates tiny tables.
 			for i := 0; i+d < n; i++ {
 				t.set(i, i+d, t.cell(i, i+d, score))
@@ -222,35 +277,44 @@ func (t *Table) Traceback(score ScoreFunc) []Pair {
 // whenever its decomposition bottoms out in a single-strand fold.
 func (t *Table) TracebackInterval(i0, j0 int, score ScoreFunc) []Pair {
 	var pairs []Pair
-	var walk func(i, j int)
-	walk = func(i, j int) {
-		if j <= i {
-			return
-		}
-		v := t.At(i, j)
-		if v == t.At(i+1, j) {
-			walk(i+1, j)
-			return
-		}
-		if v == t.At(i, j-1) {
-			walk(i, j-1)
-			return
-		}
-		if v == t.At(i+1, j-1)+score(i, j) {
-			pairs = append(pairs, Pair{i, j})
-			walk(i+1, j-1)
-			return
-		}
-		for k := i; k < j; k++ {
-			if v == t.At(i, k)+t.At(k+1, j) {
-				walk(i, k)
-				walk(k+1, j)
-				return
+	// Explicit DFS stack instead of recursion: a degenerate table (e.g. a
+	// long unpairable strand walking S[i,j-1] one column at a time) would
+	// otherwise recurse O(n) deep and can overflow the goroutine stack on
+	// very long strands. Popping LIFO and pushing a split's right half
+	// first reproduces the recursive visit order exactly, so the emitted
+	// pair order is unchanged.
+	stack := make([]Pair, 0, 32)
+	if j0 > i0 {
+		stack = append(stack, Pair{i0, j0})
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i, j := top.I, top.J
+	walk:
+		for j > i {
+			v := t.At(i, j)
+			switch {
+			case v == t.At(i+1, j):
+				i++
+			case v == t.At(i, j-1):
+				j--
+			case v == t.At(i+1, j-1)+score(i, j):
+				pairs = append(pairs, Pair{i, j})
+				i++
+				j--
+			default:
+				for k := i; k < j; k++ {
+					if v == t.At(i, k)+t.At(k+1, j) {
+						stack = append(stack, Pair{k + 1, j})
+						j = k // continue with the left half (i, k)
+						continue walk
+					}
+				}
+				panic(fmt.Sprintf("nussinov: traceback stuck at (%d, %d)", i, j))
 			}
 		}
-		panic(fmt.Sprintf("nussinov: traceback stuck at (%d, %d)", i, j))
 	}
-	walk(i0, j0)
 	return pairs
 }
 

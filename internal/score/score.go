@@ -108,6 +108,37 @@ func (m Model) Pair(a, b rna.Base) Value { return m.pairs[ord(a)][ord(b)] }
 // (non-forbidden) weight.
 func (m Model) Allowed(a, b rna.Base) bool { return m.pairs[ord(a)][ord(b)] > NegInf/2 }
 
+// maxIntegerWeight bounds the weights IntegerBounded accepts. Far above any
+// realistic pair weight, far below the 2²⁴ limit where float32 stops
+// representing consecutive integers exactly (the bit-identity argument for
+// the Four-Russians path needs exact integer arithmetic).
+const maxIntegerWeight = 1 << 20
+
+// IntegerBounded reports whether every allowed (non-forbidden) pair weight
+// is a small non-negative integer and, if so, the largest such weight. This
+// is the capability the Four-Russians substrate solver keys on: with
+// integer weights in [0, max], adjacent cells of a folding table differ by
+// an integer step in that same range, which is exactly what its difference
+// encoding tabulates. Forbidden entries (NegInf) don't count; an
+// all-forbidden model is integer-bounded with max 0.
+func (m Model) IntegerBounded() (max int, ok bool) {
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			w := m.pairs[a][b]
+			if w <= NegInf/2 {
+				continue
+			}
+			if w < 0 || w > maxIntegerWeight || w != Value(int32(w)) {
+				return 0, false
+			}
+			if int(w) > max {
+				max = int(w)
+			}
+		}
+	}
+	return max, true
+}
+
 // Symmetric reports whether m.Pair(a,b) == m.Pair(b,a) for all bases; all
 // models built by this package's constructors are symmetric, and callers of
 // Custom may use this as a sanity check.

@@ -238,3 +238,26 @@ func TestNegInfArithmeticSafe(t *testing.T) {
 		t.Fatal("NegInf accumulation became non-negative-infinite")
 	}
 }
+
+func TestIntegerBounded(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+		max  int
+		ok   bool
+	}{
+		{"basepair", BasePair(), 3, true},
+		{"unit", Unit(), 1, true},
+		{"forbidden", Forbidden("x"), 0, true},
+		{"custom-int", Custom("ci", map[[2]rna.Base]Value{{rna.G, rna.C}: 7}), 7, true},
+		{"fractional", Custom("cf", map[[2]rna.Base]Value{{rna.G, rna.C}: 2.5}), 0, false},
+		{"negative", Custom("cn", map[[2]rna.Base]Value{{rna.A, rna.U}: -1}), 0, false},
+		{"huge", Custom("ch", map[[2]rna.Base]Value{{rna.A, rna.U}: 1 << 21}), 0, false},
+	}
+	for _, c := range cases {
+		max, ok := c.m.IntegerBounded()
+		if max != c.max || ok != c.ok {
+			t.Errorf("%s: IntegerBounded() = (%d, %v), want (%d, %v)", c.name, max, ok, c.max, c.ok)
+		}
+	}
+}

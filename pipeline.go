@@ -34,6 +34,7 @@ import (
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
 	"github.com/bpmax-go/bpmax/internal/fault"
+	"github.com/bpmax-go/bpmax/internal/fourrussians"
 	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
@@ -53,6 +54,14 @@ type request struct {
 	sp   score.Params
 	v    ibpmax.Variant
 	verr error
+	// salgo is the resolved substrate algorithm (aerr names an unknown
+	// WithSubstrateAlgorithm value); subMax/subInt cache the model's
+	// IntegerBounded capability, which together with salgo decides whether
+	// the Four-Russians fast path fills the S tables.
+	salgo  nussinov.Algo
+	aerr   error
+	subMax int
+	subInt bool
 }
 
 // admit is the admission-control stage. A nil error means either no gate is
@@ -89,6 +98,10 @@ func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, erro
 	if rq.verr != nil {
 		rq.metrics.RecordError()
 		return nil, rq.verr
+	}
+	if rq.aerr != nil {
+		rq.metrics.RecordError()
+		return nil, rq.aerr
 	}
 	if rq.retry == nil {
 		// No policy: skip the wrapper — its attempt closure captures the
@@ -352,17 +365,20 @@ func (rq request) newProblem(seq1, seq2 string) (*ibpmax.Problem, error) {
 func (rq request) installSubstrates(p *ibpmax.Problem) {
 	c := rq.cache
 	if c == nil || !c.substratesOn() {
-		p.BuildS1()
-		p.BuildS2()
+		p.BuildS1Algo(rq.salgo)
+		p.BuildS2Algo(rq.salgo)
 		return
 	}
+	// Substrate keys carry no algorithm component on purpose: every
+	// algorithm produces bit-identical tables (see WithSubstrateAlgorithm),
+	// so a table built by either fill serves requests asking for any.
 	k1 := substrateKey(p.Seq1, rq.sp)
 	if v, ok := c.c.Get(k1); ok {
 		c.substrateHits.Add(1)
 		p.ShareS1(v.(*nussinov.Table))
 	} else {
 		c.substrateMisses.Add(1)
-		p.BuildS1()
+		p.BuildS1Algo(rq.salgo)
 		c.insertSubstrate(k1, p.S1, rq.pool != nil)
 	}
 	k2 := substrateKey(p.Seq2, rq.sp)
@@ -371,7 +387,7 @@ func (rq request) installSubstrates(p *ibpmax.Problem) {
 		p.ShareS2(v.(*nussinov.Table))
 	} else {
 		c.substrateMisses.Add(1)
-		p.BuildS2()
+		p.BuildS2Algo(rq.salgo)
 		c.insertSubstrate(k2, p.S2, rq.pool != nil)
 	}
 }
@@ -486,6 +502,10 @@ func (rq request) runWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int
 	if w1 <= 0 || w2 <= 0 {
 		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
 	}
+	if rq.aerr != nil {
+		rq.metrics.RecordError()
+		return nil, rq.aerr
+	}
 	if rq.retry == nil {
 		return rq.windowedAttempt(ctx, seq1, seq2, w1, w2)
 	}
@@ -568,6 +588,9 @@ func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, err
 	if err != nil {
 		return nil, fmt.Errorf("bpmax: %w", err)
 	}
+	if rq.aerr != nil {
+		return nil, rq.aerr
+	}
 	if err := rq.admit(ctx); err != nil {
 		return nil, err
 	}
@@ -599,7 +622,7 @@ func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, err
 func (rq request) singleTable(ctx context.Context, s rna.Sequence, sc nussinov.ScoreFunc) (*nussinov.Table, error) {
 	c := rq.cache
 	if c == nil || !c.substratesOn() {
-		return nussinov.BuildParallelContext(ctx, s.Len(), sc, rq.cfg.Workers)
+		return rq.buildSubstrate(ctx, s.Len(), sc)
 	}
 	k := substrateKey(s, rq.sp)
 	if v, ok := c.c.Get(k); ok {
@@ -607,12 +630,22 @@ func (rq request) singleTable(ctx context.Context, s rna.Sequence, sc nussinov.S
 		return v.(*nussinov.Table), nil
 	}
 	c.substrateMisses.Add(1)
-	t, err := nussinov.BuildParallelContext(ctx, s.Len(), sc, rq.cfg.Workers)
+	t, err := rq.buildSubstrate(ctx, s.Len(), sc)
 	if err != nil {
 		return nil, err
 	}
 	c.c.Add(k, t, t.Bytes())
 	return t, nil
+}
+
+// buildSubstrate builds one S table with the request's substrate algorithm:
+// the Four-Russians wavefront build when the pick applies, the classic one
+// otherwise. Same cancellation contract, bit-identical tables.
+func (rq request) buildSubstrate(ctx context.Context, n int, sc nussinov.ScoreFunc) (*nussinov.Table, error) {
+	if fourrussians.Pick(rq.salgo, n, rq.subMax, rq.subInt) {
+		return fourrussians.BuildParallelContext(ctx, n, sc, rq.subMax, rq.cfg.Workers)
+	}
+	return nussinov.BuildParallelContext(ctx, n, sc, rq.cfg.Workers)
 }
 
 // runEnsemble executes the single-strand ensemble signal through the
