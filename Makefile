@@ -1,8 +1,14 @@
 # Tier-1 gate (what CI must keep green) plus the deeper checks.
+#
+# `make ci` runs the same stages the GitHub workflow runs as separate jobs;
+# each stage is also reachable directly (`./ci.sh lint`, `./ci.sh smoke`, …).
+# Regenerated artifacts go under results/generated/ (gitignored); committed
+# baselines live directly under results/.
 
 GO ?= go
+ARTIFACTS := results/generated
 
-.PHONY: all build test vet fmt lint race ci fuzz bench bench-engine bench-baseline bench-gate
+.PHONY: all build test vet fmt lint race ci fuzz smoke bench bench-engine bench-baseline bench-gate
 
 all: ci
 
@@ -23,13 +29,13 @@ fmt:
 lint: fmt
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipping"; fi
 
-# The parallel solver and the cancellation/panic-isolation machinery under
-# the race detector. The full -race ./... run is slow on small hosts; this
-# target covers every package that spawns goroutines.
+# The parallel solver, the cancellation/panic-isolation machinery, and the
+# HTTP front-end under the race detector. The full -race ./... run is slow
+# on small hosts; this target covers every package that spawns goroutines.
 race:
-	$(GO) test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ . ./cmd/bpmax/
+	$(GO) test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ . ./cmd/bpmax/ ./cmd/bpmaxd/
 
-ci: build test vet lint race
+ci: build test vet lint race smoke
 
 # Short fuzz pass over each fuzz target (regression corpus always runs as
 # part of `make test`).
@@ -40,6 +46,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFastaRoundTrip -fuzztime 10s .
 	$(GO) test -run '^$$' -fuzz FuzzFourRussiansParity -fuzztime 20s ./internal/fourrussians/
 
+# Server smoke: boot bpmaxd on a random port, replay the committed trace
+# with bpmaxload -check, SIGTERM, assert a clean drain. Writes the serving
+# replay artifact to $(ARTIFACTS)/BENCH_serving.json.
+smoke:
+	./ci.sh smoke
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -48,7 +60,8 @@ bench:
 # a JSON artifact. The ext-chaos failpoints-off row gates the disabled-
 # failpoint fast path: compiled-in but disarmed sites must cost nothing.
 bench-engine:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -json BENCH_engine.json
+	@mkdir -p $(ARTIFACTS)
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -json $(ARTIFACTS)/BENCH_engine.json
 
 # Refresh the committed benchmark baseline that ci.sh gates against.
 # Run this after an intentional performance change (or on new reference
@@ -58,6 +71,7 @@ bench-baseline:
 
 # The full regression gate as CI runs it: selftest, regenerate, compare.
 bench-gate:
+	@mkdir -p $(ARTIFACTS)
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 3 -json BENCH_engine.json
-	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 3 -json $(ARTIFACTS)/BENCH_engine.json
+	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -current $(ARTIFACTS)/BENCH_engine.json

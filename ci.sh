@@ -1,49 +1,137 @@
 #!/bin/sh
-# CI entry point: tier-1 build+test, vet, formatting and (when installed)
-# staticcheck lint, the race-detector pass over every package that spawns
-# goroutines (see Makefile `race`), a one-iteration benchmark smoke pass
-# (catches benchmarks that no longer compile or crash), a short fuzz smoke
-# over the solver parity fuzzers, and the benchmark-regression gate: the
-# engine/pool and observability steady-state tables are regenerated as a
-# machine-readable artifact and compared against the committed baseline by
-# cmd/benchgate (>15% time/fold or allocs/fold regression fails the build).
-set -eux
+# CI entry point, split into the stages the GitHub workflow runs as separate
+# jobs. Usage:
+#
+#     ./ci.sh [stage]
+#
+# Stages:
+#
+#   lint   vet, gofmt, staticcheck (when installed)
+#   test   tier-1 build + full test suite
+#   race   race detector over the goroutine-spawning packages + chaos re-run
+#   fuzz   short fuzz smoke over the solver parity fuzzers
+#   smoke  server smoke: boot bpmaxd, replay the committed trace with
+#          bpmaxload -check, SIGTERM, assert a clean drain
+#   bench  benchmark smoke + regression gate against the committed baseline
+#   all    every stage in order (default; what a minimal container runs)
+#
+# Regenerated artifacts (bench JSON, serving replay JSON) are written under
+# results/generated/ — never the repo root — and are gitignored.
+set -eu
 
-# Tier 1: build + tests.
-go build ./...
-go test ./...
+STAGE="${1:-all}"
+ARTIFACTS="results/generated"
 
-# Static analysis. staticcheck runs only where the pinned tool is
-# installed (the GitHub workflow installs it; minimal containers skip).
-go vet ./...
-test -z "$(gofmt -l . cmd internal)" || { gofmt -l . cmd internal; exit 1; }
-if command -v staticcheck >/dev/null 2>&1; then
-    staticcheck ./...
-fi
+run_lint() (
+    set -x
+    go vet ./...
+    test -z "$(gofmt -l . cmd internal)" || { gofmt -l . cmd internal; exit 1; }
+    # staticcheck runs only where the pinned tool is installed (the GitHub
+    # workflow installs it; minimal containers skip).
+    if command -v staticcheck >/dev/null 2>&1; then
+        staticcheck ./...
+    fi
+)
 
-# Tier 2: race detector and benchmark smoke.
-go test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ ./internal/pipeline/ . ./cmd/bpmax/
-go test -run '^$' -bench . -benchtime 1x ./...
+run_test() (
+    set -x
+    go build ./...
+    go test ./...
+)
 
-# Tier 2: chaos smoke — the seeded fault schedules, retry/breaker policies
-# and session-drain contract under the race detector (see chaos_test.go and
-# docs/ROBUSTNESS.md). The package -race run above already covers these;
-# this step re-runs them by name so a chaos failure is identified as such.
-go test -race -run 'TestChaos|TestRetry|TestBreaker|TestSessionShutdownDrains|TestSessionClosed' -count=1 .
+run_race() (
+    set -x
+    go test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ \
+        ./internal/pipeline/ . ./cmd/bpmax/ ./cmd/bpmaxd/
+    # Chaos smoke — the seeded fault schedules, retry/breaker policies and
+    # session-drain contract under the race detector (see chaos_test.go and
+    # docs/ROBUSTNESS.md). The package -race run above already covers these;
+    # this step re-runs them by name so a chaos failure is identified as such.
+    go test -race -run 'TestChaos|TestRetry|TestBreaker|TestSessionShutdownDrains|TestSessionClosed' -count=1 .
+)
 
-# Tier 2: fuzz smoke over the pooled/context/cached parity fuzzers — the
-# paths the pipeline's reuse layers ride on — and the Four-Russians
-# substrate bit-identity fuzzer that lets the fast path share cache entries
-# with the classic fill.
-go test -run '^$' -fuzz FuzzPooledParity -fuzztime 10s .
-go test -run '^$' -fuzz FuzzFoldContextParity -fuzztime 10s .
-go test -run '^$' -fuzz FuzzCachedFoldParity -fuzztime 10s .
-go test -run '^$' -fuzz FuzzFourRussiansParity -fuzztime 10s ./internal/fourrussians/
+run_fuzz() (
+    set -x
+    # Fuzz smoke over the pooled/context/cached parity fuzzers — the paths
+    # the pipeline's reuse layers ride on — and the Four-Russians substrate
+    # bit-identity fuzzer that lets the fast path share cache entries with
+    # the classic fill.
+    go test -run '^$' -fuzz FuzzPooledParity -fuzztime 10s .
+    go test -run '^$' -fuzz FuzzFoldContextParity -fuzztime 10s .
+    go test -run '^$' -fuzz FuzzCachedFoldParity -fuzztime 10s .
+    go test -run '^$' -fuzz FuzzFourRussiansParity -fuzztime 10s ./internal/fourrussians/
+)
 
-# Benchmark-regression gate. First prove the gate itself trips on a
-# synthetic 20% regression, then regenerate the steady-state artifact and
-# compare it against the committed baseline (refresh with `make
-# bench-baseline` after intentional performance changes).
-go run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 3 -json BENCH_engine.json
-go run ./cmd/benchgate -baseline results/BENCH_baseline.json -current BENCH_engine.json
+# Server smoke: boot bpmaxd on a random port, replay the committed trace
+# open-loop, then SIGTERM. bpmaxload -check fails on any 5xx, transport
+# error, client/server ledger mismatch, or shed rate above 20%; bpmaxd
+# itself exits nonzero if the drain drops an in-flight request.
+run_smoke() {
+    mkdir -p "$ARTIFACTS"
+    SMOKE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$SMOKE_DIR"' EXIT
+    set -x
+    go build -o "$SMOKE_DIR/bpmaxd" ./cmd/bpmaxd
+    go build -o "$SMOKE_DIR/bpmaxload" ./cmd/bpmaxload
+    "$SMOKE_DIR/bpmaxd" -addr 127.0.0.1:0 -addr-file "$SMOKE_DIR/addr" \
+        -cache 64MB -admit 8 -admit-queue 64 2>"$SMOKE_DIR/bpmaxd.log" &
+    SRV=$!
+    i=0
+    while [ ! -s "$SMOKE_DIR/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 200 ]; then
+            echo "bpmaxd never wrote its address" >&2
+            cat "$SMOKE_DIR/bpmaxd.log" >&2
+            kill "$SRV" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.05
+    done
+    "$SMOKE_DIR/bpmaxload" -addr "$(cat "$SMOKE_DIR/addr")" \
+        -trace testdata/traces/ci-smoke.jsonl -check -max-shed 0.2 \
+        -json "$ARTIFACTS/BENCH_serving.json"
+    kill -TERM "$SRV"
+    wait "$SRV"
+    cat "$SMOKE_DIR/bpmaxd.log"
+    # The serving artifact is bpmax-bench/v1: prove benchgate parses it
+    # (self-compare), so a committed serving baseline can gate it later.
+    go run ./cmd/benchgate -baseline "$ARTIFACTS/BENCH_serving.json" \
+        -current "$ARTIFACTS/BENCH_serving.json"
+}
+
+run_bench() (
+    set -x
+    mkdir -p "$ARTIFACTS"
+    # One-iteration benchmark smoke: catches benchmarks that no longer
+    # compile or crash.
+    go test -run '^$' -bench . -benchtime 1x ./...
+    # Benchmark-regression gate. First prove the gate itself trips on a
+    # synthetic 20% regression, then regenerate the steady-state artifact
+    # and compare it against the committed baseline (refresh with `make
+    # bench-baseline` after intentional performance changes).
+    go run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
+    go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate \
+        -repeats 3 -json "$ARTIFACTS/BENCH_engine.json"
+    go run ./cmd/benchgate -baseline results/BENCH_baseline.json -current "$ARTIFACTS/BENCH_engine.json"
+)
+
+case "$STAGE" in
+lint) run_lint ;;
+test) run_test ;;
+race) run_race ;;
+fuzz) run_fuzz ;;
+smoke) run_smoke ;;
+bench) run_bench ;;
+all)
+    run_lint
+    run_test
+    run_race
+    run_fuzz
+    run_smoke
+    run_bench
+    ;;
+*)
+    echo "ci.sh: unknown stage '$STAGE' (lint|test|race|fuzz|smoke|bench|all)" >&2
+    exit 2
+    ;;
+esac

@@ -17,6 +17,10 @@
 //	bpmax -metrics-json - GGGAAACCC GGGUUUCCC        # emit fold metrics as JSON on stdout
 //	bpmax -pprof localhost:6060 -fasta pairs.fa -batch   # profile a screen live
 //
+// The serving knobs (-variant, -engine, -pool, -cache, -admit, -retry,
+// -failpoints, ...) are shared verbatim with the bpmaxd network server; see
+// internal/cliflags.
+//
 // A first SIGINT cancels the fold gracefully (the partial table is
 // discarded and the process exits with an error); a second one kills the
 // process the usual way.
@@ -33,13 +37,11 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"github.com/bpmax-go/bpmax"
-	"github.com/bpmax-go/bpmax/internal/fault"
+	"github.com/bpmax-go/bpmax/internal/cliflags"
 )
 
 func main() {
@@ -56,36 +58,16 @@ func main() {
 
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("bpmax", flag.ContinueOnError)
-	variant := fs.String("variant", string(bpmax.HybridTiled),
-		"schedule: base, coarse, fine, hybrid, hybrid-tiled")
-	workers := fs.Int("workers", 0, "parallel workers (0 = all CPUs)")
-	tileI := fs.Int("tile-i2", 0, "i2 tile size (0 = default 64)")
-	tileK := fs.Int("tile-k2", 0, "k2 tile size (0 = default 16)")
-	tileJ := fs.Int("tile-j2", 0, "j2 tile size (0 = untiled/streaming)")
+	serving := cliflags.NewServing()
+	serving.Register(fs)
 	window := fs.Int("window", 0, "windowed scan with this span for both sequences (0 = full fold)")
-	unit := fs.Bool("unit", false, "unweighted pair counting instead of GC=3/AU=2/GU=1")
-	substrate := fs.String("substrate", "auto",
-		"substrate (Nussinov S-table) fill algorithm: auto, classic, four-russians (alias 4r)")
-	packed := fs.Bool("packed", false, "use the packed (quarter-space) memory map")
 	timeout := fs.Duration("timeout", 0, "abort the fold after this long, e.g. 30s (0 = no deadline)")
-	memLimit := fs.String("mem-limit", "", "refuse folds whose table exceeds this size, e.g. 500MB or 2GB (empty = unlimited)")
-	degradeWindow := fs.Int("degrade-window", 0, "with -mem-limit: fall back to a windowed scan with this span when the full table is over budget")
 	fasta := fs.String("fasta", "", "read the first two records of this FASTA file instead of arguments")
 	resolve := fs.Int64("resolve", 0, "accept IUPAC ambiguity codes in FASTA, resolving them randomly with this seed (0 = strict)")
 	batch := fs.Bool("batch", false, "treat the FASTA file as consecutive pairs; fold all and rank by interaction gain")
-	engine := fs.Int("engine", 0, "run on a persistent worker engine of this width (0 = off, -1 = all CPUs); batch mode always budgets one")
-	pool := fs.Bool("pool", false, "recycle DP tables and fold state across folds (useful with -batch)")
-	cacheFlag := fs.String("cache", "", "serve repeated strands/pairs from a content-addressed cache; value is the retention budget, e.g. 256MB ('0' = unlimited, empty = off)")
-	admit := fs.Int("admit", 0, "admit at most this many concurrent folds; excess requests queue FIFO (0 = off)")
-	admitQueue := fs.Int("admit-queue", 0, "with -admit: bound the wait queue, rejecting requests beyond it (0 = unbounded)")
 	structure := fs.Bool("structure", true, "print an optimal joint structure")
 	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
 	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
-	retry := fs.Int("retry", 0, "retry transiently failed folds (solver panics, injected faults) up to this many total attempts with exponential backoff (0 = off)")
-	failpoints := fs.String("failpoints", "",
-		"arm fault-injection sites for resilience testing: comma-separated site=[count*]mode entries, "+
-			"e.g. 'cache-leader=3*error,engine-iter=p0.01/7*panic,pool-acquire=once*delay(2ms)'; sites: "+
-			strings.Join(fault.SiteNames(), ", "))
 	stats := fs.Bool("stats", false, "print timing, GFLOPS and table size")
 	metricsJSON := fs.String("metrics-json", "", "write fold metrics as JSON to this file ('-' = stdout)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) while folding")
@@ -102,55 +84,12 @@ func run(ctx context.Context, args []string) error {
 		defer cancel()
 	}
 
-	limitBytes, err := parseBytes(*memLimit)
-	if err != nil {
-		return fmt.Errorf("-mem-limit: %w", err)
-	}
-	options, err := buildOpts(*variant, *substrate, *workers, *tileI, *tileK, *tileJ, *unit, *packed, limitBytes, *degradeWindow)
+	comps, err := serving.Build()
 	if err != nil {
 		return err
 	}
-	if *retry > 0 {
-		options = append(options, bpmax.WithRetry(bpmax.RetryConfig{MaxAttempts: *retry}))
-	}
-	if *failpoints != "" {
-		if err := fault.ArmSpec(*failpoints); err != nil {
-			fault.Reset()
-			return fmt.Errorf("-failpoints: %w", err)
-		}
-		defer fault.Reset()
-	}
-	var eng *bpmax.Engine
-	if *engine != 0 {
-		width := *engine
-		if width < 0 {
-			width = 0 // NewEngine resolves <= 0 to GOMAXPROCS
-		}
-		eng = bpmax.NewEngine(width)
-		defer eng.Close()
-		options = append(options, bpmax.WithEngine(eng))
-	}
-	var pl *bpmax.Pool
-	if *pool {
-		pl = bpmax.NewPool()
-		options = append(options, bpmax.WithPool(pl))
-	}
-	var cache *bpmax.Cache
-	if *cacheFlag != "" {
-		budget, err := parseBytes(*cacheFlag)
-		if err != nil {
-			return fmt.Errorf("-cache: %w", err)
-		}
-		cache = bpmax.NewCache(bpmax.CacheConfig{MaxBytes: budget})
-		options = append(options, bpmax.WithCache(cache))
-	}
-	var gate *bpmax.Admission
-	if *admit > 0 {
-		gate = bpmax.NewAdmission(bpmax.AdmissionConfig{MaxConcurrent: *admit, MaxQueue: *admitQueue})
-		options = append(options, bpmax.WithAdmission(gate))
-	} else if *admitQueue > 0 {
-		return fmt.Errorf("-admit-queue requires -admit")
-	}
+	defer comps.Close()
+	options := comps.Options
 
 	var mtr *bpmax.Metrics
 	if *metricsJSON != "" || *pprofAddr != "" {
@@ -158,29 +97,10 @@ func run(ctx context.Context, args []string) error {
 		options = append(options, bpmax.WithMetrics(mtr))
 	}
 	// snapshot assembles the full observability document: cumulative fold
-	// totals plus engine/pool utilization when those components are on.
+	// totals plus the stats of every serving component that is on.
 	snapshot := func() bpmax.MetricsSnapshot {
 		s := mtr.Snapshot()
-		if eng != nil {
-			es := eng.Stats()
-			s.Engine = &es
-		}
-		if pl != nil {
-			ps := pl.Stats()
-			s.Pool = &ps
-		}
-		if cache != nil {
-			cs := cache.Stats()
-			s.Cache = &cs
-		}
-		if gate != nil {
-			as := gate.Stats()
-			s.Admission = &as
-		}
-		if *failpoints != "" {
-			fst := fault.Snapshot()
-			s.Faults = &fst
-		}
+		comps.Attach(&s)
 		return s
 	}
 	if *pprofAddr != "" {
@@ -220,7 +140,7 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		if *batch {
-			if err := runBatch(ctx, recs, *workers, options); err != nil {
+			if err := runBatch(ctx, recs, serving.Workers, options); err != nil {
 				return err
 			}
 			return writeMetrics(nil)
@@ -345,68 +265,6 @@ func cellRate(cells int64, d time.Duration) float64 {
 		return 0
 	}
 	return float64(cells) / d.Seconds() / 1e6
-}
-
-// parseBytes parses a human byte size: a plain integer is bytes, and the
-// suffixes KB/MB/GB/TB (binary, case-insensitive, optionally just K/M/G/T)
-// scale by 1024 steps. Empty means 0 (unlimited).
-func parseBytes(s string) (int64, error) {
-	s = strings.TrimSpace(strings.ToUpper(s))
-	if s == "" {
-		return 0, nil
-	}
-	mult := int64(1)
-	num := s
-	for _, u := range []struct {
-		suffix string
-		scale  int64
-	}{
-		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30}, {"TB", 1 << 40},
-		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"T", 1 << 40},
-		{"B", 1},
-	} {
-		if strings.HasSuffix(s, u.suffix) {
-			mult = u.scale
-			num = strings.TrimSpace(strings.TrimSuffix(s, u.suffix))
-			break
-		}
-	}
-	v, err := strconv.ParseFloat(num, 64)
-	if err != nil || v < 0 {
-		return 0, fmt.Errorf("invalid size %q", s)
-	}
-	return int64(v * float64(mult)), nil
-}
-
-// buildOpts assembles the fold options shared by the single and batch
-// paths.
-func buildOpts(variant, substrate string, workers, tileI, tileK, tileJ int, unit, packed bool, memLimit int64, degradeWindow int) ([]bpmax.Option, error) {
-	if substrate == "4r" {
-		substrate = string(bpmax.SubstrateFourRussians)
-	}
-	out := []bpmax.Option{
-		bpmax.WithVariant(bpmax.Variant(variant)),
-		bpmax.WithWorkers(workers),
-		bpmax.WithTiles(tileI, tileK, tileJ),
-		// Unknown -substrate values surface as a fold-time error.
-		bpmax.WithSubstrateAlgorithm(bpmax.SubstrateAlgorithm(substrate)),
-	}
-	if unit {
-		out = append(out, bpmax.WithWeights(bpmax.Weights{Unit: true}))
-	}
-	if packed {
-		out = append(out, bpmax.WithPackedMemory())
-	}
-	if memLimit > 0 {
-		out = append(out, bpmax.WithMemoryLimit(memLimit))
-	}
-	if degradeWindow > 0 {
-		if memLimit <= 0 {
-			return nil, fmt.Errorf("-degrade-window requires -mem-limit")
-		}
-		out = append(out, bpmax.WithDegradeToWindowed(degradeWindow, degradeWindow))
-	}
-	return out, nil
 }
 
 // runBatch folds consecutive FASTA pairs and prints them ranked by

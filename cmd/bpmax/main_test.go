@@ -118,31 +118,6 @@ func TestRunFastaResolving(t *testing.T) {
 	}
 }
 
-func TestParseBytes(t *testing.T) {
-	good := map[string]int64{
-		"":       0,
-		"123":    123,
-		"123B":   123,
-		"1KB":    1 << 10,
-		"2K":     2 << 10,
-		"1.5MB":  3 << 19,
-		"2GB":    2 << 30,
-		"1tb":    1 << 40,
-		" 4 MB ": 4 << 20,
-	}
-	for in, want := range good {
-		got, err := parseBytes(in)
-		if err != nil || got != want {
-			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
-		}
-	}
-	for _, in := range []string{"x", "-5", "1XB", "GB", "1.2.3MB"} {
-		if _, err := parseBytes(in); err == nil {
-			t.Errorf("parseBytes(%q) accepted", in)
-		}
-	}
-}
-
 func TestRunTimeoutExpires(t *testing.T) {
 	// A 1 ns deadline is already expired at the first cooperative check, so
 	// this is deterministic regardless of machine speed.

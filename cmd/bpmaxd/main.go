@@ -1,0 +1,175 @@
+// Command bpmaxd serves BPMax folds over HTTP/JSON: the network front door
+// of the serving spine (pipeline → admission → cache → engine/pool) that
+// the library's Session wires together.
+//
+// Endpoints:
+//
+//	POST /v1/fold    {"seq1","seq2","timeout_ms","structure"}   one interaction fold
+//	POST /v1/batch   {"items":[{"name","seq1","seq2"}]}         a screening batch
+//	POST /v1/scan    {"seq1","seq2","w1","w2","timeout_ms"}     windowed (banded) scan
+//	GET  /v1/cache                                              cache introspection
+//	GET  /healthz                                               200 serving / 503 draining
+//	GET  /metrics                                               MetricsSnapshot JSON
+//	GET  /debug/pprof/                                          net/http/pprof
+//
+// Wire contract: per-request deadlines (timeout_ms, capped by -max-timeout)
+// and client disconnects map onto the fold's context; a full admission
+// queue is 429 with Retry-After derived from live queue depth; a draining
+// server is 503. SIGTERM/SIGINT trigger the graceful drain: stop accepting,
+// finish every in-flight request, release the session, exit 0. See
+// docs/SERVING_HTTP.md.
+//
+// Usage:
+//
+//	bpmaxd -addr :8642 -cache 256MB -admit 8 -admit-queue 64
+//	bpmaxd -addr 127.0.0.1:0 -addr-file /tmp/bpmaxd.addr   # random port, written to a file
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/bpmax-go/bpmax"
+	"github.com/bpmax-go/bpmax/internal/cliflags"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bpmaxd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled (signal) and the drain completes.
+func run(ctx context.Context, args []string, logw *os.File) error {
+	fs := flag.NewFlagSet("bpmaxd", flag.ContinueOnError)
+	serving := cliflags.NewServing()
+	serving.Register(fs)
+	addr := fs.String("addr", ":8642", "listen address (host:port; port 0 picks a free port)")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+	reqTimeout := fs.Duration("request-timeout", 0, "default per-request deadline when the body has no timeout_ms (0 = none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap any requested timeout_ms at this duration (0 = uncapped)")
+	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+	scanWindow := fs.Int("scan-window", 64, "window span used when a scan request omits w1/w2")
+	batchWorkers := fs.Int("batch-workers", 0, "worker budget per /v1/batch request (0 = all CPUs)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long the SIGTERM drain waits for in-flight requests before giving up")
+	foldMetrics := fs.Bool("fold-metrics", false,
+		"instrument every fold (per-phase timings in /metrics); instrumented folds bypass the result cache, so leave off when -cache should serve repeats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	comps, err := serving.Build()
+	if err != nil {
+		return err
+	}
+	defer comps.Close()
+	options := comps.Options
+	var mtr *bpmax.Metrics
+	if *foldMetrics {
+		mtr = bpmax.NewMetrics()
+		options = append(options, bpmax.WithMetrics(mtr))
+	}
+	session, err := bpmax.NewSession(options...)
+	if err != nil {
+		return err
+	}
+	defer session.Close()
+
+	srv := newServer(session, comps, mtr, serverConfig{
+		DefaultTimeout: *reqTimeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBody:        *maxBody,
+		ScanWindow:     *scanWindow,
+		BatchWorkers:   *batchWorkers,
+	})
+	publishExpvar(srv.snapshot)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "bpmaxd: listening on %s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv.mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: flip health to 503, let every in-flight request
+	// finish (http.Server.Shutdown waits for active handlers), then drain
+	// and release the session. Requests arriving during the drain are
+	// refused by the closed listener or answered 503 by the closed session.
+	fmt.Fprintln(logw, "bpmaxd: draining")
+	srv.draining.Store(true)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %d requests still in flight after %v: %w",
+			srv.inFlight.Load(), *drainTimeout, err)
+	}
+	if err := session.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("session drain: %w", err)
+	}
+	st := srv.serverStats()
+	fmt.Fprintf(logw, "bpmaxd: drained: %d requests (%d ok, %d shed, %d unavailable, %d in flight)\n",
+		st.Requests, st.OK, st.Shed, st.Unavailable, st.InFlight)
+	if st.InFlight != 0 {
+		return fmt.Errorf("drain dropped %d in-flight requests", st.InFlight)
+	}
+	return nil
+}
+
+// expvarOnce guards the process-wide expvar registration: run may be
+// invoked more than once (tests), Publish panics on duplicates.
+var (
+	expvarOnce sync.Once
+	expvarSnap func() bpmax.MetricsSnapshot
+	expvarMu   sync.Mutex
+)
+
+// publishExpvar exposes the observability snapshot at /debug/vars under
+// the "bpmax" key, next to the standard memstats. Re-registration (tests)
+// swaps the snapshot source instead of panicking.
+func publishExpvar(snapshot func() bpmax.MetricsSnapshot) {
+	expvarMu.Lock()
+	expvarSnap = snapshot
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("bpmax", expvar.Func(func() any {
+			expvarMu.Lock()
+			f := expvarSnap
+			expvarMu.Unlock()
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	})
+}

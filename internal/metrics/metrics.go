@@ -399,6 +399,41 @@ type Snapshot struct {
 	// Faults is the fault-injection registry's activity, attached by callers
 	// that armed failpoints (nil in normal operation).
 	Faults *FaultStats `json:"faults,omitempty"`
+	// Server is the HTTP front-end's request accounting, attached by
+	// cmd/bpmaxd (nil when the metrics owner is not a network server).
+	Server *ServerStats `json:"server,omitempty"`
+}
+
+// ServerStats counts an HTTP front-end's request outcomes by status class.
+// The invariant a load harness checks against its own client-side counts is
+// Requests == OK + BadRequest + Shed + Unavailable + Timeouts + Failed +
+// InFlight (in-flight only while serving; zero after a drain).
+type ServerStats struct {
+	// Requests counts every request routed to a serving endpoint
+	// (/v1/*); health, metrics and pprof probes are not included.
+	Requests int64 `json:"requests"`
+	// InFlight is the number of requests currently being served.
+	InFlight int64 `json:"in_flight"`
+	// OK counts 2xx responses.
+	OK int64 `json:"ok"`
+	// BadRequest counts 4xx responses other than 429 (malformed bodies,
+	// invalid sequences, unknown options).
+	BadRequest int64 `json:"bad_request"`
+	// Shed counts 429 responses: admission queue full, load shed.
+	Shed int64 `json:"shed"`
+	// Unavailable counts 503 responses (session closed / draining).
+	Unavailable int64 `json:"unavailable"`
+	// Timeouts counts 504 responses: the per-request deadline expired
+	// before the fold finished (queued or solving).
+	Timeouts int64 `json:"timeouts"`
+	// Failed counts 5xx responses other than 503/504 (solver panics
+	// surfacing as 500s).
+	Failed int64 `json:"failed"`
+	// Disconnects counts requests whose client went away mid-fold
+	// (context canceled by the peer, no response written).
+	Disconnects int64 `json:"client_disconnects"`
+	// Draining reports whether the server has begun its graceful drain.
+	Draining bool `json:"draining"`
 }
 
 // EngineStats is a snapshot of a persistent worker engine's utilization

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/harness"
+)
+
+// Collector accumulates per-request outcomes from any number of replay
+// goroutines and reduces them to a Report. Latency quantiles are computed
+// over successful (2xx) responses — shed and failed requests return fast
+// and would flatter the tail.
+type Collector struct {
+	mu      sync.Mutex
+	okLat   []time.Duration
+	total   int64
+	ok      int64
+	shed    int64
+	client  int64
+	server  int64
+	netErrs int64
+	late    time.Duration
+}
+
+// Add records one completed request: its HTTP status (0 for a transport
+// error), its observed latency, and how far behind schedule it fired
+// (open-loop lag; 0 when on time).
+func (c *Collector) Add(status int, latency, lag time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if lag > c.late {
+		c.late = lag
+	}
+	switch {
+	case status >= 200 && status < 300:
+		c.ok++
+		c.okLat = append(c.okLat, latency)
+	case status == 429:
+		c.shed++
+	case status == 0:
+		c.netErrs++
+	case status >= 500:
+		c.server++
+	default:
+		c.client++
+	}
+}
+
+// Report is the reduced view of one replay run.
+type Report struct {
+	Label string `json:"label"`
+
+	Total      int64 `json:"total"`
+	OK         int64 `json:"ok"`
+	Shed       int64 `json:"shed"`
+	ClientErrs int64 `json:"client_errors"`
+	ServerErrs int64 `json:"server_errors"`
+	NetErrs    int64 `json:"transport_errors"`
+
+	// WallNanos is the replay's wall time; Throughput the completed 2xx
+	// responses per second of it.
+	WallNanos  int64   `json:"wall_nanos"`
+	Throughput float64 `json:"throughput_rps"`
+	// ShedRate is Shed/Total (0 when Total is 0).
+	ShedRate float64 `json:"shed_rate"`
+
+	// Latency quantiles over 2xx responses, in nanoseconds.
+	P50Nanos  int64 `json:"p50_nanos"`
+	P95Nanos  int64 `json:"p95_nanos"`
+	P99Nanos  int64 `json:"p99_nanos"`
+	MeanNanos int64 `json:"mean_nanos"`
+	MaxNanos  int64 `json:"max_nanos"`
+
+	// MaxLagNanos is the worst open-loop scheduling lag: how far behind
+	// its trace timestamp the slowest request fired. Large values mean
+	// the client, not the server, was the bottleneck.
+	MaxLagNanos int64 `json:"max_lag_nanos"`
+
+	// CacheHitRate is the server-side substrate+result hit fraction
+	// fetched from /metrics after the run (-1 when unavailable).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Report reduces the collected samples. wall is the replay's wall time.
+func (c *Collector) Report(label string, wall time.Duration) Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := Report{
+		Label:        label,
+		Total:        c.total,
+		OK:           c.ok,
+		Shed:         c.shed,
+		ClientErrs:   c.client,
+		ServerErrs:   c.server,
+		NetErrs:      c.netErrs,
+		WallNanos:    int64(wall),
+		MaxLagNanos:  int64(c.late),
+		CacheHitRate: -1,
+	}
+	if wall > 0 {
+		r.Throughput = float64(c.ok) / wall.Seconds()
+	}
+	if c.total > 0 {
+		r.ShedRate = float64(c.shed) / float64(c.total)
+	}
+	if len(c.okLat) > 0 {
+		lat := append([]time.Duration(nil), c.okLat...)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		r.P50Nanos = int64(quantile(lat, 0.50))
+		r.P95Nanos = int64(quantile(lat, 0.95))
+		r.P99Nanos = int64(quantile(lat, 0.99))
+		r.MeanNanos = int64(sum / time.Duration(len(lat)))
+		r.MaxNanos = int64(lat[len(lat)-1])
+	}
+	return r
+}
+
+// quantile returns the q-quantile of sorted by the nearest-rank method.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Artifact is the replay run's machine-readable document. It mirrors
+// cmd/bpmaxbench's bpmax-bench/v1 object — schema, provenance, tables —
+// so cmd/benchgate gates macro serving rows exactly like micro benchmark
+// rows, plus the full-precision reports for downstream analysis.
+type Artifact struct {
+	Schema  string            `json:"schema"`
+	Go      string            `json:"go"`
+	GOOS    string            `json:"goos"`
+	GOARCH  string            `json:"goarch"`
+	CPUs    int               `json:"cpus"`
+	Kind    string            `json:"kind"`
+	Tables  []*harness.Table  `json:"tables"`
+	Reports map[string]Report `json:"reports,omitempty"`
+}
+
+// ArtifactSchema matches cmd/bpmaxbench's artifact schema so benchgate
+// accepts either producer.
+const ArtifactSchema = "bpmax-bench/v1"
+
+// NewArtifact returns an artifact shell with provenance filled and one
+// empty serving table ready for AddReport rows.
+func NewArtifact() *Artifact {
+	return &Artifact{
+		Schema:  ArtifactSchema,
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Kind:    "serving-replay",
+		Reports: map[string]Report{},
+		Tables: []*harness.Table{{
+			ID:       "ext-serving",
+			Title:    "bpmaxd end-to-end replay: latency, throughput, shedding",
+			PaperRef: "ROADMAP item 1",
+			// "time" columns are gated by cmd/benchgate (15% regression
+			// threshold) once a baseline row exists; count columns are
+			// labels/occupancy and stay ungated.
+			Header: []string{"mix", "requests", "ok", "shed", "p50 time", "p95 time", "p99 time", "rps", "shed rate"},
+		}},
+	}
+}
+
+// AddReport appends one replay's row to the serving table and retains the
+// full-precision report under its label.
+func (a *Artifact) AddReport(r Report) {
+	a.Reports[r.Label] = r
+	t := a.Tables[0]
+	t.Rows = append(t.Rows, []string{
+		r.Label,
+		fmt.Sprint(r.Total),
+		fmt.Sprint(r.OK),
+		fmt.Sprint(r.Shed),
+		formatDur(time.Duration(r.P50Nanos)),
+		formatDur(time.Duration(r.P95Nanos)),
+		formatDur(time.Duration(r.P99Nanos)),
+		fmt.Sprintf("%.1f", r.Throughput),
+		fmt.Sprintf("%.3f", r.ShedRate),
+	})
+}
+
+// formatDur renders a duration the way cmd/benchgate's parser reads it:
+// one unit, ns/µs/ms/s, no composite forms like "1m2s".
+func formatDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

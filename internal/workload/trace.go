@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+)
+
+// Trace ops. OpFold is the default when a trace line omits "op".
+const (
+	OpFold = "fold"
+	OpScan = "scan"
+)
+
+// Request is one line of a JSONL workload trace: fire this query at_ms
+// after replay start. The schema is documented in docs/SERVING_HTTP.md;
+// blank lines and lines starting with '#' are ignored, so traces can carry
+// provenance comments.
+type Request struct {
+	// AtMs is the request's offset from trace start, in milliseconds.
+	AtMs float64 `json:"at_ms"`
+	// Op is "fold" (default when empty) or "scan".
+	Op string `json:"op,omitempty"`
+	// Name labels the request in reports (optional).
+	Name string `json:"name,omitempty"`
+	// Seq1 and Seq2 are the two strands.
+	Seq1 string `json:"seq1"`
+	Seq2 string `json:"seq2"`
+	// W1 and W2 are the scan windows (scan op only; 0 defaults both to
+	// the server's flag).
+	W1 int `json:"w1,omitempty"`
+	W2 int `json:"w2,omitempty"`
+	// TimeoutMs is the per-request deadline the replayer sends (0 = the
+	// server's default).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Validate reports the first structural problem of a trace line.
+func (r *Request) Validate() error {
+	switch r.Op {
+	case "", OpFold, OpScan:
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	if r.AtMs < 0 {
+		return fmt.Errorf("negative at_ms %g", r.AtMs)
+	}
+	if r.Seq1 == "" || r.Seq2 == "" {
+		return fmt.Errorf("empty sequence")
+	}
+	return nil
+}
+
+// ReadTrace parses a JSONL trace, skipping blank and '#' comment lines.
+// Errors carry the 1-based line number.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Request
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rq Request
+		if err := json.Unmarshal([]byte(text), &rq); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		if err := rq.Validate(); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, rq)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteTrace emits one compact JSON object per line.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range reqs {
+		if err := enc.Encode(&reqs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SynthConfig parameterizes Synthesize.
+type SynthConfig struct {
+	// Arrival paces the requests; Lengths draws each strand's length.
+	Arrival Arrival
+	Lengths LengthDist
+	// Count is the number of requests to generate.
+	Count int
+	// Seed makes the trace deterministic.
+	Seed int64
+	// Pool, when > 0, draws strands from a pool of this many distinct
+	// sequences instead of generating every strand fresh — repeated
+	// strands are what exercise the server's substrate/result cache.
+	Pool int
+	// ScanEvery, when > 0, makes every Nth request a windowed scan with
+	// Window as both spans.
+	ScanEvery int
+	Window    int
+	// TimeoutMs is stamped on every request (0 = server default).
+	TimeoutMs int64
+}
+
+// Synthesize generates a deterministic trace: arrival gaps from
+// cfg.Arrival, strand lengths from cfg.Lengths, bases uniform ACGU. The
+// same config always yields the same trace, so a synthesized workload can
+// be recorded once and replayed forever, or regenerated in CI from flags.
+func Synthesize(cfg SynthConfig) []Request {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var pool []string
+	if cfg.Pool > 0 {
+		pool = make([]string, cfg.Pool)
+		for i := range pool {
+			pool[i] = randSeq(rng, cfg.Lengths.Next(rng))
+		}
+	}
+	strand := func() string {
+		if pool != nil {
+			return pool[rng.Intn(len(pool))]
+		}
+		return randSeq(rng, cfg.Lengths.Next(rng))
+	}
+	out := make([]Request, 0, cfg.Count)
+	at := 0.0
+	for i := 0; i < cfg.Count; i++ {
+		at += cfg.Arrival.Next(rng).Seconds() * 1000
+		rq := Request{
+			AtMs:      at,
+			Op:        OpFold,
+			Name:      fmt.Sprintf("req-%04d", i),
+			Seq1:      strand(),
+			Seq2:      strand(),
+			TimeoutMs: cfg.TimeoutMs,
+		}
+		if cfg.ScanEvery > 0 && (i+1)%cfg.ScanEvery == 0 {
+			rq.Op = OpScan
+			rq.W1, rq.W2 = cfg.Window, cfg.Window
+		}
+		out = append(out, rq)
+	}
+	return out
+}
+
+// randSeq draws n uniform ACGU bases. Lengths < 1 are clamped to 1 so a
+// degenerate distribution still yields a valid strand.
+func randSeq(rng *rand.Rand, n int) string {
+	if n < 1 {
+		n = 1
+	}
+	const bases = "ACGU"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return string(b)
+}

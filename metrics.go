@@ -91,6 +91,10 @@ type AdmissionStats = metrics.AdmissionStats
 // MetricsSnapshot.Faults when -failpoints is set.
 type FaultStats = metrics.FaultStats
 
+// ServerStats is a snapshot of an HTTP front-end's request accounting by
+// status class; cmd/bpmaxd attaches it to MetricsSnapshot.Server.
+type ServerStats = metrics.ServerStats
+
 // NewMetrics returns an empty cumulative metrics aggregate.
 func NewMetrics() *Metrics { return &Metrics{} }
 
