@@ -8,7 +8,7 @@
 GO ?= go
 ARTIFACTS := results/generated
 
-.PHONY: all build test vet fmt lint race ci fuzz smoke bench bench-engine bench-baseline bench-gate
+.PHONY: all build test vet fmt lint race ci fuzz smoke bench bench-engine bench-baseline bench-gate serving-baseline
 
 all: ci
 
@@ -68,6 +68,14 @@ bench-engine:
 # hardware) and commit the result.
 bench-baseline:
 	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 5 -json results/BENCH_baseline.json
+
+# Refresh the committed serving-replay baseline the smoke stage gates
+# against: run the smoke once, then keep only the gated ext-serving table
+# (the stage-attribution table varies with cache warmth, so it stays out of
+# the baseline) and commit the result.
+serving-baseline:
+	REFRESH_SERVING_BASELINE=1 ./ci.sh smoke
+	$(GO) run ./cmd/servingbaseline $(ARTIFACTS)/BENCH_serving.json results/BENCH_serving_baseline.json
 
 # The full regression gate as CI runs it: selftest, regenerate, compare.
 bench-gate:

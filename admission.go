@@ -9,6 +9,12 @@
 // with a typed *AdmissionError instead of surfacing minutes later with work
 // nobody wants — and a bounded queue sheds load beyond it with the same
 // error type (errors.Is(err, ErrQueueFull)).
+//
+// Queue wait is observable three ways: AdmissionStats carries the
+// cumulative totals and high-water marks, *AdmissionError.Waited the wait
+// of one failed request, and a per-request trace in the context records
+// every request's wait as its "queue" stage — the signal that lets a load
+// harness say "p99 is dominated by queue wait" (see docs/OBSERVABILITY.md).
 
 package bpmax
 

@@ -13,7 +13,10 @@
 //     A hit returns a copy sharing the retained master's tables — bit
 //     identical to re-folding. Concurrent identical requests single-flight
 //     behind one solve. Folds running with WithMetrics/WithTracer bypass
-//     this layer (instrumentation measures a real fill).
+//     this layer (instrumentation measures a real fill). A per-request
+//     trace carried in the context (internal/trace, surfaced by cmd/bpmaxd)
+//     does NOT bypass it: it observes the pipeline as served, recording a
+//     cache hit or single-flight wait instead of a fill.
 //
 // Entries are evicted least-recently-used once MaxBytes is exceeded, and the
 // cache's retained bytes are charged against WithMemoryLimit budgets exactly

@@ -26,6 +26,15 @@ run_lint() (
     set -x
     go vet ./...
     test -z "$(gofmt -l . cmd internal)" || { gofmt -l . cmd internal; exit 1; }
+    # Structured logging stays at the process edge (cmd/): the solver, the
+    # pipeline, and the observability plumbing itself must never log — they
+    # report through return values, metrics, and traces. A slog import in
+    # any of these packages is a layering regression.
+    if grep -rn '"log/slog"' internal/bpmax internal/nussinov internal/fourrussians \
+        internal/pipeline internal/metrics internal/trace internal/workload ./*.go; then
+        echo "lint: log/slog imported below the cmd/ layer (log at the edge, trace in the core)" >&2
+        exit 1
+    fi
     # staticcheck runs only where the pinned tool is installed (the GitHub
     # workflow installs it; minimal containers skip).
     if command -v staticcheck >/dev/null 2>&1; then
@@ -42,7 +51,7 @@ run_test() (
 run_race() (
     set -x
     go test -race ./internal/bpmax/ ./internal/nussinov/ ./internal/fourrussians/ \
-        ./internal/pipeline/ . ./cmd/bpmax/ ./cmd/bpmaxd/
+        ./internal/pipeline/ ./internal/trace/ . ./cmd/bpmax/ ./cmd/bpmaxd/
     # Chaos smoke — the seeded fault schedules, retry/breaker policies and
     # session-drain contract under the race detector (see chaos_test.go and
     # docs/ROBUSTNESS.md). The package -race run above already covers these;
@@ -64,8 +73,11 @@ run_fuzz() (
 
 # Server smoke: boot bpmaxd on a random port, replay the committed trace
 # open-loop, then SIGTERM. bpmaxload -check fails on any 5xx, transport
-# error, client/server ledger mismatch, or shed rate above 20%; bpmaxd
-# itself exits nonzero if the drain drops an in-flight request.
+# error, client/server ledger mismatch, or shed rate above 20%; its
+# -slowest-trace fetch fails if /debug/requests is missing or empty, so the
+# tracing spine is asserted end-to-end; bpmaxd itself exits nonzero if the
+# drain drops an in-flight request, and dumps its trace ring as Chrome
+# trace-event JSON on the way out. Both trace files must parse.
 run_smoke() {
     mkdir -p "$ARTIFACTS"
     SMOKE_DIR="$(mktemp -d)"
@@ -74,7 +86,8 @@ run_smoke() {
     go build -o "$SMOKE_DIR/bpmaxd" ./cmd/bpmaxd
     go build -o "$SMOKE_DIR/bpmaxload" ./cmd/bpmaxload
     "$SMOKE_DIR/bpmaxd" -addr 127.0.0.1:0 -addr-file "$SMOKE_DIR/addr" \
-        -cache 64MB -admit 8 -admit-queue 64 2>"$SMOKE_DIR/bpmaxd.log" &
+        -cache 64MB -admit 8 -admit-queue 64 -log-format json \
+        -trace-out "$ARTIFACTS/trace-drain.json" 2>"$SMOKE_DIR/bpmaxd.log" &
     SRV=$!
     i=0
     while [ ! -s "$SMOKE_DIR/addr" ]; do
@@ -89,14 +102,55 @@ run_smoke() {
     done
     "$SMOKE_DIR/bpmaxload" -addr "$(cat "$SMOKE_DIR/addr")" \
         -trace testdata/traces/ci-smoke.jsonl -check -max-shed 0.2 \
+        -slowest-trace "$ARTIFACTS/trace-slowest.json" \
         -json "$ARTIFACTS/BENCH_serving.json"
     kill -TERM "$SRV"
     wait "$SRV"
     cat "$SMOKE_DIR/bpmaxd.log"
-    # The serving artifact is bpmax-bench/v1: prove benchgate parses it
-    # (self-compare), so a committed serving baseline can gate it later.
-    go run ./cmd/benchgate -baseline "$ARTIFACTS/BENCH_serving.json" \
-        -current "$ARTIFACTS/BENCH_serving.json"
+    # Both Chrome trace-event exports (client-fetched slowest, server drain
+    # dump) must be loadable JSON with a non-empty traceEvents array.
+    cat > "$SMOKE_DIR/validate_chrome.go" <<'EOF'
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	for _, path := range os.Args[1:] {
+		blob, err := os.ReadFile(path)
+		if err == nil {
+			var f struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if e := json.Unmarshal(blob, &f); e != nil {
+				err = e
+			} else if len(f.TraceEvents) == 0 {
+				err = fmt.Errorf("no traceEvents")
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chrome trace %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+}
+EOF
+    go run "$SMOKE_DIR/validate_chrome.go" \
+        "$ARTIFACTS/trace-slowest.json" "$ARTIFACTS/trace-drain.json"
+    # Gate the replay's latency rows against the committed serving baseline.
+    # The threshold is deliberately loose (5x): end-to-end latency on shared
+    # CI machines is noisy, and the gate is for order-of-magnitude
+    # regressions — the microbenchmark gate in run_bench holds the tight
+    # line. Refresh with `make serving-baseline` after intentional changes
+    # (which skips this gate: a refresh must not be vetoed by the baseline
+    # it is replacing).
+    if [ "${REFRESH_SERVING_BASELINE:-0}" != "1" ]; then
+        go run ./cmd/benchgate -baseline results/BENCH_serving_baseline.json \
+            -current "$ARTIFACTS/BENCH_serving.json" -threshold 400
+    fi
 }
 
 run_bench() (

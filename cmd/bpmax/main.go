@@ -168,6 +168,7 @@ func run(ctx context.Context, args []string) error {
 		if *stats {
 			fmt.Printf("scan time: %v  rate: %.1f Mcells/s  banded table: %.1f MB\n",
 				res.Elapsed, cellRate(res.TableBytes/4, res.Elapsed), float64(res.TableBytes)/(1<<20))
+			printRuntimeStats()
 		}
 		if mtr != nil {
 			fold := res.Metrics.Snapshot()
@@ -218,12 +219,23 @@ func run(ctx context.Context, args []string) error {
 			fmt.Printf("fill time: %v  rate: %.2f GFLOPS  table: %.1f MB\n",
 				res.Elapsed, res.GFLOPS(), float64(res.TableBytes)/(1<<20))
 		}
+		printRuntimeStats()
 	}
 	if mtr != nil {
 		fold := res.Metrics.Snapshot()
 		return writeMetrics(&fold)
 	}
 	return nil
+}
+
+// printRuntimeStats appends the Go runtime health line to -stats output:
+// the process-level signals (GC pauses, scheduler delay) that explain
+// fill-time variance the solver's own counters cannot.
+func printRuntimeStats() {
+	rt := bpmax.ReadRuntimeStats()
+	fmt.Printf("runtime: %d goroutines  gc: %d cycles / %v paused  heap: %.1f MB  sched p99: %v\n",
+		rt.Goroutines, rt.NumGC, time.Duration(rt.GCPauseTotalNanos),
+		float64(rt.HeapAllocBytes)/(1<<20), time.Duration(rt.SchedLatencyP99Nanos))
 }
 
 // expvarOnce guards the process-wide expvar registration: run may be

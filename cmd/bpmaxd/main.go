@@ -10,7 +10,16 @@
 //	GET  /v1/cache                                              cache introspection
 //	GET  /healthz                                               200 serving / 503 draining
 //	GET  /metrics                                               MetricsSnapshot JSON
+//	GET  /metrics/prom                                          Prometheus text exposition
+//	GET  /debug/requests                                        recent + slowest request traces
 //	GET  /debug/pprof/                                          net/http/pprof
+//
+// Observability: every /v1 request carries an X-Request-ID (honored from
+// the client or minted), a Server-Timing header with the per-stage latency
+// breakdown, and a structured access-log record (-log-format text|json);
+// the last -trace-ring requests and the slowest -trace-slowest are kept
+// for /debug/requests and dumped as Chrome trace-event JSON to -trace-out
+// on drain. See docs/OBSERVABILITY.md.
 //
 // Wire contract: per-request deadlines (timeout_ms, capped by -max-timeout)
 // and client disconnects map onto the fold's context; a full admission
@@ -31,6 +40,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -41,6 +51,7 @@ import (
 
 	"github.com/bpmax-go/bpmax"
 	"github.com/bpmax-go/bpmax/internal/cliflags"
+	"github.com/bpmax-go/bpmax/internal/trace"
 )
 
 func main() {
@@ -67,12 +78,29 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long the SIGTERM drain waits for in-flight requests before giving up")
 	foldMetrics := fs.Bool("fold-metrics", false,
 		"instrument every fold (per-phase timings in /metrics); instrumented folds bypass the result cache, so leave off when -cache should serve repeats")
+	traceRequests := fs.Bool("trace-requests", true, "per-request tracing: X-Request-ID, Server-Timing stage breakdowns, /debug/requests ring")
+	traceRing := fs.Int("trace-ring", 128, "how many recent request traces /debug/requests retains")
+	traceSlowest := fs.Int("trace-slowest", 32, "how many slowest-since-startup request traces /debug/requests retains")
+	traceOut := fs.String("trace-out", "", "write the retained request traces as Chrome trace-event JSON to this file on drain")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text or json")
+	accessLog := fs.Bool("access-log", true, "log one structured record per /v1 request")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(logw, nil)
+	case "json":
+		handler = slog.NewJSONHandler(logw, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	comps, err := serving.Build()
 	if err != nil {
@@ -91,20 +119,27 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}
 	defer session.Close()
 
-	srv := newServer(session, comps, mtr, serverConfig{
+	cfg := serverConfig{
 		DefaultTimeout: *reqTimeout,
 		MaxTimeout:     *maxTimeout,
 		MaxBody:        *maxBody,
 		ScanWindow:     *scanWindow,
 		BatchWorkers:   *batchWorkers,
-	})
+		TraceRequests:  *traceRequests,
+		TraceRing:      *traceRing,
+		TraceSlowest:   *traceSlowest,
+	}
+	if *accessLog {
+		cfg.Logger = logger
+	}
+	srv := newServer(session, comps, mtr, cfg)
 	publishExpvar(srv.snapshot)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "bpmaxd: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
 			ln.Close()
@@ -126,7 +161,7 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	// finish (http.Server.Shutdown waits for active handlers), then drain
 	// and release the session. Requests arriving during the drain are
 	// refused by the closed listener or answered 503 by the closed session.
-	fmt.Fprintln(logw, "bpmaxd: draining")
+	logger.Info("draining")
 	srv.draining.Store(true)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -137,13 +172,47 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	if err := session.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("session drain: %w", err)
 	}
+	if *traceOut != "" && srv.ring != nil {
+		if err := dumpTraces(*traceOut, srv.ring); err != nil {
+			logger.Error("trace-out", "path", *traceOut, "err", err.Error())
+		} else {
+			logger.Info("trace-out written", "path", *traceOut)
+		}
+	}
 	st := srv.serverStats()
-	fmt.Fprintf(logw, "bpmaxd: drained: %d requests (%d ok, %d shed, %d unavailable, %d in flight)\n",
-		st.Requests, st.OK, st.Shed, st.Unavailable, st.InFlight)
+	logger.Info("drained",
+		"requests", st.Requests, "ok", st.OK, "shed", st.Shed,
+		"unavailable", st.Unavailable, "in_flight", st.InFlight)
 	if st.InFlight != 0 {
 		return fmt.Errorf("drain dropped %d in-flight requests", st.InFlight)
 	}
 	return nil
+}
+
+// dumpTraces writes the ring's retained traces (the recent window, then
+// any slowest-N entries that already rotated out of it) as one Chrome
+// trace-event file.
+func dumpTraces(path string, ring *trace.Ring) error {
+	rs := ring.Snapshot()
+	snaps := rs.Recent
+	have := make(map[string]bool, len(snaps))
+	for _, s := range snaps {
+		have[s.ID] = true
+	}
+	for _, s := range rs.Slowest {
+		if !have[s.ID] {
+			snaps = append(snaps, s)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, snaps); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // expvarOnce guards the process-wide expvar registration: run may be

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -13,6 +14,8 @@ import (
 
 	"github.com/bpmax-go/bpmax"
 	"github.com/bpmax-go/bpmax/internal/cliflags"
+	"github.com/bpmax-go/bpmax/internal/metrics"
+	"github.com/bpmax-go/bpmax/internal/trace"
 )
 
 // statusClientClosed is the nginx-convention status for "client closed the
@@ -34,6 +37,17 @@ type serverConfig struct {
 	ScanWindow int
 	// BatchWorkers is the worker budget of /v1/batch (0 = all CPUs).
 	BatchWorkers int
+	// TraceRequests arms per-request tracing: X-Request-ID echo,
+	// Server-Timing stage breakdowns, and the /debug/requests ring. Off by
+	// default so the zero config matches the untraced fast path.
+	TraceRequests bool
+	// TraceRing / TraceSlowest size the /debug/requests retention window
+	// (recent and slowest-N respectively; 0 = defaults).
+	TraceRing    int
+	TraceSlowest int
+	// Logger receives per-request access records and server lifecycle
+	// events; nil disables access logging entirely.
+	Logger *slog.Logger
 }
 
 // server is the HTTP front-end over one Session. All handler state is
@@ -45,6 +59,8 @@ type server struct {
 	metrics *bpmax.Metrics // nil unless -fold-metrics
 	cfg     serverConfig
 	mux     *http.ServeMux
+	ring    *trace.Ring  // nil unless TraceRequests
+	logger  *slog.Logger // nil unless configured
 
 	draining atomic.Bool
 
@@ -69,13 +85,25 @@ func newServer(session *bpmax.Session, comps *cliflags.Components, mtr *bpmax.Me
 	if cfg.ScanWindow <= 0 {
 		cfg.ScanWindow = 64
 	}
-	s := &server{session: session, comps: comps, metrics: mtr, cfg: cfg, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/v1/fold", s.serve(s.handleFold))
-	s.mux.HandleFunc("/v1/batch", s.serve(s.handleBatch))
-	s.mux.HandleFunc("/v1/scan", s.serve(s.handleScan))
+	s := &server{session: session, comps: comps, metrics: mtr, cfg: cfg, mux: http.NewServeMux(), logger: cfg.Logger}
+	if cfg.TraceRequests {
+		recent, slowest := cfg.TraceRing, cfg.TraceSlowest
+		if recent <= 0 {
+			recent = 128
+		}
+		if slowest <= 0 {
+			slowest = 32
+		}
+		s.ring = trace.NewRing(recent, slowest)
+	}
+	s.mux.HandleFunc("/v1/fold", s.serve("fold", s.handleFold))
+	s.mux.HandleFunc("/v1/batch", s.serve("batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/scan", s.serve("scan", s.handleScan))
 	s.mux.HandleFunc("/v1/cache", s.handleCache)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics/prom", s.handleProm)
+	s.mux.HandleFunc("/debug/requests", s.handleRequests)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -84,15 +112,54 @@ func newServer(session *bpmax.Session, comps *cliflags.Components, mtr *bpmax.Me
 	return s
 }
 
-// serve wraps a /v1 handler with request accounting: every serving request
+// serve wraps a /v1 handler with request accounting (every serving request
 // is counted exactly once into the status-class counters the load harness
-// reconciles against its own client-side tallies.
-func (s *server) serve(h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
+// reconciles against its own client-side tallies), per-request tracing
+// (when armed: honor or mint X-Request-ID, thread a trace through the
+// request context, record it into the debug ring on completion), and the
+// access log. With tracing off and no logger, the wrapper is the seed's
+// counter bump and nothing else.
+func (s *server) serve(op string, h func(w http.ResponseWriter, r *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		s.inFlight.Add(1)
+		var tr *trace.Trace
+		var start time.Time
+		if s.ring != nil {
+			id := r.Header.Get("X-Request-ID")
+			if id == "" {
+				id = trace.NewID()
+			}
+			// Echo before the handler runs so even error paths that write
+			// headers directly (499) carry the correlation ID.
+			w.Header().Set("X-Request-ID", id)
+			tr = trace.New(id, op)
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+		} else if s.logger != nil {
+			start = time.Now()
+		}
 		code := h(w, r)
 		s.inFlight.Add(-1)
+		if tr != nil {
+			tr.Finish(code)
+			snap := tr.Snapshot()
+			s.ring.Record(snap)
+			if s.logger != nil {
+				s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+					slog.String("request_id", snap.ID),
+					slog.String("op", op),
+					slog.String("name", snap.Name),
+					slog.Int("status", code),
+					slog.Float64("dur_ms", float64(snap.TotalNanos)/1e6),
+				)
+			}
+		} else if s.logger != nil {
+			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+				slog.String("op", op),
+				slog.Int("status", code),
+				slog.Float64("dur_ms", float64(time.Since(start))/1e6),
+			)
+		}
 		switch {
 		case code >= 200 && code < 300:
 			s.ok2xx.Add(1)
@@ -140,7 +207,8 @@ type errorJSON struct {
 // foldJSON is the /v1/fold and /v1/scan request body (scan reads W1/W2).
 type foldJSON struct {
 	// Name is a client-side correlation label (trace replay, logs); the
-	// server accepts and ignores it.
+	// server copies it onto the request trace so /debug/requests and the
+	// access log can be joined back to replay entries.
 	Name      string `json:"name"`
 	Seq1      string `json:"seq1"`
 	Seq2      string `json:"seq2"`
@@ -186,6 +254,8 @@ func (s *server) handleFold(w http.ResponseWriter, r *http.Request) int {
 	if code := s.decode(w, r, &req); code != 0 {
 		return code
 	}
+	tr := trace.FromContext(r.Context())
+	tr.SetName(req.Name)
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 	res, err := s.session.Fold(ctx, req.Seq1, req.Seq2)
@@ -207,7 +277,9 @@ func (s *server) handleFold(w http.ResponseWriter, r *http.Request) int {
 			ElapsedNs: int64(res.Window.Elapsed),
 		}
 	} else if req.Structure {
+		ts := tr.Begin()
 		st := res.Structure()
+		tr.End(trace.StageTraceback, ts)
 		out.Structure = &structureJSON{
 			Bracket1: st.Bracket1,
 			Bracket2: st.Bracket2,
@@ -216,7 +288,7 @@ func (s *server) handleFold(w http.ResponseWriter, r *http.Request) int {
 			Inter:    len(st.Inter),
 		}
 	}
-	return s.writeJSON(w, http.StatusOK, out)
+	return s.writeJSON(w, r, http.StatusOK, out)
 }
 
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) int {
@@ -224,6 +296,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) int {
 	if code := s.decode(w, r, &req); code != 0 {
 		return code
 	}
+	trace.FromContext(r.Context()).SetName(req.Name)
 	w1, w2 := req.W1, req.W2
 	if w1 <= 0 {
 		w1 = s.cfg.ScanWindow
@@ -237,7 +310,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return s.writeError(w, r, err)
 	}
-	return s.writeJSON(w, http.StatusOK, scanResponse{
+	return s.writeJSON(w, r, http.StatusOK, scanResponse{
 		Best: res.Best,
 		I1:   res.I1, J1: res.J1, I2: res.I2, J2: res.J2,
 		ElapsedNs: int64(res.Elapsed),
@@ -270,7 +343,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		return code
 	}
 	if len(req.Items) == 0 {
-		return s.writeJSON(w, http.StatusBadRequest, errorJSON{Error: "batch has no items", Kind: "invalid_request"})
+		return s.writeJSON(w, r, http.StatusBadRequest, errorJSON{Error: "batch has no items", Kind: "invalid_request"})
 	}
 	items := make([]bpmax.BatchItem, len(req.Items))
 	for i, it := range req.Items {
@@ -307,17 +380,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	if closed == len(results) {
 		return s.writeError(w, r, bpmax.ErrSessionClosed)
 	}
-	return s.writeJSON(w, http.StatusOK, out)
+	return s.writeJSON(w, r, http.StatusOK, out)
 }
 
 // handleCache is the cache-introspection endpoint: the configured cache's
 // stats, or 404 when the server runs uncached.
 func (s *server) handleCache(w http.ResponseWriter, r *http.Request) {
 	if s.comps.Cache == nil {
-		s.writeJSON(w, http.StatusNotFound, errorJSON{Error: "no cache configured (-cache)", Kind: "no_cache"})
+		s.writeJSON(w, r, http.StatusNotFound, errorJSON{Error: "no cache configured (-cache)", Kind: "no_cache"})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.comps.Cache.Stats())
+	s.writeJSON(w, r, http.StatusOK, s.comps.Cache.Stats())
 }
 
 // handleHealthz is the liveness/readiness probe: 200 while serving, 503
@@ -335,7 +408,27 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // totals (zero unless -fold-metrics), component stats, and the HTTP
 // layer's own request accounting.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.snapshot())
+	s.writeJSON(w, r, http.StatusOK, s.snapshot())
+}
+
+// handleProm serves the same document as /metrics in Prometheus text
+// exposition format, for scrapers that do not speak the JSON shape.
+func (s *server) handleProm(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = metrics.WriteProm(w, &snap)
+}
+
+// handleRequests serves the trace ring: the most recent and slowest
+// requests with their per-stage breakdowns. 404 with a machine-readable
+// kind when the server runs untraced, so probes can tell "off" from
+// "empty".
+func (s *server) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		s.writeJSON(w, r, http.StatusNotFound, errorJSON{Error: "request tracing disabled (-trace-requests=false)", Kind: "tracing_disabled"})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, s.ring.Snapshot())
 }
 
 // snapshot assembles the /metrics document; also published via expvar.
@@ -347,6 +440,8 @@ func (s *server) snapshot() bpmax.MetricsSnapshot {
 	s.comps.Attach(&snap)
 	sst := s.serverStats()
 	snap.Server = &sst
+	rt := bpmax.ReadRuntimeStats()
+	snap.Runtime = &rt
 	return snap
 }
 
@@ -367,16 +462,21 @@ func (s *server) serverStats() bpmax.ServerStats {
 }
 
 // decode parses a POST JSON body; a non-zero return is the status already
-// written (method and body errors).
+// written (method and body errors). The read+parse is the trace's "decode"
+// stage — it includes the wire time of a body still in flight.
 func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) int {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		return s.writeJSON(w, http.StatusMethodNotAllowed, errorJSON{Error: "POST only", Kind: "method"})
+		return s.writeJSON(w, r, http.StatusMethodNotAllowed, errorJSON{Error: "POST only", Kind: "method"})
 	}
+	tr := trace.FromContext(r.Context())
+	ds := tr.Begin()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return s.writeJSON(w, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error(), Kind: "invalid_request"})
+	err := dec.Decode(into)
+	tr.End(trace.StageDecode, ds)
+	if err != nil {
+		return s.writeJSON(w, r, http.StatusBadRequest, errorJSON{Error: "bad request body: " + err.Error(), Kind: "invalid_request"})
 	}
 	return 0
 }
@@ -392,27 +492,27 @@ func (s *server) writeError(w http.ResponseWriter, r *http.Request, err error) i
 	switch {
 	case errors.Is(err, bpmax.ErrSessionClosed):
 		w.Header().Set("Connection", "close")
-		return s.writeJSON(w, http.StatusServiceUnavailable, errorJSON{Error: err.Error(), Kind: "draining"})
+		return s.writeJSON(w, r, http.StatusServiceUnavailable, errorJSON{Error: err.Error(), Kind: "draining"})
 	case errors.Is(err, bpmax.ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-		return s.writeJSON(w, http.StatusTooManyRequests, errorJSON{Error: err.Error(), Kind: "queue_full"})
+		return s.writeJSON(w, r, http.StatusTooManyRequests, errorJSON{Error: err.Error(), Kind: "queue_full"})
 	case errors.As(err, &ae), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		// Admission expiries unwrap to the context error; either way the
 		// question is whose clock ran out: the request's deadline (504) or
 		// the client's patience (disconnect, 499 — nobody reads the body).
 		if errors.Is(err, context.DeadlineExceeded) {
-			return s.writeJSON(w, http.StatusGatewayTimeout, errorJSON{Error: err.Error(), Kind: "deadline"})
+			return s.writeJSON(w, r, http.StatusGatewayTimeout, errorJSON{Error: err.Error(), Kind: "deadline"})
 		}
 		w.WriteHeader(statusClientClosed)
 		return statusClientClosed
 	case errors.As(err, &mle):
-		return s.writeJSON(w, http.StatusRequestEntityTooLarge, errorJSON{Error: err.Error(), Kind: "memory_limit"})
+		return s.writeJSON(w, r, http.StatusRequestEntityTooLarge, errorJSON{Error: err.Error(), Kind: "memory_limit"})
 	case bpmax.IsTransient(err):
-		return s.writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error(), Kind: "transient"})
+		return s.writeJSON(w, r, http.StatusInternalServerError, errorJSON{Error: err.Error(), Kind: "transient"})
 	default:
 		// What remains is input the pipeline rejected (invalid bases,
 		// malformed windows): the caller's to fix.
-		return s.writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error(), Kind: "invalid_request"})
+		return s.writeJSON(w, r, http.StatusBadRequest, errorJSON{Error: err.Error(), Kind: "invalid_request"})
 	}
 }
 
@@ -440,12 +540,22 @@ func (s *server) retryAfter() int {
 }
 
 // writeJSON writes one JSON response and returns the status for the
-// accounting wrapper.
-func (s *server) writeJSON(w http.ResponseWriter, code int, v any) int {
+// accounting wrapper. When the request carries a trace, the response gets a
+// Server-Timing header with the per-stage breakdown (stamped before
+// WriteHeader — which is why the encode stage itself is in the trace ring
+// but never in the header), and the body encode is recorded as the
+// "encode" stage.
+func (s *server) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) int {
+	tr := trace.FromContext(r.Context())
+	if st := tr.ServerTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
+	es := tr.Begin()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the client may be gone; accounting already has the code
+	tr.End(trace.StageEncode, es)
 	return code
 }

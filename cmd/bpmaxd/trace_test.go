@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/trace"
+)
+
+// tracedConfig is the serverConfig the tracing tests run under.
+func tracedConfig() serverConfig {
+	return serverConfig{TraceRequests: true, TraceRing: 8, TraceSlowest: 4}
+}
+
+func TestRequestIDEchoAndMint(t *testing.T) {
+	s, _ := newTestServer(t, nil, tracedConfig())
+	blob, _ := json.Marshal(map[string]any{"seq1": "GGGAAACCC", "seq2": "GGGUUUCCC"})
+	req := httptest.NewRequest(http.MethodPost, "/v1/fold", bytes.NewReader(blob))
+	req.Header.Set("X-Request-ID", "client-chose-this")
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get("X-Request-ID"); got != "client-chose-this" {
+		t.Errorf("client request ID not honored: %q", got)
+	}
+	rec = post(s, "/v1/fold", map[string]any{"seq1": "GGGAAACCC", "seq2": "GGGUUUCCC"})
+	if id := rec.Header().Get("X-Request-ID"); len(id) != 16 {
+		t.Errorf("minted request ID %q, want 16 hex chars", id)
+	}
+}
+
+func TestServerTimingAndDebugRequests(t *testing.T) {
+	s, _ := newTestServer(t, nil, tracedConfig())
+	rec := post(s, "/v1/fold", map[string]any{
+		"seq1": "GGGAAACCC", "seq2": "GGGUUUCCC", "name": "replay-7", "structure": true,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	st := rec.Header().Get("Server-Timing")
+	if !strings.Contains(st, "total;dur=") {
+		t.Errorf("Server-Timing missing total entry: %q", st)
+	}
+	if stages := workloadStages(st); stages["queue"] == "" || stages["substrate"] == "" {
+		t.Errorf("Server-Timing missing spine stages: %q", st)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/debug/requests", nil)
+	drec := httptest.NewRecorder()
+	s.mux.ServeHTTP(drec, req)
+	if drec.Code != http.StatusOK {
+		t.Fatalf("/debug/requests: %d", drec.Code)
+	}
+	var ring trace.RingSnapshot
+	if err := json.Unmarshal(drec.Body.Bytes(), &ring); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total != 1 || len(ring.Recent) != 1 || len(ring.Slowest) != 1 {
+		t.Fatalf("ring = %+v", ring)
+	}
+	snap := ring.Recent[0]
+	if snap.Op != "fold" || snap.Name != "replay-7" || snap.Status != http.StatusOK {
+		t.Errorf("trace identity: %+v", snap)
+	}
+	if snap.ID != rec.Header().Get("X-Request-ID") {
+		t.Errorf("ring trace %q does not match response header %q", snap.ID, rec.Header().Get("X-Request-ID"))
+	}
+	names := map[string]bool{}
+	for _, sg := range snap.Stages {
+		names[sg.Stage] = true
+	}
+	for _, want := range []string{"decode", "queue", "substrate", "traceback", "encode"} {
+		if !names[want] {
+			t.Errorf("stage %q missing from trace: %v", want, snap.Stages)
+		}
+	}
+}
+
+// workloadStages parses Server-Timing entries into name → dur text (the
+// full parse lives in internal/workload; here presence is enough).
+func workloadStages(h string) map[string]string {
+	out := map[string]string{}
+	for _, e := range strings.Split(h, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(e), ";")
+		if ok {
+			out[name] = rest
+		}
+	}
+	return out
+}
+
+func TestDebugRequestsDisabled(t *testing.T) {
+	s, _ := newTestServer(t, nil, serverConfig{})
+	req := httptest.NewRequest(http.MethodGet, "/debug/requests", nil)
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("untraced /debug/requests: %d", rec.Code)
+	}
+	var e errorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Kind != "tracing_disabled" {
+		t.Errorf("body %s (err %v), want kind tracing_disabled", rec.Body, err)
+	}
+	// And the untraced response carries neither tracing header.
+	frec := post(s, "/v1/fold", map[string]any{"seq1": "GGG", "seq2": "CCC"})
+	if frec.Header().Get("X-Request-ID") != "" || frec.Header().Get("Server-Timing") != "" {
+		t.Errorf("untraced server stamped tracing headers: %v", frec.Header())
+	}
+}
+
+func TestPromAndRuntimeMetrics(t *testing.T) {
+	s, _ := newTestServer(t, nil, serverConfig{})
+	post(s, "/v1/fold", map[string]any{"seq1": "GGGAAACCC", "seq2": "GGGUUUCCC"})
+	req := httptest.NewRequest(http.MethodGet, "/metrics/prom", nil)
+	rec := httptest.NewRecorder()
+	s.mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics/prom: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"bpmax_server_requests_total 1",
+		"bpmax_go_goroutines",
+		"bpmax_go_gc_pause_nanos_total",
+		"# TYPE bpmax_server_requests_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
+	// The JSON document carries the same runtime section.
+	snap := s.snapshot()
+	if snap.Runtime == nil || snap.Runtime.Goroutines <= 0 {
+		t.Errorf("snapshot runtime health missing: %+v", snap.Runtime)
+	}
+}
+
+// TestMidFillDisconnectTraced cancels the client mid-fill over a real
+// connection and checks the trace still lands in the ring, complete and
+// status-499, with every recorded stage inside the request's extent.
+func TestMidFillDisconnectTraced(t *testing.T) {
+	s, _ := newTestServer(t, nil, tracedConfig())
+	ts := httptest.NewServer(s.mux)
+	defer ts.Close()
+	s1, s2 := slowSeq()
+	blob, _ := json.Marshal(map[string]any{"seq1": s1, "seq2": s2, "name": "walkaway"})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/fold", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.Skip("fold finished before the client disconnected")
+	}
+	// The handler unwinds asynchronously after the disconnect; wait for the
+	// trace to be recorded.
+	deadline := time.Now().Add(5 * time.Second)
+	var ring *trace.Ring = s.ring
+	for {
+		rs := ring.Snapshot()
+		if rs.Total >= 1 {
+			snap := rs.Recent[len(rs.Recent)-1]
+			if snap.Status != statusClientClosed {
+				t.Fatalf("disconnect recorded status %d, want %d: %+v", snap.Status, statusClientClosed, snap)
+			}
+			if snap.Name != "walkaway" {
+				t.Errorf("trace name = %q", snap.Name)
+			}
+			for _, sg := range snap.Stages {
+				if sg.LastNanos > snap.TotalNanos {
+					t.Errorf("stage %s recorded past Finish: %+v", sg.Stage, sg)
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("disconnected request never reached the trace ring")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAccessLogCorrelation(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tracedConfig()
+	cfg.Logger = slog.New(slog.NewJSONHandler(&syncWriter{w: &buf}, nil))
+	s, _ := newTestServer(t, nil, cfg)
+	rec := post(s, "/v1/fold", map[string]any{"seq1": "GGG", "seq2": "CCC", "name": "corr-1"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	id := rec.Header().Get("X-Request-ID")
+	var entry struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"request_id"`
+		Op        string  `json:"op"`
+		Name      string  `json:"name"`
+		Status    int     `json:"status"`
+		DurMs     float64 `json:"dur_ms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log not one JSON record: %q (%v)", buf.String(), err)
+	}
+	if entry.Msg != "request" || entry.RequestID != id || entry.Op != "fold" ||
+		entry.Name != "corr-1" || entry.Status != 200 || entry.DurMs <= 0 {
+		t.Errorf("access record %+v does not correlate with response (id %q)", entry, id)
+	}
+}
+
+// syncWriter serializes concurrent slog writes in tests.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestRunTraceOut boots the full binary loop with -trace-out and checks
+// the drain leaves a loadable Chrome trace-event file behind.
+func TestRunTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	tracePath := filepath.Join(dir, "chrome.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-trace-out", tracePath, "-log-format", "json",
+		}, os.Stderr)
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if blob, err := os.ReadFile(addrFile); err == nil && len(blob) > 0 {
+			addr = strings.TrimSpace(string(blob))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never wrote its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	blob, _ := json.Marshal(map[string]any{"seq1": "GGGAAACCC", "seq2": "GGGUUUCCC"})
+	resp, err := http.Post("http://"+addr+"/v1/fold", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	out, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out, &file); err != nil {
+		t.Fatalf("-trace-out not valid trace-event JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("-trace-out has no events")
+	}
+}

@@ -16,9 +16,18 @@
 //
 // Each mix is ARRIVAL/LENGTHS, with arrivals poisson|bursty and lengths
 // uniform|heavytail|screen (see internal/workload). The -json artifact is a
-// bpmax-bench/v1 document (table ext-serving) that cmd/benchgate can gate.
-// With -check, the exit status asserts server health: no 5xx, no transport
-// errors, client and server ledgers agree, shed rate within -max-shed.
+// bpmax-bench/v1 document (tables ext-serving and ext-serving-stages) that
+// cmd/benchgate can gate. With -check, the exit status asserts server
+// health: no 5xx, no transport errors, client and server ledgers agree,
+// shed rate within -max-shed.
+//
+// When the server traces requests (bpmaxd's default), every response's
+// Server-Timing header is parsed into a per-stage breakdown; the report
+// then carries per-stage p50/p95/p99 and names the stage dominating the
+// slow tail ("p99 dominated by queue: 62%"). -slowest-trace FILE fetches
+// /debug/requests afterwards and writes the server's slowest requests as
+// Chrome trace-event JSON. Failed requests are logged (-log-format
+// text|json) with the server's X-Request-ID for cross-log correlation.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -37,6 +47,7 @@ import (
 	"time"
 
 	"github.com/bpmax-go/bpmax"
+	itrace "github.com/bpmax-go/bpmax/internal/trace"
 	"github.com/bpmax-go/bpmax/internal/workload"
 )
 
@@ -66,9 +77,21 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	jsonOut := fs.String("json", "", "write the bpmax-bench/v1 artifact to this file")
 	check := fs.Bool("check", false, "exit nonzero unless the run was healthy (no 5xx/transport errors, ledgers reconcile, shed within -max-shed)")
 	maxShed := fs.Float64("max-shed", 1.0, "largest acceptable shed fraction under -check")
+	slowestTrace := fs.String("slowest-trace", "", "after the run, fetch /debug/requests and write the server's slowest traces as Chrome trace-event JSON to this file")
+	logFormat := fs.String("log-format", "text", "structured log encoding on stderr: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	// Build the (label, requests) list to run.
 	type job struct {
@@ -159,7 +182,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return fmt.Errorf("%s: /metrics before run: %w", j.label, err)
 		}
 		col := &workload.Collector{}
-		wall, err := replay(ctx, client, base, j.reqs, col)
+		wall, err := replay(ctx, client, base, j.reqs, col, logger)
 		if err != nil {
 			return fmt.Errorf("%s: %w", j.label, err)
 		}
@@ -176,6 +199,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		if *check {
 			unhealthy = append(unhealthy, audit(report, before, after, *maxShed)...)
 		}
+	}
+
+	if *slowestTrace != "" {
+		if err := fetchSlowest(ctx, client, base, *slowestTrace); err != nil {
+			return fmt.Errorf("slowest-trace: %w", err)
+		}
+		fmt.Fprintf(stdout, "slowest traces: %s\n", *slowestTrace)
 	}
 
 	if *jsonOut != "" {
@@ -196,7 +226,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 // replay fires reqs open-loop at their trace timestamps against base and
 // feeds every outcome to col. It returns the run's wall time.
-func replay(ctx context.Context, client *http.Client, base string, reqs []workload.Request, col *workload.Collector) (time.Duration, error) {
+func replay(ctx context.Context, client *http.Client, base string, reqs []workload.Request, col *workload.Collector, logger *slog.Logger) (time.Duration, error) {
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := range reqs {
@@ -217,8 +247,17 @@ func replay(ctx context.Context, client *http.Client, base string, reqs []worklo
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			status, latency := fire(ctx, client, base, rq)
-			col.Add(status, latency, lag)
+			status, latency, requestID, stages := fire(ctx, client, base, rq)
+			col.AddTimed(status, latency, lag, stages)
+			// Failures are logged with the server's request ID so the
+			// client-side record joins to the server's access log and
+			// /debug/requests entry.
+			if status == 0 || status >= 500 {
+				logger.Warn("request failed",
+					"name", rq.Name, "status", status,
+					"request_id", requestID,
+					"dur_ms", float64(latency)/1e6)
+			}
 		}()
 	}
 	wg.Wait()
@@ -226,8 +265,10 @@ func replay(ctx context.Context, client *http.Client, base string, reqs []worklo
 }
 
 // fire sends one trace request and returns its HTTP status (0 on a
-// transport failure) and observed latency.
-func fire(ctx context.Context, client *http.Client, base string, rq workload.Request) (int, time.Duration) {
+// transport failure), observed latency, the server-assigned X-Request-ID,
+// and the stage breakdown parsed from the Server-Timing header (nil when
+// the server runs untraced).
+func fire(ctx context.Context, client *http.Client, base string, rq workload.Request) (int, time.Duration, string, map[string]time.Duration) {
 	path := "/v1/fold"
 	body := map[string]any{"seq1": rq.Seq1, "seq2": rq.Seq2}
 	if rq.Op == workload.OpScan {
@@ -244,16 +285,52 @@ func fire(ctx context.Context, client *http.Client, base string, rq workload.Req
 	begin := time.Now()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(blob))
 	if err != nil {
-		return 0, time.Since(begin)
+		return 0, time.Since(begin), "", nil
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, time.Since(begin)
+		return 0, time.Since(begin), "", nil
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode, time.Since(begin)
+	return resp.StatusCode, time.Since(begin),
+		resp.Header.Get("X-Request-ID"),
+		workload.ParseServerTiming(resp.Header.Get("Server-Timing"))
+}
+
+// fetchSlowest pulls the server's /debug/requests ring and writes its
+// slowest traces as a Chrome trace-event file (loadable in chrome://tracing
+// or Perfetto), slowest first.
+func fetchSlowest(ctx context.Context, client *http.Client, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/debug/requests", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/requests: status %d (is the server running -trace-requests=false?)", resp.StatusCode)
+	}
+	var ring itrace.RingSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+		return err
+	}
+	if len(ring.Slowest) == 0 {
+		return errors.New("/debug/requests reported no traces")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := itrace.WriteChrome(f, ring.Slowest); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // fetchSnapshot pulls the server's /metrics document.
@@ -332,4 +409,16 @@ func printReport(w io.Writer, r workload.Report) {
 		fmt.Fprintf(w, "  cache %.2f", r.CacheHitRate)
 	}
 	fmt.Fprintf(w, "  lag %v\n", time.Duration(r.MaxLagNanos))
+	if len(r.Stages) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-24s stage attribution (%d/%d sampled, server covers %.0f%% of e2e):",
+		"", r.StagedRequests, r.OK, r.ServerCoverage*100)
+	for _, s := range r.Stages {
+		fmt.Fprintf(w, "  %s p99 %v", s.Stage, time.Duration(s.P99Nanos))
+	}
+	fmt.Fprintln(w)
+	if r.TailDominant != "" {
+		fmt.Fprintf(w, "%-24s p99 dominated by %s\n", "", r.TailDominant)
+	}
 }

@@ -124,7 +124,7 @@ func TestReplayReportAndArtifact(t *testing.T) {
 	if err := json.Unmarshal(blob, &art); err != nil {
 		t.Fatal(err)
 	}
-	if art.Schema != workload.ArtifactSchema || len(art.Tables) != 1 {
+	if art.Schema != workload.ArtifactSchema || len(art.Tables) != 2 {
 		t.Fatalf("artifact shape: schema=%q tables=%d", art.Schema, len(art.Tables))
 	}
 	if len(art.Tables[0].Rows) != 2 {

@@ -1,0 +1,61 @@
+// Command servingbaseline turns a bpmaxload replay artifact into the
+// committed serving baseline ci.sh gates against. It keeps only the gated
+// ext-serving table: the stage-attribution table's row set varies run to
+// run (a cache-hit row appears only when the cache hit), and benchgate
+// treats a baseline row missing from the current run as a failure, so
+// volatile tables must not be in the baseline. The full-precision reports
+// are dropped for the same reason — the baseline is a gate input, not an
+// archive.
+//
+// Usage:
+//
+//	servingbaseline results/generated/BENCH_serving.json results/BENCH_serving_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/bpmax-go/bpmax/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "servingbaseline:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: servingbaseline IN.json OUT.json")
+	}
+	blob, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var art workload.Artifact
+	if err := json.Unmarshal(blob, &art); err != nil {
+		return err
+	}
+	if art.Schema != workload.ArtifactSchema {
+		return fmt.Errorf("%s: schema %q, want %q", args[0], art.Schema, workload.ArtifactSchema)
+	}
+	kept := art.Tables[:0]
+	for _, t := range art.Tables {
+		if t.ID == "ext-serving" {
+			kept = append(kept, t)
+		}
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("%s: no ext-serving table", args[0])
+	}
+	art.Tables = kept
+	art.Reports = nil
+	out, err := json.MarshalIndent(&art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(args[1], append(out, '\n'), 0o644)
+}

@@ -31,6 +31,7 @@ func solveBase(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 			for i1 := 0; i1+d1 < n1; i1++ {
 				select {
 				case <-done:
+					obs.interrupt(metrics.PhaseTriangle, t0)
 					f.Release()
 					return nil, ctx.Err()
 				default:

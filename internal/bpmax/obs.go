@@ -62,6 +62,14 @@ func (o obsState) done(p metrics.Phase, start time.Time, units int64) {
 	}
 }
 
+// interrupt closes a phase span cut short by an error (cancellation, fault
+// injection): the partial wall time is credited with zero units, keeping
+// every Tracer's Begin/End pairing balanced on error exits — request traces
+// and pprof-label adapters rely on that.
+func (o obsState) interrupt(p metrics.Phase, start time.Time) {
+	o.done(p, start, 0)
+}
+
 // wavefront counts one completed outer anti-diagonal.
 func (o obsState) wavefront() {
 	if o.m != nil {

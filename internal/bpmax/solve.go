@@ -113,6 +113,7 @@ func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 		s.curD1 = d1
 		t0 := obs.start(metrics.PhaseTriangle)
 		if err := pf(ctx, p.N1-d1, cfg.Workers, s.triTask); err != nil {
+			obs.interrupt(metrics.PhaseTriangle, t0)
 			s.abort()
 			return nil, err
 		}
@@ -139,6 +140,7 @@ func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 			s.curI1, s.curJ1 = i1, j1
 			t0 := obs.start(metrics.PhaseAccum)
 			if err := pf(ctx, p.N2, cfg.Workers, s.rowFineTask); err != nil {
+				obs.interrupt(metrics.PhaseAccum, t0)
 				s.abort()
 				return nil, err
 			}
@@ -171,12 +173,14 @@ func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 		s.curD1 = d1
 		t0 := obs.start(metrics.PhaseAccum)
 		if err := pf(ctx, tris*p.N2, cfg.Workers, s.rowAllTask); err != nil {
+			obs.interrupt(metrics.PhaseAccum, t0)
 			s.abort()
 			return nil, err
 		}
 		obs.done(metrics.PhaseAccum, t0, int64(tris*p.N2))
 		t0 = obs.start(metrics.PhaseFinalize)
 		if err := pf(ctx, tris, cfg.Workers, s.finTask); err != nil {
+			obs.interrupt(metrics.PhaseFinalize, t0)
 			s.abort()
 			return nil, err
 		}
@@ -212,6 +216,7 @@ func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) 
 		// Accumulate into scratch (reads finalized triangles from s.f).
 		t0 := obs.start(metrics.PhaseAccum)
 		if err := pf(ctx, tris*p.N2, cfg.Workers, s.scratchRowTask); err != nil {
+			obs.interrupt(metrics.PhaseAccum, t0)
 			s.abort()
 			return nil, err
 		}
@@ -220,6 +225,7 @@ func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) 
 		// the update pass in place.
 		t0 = obs.start(metrics.PhaseFinalize)
 		if err := pf(ctx, tris, cfg.Workers, s.scratchFinTask); err != nil {
+			obs.interrupt(metrics.PhaseFinalize, t0)
 			s.abort()
 			return nil, err
 		}
@@ -246,12 +252,14 @@ func solveHybridTiled(ctx context.Context, p *Problem, cfg Config) (*FTable, err
 		s.curD1 = d1
 		t0 := obs.start(metrics.PhaseAccum)
 		if err := pf(ctx, tris*s.curTilesPT, cfg.Workers, s.tileTask); err != nil {
+			obs.interrupt(metrics.PhaseAccum, t0)
 			s.abort()
 			return nil, err
 		}
 		obs.done(metrics.PhaseAccum, t0, int64(tris*s.curTilesPT))
 		t0 = obs.start(metrics.PhaseFinalize)
 		if err := pf(ctx, tris, cfg.Workers, s.finTask); err != nil {
+			obs.interrupt(metrics.PhaseFinalize, t0)
 			s.abort()
 			return nil, err
 		}

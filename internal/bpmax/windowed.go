@@ -224,6 +224,7 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 			accumRow(i1, i1+d1, t%n2)
 		})
 		if err != nil {
+			obs.interrupt(metrics.PhaseWindowAccum, t0)
 			w.Release()
 			return nil, err
 		}
@@ -233,6 +234,7 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 			finalize(i1, i1+d1)
 		})
 		if err != nil {
+			obs.interrupt(metrics.PhaseWindowFinalize, t0)
 			w.Release()
 			return nil, err
 		}

@@ -402,6 +402,9 @@ type Snapshot struct {
 	// Server is the HTTP front-end's request accounting, attached by
 	// cmd/bpmaxd (nil when the metrics owner is not a network server).
 	Server *ServerStats `json:"server,omitempty"`
+	// Runtime is a Go runtime health sample (ReadRuntime), attached by
+	// process-level snapshot paths (bpmax -stats, bpmaxd /metrics).
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
 }
 
 // ServerStats counts an HTTP front-end's request outcomes by status class.

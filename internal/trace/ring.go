@@ -1,0 +1,97 @@
+package trace
+
+import "sync"
+
+// Ring retains a bounded window of finished request traces for
+// /debug/requests: the most recent N in arrival order, plus the slowest N
+// seen since startup (by total wall time). Both bounds are fixed at
+// construction, so the ring's memory is O(recent+slowest) regardless of
+// traffic. All methods are safe for concurrent use; Record is called once
+// per request on the serve path, Snapshot on demand by the debug endpoint
+// and the -trace-out drain dump.
+type Ring struct {
+	mu      sync.Mutex
+	recent  []Snapshot // circular buffer, next is the write cursor
+	next    int
+	full    bool
+	slowest []Snapshot // sorted descending by TotalNanos, ≤ cap
+	maxSlow int
+	total   int64
+}
+
+// NewRing returns a ring keeping the last recent traces and the slowest
+// slowest traces. Non-positive sizes are clamped to 1.
+func NewRing(recent, slowest int) *Ring {
+	if recent < 1 {
+		recent = 1
+	}
+	if slowest < 1 {
+		slowest = 1
+	}
+	return &Ring{
+		recent:  make([]Snapshot, recent),
+		slowest: make([]Snapshot, 0, slowest),
+		maxSlow: slowest,
+	}
+}
+
+// Record adds one finished trace. Nil-safe: a nil ring drops the snapshot,
+// so callers need no "is tracing on" branch.
+func (r *Ring) Record(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	r.recent[r.next] = s
+	r.next++
+	if r.next == len(r.recent) {
+		r.next = 0
+		r.full = true
+	}
+	// Insertion into the sorted slowest list: find the first entry this
+	// trace outranks, shift the tail down, drop the overflow.
+	if len(r.slowest) < r.maxSlow || s.TotalNanos > r.slowest[len(r.slowest)-1].TotalNanos {
+		i := len(r.slowest)
+		for i > 0 && r.slowest[i-1].TotalNanos < s.TotalNanos {
+			i--
+		}
+		if len(r.slowest) < r.maxSlow {
+			r.slowest = append(r.slowest, Snapshot{})
+		}
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = s
+	}
+	r.mu.Unlock()
+}
+
+// RingSnapshot is the JSON shape /debug/requests serves.
+type RingSnapshot struct {
+	// Total counts every trace ever recorded, including those that have
+	// since rotated out of Recent.
+	Total int64 `json:"total"`
+	// Recent lists the last traces oldest-first.
+	Recent []Snapshot `json:"recent"`
+	// Slowest lists the slowest traces since startup, slowest-first.
+	Slowest []Snapshot `json:"slowest"`
+}
+
+// Snapshot copies the ring's current contents. Nil-safe (returns the zero
+// snapshot).
+func (r *Ring) Snapshot() RingSnapshot {
+	if r == nil {
+		return RingSnapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := RingSnapshot{Total: r.total}
+	if r.full {
+		out.Recent = make([]Snapshot, 0, len(r.recent))
+		out.Recent = append(out.Recent, r.recent[r.next:]...)
+		out.Recent = append(out.Recent, r.recent[:r.next]...)
+	} else {
+		out.Recent = append([]Snapshot(nil), r.recent[:r.next]...)
+	}
+	out.Slowest = append([]Snapshot(nil), r.slowest...)
+	return out
+}

@@ -1,0 +1,389 @@
+// Package trace is the request-tracing layer of the serving spine: one
+// Trace per request, carried through the pipeline in a context.Context,
+// recording how the request's wall time divided across the serving stages —
+// HTTP decode, admission queue wait, cache probe outcomes, substrate fill,
+// the solver's own fold phases, traceback and response encode.
+//
+// The design mirrors internal/metrics' two-layer split, but per request
+// instead of per process:
+//
+//   - A *Trace accumulates per-stage busy time and span extents under one
+//     mutex. It is written by whichever goroutines serve the request (the
+//     handler goroutine, and batch workers for /v1/batch), so unlike
+//     FoldMetrics it must tolerate concurrency — tracing is the armed,
+//     allocation-tolerant path.
+//   - The disarmed path is free: every method is nil-receiver safe, Begin
+//     on a nil Trace returns the zero Time without reading the clock, and
+//     FromContext on a context without a trace is one Value lookup. A
+//     pooled steady-state fold with no trace in its context performs no
+//     allocation and no timestamp on behalf of this package (enforced by
+//     TestTraceZeroAllocSteadyState).
+//
+// *Trace implements metrics.Tracer, so the existing solver instrumentation
+// (obsState in internal/bpmax) feeds fold phases into the request trace
+// with no new solver plumbing: the pipeline joins the trace into
+// Config.Tracer only on the cold-solve path. Phase recording uses only
+// EndPhase — which carries the elapsed duration — so a phase whose End was
+// skipped (a cancelled fill) loses at most that partial span and never
+// corrupts the trace.
+//
+// Snapshots feed three consumers: the /debug/requests ring (ring.go), the
+// Chrome trace-event export (chrome.go), and the Server-Timing response
+// header that lets a load harness attribute tail latency per stage without
+// scraping the server (ServerTiming).
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/metrics"
+)
+
+// Stage names one attributable section of a request's wall time. The
+// taxonomy extends the solver's metrics.Phase decomposition outward to the
+// serving layers: everything between "a request arrived" and "the response
+// was written" lands in exactly one stage (or in the synthetic "other"
+// remainder the Server-Timing header reports).
+type Stage uint8
+
+const (
+	// StageDecode is HTTP request-body decoding (JSON parse + validation).
+	StageDecode Stage = iota
+	// StageQueue is the admission gate: time spent waiting for a
+	// concurrency slot (near zero when uncontended or admission is off).
+	StageQueue
+	// StageCacheHit is a result-cache hit: the whole serve time of a
+	// request answered from the retained master.
+	StageCacheHit
+	// StageCacheWait is a single-flight wait: time spent parked behind
+	// another request's in-flight identical solve.
+	StageCacheWait
+	// StageSubstrate through StageWindowFinalize mirror metrics.Phase —
+	// StageOfPhase maps them index-for-index, so solver spans arrive
+	// through the Tracer interface with no translation table.
+	StageSubstrate
+	StageAccum
+	StageFinalize
+	StageTriangle
+	StageWindowAccum
+	StageWindowFinalize
+	// StageTraceback is structure recovery (the optional traceback walk).
+	StageTraceback
+	// StageEncode is HTTP response encoding.
+	StageEncode
+	// StageCount sizes per-stage arrays; not a stage.
+	StageCount
+)
+
+var stageNames = [StageCount]string{
+	StageDecode:         "decode",
+	StageQueue:          "queue",
+	StageCacheHit:       "cache-hit",
+	StageCacheWait:      "singleflight-wait",
+	StageSubstrate:      "substrate",
+	StageAccum:          "accumulate",
+	StageFinalize:       "finalize",
+	StageTriangle:       "triangle",
+	StageWindowAccum:    "window-accumulate",
+	StageWindowFinalize: "window-finalize",
+	StageTraceback:      "traceback",
+	StageEncode:         "encode",
+}
+
+// String returns the stable label used in snapshots, Server-Timing entries
+// and the slog field glossary.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// StageOfPhase maps a solver phase onto its trace stage. The two enums are
+// aligned (PhaseSubstrate == 0 maps to StageSubstrate), so the mapping is
+// one addition.
+func StageOfPhase(p metrics.Phase) Stage {
+	if p >= metrics.PhaseCount {
+		return StageCount // dropped by the bounds check in EndPhase
+	}
+	return StageSubstrate + Stage(p)
+}
+
+// StageStat accumulates one stage's activity inside a single request:
+// total busy time, span count, and the extent [First, Last] (offsets from
+// trace start) its spans covered.
+type StageStat struct {
+	BusyNanos  int64 `json:"busy_nanos"`
+	Count      int64 `json:"count"`
+	FirstNanos int64 `json:"first_nanos"`
+	LastNanos  int64 `json:"last_nanos"`
+}
+
+// Trace records one request's stage breakdown. Create with New, carry with
+// NewContext/FromContext, record with Begin/End (explicit spans) or the
+// metrics.Tracer interface (solver phases), seal with Finish. All methods
+// are safe for concurrent use and safe on a nil receiver — a nil *Trace is
+// the disarmed state and costs nothing.
+type Trace struct {
+	id    string
+	op    string
+	start time.Time
+
+	mu     sync.Mutex
+	name   string
+	stages [StageCount]StageStat
+	status int
+	endNs  int64
+}
+
+// New starts a trace for one request. id is the correlation id echoed as
+// X-Request-ID (use NewID when the client sent none); op labels the
+// request kind ("fold", "scan", "batch", ...).
+func New(id, op string) *Trace {
+	return &Trace{id: id, op: op, start: time.Now()}
+}
+
+// NewID returns a fresh 16-hex-digit request id.
+func NewID() string {
+	return fmt.Sprintf("%016x", rand.Uint64())
+}
+
+// ID returns the trace's correlation id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// SetName attaches the client's request label (trace replay name).
+func (t *Trace) SetName(name string) {
+	if t == nil || name == "" {
+		return
+	}
+	t.mu.Lock()
+	t.name = name
+	t.mu.Unlock()
+}
+
+// Begin opens an explicit span: it returns the span's start time, or the
+// zero Time on a nil trace — in which case the matching End is a no-op and
+// no clock was read.
+func (t *Trace) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End closes an explicit span opened by Begin, attributing its wall time
+// to stage st.
+func (t *Trace) End(st Stage, start time.Time) {
+	if t == nil || start.IsZero() {
+		return
+	}
+	now := time.Now()
+	t.add(st, now.Sub(t.start), now.Sub(start))
+}
+
+// add credits one span ending at offset end (from trace start) with
+// duration d to stage st.
+func (t *Trace) add(st Stage, end, d time.Duration) {
+	if st >= StageCount {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	endNs, durNs := int64(end), int64(d)
+	beginNs := endNs - durNs
+	t.mu.Lock()
+	s := &t.stages[st]
+	s.BusyNanos += durNs
+	s.Count++
+	if s.Count == 1 || beginNs < s.FirstNanos {
+		s.FirstNanos = beginNs
+	}
+	if endNs > s.LastNanos {
+		s.LastNanos = endNs
+	}
+	t.mu.Unlock()
+}
+
+// BeginPhase implements metrics.Tracer. It is deliberately a no-op: phase
+// time arrives through EndPhase's elapsed argument, so an unbalanced Begin
+// (a fill cancelled mid-phase) cannot leave a span dangling.
+func (t *Trace) BeginPhase(metrics.Phase) {}
+
+// EndPhase implements metrics.Tracer: one solver phase span of duration d
+// just ended on the fold's coordinating goroutine.
+func (t *Trace) EndPhase(p metrics.Phase, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.add(StageOfPhase(p), time.Since(t.start), d)
+}
+
+// Join returns a Tracer that feeds both the trace and next (either may be
+// nil). The pipeline uses it to layer request tracing under a caller's
+// WithTracer without disturbing it.
+func (t *Trace) Join(next metrics.Tracer) metrics.Tracer {
+	if t == nil {
+		return next
+	}
+	if next == nil {
+		return t
+	}
+	return joinedTracer{t, next}
+}
+
+// joinedTracer fans Tracer callbacks out to two destinations.
+type joinedTracer struct{ a, b metrics.Tracer }
+
+func (j joinedTracer) BeginPhase(p metrics.Phase) { j.a.BeginPhase(p); j.b.BeginPhase(p) }
+func (j joinedTracer) EndPhase(p metrics.Phase, d time.Duration) {
+	j.a.EndPhase(p, d)
+	j.b.EndPhase(p, d)
+}
+
+// Finish seals the trace with the request's final status. Idempotent-ish:
+// a second Finish overwrites status and end, which never happens on the
+// single serve path.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	end := int64(time.Since(t.start))
+	t.mu.Lock()
+	t.status = status
+	t.endNs = end
+	t.mu.Unlock()
+}
+
+// ServerTiming renders the trace's current stage totals as a Server-Timing
+// header value (RFC draft syntax: `name;dur=millis`, comma-separated).
+// Two synthetic entries complete the ledger: "other" is the handler time
+// not attributed to any stage so far, and "total" is the wall time from
+// request start to this call — so per-request stage sums reconcile with
+// the server-side end-to-end latency by construction, and any large
+// "other" is visible rather than hidden. Encode time is excluded (the
+// header is written before the body); the /debug/requests ring has it.
+func (t *Trace) ServerTiming() string {
+	if t == nil {
+		return ""
+	}
+	total := time.Since(t.start)
+	t.mu.Lock()
+	var b strings.Builder
+	var attributed int64
+	for st := Stage(0); st < StageCount; st++ {
+		s := t.stages[st]
+		if s.Count == 0 || st == StageEncode {
+			continue
+		}
+		attributed += s.BusyNanos
+		appendTiming(&b, st.String(), s.BusyNanos)
+	}
+	t.mu.Unlock()
+	other := int64(total) - attributed
+	if other < 0 {
+		other = 0
+	}
+	appendTiming(&b, "other", other)
+	appendTiming(&b, "total", int64(total))
+	return b.String()
+}
+
+// appendTiming writes one `name;dur=ms` entry (dur in milliseconds, three
+// decimals — microsecond resolution survives the round trip).
+func appendTiming(b *strings.Builder, name string, nanos int64) {
+	if b.Len() > 0 {
+		b.WriteString(", ")
+	}
+	b.WriteString(name)
+	b.WriteString(";dur=")
+	b.WriteString(strconv.FormatFloat(float64(nanos)/1e6, 'f', 3, 64))
+}
+
+// StageSnapshot is the JSON form of one stage's stats inside a request.
+type StageSnapshot struct {
+	Stage      string `json:"stage"`
+	BusyNanos  int64  `json:"busy_nanos"`
+	Count      int64  `json:"count"`
+	FirstNanos int64  `json:"first_nanos"`
+	LastNanos  int64  `json:"last_nanos"`
+}
+
+// Snapshot is the JSON form of one request trace — the unit the
+// /debug/requests ring stores and the Chrome export renders.
+type Snapshot struct {
+	ID    string    `json:"id"`
+	Op    string    `json:"op"`
+	Name  string    `json:"name,omitempty"`
+	Start time.Time `json:"start"`
+	// TotalNanos is the request's end-to-end wall time (through Finish).
+	TotalNanos int64 `json:"total_nanos"`
+	// Status is the HTTP status the request resolved to (499 for client
+	// disconnects, 0 if the trace was never finished).
+	Status int             `json:"status,omitempty"`
+	Stages []StageSnapshot `json:"stages"`
+}
+
+// Snapshot copies the trace into its serializable form. Stages that never
+// recorded a span are omitted. Safe to call before Finish (TotalNanos is
+// then the time elapsed so far).
+func (t *Trace) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	s := Snapshot{
+		ID:         t.id,
+		Op:         t.op,
+		Name:       t.name,
+		Start:      t.start,
+		TotalNanos: t.endNs,
+		Status:     t.status,
+	}
+	if s.TotalNanos == 0 {
+		s.TotalNanos = int64(time.Since(t.start))
+	}
+	for st := Stage(0); st < StageCount; st++ {
+		if stat := t.stages[st]; stat.Count > 0 {
+			s.Stages = append(s.Stages, StageSnapshot{
+				Stage:      st.String(),
+				BusyNanos:  stat.BusyNanos,
+				Count:      stat.Count,
+				FirstNanos: stat.FirstNanos,
+				LastNanos:  stat.LastNanos,
+			})
+		}
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// ctxKey is the private context key carrying the request's *Trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. A nil t returns ctx unchanged, so the
+// disarmed server path adds no context wrapper.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil — the disarmed
+// state every recording method treats as "do nothing, read no clock".
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -17,6 +17,7 @@ import (
 type Collector struct {
 	mu      sync.Mutex
 	okLat   []time.Duration
+	staged  []stagedSample
 	total   int64
 	ok      int64
 	shed    int64
@@ -30,6 +31,14 @@ type Collector struct {
 // error), its observed latency, and how far behind schedule it fired
 // (open-loop lag; 0 when on time).
 func (c *Collector) Add(status int, latency, lag time.Duration) {
+	c.AddTimed(status, latency, lag, nil)
+}
+
+// AddTimed is Add plus the server-side stage breakdown parsed from the
+// response's Server-Timing header (nil when the response carried none).
+// Breakdowns are kept for successful responses only — like the latency
+// quantiles, attribution is over requests that did the work.
+func (c *Collector) AddTimed(status int, latency, lag time.Duration, stages map[string]time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.total++
@@ -40,6 +49,22 @@ func (c *Collector) Add(status int, latency, lag time.Duration) {
 	case status >= 200 && status < 300:
 		c.ok++
 		c.okLat = append(c.okLat, latency)
+		if len(stages) > 0 {
+			s := stagedSample{client: latency, total: stages["total"], stages: make(map[string]time.Duration, len(stages))}
+			for n, d := range stages {
+				if n != "total" {
+					s.stages[n] = d
+				}
+			}
+			if s.total == 0 {
+				// A header without the total entry: reconstruct it so shares
+				// still have a denominator.
+				for _, d := range s.stages {
+					s.total += d
+				}
+			}
+			c.staged = append(c.staged, s)
+		}
 	case status == 429:
 		c.shed++
 	case status == 0:
@@ -84,6 +109,21 @@ type Report struct {
 	// CacheHitRate is the server-side substrate+result hit fraction
 	// fetched from /metrics after the run (-1 when unavailable).
 	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// Stages is the server-side per-stage latency breakdown reduced from
+	// Server-Timing headers, in spine order; empty when the server ran
+	// untraced.
+	Stages []StageReport `json:"stages,omitempty"`
+	// TailDominant names the stage with the largest share of the slow
+	// tail, e.g. "queue: 62%".
+	TailDominant string `json:"tail_dominant,omitempty"`
+	// ServerCoverage is the ratio of server-reported wall time to
+	// client-observed latency over the sampled requests; the gap (1 minus
+	// this) is network transfer plus response encode.
+	ServerCoverage float64 `json:"server_coverage,omitempty"`
+	// StagedRequests counts the successful responses that carried a
+	// Server-Timing breakdown.
+	StagedRequests int64 `json:"staged_requests,omitempty"`
 }
 
 // Report reduces the collected samples. wall is the replay's wall time.
@@ -121,6 +161,8 @@ func (c *Collector) Report(label string, wall time.Duration) Report {
 		r.MeanNanos = int64(sum / time.Duration(len(lat)))
 		r.MaxNanos = int64(lat[len(lat)-1])
 	}
+	r.Stages, r.TailDominant, r.ServerCoverage = reduceStages(c.staged)
+	r.StagedRequests = int64(len(c.staged))
 	return r
 }
 
@@ -177,12 +219,21 @@ func NewArtifact() *Artifact {
 			// threshold) once a baseline row exists; count columns are
 			// labels/occupancy and stay ungated.
 			Header: []string{"mix", "requests", "ok", "shed", "p50 time", "p95 time", "p99 time", "rps", "shed rate"},
+		}, {
+			ID:       "ext-serving-stages",
+			Title:    "bpmaxd tail-latency attribution by stage (Server-Timing)",
+			PaperRef: "ROADMAP item 1",
+			// Deliberately no "time"/"alloc" column names: the stage set
+			// varies with the workload (cache-hit rows appear only when the
+			// cache hit), so these rows stay ungated.
+			Header: []string{"mix", "stage", "p50", "p95", "p99", "tail share"},
 		}},
 	}
 }
 
-// AddReport appends one replay's row to the serving table and retains the
-// full-precision report under its label.
+// AddReport appends one replay's row to the serving table, one row per
+// observed stage to the attribution table, and retains the full-precision
+// report under its label.
 func (a *Artifact) AddReport(r Report) {
 	a.Reports[r.Label] = r
 	t := a.Tables[0]
@@ -197,6 +248,17 @@ func (a *Artifact) AddReport(r Report) {
 		fmt.Sprintf("%.1f", r.Throughput),
 		fmt.Sprintf("%.3f", r.ShedRate),
 	})
+	st := a.Tables[1]
+	for _, s := range r.Stages {
+		st.Rows = append(st.Rows, []string{
+			r.Label,
+			s.Stage,
+			formatDur(time.Duration(s.P50Nanos)),
+			formatDur(time.Duration(s.P95Nanos)),
+			formatDur(time.Duration(s.P99Nanos)),
+			fmt.Sprintf("%.2f", s.TailShare),
+		})
+	}
 }
 
 // formatDur renders a duration the way cmd/benchgate's parser reads it:

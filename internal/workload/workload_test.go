@@ -249,7 +249,7 @@ func TestArtifactBenchgateShape(t *testing.T) {
 	if !strings.HasPrefix(gate.Schema, "bpmax-bench/") {
 		t.Errorf("schema %q not benchgate-acceptable", gate.Schema)
 	}
-	if len(gate.Tables) != 1 || gate.Tables[0].ID != "ext-serving" {
+	if len(gate.Tables) != 2 || gate.Tables[0].ID != "ext-serving" || gate.Tables[1].ID != "ext-serving-stages" {
 		t.Fatalf("tables = %+v", gate.Tables)
 	}
 	row := gate.Tables[0].Rows[0]

@@ -95,6 +95,16 @@ type FaultStats = metrics.FaultStats
 // status class; cmd/bpmaxd attaches it to MetricsSnapshot.Server.
 type ServerStats = metrics.ServerStats
 
+// RuntimeStats is a point-in-time Go runtime health sample (goroutines, GC
+// pauses, heap, scheduler latency quantiles); process-level snapshot paths
+// attach it to MetricsSnapshot.Runtime.
+type RuntimeStats = metrics.RuntimeStats
+
+// ReadRuntimeStats samples the current Go runtime health. It performs a
+// brief stop-the-world (runtime.ReadMemStats), so call it on snapshot and
+// diagnostic paths, not per request.
+func ReadRuntimeStats() RuntimeStats { return metrics.ReadRuntime() }
+
 // NewMetrics returns an empty cumulative metrics aggregate.
 func NewMetrics() *Metrics { return &Metrics{} }
 

@@ -40,6 +40,7 @@ import (
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
 	"github.com/bpmax-go/bpmax/internal/semiring"
+	itrace "github.com/bpmax-go/bpmax/internal/trace"
 )
 
 // request is the parsed, validated form of one pipeline request: the
@@ -62,6 +63,15 @@ type request struct {
 	aerr   error
 	subMax int
 	subInt bool
+	// tr is the per-request trace carried by the call's context (nil in the
+	// common disarmed case — every recording through it is then a no-op).
+	// It is looked up once per run* entry, never per stage, and it is
+	// deliberately NOT cfg.Tracer: a request trace observes the pipeline —
+	// including cache hits — whereas WithTracer instruments a real fill and
+	// therefore bypasses the result cache. The trace joins cfg.Tracer only
+	// on the cold-solve path (foldCold / windowedAttempt), after the cache
+	// decision is made.
+	tr *itrace.Trace
 }
 
 // admit is the admission-control stage. A nil error means either no gate is
@@ -95,6 +105,7 @@ func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, erro
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	rq.tr = itrace.FromContext(ctx)
 	if rq.verr != nil {
 		rq.metrics.RecordError()
 		return nil, rq.verr
@@ -171,7 +182,10 @@ func (rq request) foldAttempt(ctx context.Context, seq1, seq2 string) (res *Resu
 			rq.metrics.RecordError()
 		}
 	}()
-	if err := rq.admit(ctx); err != nil {
+	qs := rq.tr.Begin()
+	err = rq.admit(ctx)
+	rq.tr.End(itrace.StageQueue, qs)
+	if err != nil {
 		rq.metrics.RecordError()
 		return nil, err
 	}
@@ -179,6 +193,8 @@ func (rq request) foldAttempt(ctx context.Context, seq1, seq2 string) (res *Resu
 	// Instrumented folds always solve: per-fold metrics describe a real
 	// fill, so WithMetrics/WithTracer bypasses the result cache (the
 	// substrate cache still applies — it only shortens the substrate phase).
+	// A request trace (rq.tr) is not "instrumented" in this sense: it
+	// observes the pipeline as served, cache hits included.
 	if c := rq.cache; c != nil && c.resultsOn() && !rq.observed() {
 		return rq.foldShared(ctx, seq1, seq2)
 	}
@@ -200,6 +216,7 @@ func (rq request) foldShared(ctx context.Context, seq1, seq2 string) (*Result, e
 		// retained) until the cooldown admits a probe that succeeds.
 		return rq.foldCold(ctx, seq1, seq2)
 	}
+	cs := rq.tr.Begin()
 	v, hit, shared, err := c.c.Do(ctx, key, func() (v any, bytes int64, err error) {
 		// A panicking leader must fail typed: waiters then observe a
 		// transient *PanicError they can retry (or retry-as-leader on),
@@ -222,6 +239,17 @@ func (rq request) foldShared(ctx context.Context, seq1, seq2 string) (*Result, e
 		return master, cachedResultBytes(master), nil
 	})
 	c.noteShared(key, err)
+	// Attribute the cache outcome: a hit's whole Do time is cache service, a
+	// waiter's is time parked behind another request's in-flight solve. The
+	// single-flight leader records nothing here — its solve recorded its own
+	// substrate/fill spans inside Do, and double-charging the same wall time
+	// would break the trace ledger.
+	switch {
+	case hit:
+		rq.tr.End(itrace.StageCacheHit, cs)
+	case shared:
+		rq.tr.End(itrace.StageCacheWait, cs)
+	}
 	if err != nil {
 		rq.metrics.RecordError()
 		return nil, err
@@ -260,12 +288,24 @@ func (rq request) foldCold(ctx context.Context, seq1, seq2 string) (*Result, err
 	// record straight into Result.Metrics — no separate sink, no extra
 	// allocation on the steady-state path. Error exits hand it back.
 	res := rq.getResult()
+	// Join the request trace into the solver's tracer here — after the
+	// cache decision in foldAttempt — so traced requests still serve from
+	// the result cache while cold solves feed their phase spans (substrate,
+	// accumulate, finalize, triangle) into the trace through the existing
+	// Tracer plumbing. This arms observed(), so a traced fold also records
+	// per-fold metrics, exactly as WithTracer would.
+	if rq.tr != nil {
+		rq.cfg.Tracer = rq.tr.Join(rq.cfg.Tracer)
+	}
 	if rq.observed() {
 		rq.cfg.Metrics = &res.Metrics
 	}
 	sub := imetrics.Begin(rq.cfg.Metrics, rq.cfg.Tracer, imetrics.PhaseSubstrate)
 	p, err := rq.newProblem(seq1, seq2)
 	if err != nil {
+		// Close the span with zero units so the Tracer's Begin/End stays
+		// balanced on construction failures (bad input, injected faults).
+		sub.End(0)
 		rq.putResult(res)
 		rq.metrics.RecordError()
 		return nil, err
@@ -502,6 +542,7 @@ func (rq request) runWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int
 	if w1 <= 0 || w2 <= 0 {
 		return nil, fmt.Errorf("bpmax: windows must be positive (got %d, %d)", w1, w2)
 	}
+	rq.tr = itrace.FromContext(ctx)
 	if rq.aerr != nil {
 		rq.metrics.RecordError()
 		return nil, rq.aerr
@@ -523,19 +564,28 @@ func (rq request) windowedAttempt(ctx context.Context, seq1, seq2 string, w1, w2
 			rq.metrics.RecordError()
 		}
 	}()
-	if err := rq.admit(ctx); err != nil {
+	qs := rq.tr.Begin()
+	err = rq.admit(ctx)
+	rq.tr.End(itrace.StageQueue, qs)
+	if err != nil {
 		rq.metrics.RecordError()
 		return nil, err
 	}
 	defer rq.unadmit()
-	// Like foldCold, the shell comes first so metrics record in place.
+	// Like foldCold, the shell comes first so metrics record in place, and
+	// the request trace joins the solver tracer the same way (windowed scans
+	// never use the result cache, so there is no cache decision to respect).
 	win := rq.getWindowResult()
+	if rq.tr != nil {
+		rq.cfg.Tracer = rq.tr.Join(rq.cfg.Tracer)
+	}
 	if rq.observed() {
 		rq.cfg.Metrics = &win.Metrics
 	}
 	sub := imetrics.Begin(rq.cfg.Metrics, rq.cfg.Tracer, imetrics.PhaseSubstrate)
 	p, err := rq.newProblem(seq1, seq2)
 	if err != nil {
+		sub.End(0) // balanced Begin/End on construction failures
 		rq.putWindowResult(win)
 		rq.metrics.RecordError()
 		return nil, err
@@ -591,7 +641,11 @@ func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, err
 	if rq.aerr != nil {
 		return nil, rq.aerr
 	}
-	if err := rq.admit(ctx); err != nil {
+	rq.tr = itrace.FromContext(ctx)
+	qs := rq.tr.Begin()
+	err = rq.admit(ctx)
+	rq.tr.End(itrace.StageQueue, qs)
+	if err != nil {
 		return nil, err
 	}
 	defer rq.unadmit()
@@ -604,6 +658,7 @@ func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, err
 	res := &SingleResult{N: s.Len()}
 	if s.Len() > 0 {
 		res.Score = t.At(0, s.Len()-1)
+		tb := rq.tr.Begin()
 		for _, p := range t.Traceback(sc) {
 			res.Pairs = append(res.Pairs, Pair{p.I, p.J})
 		}
@@ -612,6 +667,7 @@ func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, err
 			np = append(np, nussinov.Pair{I: p.I, J: p.J})
 		}
 		res.Bracket = nussinov.DotBracket(s.Len(), np)
+		rq.tr.End(itrace.StageTraceback, tb)
 	}
 	return res, nil
 }
@@ -622,15 +678,22 @@ func (rq request) runSingle(ctx context.Context, seq string) (*SingleResult, err
 func (rq request) singleTable(ctx context.Context, s rna.Sequence, sc nussinov.ScoreFunc) (*nussinov.Table, error) {
 	c := rq.cache
 	if c == nil || !c.substratesOn() {
-		return rq.buildSubstrate(ctx, s.Len(), sc)
+		sb := rq.tr.Begin()
+		t, err := rq.buildSubstrate(ctx, s.Len(), sc)
+		rq.tr.End(itrace.StageSubstrate, sb)
+		return t, err
 	}
+	probe := rq.tr.Begin()
 	k := substrateKey(s, rq.sp)
 	if v, ok := c.c.Get(k); ok {
 		c.substrateHits.Add(1)
+		rq.tr.End(itrace.StageCacheHit, probe)
 		return v.(*nussinov.Table), nil
 	}
 	c.substrateMisses.Add(1)
+	sb := rq.tr.Begin()
 	t, err := rq.buildSubstrate(ctx, s.Len(), sc)
+	rq.tr.End(itrace.StageSubstrate, sb)
 	if err != nil {
 		return nil, err
 	}

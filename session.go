@@ -6,6 +6,14 @@
 // intended shape for a process that serves folds continuously: construct
 // one Session at startup, share it between goroutines, watch Stats,
 // Shutdown (or Close) on the way out.
+//
+// Every method honors a per-request trace carried in its context
+// (internal/trace): the pipeline records queue wait, cache outcomes,
+// substrate and fill phases into it with no per-method plumbing, and a
+// context without a trace costs nothing. cmd/bpmaxd attaches one per HTTP
+// request; library callers normally never construct one. A FoldBatch's
+// items share the batch context's single trace — its stage stats aggregate
+// across the whole batch.
 
 package bpmax
 

@@ -1,0 +1,212 @@
+// Pipeline-level tests for per-request tracing: the trace rides the
+// context through the serving spine, joins the solver's Tracer only on
+// cold folds (after the cache decision), and stays balanced on every error
+// exit — cancellation, injected faults, client disconnects. Fault registry
+// state is global, so no test here calls t.Parallel.
+
+package bpmax
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bpmax-go/bpmax/internal/fault"
+	itrace "github.com/bpmax-go/bpmax/internal/trace"
+)
+
+// countingTracer asserts the solver's BeginPhase/EndPhase contract stays
+// balanced; safe for the concurrent batch workers.
+type countingTracer struct {
+	mu     sync.Mutex
+	begins int
+	ends   int
+}
+
+func (c *countingTracer) BeginPhase(p Phase) {
+	c.mu.Lock()
+	c.begins++
+	c.mu.Unlock()
+}
+
+func (c *countingTracer) EndPhase(p Phase, d time.Duration) {
+	c.mu.Lock()
+	c.ends++
+	c.mu.Unlock()
+}
+
+func (c *countingTracer) counts() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.begins, c.ends
+}
+
+// stageNames indexes a snapshot's stages by name.
+func stageNames(s itrace.Snapshot) map[string]itrace.StageSnapshot {
+	out := make(map[string]itrace.StageSnapshot, len(s.Stages))
+	for _, st := range s.Stages {
+		out[st.Stage] = st
+	}
+	return out
+}
+
+// TestTracedFoldRecordsSpineStages folds with a trace in the context and
+// checks the request-level view: the queue wait and the solver's fill
+// phases land as stages whose extents fit inside the request's total.
+func TestTracedFoldRecordsSpineStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s1, s2 := randSeq(rng, 48), randSeq(rng, 48)
+	tr := itrace.New("req-1", "fold")
+	ctx := itrace.NewContext(context.Background(), tr)
+	if _, err := FoldContext(ctx, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish(200)
+	snap := tr.Snapshot()
+	if snap.Status != 200 || snap.TotalNanos <= 0 {
+		t.Fatalf("snapshot not finished: %+v", snap)
+	}
+	stages := stageNames(snap)
+	if _, ok := stages["queue"]; !ok {
+		t.Errorf("queue stage missing: %v", snap.Stages)
+	}
+	solver := false
+	for _, name := range []string{"substrate", "accumulate", "finalize", "triangle"} {
+		if st, ok := stages[name]; ok && st.BusyNanos > 0 {
+			solver = true
+		}
+	}
+	if !solver {
+		t.Errorf("no solver stage recorded: %v", snap.Stages)
+	}
+	for _, st := range snap.Stages {
+		if st.LastNanos > snap.TotalNanos {
+			t.Errorf("stage %s extends past the request: last %d > total %d", st.Stage, st.LastNanos, snap.TotalNanos)
+		}
+		if st.FirstNanos > st.LastNanos {
+			t.Errorf("stage %s extent inverted: %+v", st.Stage, st)
+		}
+	}
+}
+
+// TestTracedFoldDoesNotBypassResultCache proves the trap the design dodges:
+// a request trace must observe the pipeline as served, not force a cold
+// fold the way WithTracer does. The second identical fold is a cache hit —
+// its trace records the hit and no solver work.
+func TestTracedFoldDoesNotBypassResultCache(t *testing.T) {
+	cache := NewCache(CacheConfig{})
+	rng := rand.New(rand.NewSource(12))
+	s1, s2 := randSeq(rng, 32), randSeq(rng, 32)
+
+	cold := itrace.New("cold", "fold")
+	if _, err := FoldContext(itrace.NewContext(context.Background(), cold), s1, s2, WithCache(cache)); err != nil {
+		t.Fatal(err)
+	}
+	cold.Finish(200)
+	if _, ok := stageNames(cold.Snapshot())["cache-hit"]; ok {
+		t.Fatalf("first fold recorded a cache hit: %+v", cold.Snapshot())
+	}
+
+	hot := itrace.New("hot", "fold")
+	if _, err := FoldContext(itrace.NewContext(context.Background(), hot), s1, s2, WithCache(cache)); err != nil {
+		t.Fatal(err)
+	}
+	hot.Finish(200)
+	stages := stageNames(hot.Snapshot())
+	if _, ok := stages["cache-hit"]; !ok {
+		t.Fatalf("second fold missed the result cache; traced folds must not bypass it: %+v", hot.Snapshot())
+	}
+	for _, name := range []string{"substrate", "accumulate", "finalize", "triangle"} {
+		if _, ok := stages[name]; ok {
+			t.Errorf("cache hit recorded solver stage %s: %+v", name, stages)
+		}
+	}
+}
+
+// TestTracerBalancedUnderFailpoint arms a deterministic mid-fill fault and
+// checks every BeginPhase got its EndPhase: the interrupt path must close
+// partial phases on error exits.
+func TestTracerBalancedUnderFailpoint(t *testing.T) {
+	defer fault.Reset()
+	rng := rand.New(rand.NewSource(13))
+	s1, s2 := randSeq(rng, 48), randSeq(rng, 48)
+	for _, site := range []fault.Site{fault.SiteSubstrate, fault.SiteEngineIter} {
+		if err := fault.Arm(site, fault.Trigger{Mode: fault.ModeError, Every: 1}); err != nil {
+			t.Fatal(err)
+		}
+		ct := &countingTracer{}
+		_, err := FoldContext(context.Background(), s1, s2, WithTracer(ct))
+		fault.Reset()
+		var fe *FaultError
+		if !errors.As(err, &fe) {
+			t.Fatalf("site %s: fold did not surface the injected fault: %v", site, err)
+		}
+		if begins, ends := ct.counts(); begins != ends {
+			t.Errorf("site %s: unbalanced tracer: %d begins, %d ends", site, begins, ends)
+		}
+	}
+}
+
+// TestTracerBalancedUnderCancellation cancels mid-fill and checks the same
+// balance. The fold is sized so the deadline usually lands inside the fill;
+// when a fast machine finishes first, balance must hold regardless.
+func TestTracerBalancedUnderCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	s1, s2 := randSeq(rng, 96), randSeq(rng, 96)
+	ct := &countingTracer{}
+	tr := itrace.New("cancelled", "fold")
+	ctx, cancel := context.WithTimeout(itrace.NewContext(context.Background(), tr), 2*time.Millisecond)
+	defer cancel()
+	_, err := FoldContext(ctx, s1, s2, WithTracer(ct), WithWorkers(1))
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if begins, ends := ct.counts(); begins != ends {
+		t.Errorf("unbalanced tracer after cancellation: %d begins, %d ends", begins, ends)
+	}
+	tr.Finish(499)
+	snap := tr.Snapshot()
+	for _, st := range snap.Stages {
+		if st.LastNanos > snap.TotalNanos {
+			t.Errorf("stage %s recorded past Finish: %+v", st.Stage, st)
+		}
+	}
+}
+
+// TestTracedBatchSharesOneTrace runs a batch under one context trace and
+// checks the concurrent workers' spans all accumulate into it without
+// tearing (the -race run in CI is the real assertion; here we check the
+// units add up).
+func TestTracedBatchSharesOneTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	items := make([]BatchItem, 8)
+	for i := range items {
+		items[i] = BatchItem{Name: "it", Seq1: randSeq(rng, 24), Seq2: randSeq(rng, 24)}
+	}
+	tr := itrace.New("batch", "batch")
+	ctx := itrace.NewContext(context.Background(), tr)
+	for _, br := range FoldBatchContext(ctx, items, 4) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+	}
+	tr.Finish(200)
+	snap := tr.Snapshot()
+	stages := stageNames(snap)
+	q, ok := stages["queue"]
+	if !ok || q.Count != int64(len(items)) {
+		t.Errorf("queue spans = %+v, want one per item", q)
+	}
+	var solverSpans int64
+	for _, name := range []string{"substrate", "accumulate", "finalize", "triangle"} {
+		if st, ok := stages[name]; ok {
+			solverSpans += st.Count
+		}
+	}
+	if solverSpans == 0 {
+		t.Errorf("batch recorded no solver spans: %v", snap.Stages)
+	}
+}
