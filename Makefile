@@ -61,13 +61,13 @@ bench:
 # failpoint fast path: compiled-in but disarmed sites must cost nothing.
 bench-engine:
 	@mkdir -p $(ARTIFACTS)
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -json $(ARTIFACTS)/BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate,ext-partition -json $(ARTIFACTS)/BENCH_engine.json
 
 # Refresh the committed benchmark baseline that ci.sh gates against.
 # Run this after an intentional performance change (or on new reference
 # hardware) and commit the result.
 bench-baseline:
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 5 -json results/BENCH_baseline.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate,ext-partition -repeats 5 -json results/BENCH_baseline.json
 
 # Refresh the committed serving-replay baseline the smoke stage gates
 # against: run the smoke once, then keep only the gated ext-serving table
@@ -81,5 +81,5 @@ serving-baseline:
 bench-gate:
 	@mkdir -p $(ARTIFACTS)
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate -repeats 3 -json $(ARTIFACTS)/BENCH_engine.json
+	$(GO) run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate,ext-partition -repeats 3 -json $(ARTIFACTS)/BENCH_engine.json
 	$(GO) run ./cmd/benchgate -baseline results/BENCH_baseline.json -current $(ARTIFACTS)/BENCH_engine.json

@@ -161,8 +161,14 @@ func foldBatchItem(ctx context.Context, it BatchItem, rq request) (br BatchResul
 	br.Result = res
 	br.Degradation = res.Degradation
 	// The whole-strand single optima are the S-table corner cells the fold
-	// already computed; no refolds.
-	br.Gain = res.Score - res.SingleScore1(0, res.N1-1) - res.SingleScore2(0, res.N2-1)
+	// already computed; no refolds. Partition folds rank by the ensemble
+	// analogue: the log-partition gain of interacting over folding apart
+	// (log Z_12 − log Z_1 − log Z_2, a log-Boltzmann-factor in kT units).
+	if res.Algebra == AlgebraPartition {
+		br.Gain = float32(res.LogZ - res.LogZ1 - res.LogZ2)
+	} else {
+		br.Gain = res.Score - res.SingleScore1(0, res.N1-1) - res.SingleScore2(0, res.N2-1)
+	}
 	return br
 }
 

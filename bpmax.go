@@ -28,6 +28,7 @@ package bpmax
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	ibpmax "github.com/bpmax-go/bpmax/internal/bpmax"
@@ -74,6 +75,26 @@ const (
 	SubstrateFourRussians SubstrateAlgorithm = "four-russians"
 )
 
+// Algebra names the semiring the interaction DP is evaluated in. Every
+// execution schedule serves every algebra — the recurrence and the fill
+// order are shared; only the scalar type and the ⊕ operation differ.
+type Algebra string
+
+const (
+	// AlgebraMaxPlus (the default) is BPMax proper: (max, +) over float32.
+	// Result.Score is the optimal weighted pair count and Structure recovers
+	// one optimum by traceback.
+	AlgebraMaxPlus Algebra = "maxplus"
+	// AlgebraPartition is BPPart: log-sum-exp over float64 with every pair
+	// weight Boltzmann-scaled to w/kT (see WithKT). Result.LogZ is the log
+	// of the derivation-weighted ensemble sum; it upper-bounds Score/kT
+	// (lse ≥ max pointwise) and kT·LogZ → Score as kT → 0. Score,
+	// Structure, BestLocal and windowed scans are max-plus notions and are
+	// unavailable on partition results; the Four-Russians substrate fast
+	// path (a max-plus block precomputation) auto-deselects.
+	AlgebraPartition Algebra = "partition"
+)
+
 // Weights configures the base-pair scoring model.
 type Weights struct {
 	// GC, AU, GU are the pair weights; pairs not listed are forbidden.
@@ -118,6 +139,11 @@ type options struct {
 	retry *RetryConfig
 	// substrate selects the S¹/S² fill algorithm; empty means SubstrateAuto.
 	substrate SubstrateAlgorithm
+	// algebra selects the evaluation semiring; empty means AlgebraMaxPlus.
+	// kT is the Boltzmann temperature factor of AlgebraPartition; 0 means
+	// the default 1.0 (buildOptions normalizes both).
+	algebra Algebra
+	kT      float64
 }
 
 // Option customizes Fold, FoldSingle and ScanWindowed.
@@ -163,6 +189,20 @@ func WithSubstrateAlgorithm(a SubstrateAlgorithm) Option {
 	return func(o *options) { o.substrate = a }
 }
 
+// WithAlgebra selects the evaluation semiring (default AlgebraMaxPlus).
+// AlgebraPartition computes the BPPart log-partition function LogZ instead
+// of the optimal score; see the Algebra constants for what each result
+// carries. Cached entries are algebra-qualified — the two modes never
+// cross-serve — and max-plus behavior (results, cache keys, allocation
+// profile) is bit-for-bit unchanged by the existence of this option.
+func WithAlgebra(a Algebra) Option { return func(o *options) { o.algebra = a } }
+
+// WithKT sets the Boltzmann temperature factor kT of AlgebraPartition, in
+// units of pair weight (default 1.0; must be positive and finite). Small kT
+// sharpens the ensemble toward the optimum: kT·LogZ → Score as kT → 0.
+// It has no effect under AlgebraMaxPlus.
+func WithKT(kT float64) Option { return func(o *options) { o.kT = kT } }
+
 // buildOptions parses an option list into the pipeline's request form: the
 // accumulated options plus the resolved scoring parameters and schedule
 // variant. Every public entry point calls it exactly once per request (and
@@ -173,11 +213,34 @@ func buildOptions(opts []Option) request {
 	for _, fn := range opts {
 		fn(&o)
 	}
+	if o.algebra == "" {
+		o.algebra = AlgebraMaxPlus
+	}
+	if o.kT == 0 {
+		o.kT = 1.0
+	}
 	rq := request{options: o, sp: o.params()}
 	rq.v, rq.verr = o.internalVariant()
 	rq.salgo, rq.aerr = o.substrateAlgo()
+	rq.algErr = o.checkAlgebra()
 	rq.subMax, rq.subInt = rq.sp.Model.IntegerBounded()
 	return rq
+}
+
+// checkAlgebra validates the WithAlgebra/WithKT combination. Like an unknown
+// variant, the error is resolved here and surfaced by the entry points that
+// would evaluate the algebra.
+func (o options) checkAlgebra() error {
+	switch o.algebra {
+	case AlgebraMaxPlus:
+		return nil
+	case AlgebraPartition:
+		if !(o.kT > 0) || math.IsInf(o.kT, 1) {
+			return fmt.Errorf("bpmax: partition kT must be positive and finite (got %v)", o.kT)
+		}
+		return nil
+	}
+	return fmt.Errorf("bpmax: unknown algebra %q", o.algebra)
 }
 
 func (o options) substrateAlgo() (nussinov.Algo, error) {
@@ -244,7 +307,25 @@ type Structure struct {
 // Result holds a completed interaction fold.
 type Result struct {
 	// Score is the optimal weighted base-pair count F[0,N1-1,0,N2-1].
+	// It is meaningful only under AlgebraMaxPlus (0 on partition results;
+	// the ensemble has no single optimal score — read LogZ instead).
 	Score float32
+	// Algebra records which semiring produced this result: AlgebraMaxPlus
+	// (Score, SubScore, Structure, BestLocal apply) or AlgebraPartition
+	// (LogZ, SubLogZ apply).
+	Algebra Algebra
+	// LogZ is the whole-pair log-partition value log Z = F[0,N1-1,0,N2-1]
+	// of the Boltzmann-weighted interaction ensemble, set only under
+	// AlgebraPartition. It satisfies LogZ >= (max-plus Score)/KT — the
+	// ensemble always dominates its optimum — with kT·LogZ → Score as
+	// kT → 0.
+	LogZ float64
+	// LogZ1, LogZ2 are the per-strand single-strand log-partition values
+	// (the partition substrates' whole-strand cells), the AlgebraPartition
+	// counterparts of SingleScore1/SingleScore2 over the full strand.
+	LogZ1, LogZ2 float64
+	// KT echoes the temperature factor of a partition fold (0 otherwise).
+	KT float64
 	// N1, N2 are the sequence lengths.
 	N1, N2 int
 	// FLOPs is the analytic max-plus operation count of the fill.
@@ -269,8 +350,20 @@ type Result struct {
 
 	prob *ibpmax.Problem
 	ft   *ibpmax.FTable
+	// ft64/ps back a partition result: the float64 BPPart table and the
+	// Boltzmann-scaled substrate it was filled from (ft is then nil).
+	ft64 *ibpmax.FTableOf[float64]
+	ps   *ibpmax.PartitionSub
 	st   *Structure
 	pool *Pool
+}
+
+// requireMaxPlus guards the accessors whose meaning exists only in the
+// tropical algebra (scores, structures, local maxima).
+func (r *Result) requireMaxPlus(what string) {
+	if r.Algebra == AlgebraPartition {
+		panic("bpmax: " + what + " is undefined on a partition (BPPart) result; use LogZ/SubLogZ")
+	}
 }
 
 // Fold computes the BPMax interaction of two RNA sequences given as
@@ -287,10 +380,31 @@ func Fold(seq1, seq2 string, opts ...Option) (*Result, error) {
 // cells are stored; SubScore panics on cells outside the band (check
 // Degradation, or Window.InWindow, first).
 func (r *Result) SubScore(i1, j1, i2, j2 int) float32 {
+	r.requireMaxPlus("SubScore")
 	if j1 < i1 && j2 < i2 {
 		return 0
 	}
 	return r.at(i1, j1, i2, j2)
+}
+
+// SubLogZ returns the log-partition value of the sub-ensemble
+// F[i1,j1,i2,j2]: the interaction of seq1[i1..j1] with seq2[i2..j2]
+// (closed intervals; empty intervals resolve to the other strand's
+// single-strand ensemble, both empty to log 1 = 0). It is defined only on
+// AlgebraPartition results and panics otherwise.
+func (r *Result) SubLogZ(i1, j1, i2, j2 int) float64 {
+	if r.Algebra != AlgebraPartition {
+		panic("bpmax: SubLogZ on a non-partition result; fold with WithAlgebra(AlgebraPartition)")
+	}
+	switch {
+	case j1 < i1 && j2 < i2:
+		return 0
+	case j1 < i1:
+		return r.ps.S2.At(i2, j2)
+	case j2 < i2:
+		return r.ps.S1.At(i1, j1)
+	}
+	return r.ft64.At(i1, j1, i2, j2)
 }
 
 func (r *Result) at(i1, j1, i2, j2 int) float32 {
@@ -318,6 +432,7 @@ func (r *Result) SingleScore2(i, j int) float32 { return r.prob.S2.At(i, j) }
 // Structure recovers one optimal joint structure by traceback (computed
 // once and cached).
 func (r *Result) Structure() *Structure {
+	r.requireMaxPlus("Structure")
 	if r.st != nil {
 		return r.st
 	}
@@ -349,6 +464,7 @@ func (r *Result) Structure() *Structure {
 // monotone under widening). It answers "where is the strongest local
 // interaction?" without refolding.
 func (r *Result) BestLocal(maxSpan1, maxSpan2 int) (score float32, i1, j1, i2, j2 int) {
+	r.requireMaxPlus("BestLocal")
 	if r.ft == nil && r.Window != nil {
 		// Degraded fold: scan the stored band, additionally span-capped.
 		return r.Window.wt.BestWithin(maxSpan1, maxSpan2)
@@ -425,8 +541,9 @@ type EnsembleResult struct {
 // SingleEnsemble computes the single-strand Boltzmann ensemble signal for
 // seq at temperature factor kT (in units of pair weight; small kT
 // approaches the max-plus optimum: kT·LogZ → Score). It routes through the
-// request pipeline (validation, admission); the semiring fills themselves
-// are not cached.
+// request pipeline (validation, admission), and with WithCache the whole
+// ensemble result is served from the content-addressed cache under an
+// algebra-qualified key.
 func SingleEnsemble(seq string, kT float64, opts ...Option) (*EnsembleResult, error) {
 	return buildOptions(opts).runEnsemble(seq, kT)
 }

@@ -181,6 +181,44 @@ func substrateKey(seq rna.Sequence, sp score.Params) pipeline.Key {
 	return k
 }
 
+// partitionSubKey addresses one strand's Boltzmann (log-sum-exp float64)
+// S table: the max-plus substrate inputs plus the temperature factor, which
+// scales every weight and therefore every cell. The tag byte keeps the
+// float32 and float64 substrate namespaces disjoint — the two algebras
+// never cross-serve a table.
+func partitionSubKey(seq rna.Sequence, sp score.Params, kT float64) pipeline.Key {
+	h := pipeline.NewHasher()
+	h.Byte('Q')
+	hashModel(h, sp.Model)
+	h.I64(int64(sp.MinHairpin))
+	h.F64(kT)
+	h.I64(int64(seq.Len()))
+	for i := 0; i < seq.Len(); i++ {
+		h.Byte(byte(seq.At(i)))
+	}
+	k := h.Sum()
+	h.Release()
+	return k
+}
+
+// ensembleKey addresses one strand's SingleEnsemble signal: the single-
+// strand semiring fills depend on exactly the intramolecular model, the
+// hairpin constraint, kT and the bases.
+func ensembleKey(seq rna.Sequence, sp score.Params, kT float64) pipeline.Key {
+	h := pipeline.NewHasher()
+	h.Byte('E')
+	hashModel(h, sp.Model)
+	h.I64(int64(sp.MinHairpin))
+	h.F64(kT)
+	h.I64(int64(seq.Len()))
+	for i := 0; i < seq.Len(); i++ {
+		h.Byte(byte(seq.At(i)))
+	}
+	k := h.Sum()
+	h.Release()
+	return k
+}
+
 // resultKey addresses one whole fold: both raw input strings plus every
 // option that can observably shape the Result — scoring weights (intra and
 // effective inter), the hairpin constraint, the schedule variant, the
@@ -206,6 +244,15 @@ func (rq request) resultKey(seq1, seq2 string) pipeline.Key {
 	h.I64(rq.memLimit)
 	h.I64(int64(rq.degradeW1))
 	h.I64(int64(rq.degradeW2))
+	if rq.algebra == AlgebraPartition {
+		// The algebra discriminator is appended only for partition requests:
+		// every max-plus key stays byte-identical to what it hashed before
+		// the algebra existed (warm caches and recorded keys survive the
+		// upgrade), while partition results — which also depend on kT — can
+		// never collide with them.
+		h.Byte('P')
+		h.F64(rq.kT)
+	}
 	k := h.Sum()
 	h.Release()
 	return k
@@ -232,6 +279,13 @@ func cachedResultBytes(r *Result) int64 {
 		b += 4 * (n1*n1 + n2*n2 + n1*n2)
 		b += p.S1.Bytes() + p.S2.Bytes()
 		b += n1 + n2
+	}
+	if r.ps != nil {
+		// Partition master: its Boltzmann substrate is pinned alongside the
+		// float64 table (TableBytes above). S tables shared with partition
+		// substrate entries are again counted on both, erring toward earlier
+		// eviction.
+		b += r.ps.Bytes()
 	}
 	return b
 }

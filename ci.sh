@@ -62,10 +62,12 @@ run_race() (
 run_fuzz() (
     set -x
     # Fuzz smoke over the pooled/context/cached parity fuzzers — the paths
-    # the pipeline's reuse layers ride on — and the Four-Russians substrate
-    # bit-identity fuzzer that lets the fast path share cache entries with
-    # the classic fill.
+    # the pipeline's reuse layers ride on — the semiring-generic fuzzer that
+    # pins the generic max-plus fill bit-identical to the pre-refactor
+    # reference, and the Four-Russians substrate bit-identity fuzzer that
+    # lets the fast path share cache entries with the classic fill.
     go test -run '^$' -fuzz FuzzPooledParity -fuzztime 10s .
+    go test -run '^$' -fuzz FuzzSemiringMaxPlusParity -fuzztime 10s ./internal/bpmax/
     go test -run '^$' -fuzz FuzzFoldContextParity -fuzztime 10s .
     go test -run '^$' -fuzz FuzzCachedFoldParity -fuzztime 10s .
     go test -run '^$' -fuzz FuzzFourRussiansParity -fuzztime 10s ./internal/fourrussians/
@@ -164,7 +166,7 @@ run_bench() (
     # and compare it against the committed baseline (refresh with `make
     # bench-baseline` after intentional performance changes).
     go run ./cmd/benchgate -baseline results/BENCH_baseline.json -selftest
-    go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate \
+    go run ./cmd/bpmaxbench -exp ext-engine,ext-metrics,ext-cache,ext-chaos,ext-substrate,ext-partition \
         -repeats 3 -json "$ARTIFACTS/BENCH_engine.json"
     go run ./cmd/benchgate -baseline results/BENCH_baseline.json -current "$ARTIFACTS/BENCH_engine.json"
 )

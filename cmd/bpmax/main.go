@@ -68,6 +68,8 @@ func run(ctx context.Context, args []string) error {
 	structure := fs.Bool("structure", true, "print an optimal joint structure")
 	draw := fs.Bool("draw", false, "draw the joint structure as an ASCII duplex diagram")
 	ensemble := fs.Bool("ensemble", false, "print per-strand ensemble statistics (structure counts, logZ)")
+	algebra := fs.String("algebra", "maxplus", "evaluation semiring: maxplus (BPMax optimal score) or partition (BPPart log-partition function)")
+	kt := fs.Float64("kt", 1.0, "Boltzmann temperature factor kT for -algebra partition, in pair-weight units")
 	stats := fs.Bool("stats", false, "print timing, GFLOPS and table size")
 	metricsJSON := fs.String("metrics-json", "", "write fold metrics as JSON to this file ('-' = stdout)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060) while folding")
@@ -90,6 +92,7 @@ func run(ctx context.Context, args []string) error {
 	}
 	defer comps.Close()
 	options := comps.Options
+	options = append(options, bpmax.WithAlgebra(bpmax.Algebra(*algebra)), bpmax.WithKT(*kt))
 
 	var mtr *bpmax.Metrics
 	if *metricsJSON != "" || *pprofAddr != "" {
@@ -184,12 +187,23 @@ func run(ctx context.Context, args []string) error {
 	if res.Degradation != bpmax.DegradeNone {
 		fmt.Printf("note: fold degraded to the %s layout to fit the memory limit\n", res.Degradation)
 	}
-	if res.Degradation == bpmax.DegradeWindowed {
+	switch {
+	case res.Degradation == bpmax.DegradeWindowed:
 		w := res.Window
 		fmt.Printf("best windowed interaction score: %g\n", w.Best)
 		fmt.Printf("at %s[%d..%d] x %s[%d..%d]\n", name1, w.I1, w.J1, name2, w.I2, w.J2)
-	} else {
+	case res.Algebra == bpmax.AlgebraPartition:
+		fmt.Printf("log partition function: logZ = %.4f at kT=%g  (%s: %d nt, %s: %d nt)\n",
+			res.LogZ, res.KT, name1, res.N1, name2, res.N2)
+		fmt.Printf("per-strand logZ: %.4f + %.4f  interaction gain: %.4f\n",
+			res.LogZ1, res.LogZ2, res.LogZ-res.LogZ1-res.LogZ2)
+	default:
 		fmt.Printf("interaction score: %g  (%s: %d nt, %s: %d nt)\n", res.Score, name1, res.N1, name2, res.N2)
+	}
+	if res.Algebra == bpmax.AlgebraPartition {
+		// Structures and duplex drawings are max-plus notions; the ensemble
+		// has no single optimal structure to render.
+		*structure, *draw = false, false
 	}
 	if *structure {
 		st := res.Structure()
@@ -301,7 +315,13 @@ func runBatch(ctx context.Context, recs []bpmax.FastaRecord, workers int, option
 		if r.Degradation != bpmax.DegradeNone {
 			status = "degraded:" + r.Degradation.String()
 		}
-		fmt.Printf("%-40s %10.1f %10.1f  %s\n", r.Name, r.Result.Score, r.Gain, status)
+		// Partition items report logZ in the score column (their Score is 0
+		// by construction); Gain is already the matching log-domain statistic.
+		val := float64(r.Result.Score)
+		if r.Result.Algebra == bpmax.AlgebraPartition {
+			val = r.Result.LogZ
+		}
+		fmt.Printf("%-40s %10.1f %10.1f  %s\n", r.Name, val, r.Gain, status)
 	}
 	if failed > 0 {
 		fmt.Printf("%d of %d pairs failed (timeouts/cancellations/errors reported above)\n", failed, len(results))

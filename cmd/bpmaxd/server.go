@@ -216,6 +216,26 @@ type foldJSON struct {
 	Structure bool   `json:"structure"`
 	W1        int    `json:"w1"`
 	W2        int    `json:"w2"`
+	// Algebra selects the evaluation semiring per request: "" or "maxplus"
+	// for the BPMax score, "partition" for the BPPart log-partition
+	// function (the response then carries logz/logz1/logz2). KT is the
+	// Boltzmann temperature factor for partition requests (0 = 1.0).
+	Algebra string  `json:"algebra"`
+	KT      float64 `json:"kt"`
+}
+
+// algebraOptions maps a request's algebra/kt fields to fold options; empty
+// fields add nothing, so the common max-plus request keeps the session's
+// pre-parsed option set.
+func algebraOptions(algebra string, kt float64) []bpmax.Option {
+	var extra []bpmax.Option
+	if algebra != "" {
+		extra = append(extra, bpmax.WithAlgebra(bpmax.Algebra(algebra)))
+	}
+	if kt != 0 {
+		extra = append(extra, bpmax.WithKT(kt))
+	}
+	return extra
 }
 
 // structureJSON is the optional traceback section of a fold response.
@@ -227,13 +247,20 @@ type structureJSON struct {
 	Inter    int    `json:"inter_bonds"`
 }
 
-// foldResponse is the /v1/fold response body.
+// foldResponse is the /v1/fold response body. The logz fields are pointers
+// so a legitimate 0 (a one-base ensemble) still serializes while max-plus
+// responses stay byte-identical to the pre-partition wire format.
 type foldResponse struct {
 	Score       float32        `json:"score"`
 	N1          int            `json:"n1"`
 	N2          int            `json:"n2"`
 	ElapsedNs   int64          `json:"elapsed_ns"`
 	Degradation string         `json:"degradation"`
+	Algebra     string         `json:"algebra,omitempty"`
+	LogZ        *float64       `json:"logz,omitempty"`
+	LogZ1       *float64       `json:"logz1,omitempty"`
+	LogZ2       *float64       `json:"logz2,omitempty"`
+	KT          float64        `json:"kt,omitempty"`
 	Structure   *structureJSON `json:"structure,omitempty"`
 	Window      *scanResponse  `json:"window,omitempty"`
 }
@@ -256,9 +283,15 @@ func (s *server) handleFold(w http.ResponseWriter, r *http.Request) int {
 	}
 	tr := trace.FromContext(r.Context())
 	tr.SetName(req.Name)
+	if req.Algebra == string(bpmax.AlgebraPartition) && req.Structure {
+		return s.writeJSON(w, r, http.StatusBadRequest, errorJSON{
+			Error: "structure is undefined for algebra=partition (the ensemble has no single optimal structure)",
+			Kind:  "invalid_request",
+		})
+	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	res, err := s.session.Fold(ctx, req.Seq1, req.Seq2)
+	res, err := s.session.FoldWith(ctx, req.Seq1, req.Seq2, algebraOptions(req.Algebra, req.KT)...)
 	if err != nil {
 		return s.writeError(w, r, err)
 	}
@@ -268,6 +301,12 @@ func (s *server) handleFold(w http.ResponseWriter, r *http.Request) int {
 		N2:          res.N2,
 		ElapsedNs:   int64(res.Elapsed),
 		Degradation: res.Degradation.String(),
+	}
+	if res.Algebra == bpmax.AlgebraPartition {
+		out.Algebra = string(res.Algebra)
+		lz, l1, l2 := res.LogZ, res.LogZ1, res.LogZ2
+		out.LogZ, out.LogZ1, out.LogZ2 = &lz, &l1, &l2
+		out.KT = res.KT
 	}
 	if res.Degradation == bpmax.DegradeWindowed {
 		out.Window = &scanResponse{
@@ -297,6 +336,12 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) int {
 		return code
 	}
 	trace.FromContext(r.Context()).SetName(req.Name)
+	if req.Algebra != "" && req.Algebra != string(bpmax.AlgebraMaxPlus) {
+		return s.writeJSON(w, r, http.StatusBadRequest, errorJSON{
+			Error: "windowed scans are max-plus only; algebra=" + req.Algebra + " has no banded form",
+			Kind:  "invalid_request",
+		})
+	}
 	w1, w2 := req.W1, req.W2
 	if w1 <= 0 {
 		w1 = s.cfg.ScanWindow
@@ -317,24 +362,29 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) int {
 	})
 }
 
-// batchJSON is the /v1/batch request body.
+// batchJSON is the /v1/batch request body. Algebra/KT apply to every item
+// of the batch (a screen runs one statistic across all pairs).
 type batchJSON struct {
 	Items []struct {
 		Name string `json:"name"`
 		Seq1 string `json:"seq1"`
 		Seq2 string `json:"seq2"`
 	} `json:"items"`
-	TimeoutMs int64 `json:"timeout_ms"`
+	TimeoutMs int64   `json:"timeout_ms"`
+	Algebra   string  `json:"algebra"`
+	KT        float64 `json:"kt"`
 }
 
 // batchItemResponse is one item of the /v1/batch response; failed items
-// carry Error and zero scores.
+// carry Error and zero scores. Partition batches report logz per item and
+// Gain in the log domain (log Z_12 − log Z_1 − log Z_2).
 type batchItemResponse struct {
-	Name        string  `json:"name"`
-	Score       float32 `json:"score"`
-	Gain        float32 `json:"gain"`
-	Degradation string  `json:"degradation"`
-	Error       string  `json:"error,omitempty"`
+	Name        string   `json:"name"`
+	Score       float32  `json:"score"`
+	LogZ        *float64 `json:"logz,omitempty"`
+	Gain        float32  `json:"gain"`
+	Degradation string   `json:"degradation"`
+	Error       string   `json:"error,omitempty"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
@@ -355,7 +405,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	results := s.session.FoldBatch(ctx, items, s.cfg.BatchWorkers)
+	results := s.session.FoldBatchWith(ctx, items, s.cfg.BatchWorkers, algebraOptions(req.Algebra, req.KT)...)
 	out := struct {
 		Results []batchItemResponse `json:"results"`
 		Failed  int                 `json:"failed"`
@@ -372,6 +422,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) int {
 		} else {
 			item.Score = br.Result.Score
 			item.Gain = br.Gain
+			if br.Result.Algebra == bpmax.AlgebraPartition {
+				lz := br.Result.LogZ
+				item.LogZ = &lz
+			}
 		}
 		out.Results[i] = item
 	}

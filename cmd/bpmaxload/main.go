@@ -72,6 +72,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	pool := fs.Int("pool", 8, "distinct strand pairs to draw from (>0 exercises the cache)")
 	scanEvery := fs.Int("scan-every", 0, "make every Nth request a windowed scan (0 = folds only)")
 	window := fs.Int("window", 16, "scan window span for synthesized scans")
+	partitionEvery := fs.Int("partition-every", 0, "make every Nth fold a partition (BPPart) request (0 = max-plus only)")
+	kt := fs.Float64("kt", 0, "kT stamped on synthesized partition requests (0 = server default)")
 	timeoutMs := fs.Int64("timeout-ms", 0, "per-request timeout_ms stamped on synthesized requests (0 = none)")
 	label := fs.String("label", "", "report label override (default: mix name or trace filename)")
 	jsonOut := fs.String("json", "", "write the bpmax-bench/v1 artifact to this file")
@@ -133,14 +135,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				return fmt.Errorf("mix %q: %w", mix, err)
 			}
 			reqs := workload.Synthesize(workload.SynthConfig{
-				Arrival:   arrival,
-				Lengths:   lengths,
-				Count:     *n,
-				Seed:      *seed,
-				Pool:      *pool,
-				ScanEvery: *scanEvery,
-				Window:    *window,
-				TimeoutMs: *timeoutMs,
+				Arrival:        arrival,
+				Lengths:        lengths,
+				Count:          *n,
+				Seed:           *seed,
+				Pool:           *pool,
+				ScanEvery:      *scanEvery,
+				Window:         *window,
+				PartitionEvery: *partitionEvery,
+				KT:             *kt,
+				TimeoutMs:      *timeoutMs,
 			})
 			lbl := mix
 			if *label != "" {
@@ -274,6 +278,12 @@ func fire(ctx context.Context, client *http.Client, base string, rq workload.Req
 	if rq.Op == workload.OpScan {
 		path = "/v1/scan"
 		body["w1"], body["w2"] = rq.W1, rq.W2
+	}
+	if rq.Algebra != "" {
+		body["algebra"] = rq.Algebra
+	}
+	if rq.KT != 0 {
+		body["kt"] = rq.KT
 	}
 	if rq.Name != "" {
 		body["name"] = rq.Name

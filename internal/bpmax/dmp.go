@@ -3,7 +3,6 @@ package bpmax
 import (
 	"fmt"
 
-	"github.com/bpmax-go/bpmax/internal/maxplus"
 	"github.com/bpmax-go/bpmax/internal/tri"
 )
 
@@ -153,19 +152,19 @@ func solveDMPBase(p *Problem, cfg Config) *FTable {
 // dmpSeedTriangle initializes triangle (i1, j1): all cells 0, and the
 // singleton seeds on the diagonal when the triangle itself is a singleton
 // interval. Blocks start zeroed, so only the seeds need writing.
-func (s *solver) dmpSeedTriangle(i1, j1 int) {
+func (s *gsolver[T]) dmpSeedTriangle(i1, j1 int) {
 	if i1 != j1 {
 		return
 	}
 	blk := s.f.Block(i1, j1)
 	for i2 := 0; i2 < s.p.N2; i2++ {
-		blk[s.f.Inner.At(i2, i2)] = s.p.singleton(i1, i2)
+		blk[s.f.Inner.At(i2, i2)] = s.a.singleton(i1, i2)
 	}
 }
 
 // dmpAccumulateRow applies the R0 streams of one k1 to row i2 of the
 // accumulator (no R3/R4 here: the standalone system has only Equation 4).
-func (s *solver) dmpAccumulateRow(blk, ablk, bblk []float32, i2 int) {
+func (s *gsolver[T]) dmpAccumulateRow(blk, ablk, bblk []T, i2 int) {
 	n2 := s.p.N2
 	grow := s.f.Row(blk, i2)
 	arow := s.f.Row(ablk, i2)
@@ -175,7 +174,7 @@ func (s *solver) dmpAccumulateRow(blk, ablk, bblk []float32, i2 int) {
 }
 
 // dmpAccumulateRowsTiled is the tiled variant over rows [r0, r1).
-func (s *solver) dmpAccumulateRowsTiled(blk, ablk, bblk []float32, r0, r1 int) {
+func (s *gsolver[T]) dmpAccumulateRowsTiled(blk, ablk, bblk []T, r0, r1 int) {
 	if s.cfg.RegisterTile && s.cfg.TileJ2 <= 0 {
 		s.dmpAccumulateRowsRegTiled(blk, ablk, bblk, r0, r1)
 		return
@@ -218,7 +217,7 @@ func (s *solver) dmpAccumulateRowsTiled(blk, ablk, bblk []float32, r0, r1 int) {
 // tiling: within each k2 band, rows are processed in pairs so each B row
 // streams once per two accumulator rows. The lone k2 values a pair's upper
 // row cannot share (k2 < i2+1) run singly.
-func (s *solver) dmpAccumulateRowsRegTiled(blk, ablk, bblk []float32, r0, r1 int) {
+func (s *gsolver[T]) dmpAccumulateRowsRegTiled(blk, ablk, bblk []T, r0, r1 int) {
 	n2 := s.p.N2
 	tk := s.cfg.TileK2
 	for k2t := r0; k2t < n2-1; k2t += tk {
@@ -247,7 +246,7 @@ func (s *solver) dmpAccumulateRowsRegTiled(blk, ablk, bblk []float32, r0, r1 int
 			}
 			for k2 := kShared; k2 < k2tEnd; k2++ {
 				bk := s.f.Row(bblk, k2+1)
-				maxplus.AccumulateDual(gr0[k2+1:n2], gr1[k2+1:n2], bk[k2+1:n2], ar0[k2], ar1[k2])
+				s.a.k.AccumDual(gr0[k2+1:n2], gr1[k2+1:n2], bk[k2+1:n2], ar0[k2], ar1[k2])
 			}
 		}
 		// Odd leftover row.
@@ -268,7 +267,7 @@ func (s *solver) dmpAccumulateRowsRegTiled(blk, ablk, bblk []float32, r0, r1 int
 
 // dmpTriangle computes one triangle under the given intra-triangle
 // strategy.
-func (s *solver) dmpTriangle(i1, j1 int, v DMPVariant, pf func(n, workers int, f func(int))) {
+func (s *gsolver[T]) dmpTriangle(i1, j1 int, v DMPVariant, pf func(n, workers int, f func(int))) {
 	s.dmpSeedTriangle(i1, j1)
 	if i1 == j1 {
 		return

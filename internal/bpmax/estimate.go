@@ -48,6 +48,26 @@ func EstimatePooledBytes(n1, n2 int, kind MapKind) int64 {
 	return bufpool.ClassBytes(tri.Count(n1) * kind.mapFor(n2).Size())
 }
 
+// EstimateBytesSized is EstimateBytes for an arbitrary element width: the
+// partition fill stores float64 (elemBytes 8), so its tables cost twice the
+// max-plus estimate at the same shape.
+func EstimateBytesSized(n1, n2 int, kind MapKind, elemBytes int) int64 {
+	if n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	return int64(tri.Count(n1)) * int64(kind.mapFor(n2).Size()) * int64(elemBytes)
+}
+
+// EstimatePooledBytesSized is EstimatePooledBytes for an arbitrary element
+// width (size classes are counted in elements, so the class rounding is the
+// same; only the byte multiplier changes).
+func EstimatePooledBytesSized(n1, n2 int, kind MapKind, elemBytes int) int64 {
+	if n1 <= 0 || n2 <= 0 {
+		return 0
+	}
+	return bufpool.ClassBytesSized(tri.Count(n1)*kind.mapFor(n2).Size(), elemBytes)
+}
+
 // EstimateWindowedPooledBytes is EstimateWindowedBytes rounded up to the
 // buffer pool's size class.
 func EstimateWindowedPooledBytes(n1, n2, w1, w2 int) int64 {

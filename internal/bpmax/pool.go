@@ -9,6 +9,7 @@ import (
 	"github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
+	"github.com/bpmax-go/bpmax/internal/semiring"
 	"github.com/bpmax-go/bpmax/internal/tri"
 )
 
@@ -28,12 +29,22 @@ import (
 // simply misses; it is never poisoned).
 //
 // The zero value is ready to use and safe for concurrent use.
+//
+// The arenas come in two element widths: the float32 set serves the
+// max-plus tables (the historical hot path, untouched by the algebra
+// refactor) and the float64 set serves the log-sum-exp partition tables.
+// Each scalar has its own buffer arena and shell freelists so a mixed
+// workload never cross-pollutes classes; the reuse counters are shared
+// (a shell is a shell).
 type Pool struct {
-	buf      bufpool.Pool
-	problems sync.Pool // *Problem
-	ftables  sync.Pool // *FTable
-	wtables  sync.Pool // *WTable
-	solvers  sync.Pool // *solver
+	buf       bufpool.Pool
+	buf64     bufpool.PoolOf[float64]
+	problems  sync.Pool // *Problem
+	ftables   sync.Pool // *FTable
+	ftables64 sync.Pool // *FTableOf[float64]
+	wtables   sync.Pool // *WTable
+	solvers   sync.Pool // *solver
+	solvers64 sync.Pool // *gsolver[float64]
 
 	// Reuse counters per shell kind (hit = recycled shell, miss = fresh
 	// allocation). One atomic add per fold per kind; always on.
@@ -170,33 +181,97 @@ func (pl *Pool) getSolver() *solver {
 
 func (pl *Pool) putSolver(s *solver) { pl.solvers.Put(s) }
 
-// RetainedBytes returns the bytes currently parked in the pool's float32
-// arenas — the storage WithMemoryLimit must count against its budget. The
-// struct shells and their O(N²) side tables live on GC-managed sync.Pool
-// freelists and are not counted; the F tables dominate by orders of
-// magnitude at any size where budgeting matters.
-func (pl *Pool) RetainedBytes() int64 { return pl.buf.RetainedBytes() }
+// poolNewFTable is the generic pooled table constructor: it routes the
+// request to the element type's arena (Go methods cannot take type
+// parameters, so the per-scalar arenas are reached through free functions
+// that type-switch once per call). Scalars outside the two supported
+// instantiations fall back to an unpooled table.
+func poolNewFTable[T semiring.Scalar](pl *Pool, n1, n2 int, kind MapKind) *FTableOf[T] {
+	var zero T
+	switch any(zero).(type) {
+	case float32:
+		return any(pl.NewFTable(n1, n2, kind)).(*FTableOf[T])
+	case float64:
+		f, _ := pl.ftables64.Get().(*FTableOf[float64])
+		count(&pl.ftableHits, &pl.ftableMisses, f != nil)
+		if f == nil {
+			f = &FTableOf[float64]{}
+		}
+		if f.Inner == nil || f.N2 != n2 || f.kind != kind {
+			f.Inner = kind.mapFor(n2)
+			f.isize = f.Inner.Size()
+			f.kind = kind
+		}
+		f.N1, f.N2 = n1, n2
+		f.data = pl.buf64.Get(tri.Count(n1) * f.isize)
+		f.pl = pl
+		return any(f).(*FTableOf[T])
+	}
+	return NewFTableOf[T](n1, n2, kind)
+}
 
-// Trim releases every idle pooled buffer to the garbage collector and
-// returns how many bytes were freed.
-func (pl *Pool) Trim() int64 { return pl.buf.Trim() }
+// poolGetSolver is getSolver routed by element type; see poolNewFTable.
+func poolGetSolver[T semiring.Scalar](pl *Pool) *gsolver[T] {
+	var zero T
+	switch any(zero).(type) {
+	case float32:
+		return any(pl.getSolver()).(*gsolver[T])
+	case float64:
+		s, _ := pl.solvers64.Get().(*gsolver[float64])
+		count(&pl.solverHits, &pl.solverMisses, s != nil)
+		if s == nil {
+			s = &gsolver[float64]{}
+		}
+		return any(s).(*gsolver[T])
+	}
+	return &gsolver[T]{}
+}
+
+// poolPutSolver is putSolver routed by element type; shells of unsupported
+// scalars are dropped to the garbage collector.
+func poolPutSolver[T semiring.Scalar](pl *Pool, s *gsolver[T]) {
+	switch t := any(s).(type) {
+	case *solver:
+		pl.putSolver(t)
+	case *gsolver[float64]:
+		pl.solvers64.Put(t)
+	}
+}
+
+// RetainedBytes returns the bytes currently parked in the pool's scalar
+// arenas (both element widths) — the storage WithMemoryLimit must count
+// against its budget. The struct shells and their O(N²) side tables live on
+// GC-managed sync.Pool freelists and are not counted; the F tables dominate
+// by orders of magnitude at any size where budgeting matters.
+func (pl *Pool) RetainedBytes() int64 {
+	return pl.buf.RetainedBytes() + pl.buf64.RetainedBytes()
+}
+
+// Trim releases every idle pooled buffer (both element widths) to the
+// garbage collector and returns how many bytes were freed.
+func (pl *Pool) Trim() int64 { return pl.buf.Trim() + pl.buf64.Trim() }
 
 // ChargeBytes returns the arena bytes the pool would hold after serving a
-// full-table fold of an n1 × n2 problem under the given map: current idle
-// retention, plus the class-rounded table size when no idle buffer of that
-// class is available to reuse. The degradation ladder budgets pooled folds
-// with this instead of the exact EstimateBytes, because the pool retains
-// class-rounded buffers.
+// full-table max-plus fold of an n1 × n2 problem under the given map:
+// current idle retention (both element widths), plus the class-rounded
+// table size when no idle buffer of that class is available to reuse. The
+// degradation ladder budgets pooled folds with this instead of the exact
+// EstimateBytes, because the pool retains class-rounded buffers.
 func (pl *Pool) ChargeBytes(n1, n2 int, kind MapKind) int64 {
 	if n1 <= 0 || n2 <= 0 {
 		return pl.RetainedBytes()
 	}
-	return pl.buf.HeldBytesAfter(tri.Count(n1) * kind.mapFor(n2).Size())
+	return pl.buf.HeldBytesAfter(tri.Count(n1)*kind.mapFor(n2).Size()) + pl.buf64.RetainedBytes()
 }
 
-// Stats snapshots the pool's reuse counters and the arena's buffer
-// statistics. Counters are cumulative since the pool was created.
+// Stats snapshots the pool's reuse counters and the arenas' buffer
+// statistics. Counters are cumulative since the pool was created. The two
+// scalar arenas are summed into one BufferStats (RetainedHighWater is the
+// sum of the per-arena high-waters — an upper bound on the true combined
+// high-water, which the arenas do not track jointly).
 func (pl *Pool) Stats() metrics.PoolStats {
+	b32 := pl.buf.Stats()
+	b64 := pl.buf64.Stats()
 	return metrics.PoolStats{
 		ProblemHits:   pl.problemHits.Load(),
 		ProblemMisses: pl.problemMisses.Load(),
@@ -206,7 +281,16 @@ func (pl *Pool) Stats() metrics.PoolStats {
 		WTableMisses:  pl.wtableMisses.Load(),
 		SolverHits:    pl.solverHits.Load(),
 		SolverMisses:  pl.solverMisses.Load(),
-		Buffers:       pl.buf.Stats(),
+		Buffers: metrics.BufferStats{
+			Gets:              b32.Gets + b64.Gets,
+			Hits:              b32.Hits + b64.Hits,
+			Misses:            b32.Misses + b64.Misses,
+			Puts:              b32.Puts + b64.Puts,
+			Drops:             b32.Drops + b64.Drops,
+			Live:              b32.Live + b64.Live,
+			RetainedBytes:     b32.RetainedBytes + b64.RetainedBytes,
+			RetainedHighWater: b32.RetainedHighWater + b64.RetainedHighWater,
+		},
 	}
 }
 
@@ -218,5 +302,15 @@ func (pl *Pool) ChargeWindowedBytes(n1, n2, w1, w2 int) int64 {
 	}
 	var w WTable
 	initWTable(&w, n1, n2, w1, w2)
-	return pl.buf.HeldBytesAfter(w.outer.Size() * w.isize)
+	return pl.buf.HeldBytesAfter(w.outer.Size()*w.isize) + pl.buf64.RetainedBytes()
+}
+
+// ChargeBytes64 is ChargeBytes for the float64 partition table arena: the
+// bytes the pool would hold (both arenas) after serving a partition fold of
+// an n1 × n2 problem under the given map.
+func (pl *Pool) ChargeBytes64(n1, n2 int, kind MapKind) int64 {
+	if n1 <= 0 || n2 <= 0 {
+		return pl.RetainedBytes()
+	}
+	return pl.buf.RetainedBytes() + pl.buf64.HeldBytesAfter(tri.Count(n1)*kind.mapFor(n2).Size())
 }

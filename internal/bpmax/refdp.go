@@ -1,6 +1,9 @@
 package bpmax
 
-import "github.com/bpmax-go/bpmax/internal/tri"
+import (
+	"github.com/bpmax-go/bpmax/internal/semiring"
+	"github.com/bpmax-go/bpmax/internal/tri"
+)
 
 // refDP is the deliberately simple top-down memoized implementation of
 // Equations 1–3. It is the correctness oracle: every optimized variant in
@@ -95,6 +98,96 @@ func (r *refDP) f(i1, j1, i2, j2 int) float32 {
 func solveReference(p *Problem, kind MapKind) *FTable {
 	r := newRefDP(p)
 	f := NewFTable(p.N1, p.N2, kind)
+	for i1 := 0; i1 < p.N1; i1++ {
+		for j1 := i1; j1 < p.N1; j1++ {
+			for i2 := 0; i2 < p.N2; i2++ {
+				for j2 := i2; j2 < p.N2; j2++ {
+					f.Set(i1, j1, i2, j2, r.f(i1, j1, i2, j2))
+				}
+			}
+		}
+	}
+	return f
+}
+
+// refDPG is refDP over an arbitrary algebra view: the identical candidate
+// set in the identical order, ⊕ through the kernel bundle, ⊗ as native
+// addition. It is the oracle for the non-max-plus algebras (the float32
+// max-plus oracle above stays hand-written and untouched by the generics).
+type refDPG[T semiring.Scalar] struct {
+	a     *alg[T]
+	memo  []T
+	known []bool
+}
+
+func newRefDPG[T semiring.Scalar](a *alg[T]) *refDPG[T] {
+	cells := tri.Count(a.n1) * tri.Count(a.n2)
+	return &refDPG[T]{
+		a:     a,
+		memo:  make([]T, cells),
+		known: make([]bool, cells),
+	}
+}
+
+func (r *refDPG[T]) idx(i1, j1, i2, j2 int) int {
+	return tri.Index(i1, j1, r.a.n1)*tri.Count(r.a.n2) + tri.Index(i2, j2, r.a.n2)
+}
+
+func (r *refDPG[T]) f(i1, j1, i2, j2 int) T {
+	a := r.a
+	if j1 < i1 {
+		return a.s2At(i2, j2)
+	}
+	if j2 < i2 {
+		return a.s1At(i1, j1)
+	}
+	id := r.idx(i1, j1, i2, j2)
+	if r.known[id] {
+		return r.memo[id]
+	}
+	add := a.k.Add
+	var v T
+	if i1 == j1 && i2 == j2 {
+		v = a.singleton(i1, i2)
+	} else {
+		// Pair i1-j1 around the whole seq2 interval.
+		v = r.f(i1+1, j1-1, i2, j2) + a.score1(i1, j1)
+		// Pair i2-j2 around the whole seq1 interval.
+		v = add(r.f(i1, j1, i2+1, j2-1)+a.score2(i2, j2), v)
+		// H term: the two intervals fold independently.
+		v = add(a.s1At(i1, j1)+a.s2At(i2, j2), v)
+		// R0: double split.
+		for k1 := i1; k1 < j1; k1++ {
+			for k2 := i2; k2 < j2; k2++ {
+				v = add(r.f(i1, k1, i2, k2)+r.f(k1+1, j1, k2+1, j2), v)
+			}
+		}
+		// R1: seq2 prefix folds alone.
+		for k2 := i2; k2 < j2; k2++ {
+			v = add(a.s2At(i2, k2)+r.f(i1, j1, k2+1, j2), v)
+		}
+		// R2: seq2 suffix folds alone.
+		for k2 := i2; k2 < j2; k2++ {
+			v = add(r.f(i1, j1, i2, k2)+a.s2At(k2+1, j2), v)
+		}
+		// R3: seq1 prefix folds alone.
+		for k1 := i1; k1 < j1; k1++ {
+			v = add(a.s1At(i1, k1)+r.f(k1+1, j1, i2, j2), v)
+		}
+		// R4: seq1 suffix folds alone.
+		for k1 := i1; k1 < j1; k1++ {
+			v = add(r.f(i1, k1, i2, j2)+a.s1At(k1+1, j1), v)
+		}
+	}
+	r.memo[id] = v
+	r.known[id] = true
+	return v
+}
+
+// solveReferenceG fills a complete table through the generic oracle.
+func solveReferenceG[T semiring.Scalar](p *Problem, a alg[T], kind MapKind) *FTableOf[T] {
+	r := newRefDPG(&a)
+	f := NewFTableOf[T](p.N1, p.N2, kind)
 	for i1 := 0; i1 < p.N1; i1++ {
 		for j1 := i1; j1 < p.N1; j1++ {
 			for i2 := 0; i2 < p.N2; i2++ {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/bpmax-go/bpmax/internal/metrics"
+	"github.com/bpmax-go/bpmax/internal/semiring"
 )
 
 // Solve fills the full F table for p with the selected variant and returns
@@ -52,14 +53,31 @@ func SolveContext(ctx context.Context, p *Problem, v Variant, cfg Config) (ft *F
 		return solveReference(p, cfg.Map), nil
 	case VariantBase:
 		return solveBase(ctx, p, cfg)
+	case VariantCoarse, VariantFine, VariantHybrid, VariantHybridTiled:
+		return solveAlg(ctx, p, maxplusAlg(p, cfg.Unroll), v, cfg)
+	}
+	return nil, fmt.Errorf("bpmax: unknown variant %d", int(v))
+}
+
+// solveAlg dispatches the optimized schedules over an arbitrary scalar
+// semiring; the max-plus SolveContext and the partition solver both route
+// through it. Reference and base run their generic twins (the float32
+// instantiations of those two stay on the hand-written bodies above for
+// oracle hygiene). Panic recovery is the caller's job.
+func solveAlg[T semiring.Scalar](ctx context.Context, p *Problem, a alg[T], v Variant, cfg Config) (*FTableOf[T], error) {
+	switch v {
+	case VariantReference:
+		return solveReferenceG(p, a, cfg.Map), nil
+	case VariantBase:
+		return solveBaseG(ctx, p, a, cfg)
 	case VariantCoarse:
-		return solveCoarse(ctx, p, cfg)
+		return solveCoarseG(ctx, p, a, cfg)
 	case VariantFine:
-		return solveFine(ctx, p, cfg)
+		return solveFineG(ctx, p, a, cfg)
 	case VariantHybrid:
-		return solveHybrid(ctx, p, cfg)
+		return solveHybridG(ctx, p, a, cfg)
 	case VariantHybridTiled:
-		return solveHybridTiled(ctx, p, cfg)
+		return solveHybridTiledG(ctx, p, a, cfg)
 	}
 	return nil, fmt.Errorf("bpmax: unknown variant %d", int(v))
 }
@@ -100,13 +118,13 @@ func TriangleOps(d1, n2 int) int64 {
 	return int64(d1)*(triples(n2)+2*pairs(n2)) + 2*triples(n2) + 2*pairs(n2)
 }
 
-// solveCoarse: for each outer anti-diagonal, the triangles are independent;
-// one worker computes one whole triangle (init + k1 accumulation +
-// finalize). Maximal parallelism, worst locality: each worker streams whole
-// west/south triangle blocks from DRAM. Cancellation granularity: one
-// triangle.
-func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
-	s := newSolver(p, cfg, cfg.Map)
+// solveCoarseG: for each outer anti-diagonal, the triangles are
+// independent; one worker computes one whole triangle (init + k1
+// accumulation + finalize). Maximal parallelism, worst locality: each
+// worker streams whole west/south triangle blocks from DRAM. Cancellation
+// granularity: one triangle.
+func solveCoarseG[T semiring.Scalar](ctx context.Context, p *Problem, a alg[T], cfg Config) (*FTableOf[T], error) {
+	s := newGSolver(p, a, cfg, cfg.Map)
 	pf := cfg.pforCtx()
 	obs := cfg.observe(p, "coarse")
 	for d1 := 0; d1 < p.N1; d1++ {
@@ -125,13 +143,13 @@ func solveCoarse(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	return f, nil
 }
 
-// solveFine: triangles run one at a time (diagonal order); within the
+// solveFineG: triangles run one at a time (diagonal order); within the
 // current triangle the R0/R3/R4 accumulation is row-parallel, but the
 // R1/R2+update pass is inherently serial, so workers idle through it — the
 // imbalance the paper observed. Cancellation granularity: one accumulation
 // row (the serial finalize pass of one triangle runs to completion).
-func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
-	s := newSolver(p, cfg, cfg.Map)
+func solveFineG[T semiring.Scalar](ctx context.Context, p *Problem, a alg[T], cfg Config) (*FTableOf[T], error) {
+	s := newGSolver(p, a, cfg, cfg.Map)
 	pf := cfg.pforCtx()
 	obs := cfg.observe(p, "fine")
 	for d1 := 0; d1 < p.N1; d1++ {
@@ -146,7 +164,7 @@ func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 			}
 			obs.done(metrics.PhaseAccum, t0, int64(p.N2))
 			t0 = obs.start(metrics.PhaseFinalize)
-			s.finalizeTriangle(s.f.Block(i1, j1), i1, j1)
+			s.finalizeBlk(s.f.Block(i1, j1), i1, j1)
 			obs.done(metrics.PhaseFinalize, t0, 1)
 		}
 		obs.wavefront()
@@ -156,15 +174,15 @@ func solveFine(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	return f, nil
 }
 
-// solveHybrid: per wavefront, phase A row-parallelizes the R0/R3/R4
+// solveHybridG: per wavefront, phase A row-parallelizes the R0/R3/R4
 // accumulation across *all* triangles of the diagonal (fine-grain), then
 // phase B finalizes the triangles coarse-grain in parallel — "the best of
 // both worlds". Cancellation granularity: one row task (phase A) or one
 // triangle finalize (phase B).
-func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
-	s := newSolver(p, cfg, cfg.Map)
+func solveHybridG[T semiring.Scalar](ctx context.Context, p *Problem, a alg[T], cfg Config) (*FTableOf[T], error) {
+	s := newGSolver(p, a, cfg, cfg.Map)
 	if cfg.ScratchAccum {
-		return solveHybridScratch(ctx, p, s, cfg)
+		return solveHybridScratchG(ctx, p, s, cfg)
 	}
 	pf := cfg.pforCtx()
 	obs := cfg.observe(p, "hybrid")
@@ -192,18 +210,18 @@ func solveHybrid(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
 	return f, nil
 }
 
-// solveHybridScratch is solveHybrid with the Phase II memory map: the
+// solveHybridScratchG is solveHybridG with the Phase II memory map: the
 // accumulation phase writes a scratch table whose blocks are then copied
 // into F — reproducing the redundant data movement the paper's Phase III
 // memory optimization ("R0, R3 and R4 ... share the memory with F-table")
 // eliminated.
-func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) (*FTable, error) {
+func solveHybridScratchG[T semiring.Scalar](ctx context.Context, p *Problem, s *gsolver[T], cfg Config) (*FTableOf[T], error) {
 	pf := cfg.pforCtx()
-	var scratch *FTable
+	var scratch *FTableOf[T]
 	if cfg.Pool != nil {
-		scratch = cfg.Pool.NewFTable(p.N1, p.N2, cfg.Map)
+		scratch = poolNewFTable[T](cfg.Pool, p.N1, p.N2, cfg.Map)
 	} else {
-		scratch = NewFTable(p.N1, p.N2, cfg.Map)
+		scratch = NewFTableOf[T](p.N1, p.N2, cfg.Map)
 	}
 	// The scratch table is never returned, so it goes back to the pool on
 	// every exit (Release is a no-op when unpooled).
@@ -237,12 +255,12 @@ func solveHybridScratch(ctx context.Context, p *Problem, s *solver, cfg Config) 
 	return f, nil
 }
 
-// solveHybridTiled is solveHybrid with the (i2 × k2 × j2) tiling of the
-// double max-plus; the parallel unit of phase A becomes an i2 tile.
+// solveHybridTiledG is solveHybridG with the (i2 × k2 × j2) tiling of the
+// double ⊕⊗ reduction; the parallel unit of phase A becomes an i2 tile.
 // Cancellation granularity: one row tile or one triangle finalize.
-func solveHybridTiled(ctx context.Context, p *Problem, cfg Config) (*FTable, error) {
+func solveHybridTiledG[T semiring.Scalar](ctx context.Context, p *Problem, a alg[T], cfg Config) (*FTableOf[T], error) {
 	cfg = cfg.withDefaults()
-	s := newSolver(p, cfg, cfg.Map)
+	s := newGSolver(p, a, cfg, cfg.Map)
 	pf := cfg.pforCtx()
 	s.curTileW = cfg.TileI2
 	s.curTilesPT = (p.N2 + s.curTileW - 1) / s.curTileW

@@ -6,27 +6,35 @@ import (
 
 	"github.com/bpmax-go/bpmax/internal/maxplus"
 	"github.com/bpmax-go/bpmax/internal/metrics"
+	"github.com/bpmax-go/bpmax/internal/semiring"
 	"github.com/bpmax-go/bpmax/internal/tri"
 )
 
-// WTable is the banded (windowed) F table: only cells with j1-i1 < W1 and
+// WTable is the float32 instantiation — the historical name used by the
+// windowed scan, the pool and the degradation ladder.
+type WTable = WTableOf[float32]
+
+// WTableOf is the banded (windowed) F table: only cells with j1-i1 < W1 and
 // j2-i2 < W2 are computed and stored. This reproduces the windowed BPMax
 // formulation that Gildemaster et al. used to fit the GPU's memory: storage
 // drops from Θ(N1²N2²) to Θ(N1·W1·N2·W2), and because the recurrence for an
 // in-window cell reads only in-window cells, every stored value equals the
-// full table's value at the same indices.
-type WTable struct {
+// full table's value at the same indices. Storage is generic over the
+// solving scalar, but the windowed fill itself is max-plus only — the
+// partition algebra never takes the windowed degradation rung (its answer
+// is a global sum, which a band cannot represent).
+type WTableOf[T semiring.Scalar] struct {
 	N1, N2, W1, W2 int
 	outer, inner   tri.BandMap
 	isize          int
-	data           []float32
+	data           []T
 	pl             *Pool
 }
 
 // initWTable sets every field of w except the data buffer, clamping the
 // windows to the sequence lengths; it backs both the fresh and the pooled
 // constructor.
-func initWTable(w *WTable, n1, n2, w1, w2 int) {
+func initWTable[T semiring.Scalar](w *WTableOf[T], n1, n2, w1, w2 int) {
 	if w1 <= 0 || w2 <= 0 {
 		panic(fmt.Sprintf("bpmax: invalid windows (%d, %d)", w1, w2))
 	}
@@ -53,32 +61,37 @@ func NewWTable(n1, n2, w1, w2 int) *WTable {
 
 // Release returns a pooled band's storage and shell to its pool. It is
 // idempotent and a no-op for unpooled tables; the table must not be used
-// after Release.
-func (w *WTable) Release() {
+// after Release. Only float32 bands are pooled (the pool never hands out
+// any other instantiation).
+func (w *WTableOf[T]) Release() {
 	if w == nil || w.pl == nil {
 		return
 	}
 	pl := w.pl
 	w.pl = nil
-	pl.buf.Put(w.data)
+	if t, ok := any(w).(*WTable); ok {
+		pl.buf.Put(t.data)
+		t.data = nil
+		pl.wtables.Put(t)
+		return
+	}
 	w.data = nil
-	pl.wtables.Put(w)
 }
 
 // InWindow reports whether the cell is stored.
-func (w *WTable) InWindow(i1, j1, i2, j2 int) bool {
+func (w *WTableOf[T]) InWindow(i1, j1, i2, j2 int) bool {
 	return j1-i1 < w.W1 && j2-i2 < w.W2
 }
 
 // Block returns the storage of inner triangle (i1, j1); j1-i1 < W1
 // required.
-func (w *WTable) Block(i1, j1 int) []float32 {
+func (w *WTableOf[T]) Block(i1, j1 int) []T {
 	o := w.outer.At(i1, j1)
 	return w.data[o*w.isize : (o+1)*w.isize : (o+1)*w.isize]
 }
 
 // rowHi returns the exclusive upper bound of stored j2 for row i2.
-func (w *WTable) rowHi(i2 int) int {
+func (w *WTableOf[T]) rowHi(i2 int) int {
 	hi := i2 + w.W2
 	if hi > w.N2 {
 		hi = w.N2
@@ -87,21 +100,21 @@ func (w *WTable) rowHi(i2 int) int {
 }
 
 // Row returns row i2 of a block, indexed by absolute j2 in [i2, rowHi(i2)).
-func (w *WTable) Row(blk []float32, i2 int) []float32 {
+func (w *WTableOf[T]) Row(blk []T, i2 int) []T {
 	base, _ := w.inner.RowSlice(i2)
 	return blk[base : base+w.rowHi(i2)]
 }
 
 // At returns F[i1,j1,i2,j2]; the cell must be in-window.
-func (w *WTable) At(i1, j1, i2, j2 int) float32 {
+func (w *WTableOf[T]) At(i1, j1, i2, j2 int) T {
 	return w.Block(i1, j1)[w.inner.At(i2, j2)]
 }
 
 // Bytes returns the storage footprint in bytes.
-func (w *WTable) Bytes() int64 { return int64(len(w.data)) * 4 }
+func (w *WTableOf[T]) Bytes() int64 { return int64(len(w.data)) * elemBytes[T]() }
 
-// at resolves empty-interval base cases like Problem.at, for band tables.
-func (w *WTable) at(p *Problem, i1, j1, i2, j2 int) float32 {
+// wtAt resolves empty-interval base cases like Problem.at, for band tables.
+func wtAt(w *WTable, p *Problem, i1, j1, i2, j2 int) float32 {
 	if j1 < i1 {
 		return p.S2.At(i2, j2)
 	}
@@ -191,7 +204,7 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 			}
 			for j2 := i2; j2 < hi; j2++ {
 				v := grow[j2]
-				if x := w.at(p, i1+1, j1-1, i2, j2) + sc1; x > v {
+				if x := wtAt(w, p, i1+1, j1-1, i2, j2) + sc1; x > v {
 					v = x
 				}
 				if j2 > i2 {
@@ -247,8 +260,8 @@ func SolveWindowedContext(ctx context.Context, p *Problem, w1, w2 int, cfg Confi
 // Best returns the maximum interaction score over all in-window interval
 // pairs and one cell achieving it — the "best local interaction" a
 // windowed screen reports.
-func (w *WTable) Best() (v float32, i1, j1, i2, j2 int) {
-	v = float32(-1)
+func (w *WTableOf[T]) Best() (v T, i1, j1, i2, j2 int) {
+	v = -1
 	for a1 := 0; a1 < w.N1; a1++ {
 		for b1 := a1; b1 < w.N1 && b1-a1 < w.W1; b1++ {
 			blk := w.Block(a1, b1)
@@ -268,14 +281,14 @@ func (w *WTable) Best() (v float32, i1, j1, i2, j2 int) {
 // BestWithin is Best restricted to interval pairs with spans j1-i1 < s1 and
 // j2-i2 < s2 (additionally to the band itself). It backs BestLocal on folds
 // that degraded to the windowed scan.
-func (w *WTable) BestWithin(s1, s2 int) (v float32, i1, j1, i2, j2 int) {
+func (w *WTableOf[T]) BestWithin(s1, s2 int) (v T, i1, j1, i2, j2 int) {
 	if s1 > w.W1 {
 		s1 = w.W1
 	}
 	if s2 > w.W2 {
 		s2 = w.W2
 	}
-	v = float32(-1)
+	v = -1
 	for a1 := 0; a1 < w.N1; a1++ {
 		for b1 := a1; b1 < w.N1 && b1-a1 < s1; b1++ {
 			blk := w.Block(a1, b1)

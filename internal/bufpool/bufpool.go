@@ -1,4 +1,4 @@
-// Package bufpool provides size-classed recycling of the float32 buffers
+// Package bufpool provides size-classed recycling of the scalar buffers
 // that dominate BPMax's memory traffic: the Θ(N²M²) F table, the Nussinov
 // S tables, scratch accumulators and the windowed band.
 //
@@ -8,6 +8,12 @@
 // of sequence pairs whose table shapes repeat, so buffers are pooled in
 // power-of-two size classes and handed back out zeroed — a pooled fold is
 // bit-identical to a freshly allocated one.
+//
+// The arenas are generic over the solver's scalar types: float32 for the
+// max-plus tables (Pool, the historical name) and float64 for the
+// partition-function tables (PoolOf[float64]). Size classes are counted in
+// elements, so a float64 class retains twice the bytes of the same-index
+// float32 class; all byte accounting multiplies by the element size.
 //
 // Unlike sync.Pool (which the struct freelists in internal/bpmax use), the
 // class arenas here retain buffers deterministically: RetainedBytes is
@@ -19,9 +25,11 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"github.com/bpmax-go/bpmax/internal/fault"
 	"github.com/bpmax-go/bpmax/internal/metrics"
+	"github.com/bpmax-go/bpmax/internal/semiring"
 )
 
 const (
@@ -70,13 +78,24 @@ func ClassLen(n int) int {
 	return classLen(c)
 }
 
-// ClassBytes is ClassLen in bytes (4 bytes per float32 element).
-func ClassBytes(n int) int64 { return int64(ClassLen(n)) * 4 }
+// ClassBytes is ClassLen in bytes (4 bytes per float32 element) — the
+// historical float32 form; ClassBytesSized generalizes it.
+func ClassBytes(n int) int64 { return ClassBytesSized(n, 4) }
 
-// Pool is a set of size-classed float32 arenas. The zero value is ready to
-// use. All methods are safe for concurrent use.
-type Pool struct {
-	classes [numClasses]classArena
+// ClassBytesSized is ClassLen in bytes for elements of the given size
+// (4 for float32 tables, 8 for the float64 partition tables).
+func ClassBytesSized(n int, elemBytes int) int64 {
+	return int64(ClassLen(n)) * int64(elemBytes)
+}
+
+// Pool is the float32 arena set — the historical name nearly every
+// max-plus call site uses.
+type Pool = PoolOf[float32]
+
+// PoolOf is a set of size-classed scalar arenas. The zero value is ready
+// to use. All methods are safe for concurrent use.
+type PoolOf[T semiring.Scalar] struct {
+	classes [numClasses]classArena[T]
 
 	// Always-on traffic counters (one or two atomic adds per Get/Put, far
 	// off the cell-fill hot path). retained mirrors the exact idle byte
@@ -88,14 +107,20 @@ type Pool struct {
 	retainedHW         metrics.HighWater
 }
 
-type classArena struct {
+type classArena[T semiring.Scalar] struct {
 	mu   sync.Mutex
-	free [][]float32
+	free [][]T
+}
+
+// elemBytes returns the byte size of the pool's element type.
+func (p *PoolOf[T]) elemBytes() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
 }
 
 // Get returns a zeroed buffer of length exactly n, reusing a pooled buffer
 // of the enclosing size class when one is available. n <= 0 returns nil.
-func (p *Pool) Get(n int) []float32 {
+func (p *PoolOf[T]) Get(n int) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -106,27 +131,27 @@ func (p *Pool) Get(n int) []float32 {
 	if ferr := fault.Hit(fault.SitePoolAcquire); ferr != nil {
 		p.gets.Add(1)
 		p.misses.Add(1)
-		return make([]float32, n)
+		return make([]T, n)
 	}
 	p.gets.Add(1)
 	c := classFor(n)
 	if c < 0 {
 		p.misses.Add(1)
-		return make([]float32, n)
+		return make([]T, n)
 	}
 	a := &p.classes[c]
 	a.mu.Lock()
-	var b []float32
+	var b []T
 	if k := len(a.free); k > 0 {
 		b = a.free[k-1]
 		a.free[k-1] = nil
 		a.free = a.free[:k-1]
-		p.retained.Add(-int64(classLen(c)) * 4)
+		p.retained.Add(-int64(classLen(c)) * p.elemBytes())
 	}
 	a.mu.Unlock()
 	if b == nil {
 		p.misses.Add(1)
-		return make([]float32, n, classLen(c))
+		return make([]T, n, classLen(c))
 	}
 	p.hits.Add(1)
 	b = b[:n]
@@ -141,7 +166,7 @@ func (p *Pool) Get(n int) []float32 {
 // pooled range) are dropped silently, as are buffers arriving at a class
 // already holding maxPerClass entries. Callers must not use the buffer
 // after Put.
-func (p *Pool) Put(b []float32) {
+func (p *PoolOf[T]) Put(b []T) {
 	if cap(b) == 0 {
 		// Mirrors Get(n <= 0) returning nil without counting, so Live stays
 		// an exact checked-out-buffer count.
@@ -167,7 +192,7 @@ func (p *Pool) Put(b []float32) {
 	stored := len(a.free) < maxPerClass
 	if stored {
 		a.free = append(a.free, b)
-		p.retainedHW.Update(p.retained.Add(int64(classLen(c)) * 4))
+		p.retainedHW.Update(p.retained.Add(int64(classLen(c)) * p.elemBytes()))
 	}
 	a.mu.Unlock()
 	if !stored {
@@ -179,7 +204,7 @@ func (p *Pool) Put(b []float32) {
 // pool's arenas (idle buffers only; buffers handed out by Get are the
 // caller's to account for). WithMemoryLimit counts this retention against
 // its budget.
-func (p *Pool) RetainedBytes() int64 { return p.retained.Load() }
+func (p *PoolOf[T]) RetainedBytes() int64 { return p.retained.Load() }
 
 // HeldBytesAfter returns the bytes the pool would hold once a Get(n) is
 // served: current retention, plus the class-rounded request when no idle
@@ -187,33 +212,33 @@ func (p *Pool) RetainedBytes() int64 { return p.retained.Load() }
 // retention; outside the pooled range the exact request size is added).
 // It is a point-in-time estimate — concurrent Get/Put can shift it — used
 // by memory budgeting to charge pooled folds.
-func (p *Pool) HeldBytesAfter(n int) int64 {
+func (p *PoolOf[T]) HeldBytesAfter(n int) int64 {
 	total := p.RetainedBytes()
 	if n <= 0 {
 		return total
 	}
 	c := classFor(n)
 	if c < 0 {
-		return total + int64(n)*4
+		return total + int64(n)*p.elemBytes()
 	}
 	a := &p.classes[c]
 	a.mu.Lock()
 	idle := len(a.free)
 	a.mu.Unlock()
 	if idle == 0 {
-		total += int64(classLen(c)) * 4
+		total += int64(classLen(c)) * p.elemBytes()
 	}
 	return total
 }
 
 // Trim releases every idle buffer to the garbage collector and returns how
 // many bytes were freed.
-func (p *Pool) Trim() int64 {
+func (p *PoolOf[T]) Trim() int64 {
 	var freed int64
 	for c := range p.classes {
 		a := &p.classes[c]
 		a.mu.Lock()
-		if k := int64(len(a.free)) * int64(classLen(c)) * 4; k > 0 {
+		if k := int64(len(a.free)) * int64(classLen(c)) * p.elemBytes(); k > 0 {
 			freed += k
 			p.retained.Add(-k)
 			a.free = nil
@@ -226,7 +251,7 @@ func (p *Pool) Trim() int64 {
 // Stats snapshots the arena's traffic counters and retention. Counters are
 // cumulative since the pool was created; Live is the number of buffers
 // currently checked out by callers.
-func (p *Pool) Stats() metrics.BufferStats {
+func (p *PoolOf[T]) Stats() metrics.BufferStats {
 	gets, puts := p.gets.Load(), p.puts.Load()
 	return metrics.BufferStats{
 		Gets:              gets,

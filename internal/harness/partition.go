@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/bpmax-go/bpmax/internal/bpmax"
+	"github.com/bpmax-go/bpmax/internal/perf"
+)
+
+func init() {
+	register(Experiment{
+		ID: "ext-partition", Title: "BPPart log-sum-exp fill vs max-plus", PaperRef: "Section I (BPPart companion algorithm)",
+		Run: runExtPartition,
+	})
+}
+
+// runExtPartition times the same hybrid-tiled schedule under both algebras —
+// the float32 max-plus fill and the float64 log-sum-exp (BPPart) fill with
+// its substrate build — on every configured size, and sanity-checks the
+// semiring ordering LogZ >= score/kT on each (lse >= max pointwise, so the
+// inequality holds by induction; a violation means the generic fill broke).
+// The slowdown column is the honest cost of the partition mode: wider cells,
+// exp/log per combine, and no Four-Russians fast path.
+func runExtPartition(cfg RunConfig) *Table {
+	t := &Table{
+		ID: "ext-partition", Title: "BPPart log-sum-exp fill vs max-plus", PaperRef: "Section I (BPPart companion algorithm)",
+		Header: []string{"N1xN2", "maxplus time", "partition time", "slowdown", "logZ", "score/kT"},
+	}
+	const kT = 1.0
+	ctx := context.Background()
+	c := bpmax.Config{Workers: cfg.Workers}
+	for _, sz := range cfg.sizes() {
+		p := newProblem(cfg.Seed+int64(sz[1]), sz[0], sz[1])
+		mp := timeBPMax(p, bpmax.VariantHybridTiled, c, cfg.repeats())
+		score := float64(p.Score(bpmax.Solve(p, bpmax.VariantHybridTiled, c)))
+		var logZ float64
+		// The partition window times the whole cold path — substrate scaling
+		// and single-strand fills plus the pair fill — because that is what a
+		// cache-miss partition request costs the server.
+		pt := perf.Best(cfg.repeats(), bpmax.BPMaxFlops(sz[0], sz[1]), func() {
+			ps, err := bpmax.BuildPartitionSub(ctx, p, kT)
+			if err != nil {
+				panic(err)
+			}
+			f, err := bpmax.SolvePartitionContext(ctx, p, ps, bpmax.VariantHybridTiled, c)
+			if err != nil {
+				panic(err)
+			}
+			logZ = bpmax.PartitionLogZ(p, f)
+		})
+		// Ensemble >= MFE: lse accumulates at least the optimal derivation.
+		if bound := score / kT; logZ < bound-1e-6*(1+abs(bound)) {
+			panic(fmt.Sprintf("harness: partition logZ %.9g < score/kT %.9g at %dx%d", logZ, bound, sz[0], sz[1]))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", sz[0], sz[1]),
+			d2(mp.Elapsed),
+			d2(pt.Elapsed),
+			f2(perf.Speedup(pt.Elapsed, mp.Elapsed)) + "x",
+			f2(logZ),
+			f2(score / kT),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("kT=%g; partition time includes the Boltzmann substrate build (the server caches it per strand)", kT),
+		"logZ >= score/kT verified on every measured size (log-sum-exp dominates max pointwise)")
+	return t
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -122,6 +122,9 @@ type FoldMetrics struct {
 	// Degraded records the degradation rung ("none", "packed",
 	// "windowed").
 	Degraded string `json:"degraded"`
+	// Algebra records the evaluation semiring ("maxplus", "partition");
+	// empty on records from layers that predate the field.
+	Algebra string `json:"algebra,omitempty"`
 }
 
 // Reset zeroes the struct for reuse by a pooled fold.
@@ -158,6 +161,7 @@ func (m *FoldMetrics) Snapshot() FoldSnapshot {
 		TableBytes:          m.TableBytes,
 		BudgetEstimateBytes: m.BudgetEstimateBytes,
 		Degraded:            m.Degraded,
+		Algebra:             m.Algebra,
 		GFLOPS:              m.GFLOPS(),
 		CellsPerSecond:      m.CellsPerSecond(),
 	}
@@ -186,6 +190,7 @@ type FoldSnapshot struct {
 	TableBytes          int64                `json:"table_bytes"`
 	BudgetEstimateBytes int64                `json:"budget_estimate_bytes"`
 	Degraded            string               `json:"degraded"`
+	Algebra             string               `json:"algebra,omitempty"`
 	GFLOPS              float64              `json:"gflops"`
 	CellsPerSecond      float64              `json:"cells_per_second"`
 }

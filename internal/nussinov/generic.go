@@ -1,0 +1,147 @@
+package nussinov
+
+import (
+	"context"
+	"fmt"
+	"unsafe"
+
+	"github.com/bpmax-go/bpmax/internal/semiring"
+)
+
+// GTable is Table over an arbitrary scalar semiring: the same bounding-box
+// memory map (row-contiguous, zero — that is, One — diagonal and lower
+// triangle), filled with ⊕ through a kernel bundle and ⊗ as native
+// addition. The float32 max-plus instantiation is bit-identical to Table
+// (pinned by a parity test); the float64 log-sum-exp instantiation computes
+// the log of the strand's derivation-weighted Boltzmann sum — the
+// single-strand partition substrate of the BPPart fill.
+//
+// Table itself stays concrete: the max-plus hot path keeps its direct
+// comparison loop, and nothing in the serving spine pays the generic
+// dispatch unless it asked for a different algebra.
+type GTable[T semiring.Scalar] struct {
+	N    int
+	data []T // data[i*N+j] = S[i,j] for i <= j
+}
+
+// NewGTable allocates an empty (all-One) table for n positions.
+func NewGTable[T semiring.Scalar](n int) *GTable[T] {
+	if n < 0 {
+		panic(fmt.Sprintf("nussinov: negative size %d", n))
+	}
+	return &GTable[T]{N: n, data: make([]T, n*n)}
+}
+
+// At returns S[i,j]; intervals with j < i are One (0 for both supported
+// semirings) by definition.
+func (t *GTable[T]) At(i, j int) T {
+	if j < i {
+		return 0
+	}
+	if i < 0 || j >= t.N {
+		panic(fmt.Sprintf("nussinov: At(%d, %d) out of table of size %d", i, j, t.N))
+	}
+	return t.data[i*t.N+j]
+}
+
+// Row returns the slice holding row i (cells (i, 0..N-1) of the bounding
+// box; only j >= i are meaningful). Callers must not modify it.
+func (t *GTable[T]) Row(i int) []T { return t.data[i*t.N : (i+1)*t.N] }
+
+// Data exposes the table's backing storage (row-contiguous, N×N). Callers
+// must treat it as read-only.
+func (t *GTable[T]) Data() []T { return t.data }
+
+// Bytes returns the table's cell-storage footprint.
+func (t *GTable[T]) Bytes() int64 {
+	var z T
+	return int64(len(t.data)) * int64(unsafe.Sizeof(z))
+}
+
+// Reset prepares t for reuse at size n, exactly like Table.Reset: storage
+// kept when capacity allows, every cell re-zeroed.
+func (t *GTable[T]) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("nussinov: negative size %d", n))
+	}
+	need := n * n
+	if cap(t.data) < need {
+		t.data = make([]T, need)
+	} else {
+		t.data = t.data[:need]
+		clear(t.data)
+	}
+	t.N = n
+}
+
+// Fill runs the recurrence sequentially in diagonal order over a fresh or
+// Reset table — the same candidate set in the same order as Table.cell
+// (S[i+1,j], then S[i,j-1], then S[i+1,j-1] ⊗ w(i,j), then the splits with
+// k ascending), with every ⊕ as add(candidate, accumulator) so the
+// max-plus instantiation ties exactly like the concrete comparison loop.
+// O(n³) time.
+func (t *GTable[T]) Fill(k semiring.Kernels[T], score func(i, j int) T) {
+	n := t.N
+	add := k.Add
+	data := t.data
+	for d := 1; d < n; d++ {
+		for i := 0; i+d < n; i++ {
+			j := i + d
+			row := data[i*n : i*n+n : i*n+n]
+			best := data[(i+1)*n+j] // S[i+1, j]
+			best = add(row[j-1], best)
+			best = add(data[(i+1)*n+j-1]+score(i, j), best)
+			idx := (i+1)*n + j // walks S[k+1, j] down column j
+			for s := i; s < j; s++ {
+				best = add(row[s]+data[idx], best)
+				idx += n
+			}
+			row[j] = best
+		}
+	}
+}
+
+// BuildG fills a generic table sequentially in diagonal order.
+func BuildG[T semiring.Scalar](n int, k semiring.Kernels[T], score func(i, j int) T) *GTable[T] {
+	t := NewGTable[T](n)
+	t.Fill(k, score)
+	return t
+}
+
+// BuildGContext is BuildG with cooperative cancellation, checked once per
+// anti-diagonal wavefront like BuildParallelContext. On cancellation the
+// partial table is discarded and ctx.Err() returned.
+func BuildGContext[T semiring.Scalar](ctx context.Context, n int, k semiring.Kernels[T], score func(i, j int) T) (*GTable[T], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t := NewGTable[T](n)
+	done := ctx.Done()
+	nn := t.N
+	add := k.Add
+	data := t.data
+	for d := 1; d < nn; d++ {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+		for i := 0; i+d < nn; i++ {
+			j := i + d
+			row := data[i*nn : i*nn+nn : i*nn+nn]
+			best := data[(i+1)*nn+j]
+			best = add(row[j-1], best)
+			best = add(data[(i+1)*nn+j-1]+score(i, j), best)
+			idx := (i+1)*nn + j
+			for s := i; s < j; s++ {
+				best = add(row[s]+data[idx], best)
+				idx += nn
+			}
+			row[j] = best
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,120 @@
+package nussinov
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/semiring"
+)
+
+// randScore builds a deterministic random score function with some
+// forbidden (NegInf) entries, mimicking a real pairing model.
+func randScore(seed int64, n int) ScoreFunc {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, n*n)
+	for i := range w {
+		if rng.Intn(3) == 0 {
+			w[i] = semiring.NegInf
+		} else {
+			w[i] = float32(rng.Intn(7))
+		}
+	}
+	return func(i, j int) float32 { return w[i*n+j] }
+}
+
+// TestGTableMaxPlusParity pins the generic fill to the concrete one: the
+// float32 max-plus instantiation of GTable must be bitwise identical to
+// Table.Fill on every cell — same candidate order, same tie-breaks.
+func TestGTableMaxPlusParity(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		n := int(seed)*3 + 1 // 1..22, crossing the unrolled-kernel sizes
+		score := randScore(seed, n)
+		want := Build(n, score)
+		got := BuildG(n, semiring.MaxPlusKernels(false), func(i, j int) float32 { return score(i, j) })
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				if want.At(i, j) != got.At(i, j) {
+					t.Fatalf("n=%d: S[%d,%d] = %v, want %v", n, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestGTableLogSumExpDominates: the float64 log-sum-exp fill upper-bounds
+// the max-plus fill cell-wise (lse >= max pointwise, inductively), stays
+// finite, and is at least One = 0 (the empty structure always derives).
+func TestGTableLogSumExpDominates(t *testing.T) {
+	n := 14
+	score := randScore(99, n)
+	mp := Build(n, score)
+	kT := 0.7
+	lse := BuildG(n, semiring.LogSumExpKernels(), func(i, j int) float64 {
+		w := score(i, j)
+		if w <= semiring.NegInf/2 {
+			return math.Inf(-1)
+		}
+		return float64(w) / kT
+	})
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			g := lse.At(i, j)
+			if math.IsInf(g, 0) || math.IsNaN(g) {
+				t.Fatalf("S[%d,%d] = %v not finite", i, j, g)
+			}
+			if g < 0 {
+				t.Fatalf("S[%d,%d] = %v below the empty-structure floor", i, j, g)
+			}
+			if bound := float64(mp.At(i, j)) / kT; g < bound-1e-9 {
+				t.Fatalf("S[%d,%d] = %v < maxplus/kT = %v", i, j, g, bound)
+			}
+		}
+	}
+}
+
+// TestBuildGContextMatchesBuildG: the cancellable build computes the same
+// table, and an already-cancelled context aborts before allocating results.
+func TestBuildGContextMatchesBuildG(t *testing.T) {
+	n := 11
+	score := randScore(7, n)
+	sf := func(i, j int) float32 { return score(i, j) }
+	want := BuildG(n, semiring.MaxPlusKernels(false), sf)
+	got, err := BuildGContext(context.Background(), n, semiring.MaxPlusKernels(false), sf)
+	if err != nil {
+		t.Fatalf("BuildGContext: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if want.At(i, j) != got.At(i, j) {
+				t.Fatalf("S[%d,%d] = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildGContext(cancelled, n, semiring.MaxPlusKernels(false), sf); err == nil {
+		t.Fatal("cancelled build succeeded")
+	}
+}
+
+// TestGTableReset: a reused table is indistinguishable from a fresh one.
+func TestGTableReset(t *testing.T) {
+	score := randScore(13, 9)
+	sf := func(i, j int) float32 { return score(i, j) }
+	fresh := BuildG(9, semiring.MaxPlusKernels(false), sf)
+	reused := NewGTable[float32](20)
+	for i := range reused.data {
+		reused.data[i] = -42 // poison
+	}
+	reused.Reset(9)
+	reused.Fill(semiring.MaxPlusKernels(false), sf)
+	for i := 0; i < 9; i++ {
+		for j := i; j < 9; j++ {
+			if fresh.At(i, j) != reused.At(i, j) {
+				t.Fatalf("S[%d,%d] = %v after Reset, want %v", i, j, reused.At(i, j), fresh.At(i, j))
+			}
+		}
+	}
+}

@@ -53,6 +53,11 @@ func (h *Hasher) F32(x float32) {
 	h.buf = binary.LittleEndian.AppendUint32(h.buf, math.Float32bits(x))
 }
 
+// F64 appends a float64 by bit pattern.
+func (h *Hasher) F64(x float64) {
+	h.buf = binary.LittleEndian.AppendUint64(h.buf, math.Float64bits(x))
+}
+
 // Sum hashes the accumulated encoding. The hasher remains usable (more
 // appends extend the same encoding).
 func (h *Hasher) Sum() Key { return sha256.Sum256(h.buf) }

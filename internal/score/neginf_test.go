@@ -1,0 +1,27 @@
+package score
+
+import (
+	"testing"
+
+	"github.com/bpmax-go/bpmax/internal/semiring"
+)
+
+// TestNegInfShared fails if the scoring layer's forbidden sentinel ever
+// drifts from the semiring layer's tropical Zero. The two must be one
+// value: solver kernels initialize accumulators with the semiring Zero and
+// compare against score-table entries, so a drift would silently change
+// which pairings count as forbidden.
+func TestNegInfShared(t *testing.T) {
+	if NegInf != Value(semiring.NegInf) {
+		t.Fatalf("score.NegInf = %v, semiring.NegInf = %v; the constants drifted", NegInf, semiring.NegInf)
+	}
+	if z := (semiring.MaxPlus{}).Zero(); z != float32(NegInf) {
+		t.Fatalf("semiring.MaxPlus.Zero() = %v, score.NegInf = %v; the constants drifted", z, NegInf)
+	}
+	if z := (semiring.MaxPlusCount{}).Zero(); z.Score != float32(NegInf) {
+		t.Fatalf("semiring.MaxPlusCount.Zero().Score = %v, score.NegInf = %v; the constants drifted", z.Score, NegInf)
+	}
+	if k := semiring.MaxPlusKernels(false); k.Zero != float32(NegInf) {
+		t.Fatalf("semiring.MaxPlusKernels.Zero = %v, score.NegInf = %v; the constants drifted", k.Zero, NegInf)
+	}
+}

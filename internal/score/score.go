@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"github.com/bpmax-go/bpmax/internal/rna"
+	"github.com/bpmax-go/bpmax/internal/semiring"
 )
 
 // Value is the scalar score type. Single precision matches the paper's
@@ -19,11 +20,11 @@ import (
 // footprint of BPMax").
 type Value = float32
 
-// NegInf is the additive identity for forbidden pairings. It is chosen so
-// that summing O(N+M) of them still stays far below any feasible score and
-// far above float32 -Inf (avoiding NaNs from -Inf + -Inf cancellation in
-// tests that subtract scores).
-const NegInf Value = -1e30
+// NegInf is the additive identity for forbidden pairings. It is the
+// repository-wide sentinel semiring.NegInf (the tropical Zero): one shared
+// constant, so the scoring layer and the algebra layer can never drift
+// apart (TestNegInfShared pins this).
+const NegInf Value = semiring.NegInf
 
 // Model assigns weights to base pairs. A zero-valued Model forbids
 // everything; use one of the constructors.

@@ -8,6 +8,15 @@ package semiring
 
 import "math"
 
+// NegInf is the finite "forbidden" sentinel shared by every max-plus layer
+// of the repository: the tropical Zero here, package score's forbidden-pair
+// weight, and the solver kernels' initialization value. It is chosen so
+// that summing O(N+M) of them still stays far below any feasible score and
+// far above float32 -Inf (avoiding NaNs from -Inf + -Inf cancellation in
+// code that subtracts scores). score.NegInf aliases it; a drift test pins
+// the two together.
+const NegInf = -1e30
+
 // Semiring is a commutative semiring over T: ⊕ (Add) with identity Zero,
 // ⊗ (Mul) with identity One, ⊗ distributing over ⊕.
 type Semiring[T any] interface {
@@ -18,12 +27,12 @@ type Semiring[T any] interface {
 }
 
 // MaxPlus is the tropical semiring over float32: ⊕ = max, ⊗ = +. Its Zero
-// is a large negative finite value (matching package score's NegInf
-// convention) so that chains of ⊗ stay finite.
+// is a large negative finite value (NegInf, shared with package score) so
+// that chains of ⊗ stay finite.
 type MaxPlus struct{}
 
-// Zero returns the additive identity (-1e30).
-func (MaxPlus) Zero() float32 { return -1e30 }
+// Zero returns the additive identity (NegInf).
+func (MaxPlus) Zero() float32 { return NegInf }
 
 // One returns the multiplicative identity (0).
 func (MaxPlus) One() float32 { return 0 }
@@ -100,8 +109,8 @@ type Optimum struct {
 // decomposition below makes exact.
 type MaxPlusCount struct{}
 
-// Zero returns the impossible outcome (score -1e30, count 0).
-func (MaxPlusCount) Zero() Optimum { return Optimum{Score: -1e30, Count: 0} }
+// Zero returns the impossible outcome (score NegInf, count 0).
+func (MaxPlusCount) Zero() Optimum { return Optimum{Score: NegInf, Count: 0} }
 
 // One returns the empty structure (score 0, count 1).
 func (MaxPlusCount) One() Optimum { return Optimum{Score: 0, Count: 1} }
@@ -121,7 +130,7 @@ func (MaxPlusCount) Add(a, b Optimum) Optimum {
 // Mul combines independent sub-structures.
 func (MaxPlusCount) Mul(a, b Optimum) Optimum {
 	if a.Count == 0 || b.Count == 0 {
-		return Optimum{Score: -1e30, Count: 0}
+		return Optimum{Score: NegInf, Count: 0}
 	}
 	return Optimum{Score: a.Score + b.Score, Count: a.Count * b.Count}
 }

@@ -1,4 +1,4 @@
-package semiring
+package semiring_test
 
 import (
 	"math"
@@ -9,6 +9,8 @@ import (
 	"github.com/bpmax-go/bpmax/internal/nussinov"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
+
+	. "github.com/bpmax-go/bpmax/internal/semiring"
 )
 
 func TestMaxPlusLaws(t *testing.T) {

@@ -36,6 +36,13 @@ type Request struct {
 	// TimeoutMs is the per-request deadline the replayer sends (0 = the
 	// server's default).
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Algebra selects the fold's evaluation semiring ("" or "maxplus" for
+	// the BPMax score, "partition" for the BPPart log-partition function;
+	// fold op only).
+	Algebra string `json:"algebra,omitempty"`
+	// KT is the Boltzmann temperature factor sent with partition requests
+	// (0 = the server's default of 1.0).
+	KT float64 `json:"kt,omitempty"`
 }
 
 // Validate reports the first structural problem of a trace line.
@@ -44,6 +51,14 @@ func (r *Request) Validate() error {
 	case "", OpFold, OpScan:
 	default:
 		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	switch r.Algebra {
+	case "", "maxplus", "partition":
+	default:
+		return fmt.Errorf("unknown algebra %q", r.Algebra)
+	}
+	if r.Algebra == "partition" && r.Op == OpScan {
+		return fmt.Errorf("scan requests are max-plus only")
 	}
 	if r.AtMs < 0 {
 		return fmt.Errorf("negative at_ms %g", r.AtMs)
@@ -111,6 +126,11 @@ type SynthConfig struct {
 	// Window as both spans.
 	ScanEvery int
 	Window    int
+	// PartitionEvery, when > 0, makes every Nth fold request a partition
+	// (BPPart) fold with KT as the temperature factor. Scan requests are
+	// never marked — scans are max-plus only.
+	PartitionEvery int
+	KT             float64
 	// TimeoutMs is stamped on every request (0 = server default).
 	TimeoutMs int64
 }
@@ -149,6 +169,9 @@ func Synthesize(cfg SynthConfig) []Request {
 		if cfg.ScanEvery > 0 && (i+1)%cfg.ScanEvery == 0 {
 			rq.Op = OpScan
 			rq.W1, rq.W2 = cfg.Window, cfg.Window
+		} else if cfg.PartitionEvery > 0 && (i+1)%cfg.PartitionEvery == 0 {
+			rq.Algebra = "partition"
+			rq.KT = cfg.KT
 		}
 		out = append(out, rq)
 	}

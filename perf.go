@@ -172,6 +172,10 @@ func (r *Result) Release() {
 	}
 	pool := r.pool
 	r.ft.Release()
+	// Partition tables recycle through the pool's float64 arena; the
+	// Boltzmann substrate (r.ps) is never pooled — possibly cache-shared —
+	// and is left to the GC.
+	r.ft64.Release()
 	if r.Window != nil {
 		r.Window.Release()
 	}

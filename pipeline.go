@@ -37,6 +37,7 @@ import (
 	"github.com/bpmax-go/bpmax/internal/fourrussians"
 	imetrics "github.com/bpmax-go/bpmax/internal/metrics"
 	"github.com/bpmax-go/bpmax/internal/nussinov"
+	"github.com/bpmax-go/bpmax/internal/pipeline"
 	"github.com/bpmax-go/bpmax/internal/rna"
 	"github.com/bpmax-go/bpmax/internal/score"
 	"github.com/bpmax-go/bpmax/internal/semiring"
@@ -63,6 +64,10 @@ type request struct {
 	aerr   error
 	subMax int
 	subInt bool
+	// algErr names an unknown WithAlgebra value or an invalid WithKT; the
+	// resolved algebra and kT themselves live in the embedded options
+	// (buildOptions normalizes the defaults in).
+	algErr error
 	// tr is the per-request trace carried by the call's context (nil in the
 	// common disarmed case — every recording through it is then a no-op).
 	// It is looked up once per run* entry, never per stage, and it is
@@ -113,6 +118,10 @@ func (rq request) runFold(ctx context.Context, seq1, seq2 string) (*Result, erro
 	if rq.aerr != nil {
 		rq.metrics.RecordError()
 		return nil, rq.aerr
+	}
+	if rq.algErr != nil {
+		rq.metrics.RecordError()
+		return nil, rq.algErr
 	}
 	if rq.retry == nil {
 		// No policy: skip the wrapper — its attempt closure captures the
@@ -321,6 +330,9 @@ func (rq request) foldCold(ctx context.Context, seq1, seq2 string) (*Result, err
 	if deg == DegradeWindowed {
 		return rq.foldViaWindow(ctx, p, res)
 	}
+	if rq.algebra == AlgebraPartition {
+		return rq.foldPartition(ctx, p, res, cfg, deg)
+	}
 	if rq.observed() && rq.memLimit > 0 {
 		res.Metrics.BudgetEstimateBytes = rq.chargeBytes(p.N1, p.N2, cfg.Map)
 	}
@@ -334,6 +346,7 @@ func (rq request) foldCold(ctx context.Context, seq1, seq2 string) (*Result, err
 	}
 	elapsed := time.Since(start)
 	res.Score = p.Score(ft)
+	res.Algebra = AlgebraMaxPlus
 	res.N1 = p.N1
 	res.N2 = p.N2
 	res.FLOPs = ibpmax.BPMaxFlops(p.N1, p.N2)
@@ -343,6 +356,7 @@ func (rq request) foldCold(ctx context.Context, seq1, seq2 string) (*Result, err
 	res.prob = p
 	res.ft = ft
 	if rq.observed() {
+		res.Metrics.Algebra = string(AlgebraMaxPlus)
 		res.Metrics.FillNanos = int64(elapsed)
 		res.Metrics.Cells = ibpmax.CellElements(p.N1, p.N2)
 		res.Metrics.FLOPs = res.FLOPs
@@ -351,6 +365,102 @@ func (rq request) foldCold(ctx context.Context, seq1, seq2 string) (*Result, err
 		rq.metrics.RecordFold(&res.Metrics)
 	}
 	return res, nil
+}
+
+// foldPartition is the AlgebraPartition tail of foldCold: Boltzmann
+// substrate → float64 log-sum-exp fill → LogZ finalize. The max-plus S¹/S²
+// substrates were already installed on p (SingleScore and the substrate
+// cache still serve them); this stage adds the scaled float64 set, shared
+// through the cache when one is configured.
+func (rq request) foldPartition(ctx context.Context, p *ibpmax.Problem, res *Result, cfg ibpmax.Config, deg Degradation) (*Result, error) {
+	sub := imetrics.Begin(rq.cfg.Metrics, rq.cfg.Tracer, imetrics.PhaseSubstrate)
+	ps, err := rq.buildPartitionSub(ctx, p)
+	if err != nil {
+		sub.End(0)
+		p.Release()
+		rq.putResult(res)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	sub.End(1)
+	if rq.observed() && rq.memLimit > 0 {
+		res.Metrics.BudgetEstimateBytes = rq.chargeBytes(p.N1, p.N2, cfg.Map)
+	}
+	start := time.Now()
+	ft, err := ibpmax.SolvePartitionContext(ctx, p, ps, rq.v, cfg)
+	if err != nil {
+		p.Release()
+		rq.putResult(res)
+		rq.metrics.RecordError()
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	res.Algebra = AlgebraPartition
+	res.KT = rq.kT
+	res.LogZ = ibpmax.PartitionLogZ(p, ft)
+	if p.N1 > 0 {
+		res.LogZ1 = ps.S1.At(0, p.N1-1)
+	}
+	if p.N2 > 0 {
+		res.LogZ2 = ps.S2.At(0, p.N2-1)
+	}
+	res.N1 = p.N1
+	res.N2 = p.N2
+	res.FLOPs = ibpmax.BPMaxFlops(p.N1, p.N2)
+	res.Elapsed = elapsed
+	res.TableBytes = ft.Bytes()
+	res.Degradation = deg
+	res.prob = p
+	res.ft64 = ft
+	res.ps = ps
+	if rq.observed() {
+		res.Metrics.Algebra = string(AlgebraPartition)
+		res.Metrics.FillNanos = int64(elapsed)
+		res.Metrics.Cells = ibpmax.CellElements(p.N1, p.N2)
+		res.Metrics.FLOPs = res.FLOPs
+		res.Metrics.TableBytes = res.TableBytes
+		res.Metrics.Degraded = deg.String()
+		rq.metrics.RecordFold(&res.Metrics)
+	}
+	return res, nil
+}
+
+// buildPartitionSub builds (or cache-shares) the Boltzmann substrate for a
+// partition fold. With a substrate cache, each strand's float64 log-sum-exp
+// S table is keyed by (model, hairpin, kT, bases) — partitionSubKey — and
+// shared across folds exactly like the max-plus S tables; the tables built
+// here are never pooled, so retaining them directly is safe.
+func (rq request) buildPartitionSub(ctx context.Context, p *ibpmax.Problem) (*ibpmax.PartitionSub, error) {
+	c := rq.cache
+	if c == nil || !c.substratesOn() {
+		return ibpmax.BuildPartitionSub(ctx, p, rq.kT)
+	}
+	var s1, s2 *nussinov.GTable[float64]
+	k1 := partitionSubKey(p.Seq1, rq.sp, rq.kT)
+	if v, ok := c.c.Get(k1); ok {
+		c.substrateHits.Add(1)
+		s1 = v.(*nussinov.GTable[float64])
+	} else {
+		c.substrateMisses.Add(1)
+	}
+	k2 := partitionSubKey(p.Seq2, rq.sp, rq.kT)
+	if v, ok := c.c.Get(k2); ok {
+		c.substrateHits.Add(1)
+		s2 = v.(*nussinov.GTable[float64])
+	} else {
+		c.substrateMisses.Add(1)
+	}
+	ps, err := ibpmax.BuildPartitionSubShared(ctx, p, rq.kT, s1, s2)
+	if err != nil {
+		return nil, err
+	}
+	if s1 == nil {
+		c.c.Add(k1, ps.S1, ps.S1.Bytes())
+	}
+	if s2 == nil {
+		c.c.Add(k2, ps.S2, ps.S2.Bytes())
+	}
+	return ps, nil
 }
 
 // newProblem is the normalize/substrate stage: parse (pooled or fresh),
@@ -434,12 +544,29 @@ func (rq request) installSubstrates(p *ibpmax.Problem) {
 
 // chargeBytes is the full-table estimate the budget charges a fold:
 // pool-aware when pooled, analytic otherwise, plus the cache's retention.
+// Partition folds are charged at their true element width (8-byte cells
+// against the float64 arena) plus the Boltzmann substrate they build.
 func (rq request) chargeBytes(n1, n2 int, kind ibpmax.MapKind) int64 {
+	if rq.algebra == AlgebraPartition {
+		base := ibpmax.EstimateBytesSized(n1, n2, kind, 8)
+		if rq.pool != nil {
+			base = rq.pool.p.ChargeBytes64(n1, n2, kind)
+		}
+		return base + partitionSubEstimate(n1, n2) + rq.cacheRetained()
+	}
 	base := ibpmax.EstimateBytes(n1, n2, kind)
 	if rq.pool != nil {
 		base = rq.pool.p.ChargeBytes(n1, n2, kind)
 	}
 	return base + rq.cacheRetained()
+}
+
+// partitionSubEstimate is the Boltzmann substrate's storage: the two scaled
+// intramolecular matrices doubling as GTable inputs, the intermolecular
+// matrix, and the two float64 S tables.
+func partitionSubEstimate(n1, n2 int) int64 {
+	a, b := int64(n1), int64(n2)
+	return 8 * (2*a*a + 2*b*b + a*b)
 }
 
 // chargeWindowedBytes is chargeBytes for a banded scan.
@@ -478,8 +605,10 @@ func (rq request) budget(n1, n2 int) (ibpmax.Config, Degradation, error) {
 	} else if packed < smallest {
 		smallest = packed
 	}
-	// Rung 2: the windowed scan, if the caller opted in.
-	if rq.degradeW1 > 0 && rq.degradeW2 > 0 {
+	// Rung 2: the windowed scan, if the caller opted in. Partition folds
+	// never take it — the banded fill is max-plus only — so an over-budget
+	// partition request fails with the typed error instead of degrading.
+	if rq.degradeW1 > 0 && rq.degradeW2 > 0 && rq.algebra != AlgebraPartition {
 		if w := rq.chargeWindowedBytes(n1, n2, rq.degradeW1, rq.degradeW2); w <= rq.memLimit {
 			return cfg, DegradeWindowed, nil
 		} else if w < smallest {
@@ -514,6 +643,7 @@ func (rq request) foldViaWindow(ctx context.Context, p *ibpmax.Problem, res *Res
 	win.wt = wt
 	win.prob = p
 	res.Score = best
+	res.Algebra = AlgebraMaxPlus
 	res.N1 = p.N1
 	res.N2 = p.N2
 	res.Elapsed = elapsed
@@ -546,6 +676,14 @@ func (rq request) runWindowed(ctx context.Context, seq1, seq2 string, w1, w2 int
 	if rq.aerr != nil {
 		rq.metrics.RecordError()
 		return nil, rq.aerr
+	}
+	if rq.algErr != nil {
+		rq.metrics.RecordError()
+		return nil, rq.algErr
+	}
+	if rq.algebra == AlgebraPartition {
+		rq.metrics.RecordError()
+		return nil, fmt.Errorf("bpmax: windowed scans are max-plus only; partition folds have no banded form")
 	}
 	if rq.retry == nil {
 		return rq.windowedAttempt(ctx, seq1, seq2, w1, w2)
@@ -712,7 +850,10 @@ func (rq request) buildSubstrate(ctx context.Context, n int, sc nussinov.ScoreFu
 }
 
 // runEnsemble executes the single-strand ensemble signal through the
-// pipeline (validation and admission; the semiring fills are not cached).
+// pipeline (validation, admission, and — with a result-caching cache — the
+// content-addressed cache: the three semiring fills of a strand already
+// seen under the same model and kT are served from their retained
+// EnsembleResult instead of recomputed).
 func (rq request) runEnsemble(seq string, kT float64) (*EnsembleResult, error) {
 	if kT <= 0 {
 		return nil, fmt.Errorf("bpmax: kT must be positive, got %v", kT)
@@ -725,6 +866,18 @@ func (rq request) runEnsemble(seq string, kT float64) (*EnsembleResult, error) {
 		return nil, err
 	}
 	defer rq.unadmit()
+	var ek pipeline.Key
+	c := rq.cache
+	cached := c != nil && c.resultsOn()
+	if cached {
+		ek = ensembleKey(s, rq.sp, kT)
+		if v, ok := c.c.Get(ek); ok {
+			c.resultHits.Add(1)
+			r := v.(EnsembleResult)
+			return &r, nil
+		}
+		c.resultMisses.Add(1)
+	}
 	tab := score.Build(s, s, rq.sp)
 	n := s.Len()
 	logPair := func(i, j int) float64 {
@@ -755,6 +908,12 @@ func (rq request) runEnsemble(seq string, kT float64) (*EnsembleResult, error) {
 	} else {
 		res.Structures = 1
 		res.Cooptimal = 1
+	}
+	if cached {
+		// The entry is a value copy: immutable by construction, so hits can
+		// hand out fresh copies with no sharing discipline. The charged cost
+		// is the struct plus the cache's own entry bookkeeping.
+		c.c.Add(ek, *res, int64(96))
 	}
 	return res, nil
 }

@@ -129,6 +129,24 @@ func (s *Session) Fold(ctx context.Context, seq1, seq2 string) (*Result, error) 
 	return s.rq.runFold(ctx, seq1, seq2)
 }
 
+// FoldWith is Fold with per-request option overrides layered on top of the
+// session's base options — the serving-layer route for per-request algebra
+// (WithAlgebra, WithKT) or schedule selection. The base options carry the
+// session's engine, pool, cache and admission gate, so an overridden fold
+// still runs through the same components; with no extras it is exactly
+// Fold, including the once-per-session option parse.
+func (s *Session) FoldWith(ctx context.Context, seq1, seq2 string, extra ...Option) (*Result, error) {
+	if err := s.begin(); err != nil {
+		return nil, err
+	}
+	defer s.end()
+	if len(extra) == 0 {
+		return s.rq.runFold(ctx, seq1, seq2)
+	}
+	rq := buildOptions(append(append([]Option(nil), s.opts...), extra...))
+	return rq.runFold(ctx, seq1, seq2)
+}
+
 // FoldBatch folds every pair through the session's components; see
 // FoldBatchContext for the worker-budget and failure contract. On a closed
 // session every item fails with ErrSessionClosed.
@@ -142,6 +160,23 @@ func (s *Session) FoldBatch(ctx context.Context, items []BatchItem, workers int)
 	}
 	defer s.end()
 	return FoldBatchContext(ctx, items, workers, s.opts...)
+}
+
+// FoldBatchWith is FoldBatch with per-request option overrides shared by
+// every item of the batch; see FoldWith for the layering contract.
+func (s *Session) FoldBatchWith(ctx context.Context, items []BatchItem, workers int, extra ...Option) []BatchResult {
+	if err := s.begin(); err != nil {
+		out := make([]BatchResult, len(items))
+		for i, it := range items {
+			out[i] = BatchResult{Name: it.Name, Err: err}
+		}
+		return out
+	}
+	defer s.end()
+	if len(extra) == 0 {
+		return FoldBatchContext(ctx, items, workers, s.opts...)
+	}
+	return FoldBatchContext(ctx, items, workers, append(append([]Option(nil), s.opts...), extra...)...)
 }
 
 // ScanWindowed runs a windowed (banded) scan through the session's
